@@ -1,0 +1,253 @@
+//! Fault diagnosis: locating a defect from tester fail data.
+//!
+//! Pre-bond testing does not stop at pass/fail — yield learning needs to
+//! know *where* dies fail. This module implements classic cause–effect
+//! diagnosis: a fault dictionary maps every modeled fault to its expected
+//! failing-pattern signature; observed tester failures are then matched
+//! against the dictionary, ranked by signature agreement.
+
+use std::collections::HashMap;
+
+use prebond3d_netlist::Netlist;
+
+use crate::access::TestAccess;
+use crate::fault::Fault;
+use crate::faultsim::FaultSimulator;
+use crate::sim::Pattern;
+
+/// The failing-pattern signature of one fault under a fixed test set:
+/// bit `i` of word `i / 64` set ⇔ pattern `i` fails.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Signature {
+    words: Vec<u64>,
+}
+
+impl Signature {
+    /// Empty (all-pass) signature for `patterns` patterns.
+    pub fn new(patterns: usize) -> Self {
+        Signature {
+            words: vec![0; patterns.div_ceil(64)],
+        }
+    }
+
+    /// Mark pattern `i` as failing.
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// `true` if pattern `i` fails.
+    pub fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    /// Number of failing patterns.
+    pub fn fail_count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another signature.
+    pub fn distance(&self, other: &Signature) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum::<usize>()
+            + self
+                .words
+                .len()
+                .abs_diff(other.words.len())
+                .saturating_mul(0) // equal test sets in practice
+    }
+}
+
+/// A fault dictionary: per-fault failing signatures for one test set.
+#[derive(Debug, Clone)]
+pub struct FaultDictionary {
+    faults: Vec<Fault>,
+    signatures: Vec<Signature>,
+    patterns: usize,
+}
+
+impl FaultDictionary {
+    /// Build the dictionary by simulating every fault against `patterns`.
+    pub fn build(
+        netlist: &Netlist,
+        access: &TestAccess,
+        faults: &[Fault],
+        patterns: &[Pattern],
+    ) -> Self {
+        let mut fs = FaultSimulator::new(netlist);
+        let alive = vec![true; faults.len()];
+        let mut signatures = vec![Signature::new(patterns.len()); faults.len()];
+        for (chunk_no, window) in patterns.chunks(64).enumerate() {
+            let masks = fs.simulate_batch(netlist, access, window, faults, &alive);
+            for (f, &mask) in masks.iter().enumerate() {
+                let mut m = mask;
+                while m != 0 {
+                    let bit = m.trailing_zeros() as usize;
+                    signatures[f].set(chunk_no * 64 + bit);
+                    m &= m - 1;
+                }
+            }
+        }
+        FaultDictionary {
+            faults: faults.to_vec(),
+            signatures,
+            patterns: patterns.len(),
+        }
+    }
+
+    /// Number of dictionary entries.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Expected signature of `fault`, if it is in the dictionary.
+    pub fn signature_of(&self, fault: Fault) -> Option<&Signature> {
+        self.faults
+            .iter()
+            .position(|&f| f == fault)
+            .map(|i| &self.signatures[i])
+    }
+
+    /// Fraction of faults whose signatures are unique — the dictionary's
+    /// *diagnostic resolution*.
+    pub fn resolution(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 1.0;
+        }
+        let mut counts: HashMap<&Signature, usize> = HashMap::new();
+        for s in &self.signatures {
+            *counts.entry(s).or_insert(0) += 1;
+        }
+        let unique = self
+            .signatures
+            .iter()
+            .filter(|s| counts[*s] == 1 && s.fail_count() > 0)
+            .count();
+        unique as f64 / self.faults.len() as f64
+    }
+
+    /// Diagnose an observed failing signature: candidate faults ranked by
+    /// ascending Hamming distance, at most `max_candidates` returned.
+    /// Faults with an all-pass signature (undetected by this test set) are
+    /// excluded — they cannot explain any failure.
+    pub fn diagnose(&self, observed: &Signature, max_candidates: usize) -> Vec<(Fault, usize)> {
+        let mut ranked: Vec<(Fault, usize)> = self
+            .faults
+            .iter()
+            .zip(self.signatures.iter())
+            .filter(|(_, s)| s.fail_count() > 0)
+            .map(|(&f, s)| (f, s.distance(observed)))
+            .collect();
+        ranked.sort_by_key(|&(f, d)| (d, f));
+        ranked.truncate(max_candidates);
+        ranked
+    }
+
+    /// Test-set size the dictionary was built for.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run_stuck_at, AtpgConfig};
+    use crate::fault::FaultList;
+    use prebond3d_netlist::itc99;
+
+    fn rig() -> (Netlist, TestAccess, Vec<Pattern>, FaultList) {
+        let die = itc99::generate_flat("diag", 150, 10, 6, 6, 13);
+        let access = TestAccess::full_scan(&die);
+        let result = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        let list = FaultList::collapsed(&die);
+        (die, access, result.patterns, list)
+    }
+
+    #[test]
+    fn injected_fault_diagnoses_to_itself() {
+        let (die, access, patterns, list) = rig();
+        let dict = FaultDictionary::build(&die, &access, &list.faults, &patterns);
+        // Pick several detected faults and pretend the tester observed
+        // exactly their signatures.
+        let mut checked = 0;
+        for (i, fault) in list.faults.iter().enumerate().step_by(37) {
+            let sig = dict.signatures[i].clone();
+            if sig.fail_count() == 0 {
+                continue;
+            }
+            let candidates = dict.diagnose(&sig, 5);
+            assert!(!candidates.is_empty());
+            // A zero-distance candidate must exist, and the true fault's
+            // own signature must be among the zero-distance class (exact
+            // identity may be shared with structurally equivalent faults).
+            assert!(
+                candidates.iter().any(|&(f, d)| d == 0
+                    && dict.signature_of(f) == Some(&sig)),
+                "fault {} must be explained",
+                fault.describe(&die)
+            );
+            assert!(candidates.iter().any(|&(_, d)| d == 0));
+            checked += 1;
+        }
+        assert!(checked > 5, "enough faults sampled");
+    }
+
+    #[test]
+    fn resolution_is_meaningful() {
+        let (die, access, patterns, list) = rig();
+        let dict = FaultDictionary::build(&die, &access, &list.faults, &patterns);
+        let r = dict.resolution();
+        assert!(r > 0.2, "compacted ATPG sets still separate many faults: {r:.3}");
+        assert!(r <= 1.0);
+        assert_eq!(dict.pattern_count(), patterns.len());
+        assert_eq!(dict.len(), list.len());
+    }
+
+    #[test]
+    fn noisy_signatures_still_rank_the_culprit_high() {
+        let (die, access, patterns, list) = rig();
+        let dict = FaultDictionary::build(&die, &access, &list.faults, &patterns);
+        // Take a fault with a rich signature, flip one observation.
+        let (idx, sig) = dict
+            .signatures
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.fail_count())
+            .expect("non-empty");
+        let mut noisy = sig.clone();
+        noisy.set(0); // spurious extra failure (or no-op if already set)
+        let candidates = dict.diagnose(&noisy, 10);
+        let culprit = list.faults[idx];
+        assert!(
+            candidates.iter().any(|&(f, _)| f == culprit),
+            "culprit must stay in the top candidates"
+        );
+        let _ = die;
+    }
+
+    #[test]
+    fn signature_primitives() {
+        let mut s = Signature::new(100);
+        assert_eq!(s.fail_count(), 0);
+        s.set(0);
+        s.set(64);
+        s.set(99);
+        assert!(s.get(64));
+        assert!(!s.get(63));
+        assert_eq!(s.fail_count(), 3);
+        let mut t = Signature::new(100);
+        t.set(0);
+        assert_eq!(s.distance(&t), 2);
+        assert_eq!(s.distance(&s), 0);
+    }
+}

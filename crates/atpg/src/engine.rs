@@ -1,0 +1,576 @@
+//! The ATPG orchestrator: random phase, deterministic top-up, compaction.
+//!
+//! Mirrors the classical commercial flow:
+//!
+//! 1. **Random phase** — 64-pattern batches of seeded random patterns are
+//!    fault-simulated with fault dropping; only patterns that detect a new
+//!    fault are kept. The phase ends when a batch's yield drops below a
+//!    threshold.
+//! 2. **Deterministic phase** — PODEM targets every remaining fault;
+//!    each generated cube is filled and fault-simulated against all
+//!    remaining faults (opportunistic dropping).
+//! 3. **Reverse-order compaction** — patterns are re-fault-simulated in
+//!    reverse order of generation; patterns that detect nothing new are
+//!    discarded. This is the pattern-count lever the paper's Tables IV/V
+//!    report.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prebond3d_netlist::Netlist;
+
+use crate::access::TestAccess;
+use crate::fault::FaultList;
+use crate::faultsim::FaultSimulator;
+use crate::podem::{Podem, PodemConfig, PodemOutcome};
+use crate::scoap::Scoap;
+use crate::sim::Pattern;
+use crate::transition::{self, TransitionFault};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Maximum random 64-pattern batches.
+    pub max_random_batches: usize,
+    /// Stop the random phase when a batch detects fewer new faults.
+    pub min_random_yield: usize,
+    /// PODEM limits.
+    pub podem: PodemConfig,
+    /// Run reverse-order compaction.
+    pub compact: bool,
+    /// RNG seed (pattern fill and random phase).
+    pub seed: u64,
+}
+
+impl AtpgConfig {
+    /// Production-ish effort.
+    pub fn thorough() -> Self {
+        AtpgConfig {
+            max_random_batches: 32,
+            min_random_yield: 2,
+            podem: PodemConfig {
+                backtrack_limit: 4000,
+            },
+            compact: true,
+            seed: 0xA7_9C,
+        }
+    }
+
+    /// Effort scaled to the netlist size: full effort below 15 k gates,
+    /// reduced deterministic effort above (PODEM implication is linear in
+    /// netlist size, so large dies pay quadratically for hard faults).
+    pub fn scaled_for(netlist_len: usize) -> Self {
+        if netlist_len > 15_000 {
+            AtpgConfig {
+                max_random_batches: 16,
+                min_random_yield: 8,
+                podem: PodemConfig { backtrack_limit: 64 },
+                compact: true,
+                seed: 0xA7_9C,
+            }
+        } else {
+            AtpgConfig::thorough()
+        }
+    }
+
+    /// Cheap settings for unit tests.
+    pub fn fast() -> Self {
+        AtpgConfig {
+            max_random_batches: 4,
+            min_random_yield: 1,
+            podem: PodemConfig {
+                backtrack_limit: 150,
+            },
+            compact: true,
+            seed: 0xA7_9C,
+        }
+    }
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig::thorough()
+    }
+}
+
+/// The outcome of an ATPG run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtpgResult {
+    /// The final (compacted) test set.
+    pub patterns: Vec<Pattern>,
+    /// Size of the fault universe.
+    pub total_faults: usize,
+    /// Faults detected by the final test set.
+    pub detected: usize,
+    /// Faults proven untestable.
+    pub untestable: usize,
+    /// Faults abandoned at the backtrack limit.
+    pub aborted: usize,
+}
+
+impl AtpgResult {
+    /// Fault coverage: `detected / total` (the paper's metric).
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.total_faults as f64
+    }
+
+    /// Test coverage: detected over *testable* faults.
+    pub fn test_coverage(&self) -> f64 {
+        let testable = self.total_faults - self.untestable;
+        if testable == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / testable as f64
+    }
+
+    /// Number of test patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+/// Structural untestability check: the fault cannot be excited (the
+/// needed value at its driver is unreachable) or cannot be observed (no
+/// path from the propagation root to any observation point). Both SCOAP
+/// saturations are sound proofs under the access model.
+fn scoap_untestable(scoap: &Scoap, netlist: &Netlist, fault: crate::fault::Fault) -> bool {
+    use crate::scoap::INF;
+    let driver = fault.site.driver(netlist);
+    let cc = if fault.stuck.excitation() {
+        scoap.cc1[driver.index()]
+    } else {
+        scoap.cc0[driver.index()]
+    };
+    if cc >= INF {
+        return true;
+    }
+    let root = fault.site.propagation_root();
+    // Observability is defined at the root's *output*; for faults on the
+    // pin of a pure sink, fall back to the driver's observability.
+    let co = scoap.co[root.index()].min(scoap.co[driver.index()]);
+    co >= INF
+}
+
+fn random_pattern(rng: &mut StdRng, access: &TestAccess) -> Pattern {
+    let mut bits: Vec<bool> = (0..access.width()).map(|_| rng.gen()).collect();
+    for &(node, v) in access.pinned() {
+        bits[access.rank_of(node).expect("pinned controllable")] = v;
+    }
+    Pattern { bits }
+}
+
+/// Keep only the patterns that first-detect some fault, preserving order.
+/// `masks[f]` is the per-pattern detection mask of fault `f` in this batch.
+fn credit_patterns(batch: &[Pattern], masks: &[u64], alive: &mut [bool]) -> (Vec<Pattern>, usize) {
+    let mut useful = vec![false; batch.len()];
+    let mut newly = 0usize;
+    for (f, &mask) in masks.iter().enumerate() {
+        if !alive[f] || mask == 0 {
+            continue;
+        }
+        alive[f] = false;
+        newly += 1;
+        useful[mask.trailing_zeros() as usize] = true;
+    }
+    let kept = batch
+        .iter()
+        .zip(useful.iter())
+        .filter(|(_, &u)| u)
+        .map(|(p, _)| p.clone())
+        .collect();
+    (kept, newly)
+}
+
+/// Run stuck-at ATPG.
+pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
+    let list = FaultList::collapsed(netlist);
+    let mut alive = vec![true; list.len()];
+    let mut fs = FaultSimulator::new(netlist);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut patterns: Vec<Pattern> = Vec::new();
+
+    // --- Random phase -----------------------------------------------------
+    for _ in 0..config.max_random_batches {
+        if !alive.iter().any(|&a| a) {
+            break;
+        }
+        let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
+        let masks = fs.simulate_batch_any(netlist, access, &batch, &list.faults, &alive);
+        let (kept, newly) = credit_patterns(&batch, &masks, &mut alive);
+        patterns.extend(kept);
+        if newly < config.min_random_yield {
+            break;
+        }
+    }
+
+    // --- Deterministic phase ----------------------------------------------
+    let scoap = Scoap::compute(netlist, access);
+    let mut podem = Podem::new(netlist, access, &scoap, config.podem);
+    let mut untestable = 0usize;
+    let mut aborted = 0usize;
+    let mut pending: Vec<Pattern> = Vec::new();
+
+    let flush =
+        |pending: &mut Vec<Pattern>, patterns: &mut Vec<Pattern>, alive: &mut [bool], fs: &mut FaultSimulator| {
+            if pending.is_empty() {
+                return;
+            }
+            let masks = fs.simulate_batch_any(netlist, access, pending, &list.faults, alive);
+            let (kept, _) = credit_patterns(pending, &masks, alive);
+            patterns.extend(kept);
+            pending.clear();
+        };
+
+    for (f, fault) in list.faults.iter().enumerate() {
+        if !alive[f] {
+            continue;
+        }
+        // SCOAP pre-screen: saturated controllability of the excitation
+        // value or saturated observability of the propagation root is a
+        // *structural proof* of untestability — skip the search.
+        if scoap_untestable(&scoap, netlist, *fault) {
+            alive[f] = false;
+            untestable += 1;
+            continue;
+        }
+        match podem.generate(*fault) {
+            PodemOutcome::Test(cube) => {
+                let mut pattern = Pattern::from_v3(&cube, false);
+                // Random-fill don't-cares for opportunistic detection.
+                for (rank, bit) in pattern.bits.iter_mut().enumerate() {
+                    if cube[rank] == crate::logic::V3::X {
+                        *bit = rng.gen();
+                    }
+                }
+                for &(node, v) in access.pinned() {
+                    pattern.bits[access.rank_of(node).expect("pinned")] = v;
+                }
+                pending.push(pattern);
+                if pending.len() == 64 {
+                    flush(&mut pending, &mut patterns, &mut alive, &mut fs);
+                }
+            }
+            PodemOutcome::Untestable => {
+                alive[f] = false;
+                untestable += 1;
+            }
+            PodemOutcome::Aborted => {
+                alive[f] = false;
+                aborted += 1;
+            }
+        }
+    }
+    flush(&mut pending, &mut patterns, &mut alive, &mut fs);
+
+    // --- Compaction --------------------------------------------------------
+    if config.compact {
+        patterns = reverse_order_compact(netlist, access, &list, &mut fs, patterns);
+    }
+
+    // Final accounting: simulate the final set against the full universe.
+    let detected = count_detected(netlist, access, &list, &mut fs, &patterns);
+    AtpgResult {
+        patterns,
+        total_faults: list.len(),
+        detected,
+        untestable,
+        aborted,
+    }
+}
+
+/// Reverse-order compaction: later patterns (deterministic, targeted) get
+/// first credit; earlier patterns that add nothing are dropped.
+fn reverse_order_compact(
+    netlist: &Netlist,
+    access: &TestAccess,
+    list: &FaultList,
+    fs: &mut FaultSimulator,
+    patterns: Vec<Pattern>,
+) -> Vec<Pattern> {
+    let mut alive = vec![true; list.len()];
+    let mut keep: Vec<Pattern> = Vec::new();
+    let reversed: Vec<Pattern> = patterns.into_iter().rev().collect();
+    for window in reversed.chunks(64) {
+        let masks = fs.simulate_batch_any(netlist, access, window, &list.faults, &alive);
+        let mut useful = vec![false; window.len()];
+        for (f, &mask) in masks.iter().enumerate() {
+            if alive[f] && mask != 0 {
+                alive[f] = false;
+                useful[mask.trailing_zeros() as usize] = true;
+            }
+        }
+        for (p, &u) in window.iter().zip(useful.iter()) {
+            if u {
+                keep.push(p.clone());
+            }
+        }
+    }
+    keep.reverse();
+    keep
+}
+
+fn count_detected(
+    netlist: &Netlist,
+    access: &TestAccess,
+    list: &FaultList,
+    fs: &mut FaultSimulator,
+    patterns: &[Pattern],
+) -> usize {
+    let mut alive = vec![true; list.len()];
+    for window in patterns.chunks(64) {
+        let masks = fs.simulate_batch_any(netlist, access, window, &list.faults, &alive);
+        for (f, &mask) in masks.iter().enumerate() {
+            if mask != 0 {
+                alive[f] = false;
+            }
+        }
+    }
+    alive.iter().filter(|&&a| !a).count()
+}
+
+/// Run transition-fault ATPG (two-pattern tests, enhanced-scan style).
+pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
+    let faults = transition::transition_universe(netlist);
+    let mut alive = vec![true; faults.len()];
+    let mut fs = FaultSimulator::new(netlist);
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7261_6e73);
+    let mut patterns: Vec<Pattern> = Vec::new();
+
+    // --- Random phase: a random sequence; consecutive pairs test edges.
+    for _ in 0..config.max_random_batches {
+        if !alive.iter().any(|&a| a) {
+            break;
+        }
+        let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
+        // Evaluate with one-pattern overlap into the existing tail.
+        let mut seq: Vec<Pattern> = Vec::with_capacity(65);
+        if let Some(last) = patterns.last() {
+            seq.push(last.clone());
+        }
+        seq.extend(batch.iter().cloned());
+        let det = transition::simulate_sequence(&mut fs, netlist, access, &seq, &faults, &alive);
+        let newly = det.iter().filter(|&&d| d).count();
+        for (f, d) in det.into_iter().enumerate() {
+            if d {
+                alive[f] = false;
+            }
+        }
+        patterns.extend(batch);
+        if newly < config.min_random_yield {
+            break;
+        }
+    }
+
+    // --- Deterministic: v1 justifies the initial value, v2 is the
+    // stuck-at launch test.
+    let scoap = Scoap::compute(netlist, access);
+    let mut podem = Podem::new(netlist, access, &scoap, config.podem);
+    let mut untestable = 0usize;
+    let mut aborted = 0usize;
+
+    for (f, fault) in faults.iter().enumerate() {
+        if !alive[f] {
+            continue;
+        }
+        let launch = fault.launch_fault();
+        if scoap_untestable(&scoap, netlist, launch) {
+            alive[f] = false;
+            untestable += 1;
+            continue;
+        }
+        let v2 = match podem.generate(launch) {
+            PodemOutcome::Test(cube) => cube,
+            PodemOutcome::Untestable => {
+                alive[f] = false;
+                untestable += 1;
+                continue;
+            }
+            PodemOutcome::Aborted => {
+                alive[f] = false;
+                aborted += 1;
+                continue;
+            }
+        };
+        let site_driver = fault.site.driver(netlist);
+        let v1 = match podem.justify(site_driver, fault.initial_value()) {
+            PodemOutcome::Test(cube) => cube,
+            PodemOutcome::Untestable => {
+                alive[f] = false;
+                untestable += 1;
+                continue;
+            }
+            PodemOutcome::Aborted => {
+                alive[f] = false;
+                aborted += 1;
+                continue;
+            }
+        };
+        let fill = |cube: &[crate::logic::V3], rng: &mut StdRng| {
+            let mut p = Pattern::from_v3(cube, false);
+            for (rank, bit) in p.bits.iter_mut().enumerate() {
+                if cube[rank] == crate::logic::V3::X {
+                    *bit = rng.gen();
+                }
+            }
+            for &(node, v) in access.pinned() {
+                p.bits[access.rank_of(node).expect("pinned")] = v;
+            }
+            p
+        };
+        let p1 = fill(&v1, &mut rng);
+        let p2 = fill(&v2, &mut rng);
+        let pair = vec![p1, p2];
+        let det =
+            transition::simulate_sequence(&mut fs, netlist, access, &pair, &faults, &alive);
+        for (g, d) in det.into_iter().enumerate() {
+            if d {
+                alive[g] = false;
+            }
+        }
+        patterns.extend(pair);
+    }
+
+    // Final accounting over the whole sequence.
+    let mut final_alive = vec![true; faults.len()];
+    let det = transition::simulate_sequence(
+        &mut fs,
+        netlist,
+        access,
+        &patterns,
+        &faults,
+        &final_alive.clone(),
+    );
+    for (f, d) in det.into_iter().enumerate() {
+        if d {
+            final_alive[f] = false;
+        }
+    }
+    let detected = final_alive.iter().filter(|&&a| !a).count();
+
+    AtpgResult {
+        patterns,
+        total_faults: faults.len(),
+        detected,
+        untestable,
+        aborted,
+    }
+}
+
+/// Convenience wrapper: which of `faults` does this pattern set detect?
+/// Used by the incremental testability probes in the WCM flow.
+pub fn detected_by(
+    netlist: &Netlist,
+    access: &TestAccess,
+    faults: &[crate::fault::Fault],
+    patterns: &[Pattern],
+) -> Vec<bool> {
+    let mut fs = FaultSimulator::new(netlist);
+    let mut alive = vec![true; faults.len()];
+    for window in patterns.chunks(64) {
+        let masks = fs.simulate_batch_any(netlist, access, window, faults, &alive);
+        for (f, &mask) in masks.iter().enumerate() {
+            if mask != 0 {
+                alive[f] = false;
+            }
+        }
+    }
+    alive.into_iter().map(|a| !a).collect()
+}
+
+/// Detected transition faults for a pattern *sequence*.
+pub fn transition_detected_by(
+    netlist: &Netlist,
+    access: &TestAccess,
+    faults: &[TransitionFault],
+    patterns: &[Pattern],
+) -> Vec<bool> {
+    let mut fs = FaultSimulator::new(netlist);
+    let alive = vec![true; faults.len()];
+    transition::simulate_sequence(&mut fs, netlist, access, patterns, faults, &alive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::itc99;
+
+    #[test]
+    fn stuck_at_atpg_reaches_high_coverage_on_clean_die() {
+        let die = itc99::generate_flat("d", 200, 14, 6, 6, 8);
+        let access = TestAccess::full_scan(&die);
+        let r = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        // The fast config aborts hard faults early; judge on test coverage
+        // (detected over not-proven-untestable), the tools' usual metric.
+        assert!(
+            r.test_coverage() > 0.84,
+            "clean full-scan die should be highly testable, got {:.3} ({} aborted)",
+            r.test_coverage(),
+            r.aborted
+        );
+        assert!(r.pattern_count() > 0);
+        assert!(r.pattern_count() < 200, "compaction keeps the set small");
+        // Final accounting is consistent.
+        assert!(r.detected <= r.total_faults);
+    }
+
+    #[test]
+    fn floating_tsvs_reduce_coverage() {
+        let spec = itc99::DieSpec {
+            name: "tsv_die".into(),
+            scan_flip_flops: 14,
+            gates: 200,
+            inbound_tsvs: 12,
+            outbound_tsvs: 12,
+            primary_inputs: 4,
+            primary_outputs: 4,
+            seed: 8,
+        };
+        let die = itc99::generate_die(&spec);
+        let access = TestAccess::full_scan(&die);
+        let r = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        let clean = itc99::generate_flat("clean", 200, 14, 4, 4, 8);
+        let r_clean = run_stuck_at(&clean, &TestAccess::full_scan(&clean), &AtpgConfig::fast());
+        assert!(
+            r.coverage() < r_clean.coverage(),
+            "floating TSVs must hurt coverage: {:.3} !< {:.3}",
+            r.coverage(),
+            r_clean.coverage()
+        );
+        assert!(r.untestable > 0, "blocked faults are proven untestable");
+    }
+
+    #[test]
+    fn transition_atpg_runs_and_detects() {
+        let die = itc99::generate_flat("d", 150, 10, 5, 5, 4);
+        let access = TestAccess::full_scan(&die);
+        let r = run_transition(&die, &access, &AtpgConfig::fast());
+        assert!(
+            r.test_coverage() > 0.75,
+            "transition coverage too low: {:.3}",
+            r.test_coverage()
+        );
+        // Transition sets are larger than stuck-at sets (pairs).
+        assert!(r.pattern_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let die = itc99::generate_flat("d", 120, 8, 5, 5, 10);
+        let access = TestAccess::full_scan(&die);
+        let a = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        let b = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn coverage_metrics_relate_sanely() {
+        let die = itc99::generate_flat("d", 120, 8, 5, 5, 12);
+        let access = TestAccess::full_scan(&die);
+        let r = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        assert!(r.test_coverage() >= r.coverage());
+        assert!(r.test_coverage() <= 1.0 + 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Single stuck-at fault model with structural collapsing.
+//!
+//! Faults live on gate **output stems** and on **fanout branches** (an
+//! input pin whose driver has more than one consumer). This is the
+//! checkpoint-style fault universe commercial tools collapse to:
+//! single-fanout input faults are structurally equivalent to their driver's
+//! output fault and are not enumerated.
+
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+
+/// Stuck-at polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StuckAt {
+    /// Signal stuck at logic 0.
+    Zero,
+    /// Signal stuck at logic 1.
+    One,
+}
+
+impl StuckAt {
+    /// The stuck value as a bool.
+    pub fn value(self) -> bool {
+        self == StuckAt::One
+    }
+
+    /// The value required at the fault site to *excite* the fault.
+    pub fn excitation(self) -> bool {
+        !self.value()
+    }
+}
+
+impl std::fmt::Display for StuckAt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StuckAt::Zero => write!(f, "sa0"),
+            StuckAt::One => write!(f, "sa1"),
+        }
+    }
+}
+
+/// Location of a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// The output stem of a gate.
+    Output(GateId),
+    /// Input pin `pin` of gate `gate` (a fanout branch).
+    Input {
+        /// The gate whose pin is faulty.
+        gate: GateId,
+        /// Pin index into the gate's input list.
+        pin: u8,
+    },
+}
+
+impl FaultSite {
+    /// The signal whose *good value* excites the fault: the stem itself,
+    /// or the branch's driver.
+    pub fn driver(&self, netlist: &Netlist) -> GateId {
+        match *self {
+            FaultSite::Output(g) => g,
+            FaultSite::Input { gate, pin } => netlist.gate(gate).inputs[pin as usize],
+        }
+    }
+
+    /// The gate at which the fault effect first appears and from which it
+    /// propagates.
+    pub fn propagation_root(&self) -> GateId {
+        match *self {
+            FaultSite::Output(g) => g,
+            FaultSite::Input { gate, .. } => gate,
+        }
+    }
+}
+
+/// One single stuck-at fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fault {
+    /// Where.
+    pub site: FaultSite,
+    /// Which polarity.
+    pub stuck: StuckAt,
+}
+
+impl Fault {
+    /// Stem fault constructor.
+    pub fn output(gate: GateId, stuck: StuckAt) -> Fault {
+        Fault {
+            site: FaultSite::Output(gate),
+            stuck,
+        }
+    }
+
+    /// Branch fault constructor.
+    pub fn input(gate: GateId, pin: u8, stuck: StuckAt) -> Fault {
+        Fault {
+            site: FaultSite::Input { gate, pin },
+            stuck,
+        }
+    }
+
+    /// Render like `g17/sa0` or `g17.in1/sa1`.
+    pub fn describe(&self, netlist: &Netlist) -> String {
+        match self.site {
+            FaultSite::Output(g) => format!("{}/{}", netlist.gate(g).name, self.stuck),
+            FaultSite::Input { gate, pin } => {
+                format!("{}.in{}/{}", netlist.gate(gate).name, pin, self.stuck)
+            }
+        }
+    }
+}
+
+/// The collapsed fault universe of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultList {
+    /// The faults, in deterministic site order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultList {
+    /// Enumerate the collapsed stuck-at universe of `netlist`:
+    ///
+    /// * both polarities on every driving gate's output stem (markers like
+    ///   [`GateKind::Output`]/[`GateKind::TsvOut`] drive nothing and carry
+    ///   no stem faults — their single input is covered by the driver),
+    /// * both polarities on every fanout branch (input pin whose driver has
+    ///   ≥ 2 consumers).
+    pub fn collapsed(netlist: &Netlist) -> Self {
+        let mut faults = Vec::new();
+        for (id, gate) in netlist.iter() {
+            // Stem faults on anything that actually drives logic.
+            let drives = !netlist.fanout(id).is_empty();
+            if drives && !matches!(gate.kind, GateKind::Output | GateKind::TsvOut) {
+                faults.push(Fault::output(id, StuckAt::Zero));
+                faults.push(Fault::output(id, StuckAt::One));
+            }
+            // Branch faults where the driver fans out.
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                if netlist.fanout(input).len() >= 2 {
+                    faults.push(Fault::input(id, pin as u8, StuckAt::Zero));
+                    faults.push(Fault::input(id, pin as u8, StuckAt::One));
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    #[test]
+    fn collapsing_rules() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a"); // fans out to g1,g2 -> stem + 2 branches
+        let c = b.input("b"); // single fanout -> stem only
+        let g1 = b.gate(GateKind::And, &[a, c], "g1");
+        let g2 = b.gate(GateKind::Not, &[a], "g2");
+        b.output(g1, "o1");
+        b.output(g2, "o2");
+        let n = b.finish().unwrap();
+        let list = FaultList::collapsed(&n);
+        // stems: a, b, g1, g2  (o1/o2 markers excluded) = 4 × 2
+        // branches: g1.in0 (a), g2.in0 (a) = 2 × 2
+        assert_eq!(list.len(), 12);
+        let _ = (g1, g2);
+    }
+
+    #[test]
+    fn fault_accessors() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, &[a], "g1");
+        let g2 = b.gate(GateKind::Not, &[a], "g2");
+        b.output(g1, "o1");
+        b.output(g2, "o2");
+        let n = b.finish().unwrap();
+        let f = Fault::input(g1, 0, StuckAt::One);
+        assert_eq!(f.site.driver(&n), a);
+        assert_eq!(f.site.propagation_root(), g1);
+        assert_eq!(f.describe(&n), "g1.in0/sa1");
+        let f2 = Fault::output(g2, StuckAt::Zero);
+        assert_eq!(f2.site.driver(&n), g2);
+        assert_eq!(f2.describe(&n), "g2/sa0");
+        assert_eq!(StuckAt::Zero.excitation(), true);
+        assert_eq!(StuckAt::One.excitation(), false);
+    }
+
+    #[test]
+    fn dangling_gate_has_no_stem_fault() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, &[a], "dead");
+        b.output(a, "o");
+        let _ = g;
+        let n = b.finish().unwrap();
+        let list = FaultList::collapsed(&n);
+        // `dead` drives nothing → no stem faults on it. `a` fans out to 2.
+        assert!(list
+            .faults
+            .iter()
+            .all(|f| f.site.propagation_root() != n.find("dead").unwrap()
+                || matches!(f.site, FaultSite::Input { .. })));
+    }
+}

@@ -1,0 +1,311 @@
+//! Bit-parallel three-valued good-machine simulation.
+//!
+//! Values are dual-rail encoded per gate: a `val` word and an `unk` word,
+//! each bit position carrying one of up to 64 independent patterns.
+//! Uncontrollable sources (floating TSVs, non-scan flip-flops) simulate as
+//! X, so anything a pre-bond tester could not actually predict is never
+//! credited as observed.
+
+use prebond3d_netlist::{traverse, GateId, GateKind, Netlist};
+
+use crate::access::TestAccess;
+use crate::logic::V3;
+
+/// One test pattern: a value per controllable source, in
+/// [`TestAccess::controllable`] rank order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    /// Pattern bits, indexed by controllable rank.
+    pub bits: Vec<bool>,
+}
+
+impl Pattern {
+    /// The all-zero pattern of the given width.
+    pub fn zeroes(width: usize) -> Pattern {
+        Pattern {
+            bits: vec![false; width],
+        }
+    }
+
+    /// Build from a V3 assignment, filling X with `fill`.
+    pub fn from_v3(values: &[V3], fill: bool) -> Pattern {
+        Pattern {
+            bits: values
+                .iter()
+                .map(|v| v.to_bool().unwrap_or(fill))
+                .collect(),
+        }
+    }
+}
+
+/// Dual-rail word pair: (`val`, `unk`). Bit known ⇔ `unk` bit clear.
+pub type Rail = (u64, u64);
+
+/// Evaluate `kind` over dual-rail bit-parallel inputs.
+pub fn eval_rail(kind: GateKind, inputs: &[Rail]) -> Rail {
+    #[inline]
+    fn ones(r: Rail) -> u64 {
+        r.0 & !r.1
+    }
+    #[inline]
+    fn zeros(r: Rail) -> u64 {
+        !r.0 & !r.1
+    }
+    #[inline]
+    fn from01(one: u64, zero: u64) -> Rail {
+        (one, !(one | zero))
+    }
+    match kind {
+        GateKind::Buf | GateKind::Output | GateKind::TsvOut => inputs[0],
+        GateKind::Not => from01(zeros(inputs[0]), ones(inputs[0])),
+        GateKind::And => from01(
+            ones(inputs[0]) & ones(inputs[1]),
+            zeros(inputs[0]) | zeros(inputs[1]),
+        ),
+        GateKind::Or => from01(
+            ones(inputs[0]) | ones(inputs[1]),
+            zeros(inputs[0]) & zeros(inputs[1]),
+        ),
+        GateKind::Nand => from01(
+            zeros(inputs[0]) | zeros(inputs[1]),
+            ones(inputs[0]) & ones(inputs[1]),
+        ),
+        GateKind::Nor => from01(
+            zeros(inputs[0]) & zeros(inputs[1]),
+            ones(inputs[0]) | ones(inputs[1]),
+        ),
+        GateKind::Xor => {
+            let known = !inputs[0].1 & !inputs[1].1;
+            ((inputs[0].0 ^ inputs[1].0) & known, !known)
+        }
+        GateKind::Xnor => {
+            let known = !inputs[0].1 & !inputs[1].1;
+            (!(inputs[0].0 ^ inputs[1].0) & known, !known)
+        }
+        GateKind::Mux2 => {
+            let (a, b, s) = (inputs[0], inputs[1], inputs[2]);
+            let one = (zeros(s) & ones(a)) | (ones(s) & ones(b)) | (ones(a) & ones(b));
+            let zero = (zeros(s) & zeros(a)) | (ones(s) & zeros(b)) | (zeros(a) & zeros(b));
+            from01(one, zero)
+        }
+        _ => unreachable!("eval_rail on non-combinational {kind:?}"),
+    }
+}
+
+/// A prepared simulator: topological order and rank cache for one netlist.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    order: Vec<GateId>,
+    /// Topological rank per gate (for cone-restricted faulty passes).
+    rank: Vec<u32>,
+}
+
+impl Simulator {
+    /// Prepare for `netlist`.
+    pub fn new(netlist: &Netlist) -> Self {
+        let order = traverse::combinational_order(netlist);
+        let mut rank = vec![0u32; netlist.len()];
+        for (r, id) in order.iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+        Simulator { order, rank }
+    }
+
+    /// Topological rank of a gate.
+    pub fn rank(&self, id: GateId) -> u32 {
+        self.rank[id.index()]
+    }
+
+    /// The cached topological order.
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Simulate up to 64 patterns at once; returns dual-rail values per
+    /// gate. Bits beyond `patterns.len()` are X.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 64 patterns are supplied or a pattern's width
+    /// does not match the access model.
+    pub fn run_batch(
+        &self,
+        netlist: &Netlist,
+        access: &TestAccess,
+        patterns: &[Pattern],
+    ) -> Vec<Rail> {
+        assert!(patterns.len() <= 64, "at most 64 patterns per batch");
+        let used: u64 = if patterns.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << patterns.len()) - 1
+        };
+        let mut values: Vec<Rail> = vec![(0, u64::MAX); netlist.len()];
+
+        // Load controllable sources from the pattern bits.
+        for (rank, &src) in access.controllable().iter().enumerate() {
+            let mut word = 0u64;
+            for (p, pattern) in patterns.iter().enumerate() {
+                assert_eq!(
+                    pattern.bits.len(),
+                    access.width(),
+                    "pattern width mismatch"
+                );
+                if pattern.bits[rank] {
+                    word |= 1 << p;
+                }
+            }
+            values[src.index()] = (word, !used);
+        }
+        // Apply pinned overrides.
+        for &(node, v) in access.pinned() {
+            values[node.index()] = (if v { used } else { 0 }, !used);
+        }
+
+        // Constants and uncontrollable sources.
+        for &id in &self.order {
+            let gate = netlist.gate(id);
+            match gate.kind {
+                GateKind::Const0 => values[id.index()] = (0, !used),
+                GateKind::Const1 => values[id.index()] = (used, !used),
+                _ => {
+                    if gate.kind.is_combinational() {
+                        let inputs: Vec<Rail> = gate
+                            .inputs
+                            .iter()
+                            .map(|&i| values[i.index()])
+                            .collect();
+                        values[id.index()] = eval_rail(gate.kind, &inputs);
+                    }
+                    // Sources (Input/ScanDff/TsvIn/Wrapper) keep whatever
+                    // was loaded — X by default.
+                }
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    fn rig() -> (Netlist, TestAccess, Simulator) {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let ti = b.tsv_in("ti");
+        let x = b.gate(GateKind::Xor, &[a, c], "x");
+        let y = b.gate(GateKind::And, &[x, ti], "y");
+        let z = b.gate(GateKind::Or, &[x, ti], "z");
+        b.output(y, "oy");
+        b.output(z, "oz");
+        let n = b.finish().unwrap();
+        let acc = TestAccess::full_scan(&n);
+        let sim = Simulator::new(&n);
+        (n, acc, sim)
+    }
+
+    fn known(values: &[Rail], id: GateId, bit: usize) -> Option<bool> {
+        let (v, u) = values[id.index()];
+        if u >> bit & 1 == 1 {
+            None
+        } else {
+            Some(v >> bit & 1 == 1)
+        }
+    }
+
+    #[test]
+    fn computes_logic_and_propagates_x() {
+        let (n, acc, sim) = rig();
+        // pattern 0: a=1, b=0 → x=1; y = 1&X = X; z = 1|X = 1.
+        // pattern 1: a=1, b=1 → x=0; y = 0&X = 0; z = 0|X = X.
+        let p0 = Pattern { bits: vec![true, false] };
+        let p1 = Pattern { bits: vec![true, true] };
+        let vals = sim.run_batch(&n, &acc, &[p0, p1]);
+        let x = n.find("x").unwrap();
+        let y = n.find("y").unwrap();
+        let z = n.find("z").unwrap();
+        assert_eq!(known(&vals, x, 0), Some(true));
+        assert_eq!(known(&vals, y, 0), None);
+        assert_eq!(known(&vals, z, 0), Some(true));
+        assert_eq!(known(&vals, x, 1), Some(false));
+        assert_eq!(known(&vals, y, 1), Some(false));
+        assert_eq!(known(&vals, z, 1), None);
+        // Unused bit positions stay X.
+        assert_eq!(known(&vals, x, 5), None);
+    }
+
+    #[test]
+    fn pinned_values_apply() {
+        let (n, mut acc, sim) = rig();
+        acc.pin(n.find("a").unwrap(), true);
+        let p = Pattern { bits: vec![false, false] }; // a bit ignored
+        let vals = sim.run_batch(&n, &acc, &[p]);
+        let a = n.find("a").unwrap();
+        assert_eq!(known(&vals, a, 0), Some(true));
+    }
+
+    #[test]
+    fn rail_eval_matches_scalar_v3() {
+        use crate::logic::eval_v3;
+        let vals = [V3::Zero, V3::One, V3::X];
+        let to_rail = |v: V3| -> Rail {
+            match v {
+                V3::Zero => (0, 0),
+                V3::One => (1, 0),
+                V3::X => (0, 1),
+            }
+        };
+        let from_rail = |r: Rail| -> V3 {
+            if r.1 & 1 == 1 {
+                V3::X
+            } else if r.0 & 1 == 1 {
+                V3::One
+            } else {
+                V3::Zero
+            }
+        };
+        for kind in [
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for &a in &vals {
+                for &b in &vals {
+                    let want = eval_v3(kind, &[a, b]);
+                    let got = from_rail(eval_rail(kind, &[to_rail(a), to_rail(b)]));
+                    assert_eq!(got, want, "{kind:?}({a:?},{b:?})");
+                }
+            }
+        }
+        for &a in &vals {
+            assert_eq!(
+                from_rail(eval_rail(GateKind::Not, &[to_rail(a)])),
+                eval_v3(GateKind::Not, &[a])
+            );
+        }
+        for &a in &vals {
+            for &b in &vals {
+                for &s in &vals {
+                    let want = eval_v3(GateKind::Mux2, &[a, b, s]);
+                    let got =
+                        from_rail(eval_rail(GateKind::Mux2, &[to_rail(a), to_rail(b), to_rail(s)]));
+                    assert_eq!(got, want, "mux({a:?},{b:?},{s:?})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn too_many_patterns_panics() {
+        let (n, acc, sim) = rig();
+        let ps: Vec<Pattern> = (0..65).map(|_| Pattern::zeroes(acc.width())).collect();
+        sim.run_batch(&n, &acc, &ps);
+    }
+}

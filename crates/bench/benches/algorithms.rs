@@ -1,0 +1,166 @@
+//! Criterion benchmarks over every substrate and the core algorithms.
+//!
+//! Groups:
+//! * `netlist` — generation + topological traversal,
+//! * `partition` — FM vs random vs level,
+//! * `placement` — annealing refinement,
+//! * `sta` — full timing analysis,
+//! * `atpg` — bit-parallel fault-sim batches and PODEM,
+//! * `wcm` — Algorithm 1 (graph construction) and Algorithm 2 (clique
+//!   partitioning), in both timing-model fidelities (the runtime cost of
+//!   the paper's accurate model vs Agrawal's capacitance-only one),
+//! * `flow` — the end-to-end Fig. 6 flow per method.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use prebond3d_atpg::engine::{run_stuck_at, AtpgConfig};
+use prebond3d_atpg::faultsim::FaultSimulator;
+use prebond3d_atpg::sim::Pattern;
+use prebond3d_atpg::{FaultList, TestAccess};
+use prebond3d_celllib::Library;
+use prebond3d_netlist::{itc99, traverse, Netlist};
+use prebond3d_partition::{fm, level, random as rpart, PartitionSpec};
+use prebond3d_place::{anneal, grid, place, PlaceConfig, Placement};
+use prebond3d_sta::whatif::ReuseKind;
+use prebond3d_sta::{analyze, StaConfig};
+use prebond3d_wcm::flow::{run_flow, FlowConfig, Method};
+use prebond3d_wcm::{clique, graph, MergePolicy, StructuralProbe, Thresholds, TimingModel};
+
+fn medium_die() -> Netlist {
+    let spec = itc99::circuit("b12").expect("known");
+    itc99::generate_die(&spec.dies[1])
+}
+
+fn placed(die: &Netlist) -> Placement {
+    place(die, &PlaceConfig::default(), 1)
+}
+
+fn bench_netlist(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netlist");
+    let spec = itc99::circuit("b12").expect("known");
+    g.bench_function("generate_b12_die1", |b| {
+        b.iter(|| itc99::generate_die(&spec.dies[1]))
+    });
+    let die = medium_die();
+    g.bench_function("topological_order", |b| {
+        b.iter(|| traverse::combinational_order(&die))
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    let flat = itc99::generate_flat("bench", 1500, 120, 16, 16, 3);
+    let spec = PartitionSpec::new(4);
+    g.bench_function("fm_4way_1500", |b| b.iter(|| fm::partition(&flat, &spec, 7)));
+    g.bench_function("level_4way_1500", |b| b.iter(|| level::partition(&flat, &spec)));
+    g.bench_function("random_4way_1500", |b| {
+        b.iter(|| rpart::partition(&flat, &spec, 7))
+    });
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    g.sample_size(10);
+    let die = medium_die();
+    let config = PlaceConfig::default();
+    g.bench_function("anneal_b12_die1", |b| {
+        b.iter_batched(
+            || grid::initial(&die, &config),
+            |mut p| anneal::refine(&die, &mut p, &config, 1),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sta");
+    let die = medium_die();
+    let placement = placed(&die);
+    let lib = Library::nangate45_like();
+    g.bench_function("analyze_b12_die1", |b| {
+        b.iter(|| analyze(&die, &placement, &lib, &StaConfig::relaxed()))
+    });
+    g.finish();
+}
+
+fn bench_atpg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atpg");
+    g.sample_size(10);
+    let die = medium_die();
+    let access = TestAccess::full_scan(&die);
+    let list = FaultList::collapsed(&die);
+    g.bench_function("faultsim_64_patterns", |b| {
+        let mut fs = FaultSimulator::new(&die);
+        let patterns: Vec<Pattern> = (0..64)
+            .map(|i| Pattern {
+                bits: (0..access.width()).map(|k| (i + k) % 3 == 0).collect(),
+            })
+            .collect();
+        let alive = vec![true; list.len()];
+        b.iter(|| fs.simulate_batch(&die, &access, &patterns, &list.faults, &alive))
+    });
+    g.bench_function("stuck_at_atpg_fast", |b| {
+        b.iter(|| run_stuck_at(&die, &access, &AtpgConfig::fast()))
+    });
+    g.finish();
+}
+
+fn bench_wcm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wcm");
+    let die = medium_die();
+    let placement = placed(&die);
+    let lib = Library::nangate45_like();
+    let report = analyze(&die, &placement, &lib, &StaConfig::relaxed());
+    let probe = StructuralProbe::default();
+    let th = Thresholds::area_optimized(&lib);
+    let ffs = die.flip_flops();
+    let tsvs = die.inbound_tsvs();
+
+    // Ablation: the paper's accurate timing model vs Agrawal's
+    // capacitance-only model, at graph-construction time.
+    for (label, include_wire) in [("graph_accurate", true), ("graph_cap_only", false)] {
+        let model = TimingModel::new(&die, &placement, &lib, &report, &report, include_wire);
+        g.bench_function(label, |b| {
+            b.iter(|| graph::build(&model, &th, &probe, &ffs, &tsvs, ReuseKind::Inbound))
+        });
+    }
+
+    let model = TimingModel::new(&die, &placement, &lib, &report, &report, true);
+    let built = graph::build(&model, &th, &probe, &ffs, &tsvs, ReuseKind::Inbound);
+    g.bench_function("clique_partition", |b| {
+        b.iter(|| clique::partition(&built, &model, &th, MergePolicy::Accurate))
+    });
+    g.finish();
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow");
+    g.sample_size(10);
+    let die = medium_die();
+    let placement = placed(&die);
+    let lib = Library::nangate45_like();
+    for method in [Method::Ours, Method::Agrawal, Method::Li, Method::Naive] {
+        g.bench_function(format!("area_{}", method.label()), |b| {
+            b.iter(|| {
+                run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(method))
+                    .expect("flow runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_netlist,
+    bench_partition,
+    bench_placement,
+    bench_sta,
+    bench_atpg,
+    bench_wcm,
+    bench_flow
+);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Fig. 7 (solution-space expansion).
+fn main() {
+    let rows = prebond3d_bench::fig7::run();
+    print!("{}", prebond3d_bench::fig7::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table I (ordering study, b12).
+use prebond3d_atpg::engine::AtpgConfig;
+
+fn main() {
+    let rows = prebond3d_bench::table1::run(&AtpgConfig::thorough());
+    print!("{}", prebond3d_bench::table1::render(&rows));
+}

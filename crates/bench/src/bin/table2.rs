@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table II (benchmark characteristics).
+fn main() {
+    let rows = prebond3d_bench::table2::run();
+    print!("{}", prebond3d_bench::table2::render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerate the paper's Table III.
+fn main() {
+    let rows = prebond3d_bench::table3::run();
+    print!("{}", prebond3d_bench::table3::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table IV (coverage/pattern comparison).
+use prebond3d_atpg::engine::AtpgConfig;
+
+fn main() {
+    let rows = prebond3d_bench::table4::run(&AtpgConfig::thorough());
+    print!("{}", prebond3d_bench::table4::render(&rows));
+}

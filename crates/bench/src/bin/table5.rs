@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table V (overlapped-cone ablation).
+use prebond3d_atpg::engine::AtpgConfig;
+
+fn main() {
+    let rows = prebond3d_bench::table5::run(&AtpgConfig::thorough());
+    print!("{}", prebond3d_bench::table5::render(&rows));
+}

@@ -1,0 +1,76 @@
+//! Shared experiment context: die generation + placement, cached per run.
+
+use prebond3d_celllib::Library;
+use prebond3d_netlist::{itc99, Netlist};
+use prebond3d_place::{place, PlaceConfig, Placement};
+
+/// One benchmark die ready for experiments.
+#[derive(Debug, Clone)]
+pub struct DieCase {
+    /// Benchmark name (`b11` … `b22`).
+    pub circuit: &'static str,
+    /// Die index (0..4).
+    pub die: usize,
+    /// The synthetic netlist (Table II statistics).
+    pub netlist: Netlist,
+    /// Its placement.
+    pub placement: Placement,
+}
+
+impl DieCase {
+    /// `"b12 Die1"`-style label.
+    pub fn label(&self) -> String {
+        format!("{} Die{}", self.circuit, self.die)
+    }
+}
+
+/// Benchmark subset selected by `PREBOND3D_CIRCUITS` (default: all six).
+pub fn circuit_names() -> Vec<&'static str> {
+    match std::env::var("PREBOND3D_CIRCUITS") {
+        Ok(list) => itc99::CIRCUIT_NAMES
+            .iter()
+            .copied()
+            .filter(|n| list.split(',').any(|s| s.trim() == *n))
+            .collect(),
+        Err(_) => itc99::CIRCUIT_NAMES.to_vec(),
+    }
+}
+
+/// Generate and place all four dies of `name`.
+///
+/// Placement effort scales down for the largest benchmarks so the full
+/// six-circuit sweep stays tractable; annealing effort only perturbs
+/// distances, not the algorithms under test.
+pub fn load_circuit(name: &str) -> Vec<DieCase> {
+    let spec = itc99::circuit(name).unwrap_or_else(|| panic!("unknown circuit `{name}`"));
+    spec.dies
+        .iter()
+        .enumerate()
+        .map(|(i, die_spec)| {
+            let netlist = itc99::generate_die(die_spec);
+            let moves = if netlist.len() > 20_000 {
+                4
+            } else if netlist.len() > 5_000 {
+                10
+            } else {
+                24
+            };
+            let config = PlaceConfig {
+                moves_per_cell: moves,
+                ..PlaceConfig::default()
+            };
+            let placement = place(&netlist, &config, 1);
+            DieCase {
+                circuit: spec.name,
+                die: i,
+                netlist,
+                placement,
+            }
+        })
+        .collect()
+}
+
+/// The shared standard-cell library.
+pub fn library() -> Library {
+    Library::nangate45_like()
+}

@@ -1,0 +1,75 @@
+//! Table II: characteristics of the benchmark dies.
+//!
+//! For the synthetic instances this is reproduction *by construction* —
+//! the generator is parameterized by the published counts — so the table
+//! doubles as a self-check that the workload matches the paper exactly.
+
+use std::fmt::Write as _;
+
+use crate::context;
+
+/// One die row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// `"b12 Die1"`.
+    pub label: String,
+    /// Scan flip-flops.
+    pub scan_ffs: usize,
+    /// Combinational gates.
+    pub gates: usize,
+    /// Total TSVs.
+    pub tsvs: usize,
+    /// Inbound TSVs.
+    pub inbound: usize,
+    /// Outbound TSVs.
+    pub outbound: usize,
+}
+
+/// Collect rows for the selected circuits.
+pub fn run() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for name in context::circuit_names() {
+        for case in context::load_circuit(name) {
+            let s = case.netlist.stats();
+            rows.push(Row {
+                label: case.label(),
+                scan_ffs: s.scan_flip_flops,
+                gates: s.combinational_gates,
+                tsvs: s.tsvs(),
+                inbound: s.inbound_tsvs,
+                outbound: s.outbound_tsvs,
+            });
+        }
+    }
+    rows
+}
+
+/// Render paper-style.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table II — benchmark-die characteristics");
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>8} {:>7} {:>9} {:>10}",
+        "", "#scan FFs", "#gates", "#TSVs", "#inbound", "#outbound"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9} {:>8} {:>7} {:>9} {:>10}",
+            r.label, r.scan_ffs, r.gates, r.tsvs, r.inbound, r.outbound
+        );
+    }
+    let n = rows.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9.2} {:>8.2} {:>7.2} {:>9.2} {:>10.2}",
+        "Average",
+        rows.iter().map(|r| r.scan_ffs as f64).sum::<f64>() / n,
+        rows.iter().map(|r| r.gates as f64).sum::<f64>() / n,
+        rows.iter().map(|r| r.tsvs as f64).sum::<f64>() / n,
+        rows.iter().map(|r| r.inbound as f64).sum::<f64>() / n,
+        rows.iter().map(|r| r.outbound as f64).sum::<f64>() / n,
+    );
+    out
+}

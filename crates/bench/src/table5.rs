@@ -1,0 +1,136 @@
+//! Table V: the overlapped-cone ablation (b20/b21/b22, tight timing).
+//!
+//! Our method with overlapped-cone sharing disabled vs. enabled: reused
+//! flip-flops, additional wrapper cells, stuck-at and transition coverage
+//! and pattern counts. The paper's claim: sharing with overlapped cones
+//! saves ~2 % of additional cells at a fraction-of-a-percent coverage
+//! cost.
+
+use std::fmt::Write as _;
+
+use prebond3d_atpg::engine::{run_stuck_at, run_transition, AtpgConfig};
+use prebond3d_dft::prebond_access;
+use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
+
+use crate::context::{self, DieCase};
+
+/// Numbers for one overlap setting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Reused scan flip-flops.
+    pub reused: usize,
+    /// Additional wrapper cells.
+    pub additional: usize,
+    /// Stuck-at (coverage, patterns).
+    pub stuck_at: (f64, usize),
+    /// Transition (coverage, patterns).
+    pub transition: (f64, usize),
+}
+
+/// One die row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// `"b21 Die2"`.
+    pub label: String,
+    /// Overlapped-cone sharing disabled.
+    pub no_overlap: Cell,
+    /// Overlapped-cone sharing enabled.
+    pub overlap: Cell,
+}
+
+fn measure(case: &DieCase, allow_overlap: bool, atpg: &AtpgConfig) -> Cell {
+    let lib = context::library();
+    let config = FlowConfig {
+        method: Method::Ours,
+        scenario: Scenario::Tight,
+        ordering: None,
+        allow_overlap: Some(allow_overlap),
+    };
+    let r = run_flow(&case.netlist, &case.placement, &lib, &config).expect("flow runs");
+    let access = prebond_access(&r.testable);
+    // Huge dies get size-scaled deterministic effort (PODEM implication is
+    // linear in gate count, so the b18 dies would otherwise dominate).
+    let scaled = AtpgConfig::scaled_for(r.testable.netlist.len());
+    let atpg = if r.testable.netlist.len() > 15_000 { &scaled } else { atpg };
+    let sa = run_stuck_at(&r.testable.netlist, &access, atpg);
+    let tr = run_transition(&r.testable.netlist, &access, atpg);
+    Cell {
+        reused: r.reused_scan_ffs,
+        additional: r.additional_wrapper_cells,
+        stuck_at: (sa.test_coverage(), sa.pattern_count()),
+        transition: (tr.test_coverage(), tr.pattern_count()),
+    }
+}
+
+/// Run for one die.
+pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
+    Row {
+        label: case.label(),
+        no_overlap: measure(case, false, atpg),
+        overlap: measure(case, true, atpg),
+    }
+}
+
+/// The paper's Table V circuits, intersected with the selection.
+pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for name in context::circuit_names() {
+        if !matches!(name, "b20" | "b21" | "b22") {
+            continue;
+        }
+        for case in context::load_circuit(name) {
+            rows.push(run_die(&case, atpg));
+        }
+    }
+    rows
+}
+
+/// Render paper-style.
+pub fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table V — with/without overlapped fan-in/fan-out cones (tight timing)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} | {:>4} {:>5} {:>16} {:>16} | {:>4} {:>5} {:>16} {:>16}",
+        "",
+        "FF",
+        "cells",
+        "no-ovl stuck-at",
+        "no-ovl trans",
+        "FF",
+        "cells",
+        "ovl stuck-at",
+        "ovl trans"
+    );
+    let c = |x: (f64, usize)| format!("({}, {})", crate::pct(x.0), x.1);
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} | {:>4} {:>5} {:>16} {:>16} | {:>4} {:>5} {:>16} {:>16}",
+            r.label,
+            r.no_overlap.reused,
+            r.no_overlap.additional,
+            c(r.no_overlap.stuck_at),
+            c(r.no_overlap.transition),
+            r.overlap.reused,
+            r.overlap.additional,
+            c(r.overlap.stuck_at),
+            c(r.overlap.transition),
+        );
+    }
+    let n = rows.len().max(1) as f64;
+    let no_cells = rows.iter().map(|r| r.no_overlap.additional as f64).sum::<f64>() / n;
+    let ov_cells = rows.iter().map(|r| r.overlap.additional as f64).sum::<f64>() / n;
+    let no_ff = rows.iter().map(|r| r.no_overlap.reused as f64).sum::<f64>() / n;
+    let ov_ff = rows.iter().map(|r| r.overlap.reused as f64).sum::<f64>() / n;
+    let _ = writeln!(
+        out,
+        "Average: reused {no_ff:.2} → {ov_ff:.2} ({:+.2}%), additional {no_cells:.2} → {ov_cells:.2} ({:+.2}%); paper: +0.90% / −2.02%",
+        100.0 * (ov_ff - no_ff) / no_ff.max(1e-9),
+        100.0 * (ov_cells - no_cells) / no_cells.max(1e-9),
+    );
+    out
+}

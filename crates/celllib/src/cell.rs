@@ -1,0 +1,171 @@
+//! Electrical unit newtypes and per-cell timing parameters.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+macro_rules! unit {
+    ($(#[$doc:meta])* $name:ident, $suffix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Smaller of two values.
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Larger of two values.
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{:.3} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+unit!(
+    /// Time in picoseconds.
+    Time,
+    "ps"
+);
+unit!(
+    /// Capacitance in femtofarads.
+    Capacitance,
+    "fF"
+);
+unit!(
+    /// Resistance in kiloohms.
+    Resistance,
+    "kΩ"
+);
+unit!(
+    /// Distance in micrometres (Manhattan metric throughout).
+    Distance,
+    "µm"
+);
+
+impl Mul<Capacitance> for Resistance {
+    type Output = Time;
+    /// `kΩ × fF = ps`: the RC product is directly a delay.
+    fn mul(self, rhs: Capacitance) -> Time {
+        Time(self.0 * rhs.0)
+    }
+}
+
+/// Timing/electrical view of one library cell.
+///
+/// The delay model is the classic linear (lumped) one PrimeTime falls back
+/// to without CCS data: `delay = intrinsic + R_drive × C_load`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Fixed delay through the cell with zero load.
+    pub intrinsic: Time,
+    /// Output drive resistance; slope of delay vs. load.
+    pub drive_resistance: Resistance,
+    /// Capacitance presented by each input pin.
+    pub input_cap: Capacitance,
+    /// Maximum load the output may legally drive (`max_capacitance` in a
+    /// liberty file); the paper's `cap_th` defaults to this.
+    pub max_load: Capacitance,
+}
+
+impl CellTiming {
+    /// Propagation delay when driving `load`.
+    pub fn delay(&self, load: Capacitance) -> Time {
+        self.intrinsic + self.drive_resistance * load
+    }
+
+    /// `true` if `load` violates the cell's max-capacitance limit.
+    pub fn overloaded(&self, load: Capacitance) -> bool {
+        load > self.max_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rc_product_is_time() {
+        let t = Resistance(2.0) * Capacitance(3.0);
+        assert_eq!(t, Time(6.0));
+    }
+
+    #[test]
+    fn delay_is_affine_in_load() {
+        let cell = CellTiming {
+            intrinsic: Time(10.0),
+            drive_resistance: Resistance(1.5),
+            input_cap: Capacitance(1.0),
+            max_load: Capacitance(50.0),
+        };
+        assert_eq!(cell.delay(Capacitance(0.0)), Time(10.0));
+        assert_eq!(cell.delay(Capacitance(10.0)), Time(25.0));
+        assert!(!cell.overloaded(Capacitance(50.0)));
+        assert!(cell.overloaded(Capacitance(50.1)));
+    }
+
+    #[test]
+    fn unit_arithmetic() {
+        assert_eq!(Time(1.0) + Time(2.0), Time(3.0));
+        assert_eq!(Time(5.0) - Time(2.0), Time(3.0));
+        assert_eq!(-Time(1.0), Time(-1.0));
+        assert_eq!(Time(2.0) * 3.0, Time(6.0));
+        assert_eq!(Time(1.0).max(Time(2.0)), Time(2.0));
+        assert_eq!(Time(1.0).min(Time(2.0)), Time(1.0));
+        let total: Capacitance = [Capacitance(1.0), Capacitance(2.5)].into_iter().sum();
+        assert_eq!(total, Capacitance(3.5));
+        assert_eq!(Time::ZERO.0, 0.0);
+        assert_eq!(format!("{}", Time(1.5)), "1.500 ps");
+    }
+}

@@ -1,0 +1,311 @@
+//! A Liberty-flavoured text format for [`Library`].
+//!
+//! Real flows exchange cell libraries as `.lib` files; this module writes
+//! and parses a compact subset (one group per cell, explicit units in the
+//! header) so alternative libraries can be versioned next to designs and
+//! diffed as text.
+//!
+//! ```text
+//! library (synthetic45) {
+//!   time_unit : 1ps; capacitance_unit : 1fF; resistance_unit : 1kohm;
+//!   clk_to_q : 84; setup : 48;
+//!   wire { res_per_um : 0.003; cap_per_um : 0.2; buffer_interval : 120; }
+//!   tsv { cap : 35; res : 0.00005; }
+//!   reuse { mux_delay : 32; mux_cap : 1.8; xor_delay : 30; xor_cap : 2.1; }
+//!   cell (nand) { intrinsic : 14; drive : 1.3; input_cap : 1.7; max_load : 60; }
+//!   ...
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use prebond3d_netlist::GateKind;
+
+use crate::cell::{Capacitance, CellTiming, Distance, Resistance, Time};
+use crate::library::{Library, ReuseOverhead, TsvParams};
+use crate::wire::WireModel;
+
+/// Serialize `library` into the Liberty-flavoured text form.
+pub fn write(library: &Library) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", library.name());
+    let _ = writeln!(
+        out,
+        "  time_unit : 1ps; capacitance_unit : 1fF; resistance_unit : 1kohm;"
+    );
+    let _ = writeln!(
+        out,
+        "  clk_to_q : {}; setup : {};",
+        library.clk_to_q.0, library.setup.0
+    );
+    let w = library.wire();
+    let _ = writeln!(
+        out,
+        "  wire {{ res_per_um : {}; cap_per_um : {}; buffer_interval : {}; }}",
+        w.res_per_um.0, w.cap_per_um.0, w.buffer_interval.0
+    );
+    let t = library.tsv();
+    let _ = writeln!(out, "  tsv {{ cap : {}; res : {}; }}", t.cap.0, t.res.0);
+    let r = library.reuse();
+    let _ = writeln!(
+        out,
+        "  reuse {{ mux_delay : {}; mux_cap : {}; xor_delay : {}; xor_cap : {}; }}",
+        r.mux_delay.0, r.mux_input_cap.0, r.xor_delay.0, r.xor_input_cap.0
+    );
+    for kind in GateKind::ALL {
+        let c = library.timing(kind);
+        let _ = writeln!(
+            out,
+            "  cell ({}) {{ intrinsic : {}; drive : {}; input_cap : {}; max_load : {}; }}",
+            kind.mnemonic(),
+            c.intrinsic.0,
+            c.drive_resistance.0,
+            c.input_cap.0,
+            c.max_load.0
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Parse error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibertyError {
+    /// 1-based line.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for LibertyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "liberty parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LibertyError {}
+
+/// Split a `{ key : value; ... }` body into a map.
+fn attrs(body: &str, line: usize) -> Result<HashMap<String, f64>, LibertyError> {
+    let mut map = HashMap::new();
+    for item in body.split(';') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (k, v) = item.split_once(':').ok_or_else(|| LibertyError {
+            line,
+            message: format!("expected `key : value`, got `{item}`"),
+        })?;
+        let value: f64 = v.trim().parse().map_err(|_| LibertyError {
+            line,
+            message: format!("bad number `{}`", v.trim()),
+        })?;
+        map.insert(k.trim().to_string(), value);
+    }
+    Ok(map)
+}
+
+fn take(map: &HashMap<String, f64>, key: &str, line: usize) -> Result<f64, LibertyError> {
+    map.get(key).copied().ok_or_else(|| LibertyError {
+        line,
+        message: format!("missing attribute `{key}`"),
+    })
+}
+
+/// Parse the text form produced by [`write`].
+///
+/// # Errors
+///
+/// Returns [`LibertyError`] on malformed syntax or missing attributes.
+pub fn parse(text: &str) -> Result<Library, LibertyError> {
+    let mut name = String::new();
+    let mut clk_to_q = None;
+    let mut setup = None;
+    let mut wire = None;
+    let mut tsv = None;
+    let mut reuse = None;
+    let mut cells: HashMap<GateKind, CellTiming> = HashMap::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() || line == "}" {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("library") {
+            let inner = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|s| s.split_once(')'))
+                .ok_or_else(|| LibertyError {
+                    line: lineno,
+                    message: "malformed library header".into(),
+                })?;
+            name = inner.0.trim().to_string();
+            continue;
+        }
+        if line.starts_with("time_unit") {
+            // Unit declarations are fixed in this subset (ps/fF/kΩ);
+            // accept and ignore them.
+            continue;
+        }
+        if line.starts_with("clk_to_q") {
+            let map = attrs(line, lineno)?;
+            if let Some(v) = map.get("clk_to_q") {
+                clk_to_q = Some(Time(*v));
+            }
+            if let Some(v) = map.get("setup") {
+                setup = Some(Time(*v));
+            }
+            continue;
+        }
+        fn grab_body(l: &str) -> Option<&str> {
+            l.split_once('{')
+                .and_then(|(_, b)| b.rsplit_once('}'))
+                .map(|(b, _)| b)
+        }
+        if line.starts_with("wire") {
+            let body = grab_body(line).ok_or_else(|| LibertyError {
+                line: lineno,
+                message: "malformed wire group".into(),
+            })?;
+            let map = attrs(body, lineno)?;
+            wire = Some(WireModel {
+                res_per_um: Resistance(take(&map, "res_per_um", lineno)?),
+                cap_per_um: Capacitance(take(&map, "cap_per_um", lineno)?),
+                buffer_interval: Distance(take(&map, "buffer_interval", lineno)?),
+            });
+            continue;
+        }
+        if line.starts_with("tsv") {
+            let body = grab_body(line).ok_or_else(|| LibertyError {
+                line: lineno,
+                message: "malformed tsv group".into(),
+            })?;
+            let map = attrs(body, lineno)?;
+            tsv = Some(TsvParams {
+                cap: Capacitance(take(&map, "cap", lineno)?),
+                res: Resistance(take(&map, "res", lineno)?),
+            });
+            continue;
+        }
+        if line.starts_with("reuse") {
+            let body = grab_body(line).ok_or_else(|| LibertyError {
+                line: lineno,
+                message: "malformed reuse group".into(),
+            })?;
+            let map = attrs(body, lineno)?;
+            reuse = Some(ReuseOverhead {
+                mux_delay: Time(take(&map, "mux_delay", lineno)?),
+                mux_input_cap: Capacitance(take(&map, "mux_cap", lineno)?),
+                xor_delay: Time(take(&map, "xor_delay", lineno)?),
+                xor_input_cap: Capacitance(take(&map, "xor_cap", lineno)?),
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("cell") {
+            let (kind_str, after) = rest
+                .trim()
+                .strip_prefix('(')
+                .and_then(|s| s.split_once(')'))
+                .ok_or_else(|| LibertyError {
+                    line: lineno,
+                    message: "malformed cell header".into(),
+                })?;
+            let kind = GateKind::from_mnemonic(kind_str.trim()).ok_or_else(|| LibertyError {
+                line: lineno,
+                message: format!("unknown cell kind `{}`", kind_str.trim()),
+            })?;
+            let body = grab_body(after).ok_or_else(|| LibertyError {
+                line: lineno,
+                message: "malformed cell group".into(),
+            })?;
+            let map = attrs(body, lineno)?;
+            cells.insert(
+                kind,
+                CellTiming {
+                    intrinsic: Time(take(&map, "intrinsic", lineno)?),
+                    drive_resistance: Resistance(take(&map, "drive", lineno)?),
+                    input_cap: Capacitance(take(&map, "input_cap", lineno)?),
+                    max_load: Capacitance(take(&map, "max_load", lineno)?),
+                },
+            );
+            continue;
+        }
+        return Err(LibertyError {
+            line: lineno,
+            message: format!("unrecognized statement `{line}`"),
+        });
+    }
+
+    let mut library = Library::from_parts(
+        name,
+        wire.ok_or_else(|| LibertyError {
+            line: 0,
+            message: "missing wire group".into(),
+        })?,
+        tsv.ok_or_else(|| LibertyError {
+            line: 0,
+            message: "missing tsv group".into(),
+        })?,
+        reuse.ok_or_else(|| LibertyError {
+            line: 0,
+            message: "missing reuse group".into(),
+        })?,
+        clk_to_q.ok_or_else(|| LibertyError {
+            line: 0,
+            message: "missing clk_to_q".into(),
+        })?,
+        setup.ok_or_else(|| LibertyError {
+            line: 0,
+            message: "missing setup".into(),
+        })?,
+    );
+    for (kind, timing) in cells {
+        library.set_timing(kind, timing);
+    }
+    Ok(library)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_library() {
+        let lib = Library::nangate45_like();
+        let text = write(&lib);
+        let parsed = parse(&text).expect("emitted text parses");
+        assert_eq!(parsed, lib);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let bad = "library (x) {\n  wat : 3;\n}";
+        // `wat : 3;` is an unrecognized statement on line 2.
+        match parse(bad) {
+            Err(e) => assert_eq!(e.line, 2),
+            Ok(_) => panic!("must not parse"),
+        }
+    }
+
+    #[test]
+    fn missing_groups_are_reported() {
+        let partial = "library (x) {\n  clk_to_q : 84; setup : 48;\n}";
+        let err = parse(partial).unwrap_err();
+        assert!(err.message.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn custom_cells_override_defaults() {
+        let mut text = write(&Library::nangate45_like());
+        text = text.replace(
+            "cell (nand) { intrinsic : 14;",
+            "cell (nand) { intrinsic : 99;",
+        );
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.timing(GateKind::Nand).intrinsic, Time(99.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Lumped-RC interconnect model.
+
+use crate::cell::{Capacitance, Distance, Resistance, Time};
+
+/// Per-unit-length wire parasitics and the Elmore delay estimate built on
+/// them.
+///
+/// This is the "detailed wire delay information" the paper adds over
+/// Agrawal's capacitance-only model: reusing a scan flip-flop far away from
+/// a TSV adds a long wire whose delay and capacitance must be charged to
+/// the path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Wire resistance per micrometre.
+    pub res_per_um: Resistance,
+    /// Wire capacitance per micrometre.
+    pub cap_per_um: Capacitance,
+    /// Buffering interval: long wires are assumed to be buffered every
+    /// `buffer_interval` µm by the implementation flow, so a *driver* never
+    /// sees more than one interval's worth of wire capacitance. Delay
+    /// still accumulates over the whole length.
+    pub buffer_interval: Distance,
+}
+
+impl WireModel {
+    /// Typical intermediate-layer 45 nm wire: 3.0 Ω/µm, 0.20 fF/µm,
+    /// buffers every 120 µm.
+    pub fn m45() -> Self {
+        WireModel {
+            res_per_um: Resistance(0.003),
+            cap_per_um: Capacitance(0.20),
+            buffer_interval: Distance(120.0),
+        }
+    }
+
+    /// Wire capacitance as seen by the driving cell: saturates at one
+    /// buffer interval.
+    pub fn driver_load(&self, length: Distance) -> Capacitance {
+        self.capacitance(Distance(length.0.min(self.buffer_interval.0)))
+    }
+
+    /// Total capacitance of a wire of `length`.
+    pub fn capacitance(&self, length: Distance) -> Capacitance {
+        Capacitance(self.cap_per_um.0 * length.0)
+    }
+
+    /// Total resistance of a wire of `length`.
+    pub fn resistance(&self, length: Distance) -> Resistance {
+        Resistance(self.res_per_um.0 * length.0)
+    }
+
+    /// Elmore delay of a wire of `length` terminating in `load`:
+    /// `R_w · (C_w / 2 + C_load)`.
+    pub fn elmore_delay(&self, length: Distance, load: Capacitance) -> Time {
+        let rw = self.resistance(length);
+        let cw = self.capacitance(length);
+        rw * (Capacitance(cw.0 / 2.0) + load)
+    }
+}
+
+impl Default for WireModel {
+    fn default() -> Self {
+        WireModel::m45()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_length_wire_is_free() {
+        let w = WireModel::m45();
+        assert_eq!(w.elmore_delay(Distance(0.0), Capacitance(10.0)), Time(0.0));
+        assert_eq!(w.capacitance(Distance(0.0)), Capacitance(0.0));
+    }
+
+    #[test]
+    fn delay_grows_superlinearly_with_length() {
+        let w = WireModel::m45();
+        let load = Capacitance(2.0);
+        let d1 = w.elmore_delay(Distance(100.0), load);
+        let d2 = w.elmore_delay(Distance(200.0), load);
+        assert!(d2.0 > 2.0 * d1.0, "quadratic term dominates: {d1} vs {d2}");
+    }
+
+    #[test]
+    fn driver_load_saturates() {
+        let w = WireModel::m45();
+        let short = w.driver_load(Distance(50.0));
+        let at_limit = w.driver_load(w.buffer_interval);
+        let long = w.driver_load(Distance(5000.0));
+        assert!(short < at_limit);
+        assert_eq!(at_limit, long, "buffered wires cap the driver load");
+        assert!(w.capacitance(Distance(5000.0)) > long);
+    }
+
+    #[test]
+    fn elmore_formula() {
+        let w = WireModel {
+            res_per_um: Resistance(0.01),
+            cap_per_um: Capacitance(0.1),
+            buffer_interval: Distance(1000.0),
+        };
+        // 100 µm: R = 1 kΩ, C = 10 fF; load 5 fF → 1 * (5 + 5) = 10 ps.
+        let d = w.elmore_delay(Distance(100.0), Capacitance(5.0));
+        assert!((d.0 - 10.0).abs() < 1e-9);
+    }
+}

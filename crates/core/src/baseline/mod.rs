@@ -1,0 +1,13 @@
+//! Prior-art baselines.
+//!
+//! * **Agrawal et al.** is not a separate implementation: it is the same
+//!   clique flow run with [`crate::clique::MergePolicy::CapacitanceOnly`],
+//!   inbound-first ordering and no overlapped-cone sharing — see
+//!   [`crate::flow::Method::Agrawal`]. Keeping one code path for both
+//!   makes the comparison an ablation rather than an implementation-
+//!   quality contest.
+//! * [`li`] — Li & Xiang's single-reuse greedy matching.
+//! * The naive all-dedicated plan is
+//!   [`prebond3d_dft::WrapPlan::all_dedicated`].
+
+pub mod li;

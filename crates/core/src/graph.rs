@@ -1,0 +1,316 @@
+//! Algorithm 1: sharing-graph construction.
+//!
+//! Nodes are the available scan flip-flops plus the *eligible* TSVs of the
+//! phase's direction (inbound TSVs under the `cap_th` load check, outbound
+//! TSVs under the `s_th` slack check). An edge means "these two nodes can
+//! share one wrapper cell":
+//!
+//! * within the distance threshold `d_th`,
+//! * timing-safe per the [`TimingModel`] (pin caps, and — in the accurate
+//!   model — wire delay),
+//! * cones disjoint, **or** overlapped with a testability cost inside
+//!   (`cov_th`, `p_th`) — the paper's solution-space expansion (Fig. 7).
+//!
+//! No scan-flip-flop pair is ever connected (a clique may use at most one
+//! reused cell), which the clique construction then preserves for free.
+
+use prebond3d_netlist::{cone::ConeSet, GateId, Netlist};
+use prebond3d_sta::whatif::ReuseKind;
+
+use crate::testability::TestabilityProbe;
+use crate::thresholds::Thresholds;
+use crate::timing_model::TimingModel;
+
+/// Role of a node in the sharing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An available scan flip-flop.
+    ScanFf,
+    /// An eligible TSV of the phase's direction.
+    Tsv,
+}
+
+/// The sharing graph for one phase (one TSV direction).
+#[derive(Debug, Clone)]
+pub struct SharingGraph {
+    /// Direction this graph was built for.
+    pub direction: ReuseKind,
+    /// Node payloads (netlist gate ids).
+    pub nodes: Vec<GateId>,
+    /// Node roles, parallel to `nodes`.
+    pub kinds: Vec<NodeKind>,
+    /// Adjacency lists over local node indices.
+    adj: Vec<Vec<usize>>,
+    /// Total undirected edges.
+    pub edge_count: usize,
+    /// Edges admitted through the overlapped-cone testability branch.
+    pub overlap_edges: usize,
+    /// TSVs excluded by node-eligibility checks (they must fall back to
+    /// dedicated wrapper cells).
+    pub ineligible_tsvs: Vec<GateId>,
+}
+
+impl SharingGraph {
+    /// Neighbors of local node `i`.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Local index of the first node holding `gate`, if present.
+    pub fn index_of(&self, gate: GateId) -> Option<usize> {
+        self.nodes.iter().position(|&n| n == gate)
+    }
+}
+
+/// Build the sharing graph for one phase.
+///
+/// `ffs` are the scan flip-flops still available; `tsvs` the TSVs of
+/// `direction`. `probe` prices overlapped-cone sharing (ignored when the
+/// thresholds forbid overlap).
+pub fn build(
+    model: &TimingModel<'_>,
+    thresholds: &Thresholds,
+    probe: &dyn TestabilityProbe,
+    ffs: &[GateId],
+    tsvs: &[GateId],
+    direction: ReuseKind,
+) -> SharingGraph {
+    let netlist: &Netlist = model.netlist();
+
+    // --- Node construction (Algorithm 1 lines 1–14) -----------------------
+    let mut nodes: Vec<GateId> = Vec::new();
+    let mut kinds: Vec<NodeKind> = Vec::new();
+    let mut ineligible = Vec::new();
+    for &ff in ffs {
+        nodes.push(ff);
+        kinds.push(NodeKind::ScanFf);
+    }
+    for &t in tsvs {
+        let eligible = match direction {
+            ReuseKind::Inbound => model.inbound_eligible(t, thresholds),
+            ReuseKind::Outbound => model.outbound_eligible(t, thresholds),
+        };
+        if eligible {
+            nodes.push(t);
+            kinds.push(NodeKind::Tsv);
+        } else {
+            ineligible.push(t);
+        }
+    }
+
+    let cones = ConeSet::compute(netlist, &nodes);
+
+    // --- Edge construction (Algorithm 1 lines 16–26) ----------------------
+    let n = nodes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edge_count = 0usize;
+    let mut overlap_edges = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            // At least one endpoint must be a TSV.
+            if kinds[i] == NodeKind::ScanFf && kinds[j] == NodeKind::ScanFf {
+                continue;
+            }
+            let (a, b) = (nodes[i], nodes[j]);
+            // Timing admission (distance + cap/slack what-if).
+            let timing_ok = match (kinds[i], kinds[j]) {
+                (NodeKind::ScanFf, NodeKind::Tsv) => {
+                    model.reuse_is_safe(a, b, direction, thresholds)
+                }
+                (NodeKind::Tsv, NodeKind::ScanFf) => {
+                    model.reuse_is_safe(b, a, direction, thresholds)
+                }
+                _ => model.tsv_pair_is_safe(a, b, direction, thresholds),
+            };
+            if !timing_ok {
+                continue;
+            }
+            // Cone admission. Overlapped-cone sharing is the paper's
+            // Fig. 4 scenario — a *scan flip-flop* serving a TSV whose
+            // cones overlap its own; TSV–TSV grouping keeps the strict
+            // disjointness rule (correlated test values across two TSV
+            // fanouts compound, and admitting them mostly destabilizes
+            // the clique heuristic).
+            let overlapped = cones.cones_overlap(a, b);
+            let ff_pair = kinds[i] == NodeKind::ScanFf || kinds[j] == NodeKind::ScanFf;
+            let admit = if !overlapped {
+                true
+            } else if ff_pair && thresholds.allows_overlap() {
+                probe
+                    .sharing_cost(netlist, &cones, a, b)
+                    .within(thresholds.cov_th, thresholds.p_th)
+            } else {
+                false
+            };
+            if admit {
+                adj[i].push(j);
+                adj[j].push(i);
+                edge_count += 1;
+                if overlapped {
+                    overlap_edges += 1;
+                }
+            }
+        }
+    }
+
+    SharingGraph {
+        direction,
+        nodes,
+        kinds,
+        adj,
+        edge_count,
+        overlap_edges,
+        ineligible_tsvs: ineligible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testability::StructuralProbe;
+    use prebond3d_celllib::{Library, Time};
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+    use prebond3d_sta::{analyze, StaConfig};
+
+    struct Rig {
+        die: Netlist,
+        placement: prebond3d_place::Placement,
+        library: Library,
+        report: prebond3d_sta::analysis::TimingReport,
+    }
+
+    fn rig() -> Rig {
+        let spec = itc99::DieSpec {
+            name: "die".into(),
+            scan_flip_flops: 16,
+            gates: 250,
+            inbound_tsvs: 10,
+            outbound_tsvs: 10,
+            primary_inputs: 4,
+            primary_outputs: 4,
+            seed: 5,
+        };
+        let die = itc99::generate_die(&spec);
+        let placement = place(&die, &PlaceConfig::default(), 1);
+        let library = Library::nangate45_like();
+        let report = analyze(&die, &placement, &library, &StaConfig::with_period(Time(3000.0)));
+        Rig {
+            die,
+            placement,
+            library,
+            report,
+        }
+    }
+
+    #[test]
+    fn graph_has_no_ff_ff_edges() {
+        let r = rig();
+        let model = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
+        let th = Thresholds::area_optimized(&r.library);
+        let g = build(
+            &model,
+            &th,
+            &StructuralProbe::default(),
+            &r.die.flip_flops(),
+            &r.die.inbound_tsvs(),
+            ReuseKind::Inbound,
+        );
+        for i in 0..g.len() {
+            for &j in g.neighbors(i) {
+                assert!(
+                    g.kinds[i] == NodeKind::Tsv || g.kinds[j] == NodeKind::Tsv,
+                    "FF–FF edge found"
+                );
+            }
+        }
+        assert!(g.edge_count > 0, "area mode should admit edges");
+    }
+
+    #[test]
+    fn overlap_allowance_expands_the_graph() {
+        let r = rig();
+        let model = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
+        let th = Thresholds::area_optimized(&r.library);
+        let probe = StructuralProbe::default();
+        let with = build(
+            &model,
+            &th,
+            &probe,
+            &r.die.flip_flops(),
+            &r.die.inbound_tsvs(),
+            ReuseKind::Inbound,
+        );
+        let without = build(
+            &model,
+            &th.without_overlap(),
+            &probe,
+            &r.die.flip_flops(),
+            &r.die.inbound_tsvs(),
+            ReuseKind::Inbound,
+        );
+        assert!(with.edge_count >= without.edge_count);
+        assert_eq!(without.overlap_edges, 0);
+        assert_eq!(with.edge_count - without.edge_count, with.overlap_edges);
+    }
+
+    #[test]
+    fn distance_threshold_prunes_edges() {
+        let r = rig();
+        let model = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
+        let loose = Thresholds::area_optimized(&r.library);
+        let tight = Thresholds {
+            d_th: prebond3d_celllib::Distance(20.0),
+            ..loose
+        };
+        let probe = StructuralProbe::default();
+        let g_loose = build(
+            &model,
+            &loose,
+            &probe,
+            &r.die.flip_flops(),
+            &r.die.outbound_tsvs(),
+            ReuseKind::Outbound,
+        );
+        let g_tight = build(
+            &model,
+            &tight,
+            &probe,
+            &r.die.flip_flops(),
+            &r.die.outbound_tsvs(),
+            ReuseKind::Outbound,
+        );
+        assert!(g_tight.edge_count < g_loose.edge_count);
+    }
+
+    #[test]
+    fn ineligible_tsvs_are_reported() {
+        let r = rig();
+        let model = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
+        // Impossible slack floor: every outbound TSV is ineligible.
+        let th = Thresholds {
+            s_th: Time(f64::INFINITY),
+            ..Thresholds::area_optimized(&r.library)
+        };
+        let g = build(
+            &model,
+            &th,
+            &StructuralProbe::default(),
+            &r.die.flip_flops(),
+            &r.die.outbound_tsvs(),
+            ReuseKind::Outbound,
+        );
+        assert_eq!(g.ineligible_tsvs.len(), r.die.outbound_tsvs().len());
+        assert!(g.nodes.iter().all(|n| !r.die.outbound_tsvs().contains(n)));
+    }
+}

@@ -1,0 +1,52 @@
+//! Plain-text rendering of flow results (paper-style rows).
+
+use std::fmt::Write as _;
+
+use crate::flow::FlowResult;
+
+/// One row of a Table III-style comparison.
+pub fn result_row(die_name: &str, result: &FlowResult) -> String {
+    format!(
+        "{:<12} reused={:<4} additional={:<4} wns={:>10} violation={}",
+        die_name,
+        result.reused_scan_ffs,
+        result.additional_wrapper_cells,
+        result.wns_after.to_string(),
+        if result.timing_violation { "X" } else { "-" },
+    )
+}
+
+/// Multi-line phase summary (graph sizes per direction).
+pub fn phase_summary(result: &FlowResult) -> String {
+    let mut out = String::new();
+    for p in &result.phases {
+        let _ = writeln!(
+            out,
+            "  {:?}: {} nodes, {} edges ({} via overlapped cones)",
+            p.direction, p.nodes, p.edges, p.overlap_edges
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::flow::{run_flow, FlowConfig, Method};
+    use prebond3d_celllib::Library;
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+
+    #[test]
+    fn rows_render() {
+        let spec = itc99::circuit("b11").expect("known");
+        let die = itc99::generate_die(&spec.dies[0]);
+        let placement = place(&die, &PlaceConfig::default(), 1);
+        let lib = Library::nangate45_like();
+        let r = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(Method::Ours))
+            .unwrap();
+        let row = super::result_row("b11_die0", &r);
+        assert!(row.contains("reused="));
+        let phases = super::phase_summary(&r);
+        assert!(phases.contains("nodes"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The paper's tunable thresholds and the two evaluation scenarios.
+
+use prebond3d_celllib::{Capacitance, Distance, Library, Time};
+
+/// Algorithm 1 / Algorithm 2 thresholds.
+///
+/// * `cap_th` — maximum load a shared wrapper cell may drive (node
+///   eligibility for inbound TSVs and Algorithm 2's merge check);
+/// * `s_th` — minimum slack an outbound TSV must have to be a node, and
+///   the slack floor any reuse must preserve;
+/// * `d_th` — maximum Manhattan distance between two nodes for an edge
+///   (prevents long reuse wires and routing congestion);
+/// * `cov_th` — tolerated fault-coverage loss for overlapped-cone sharing
+///   (the paper uses 0.5 %);
+/// * `p_th` — tolerated test-pattern-count increase (the paper uses 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// Max wrapper-cell load.
+    pub cap_th: Capacitance,
+    /// Min acceptable slack.
+    pub s_th: Time,
+    /// Max sharing distance.
+    pub d_th: Distance,
+    /// Max coverage loss fraction (0.005 = 0.5 %).
+    pub cov_th: f64,
+    /// Max extra test patterns.
+    pub p_th: usize,
+}
+
+impl Thresholds {
+    /// The paper's area-optimized scenario: "extremely loose timing
+    /// constraint, i.e. no timing constraint at all". Capacitance limits
+    /// still come from the library (a cell physically cannot drive more
+    /// than its max load), but slack and distance are unconstrained.
+    pub fn area_optimized(library: &Library) -> Self {
+        Thresholds {
+            cap_th: library.default_cap_th(),
+            s_th: Time(f64::NEG_INFINITY),
+            d_th: Distance(f64::INFINITY),
+            cov_th: 0.005,
+            p_th: 10,
+        }
+    }
+
+    /// The paper's performance-optimized scenario: tight timing. The
+    /// slack floor is zero (no violation tolerated) and sharing distance
+    /// is capped at `d_th`.
+    pub fn performance_optimized(library: &Library, d_th: Distance) -> Self {
+        Thresholds {
+            cap_th: library.default_cap_th(),
+            s_th: Time(0.0),
+            d_th,
+            cov_th: 0.005,
+            p_th: 10,
+        }
+    }
+
+    /// Disable overlapped-cone sharing by refusing any testability cost
+    /// (used for the Table V / Fig. 7 ablation and the Agrawal baseline).
+    pub fn without_overlap(mut self) -> Self {
+        self.cov_th = 0.0;
+        self.p_th = 0;
+        self
+    }
+
+    /// `true` when the thresholds admit overlapped-cone sharing at all.
+    pub fn allows_overlap(&self) -> bool {
+        self.cov_th > 0.0 || self.p_th > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_differ_as_expected() {
+        let lib = Library::nangate45_like();
+        let area = Thresholds::area_optimized(&lib);
+        let perf = Thresholds::performance_optimized(&lib, Distance(150.0));
+        assert!(area.s_th < perf.s_th);
+        assert!(area.d_th > perf.d_th);
+        assert_eq!(area.cap_th, perf.cap_th);
+        assert!(area.allows_overlap());
+        assert!(!area.without_overlap().allows_overlap());
+    }
+}

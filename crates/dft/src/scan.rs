@@ -1,0 +1,170 @@
+//! Scan insertion: convert plain flip-flops to scan flip-flops and stitch
+//! a scan chain.
+
+use prebond3d_netlist::{Gate, GateId, GateKind, Netlist, NetlistError};
+
+/// A stitched scan chain: flip-flop order from scan-in to scan-out.
+///
+/// The chain order is physical-design metadata (shift wiring); the
+/// combinational test model does not depend on it, but reports and the
+/// pattern-count accounting (`patterns × chain length` cycles) do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChain {
+    /// Scan elements in shift order.
+    pub order: Vec<GateId>,
+}
+
+impl ScanChain {
+    /// Chain length in cells.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for a chain with no cells.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Tester cycles to apply `patterns` patterns through this chain
+    /// (shift-dominated estimate: `(patterns + 1) × length`).
+    pub fn test_cycles(&self, patterns: usize) -> usize {
+        (patterns + 1) * self.order.len().max(1)
+    }
+}
+
+/// Convert every [`GateKind::Dff`] in `netlist` to a [`GateKind::ScanDff`]
+/// and return the modified netlist plus the stitched chain (id order).
+///
+/// # Errors
+///
+/// Propagates netlist revalidation errors (cannot occur for inputs that
+/// were valid — the conversion preserves structure — but surfaced rather
+/// than unwrapped).
+pub fn insert_scan(netlist: &Netlist) -> Result<(Netlist, ScanChain), NetlistError> {
+    let name = netlist.name().to_string();
+    let gates: Vec<Gate> = netlist
+        .iter()
+        .map(|(_, g)| {
+            let mut g = g.clone();
+            if g.kind == GateKind::Dff {
+                g.kind = GateKind::ScanDff;
+            }
+            g
+        })
+        .collect();
+    let scanned = Netlist::from_gates(name, gates)?;
+    let order = scanned.flip_flops();
+    Ok((scanned, ScanChain { order }))
+}
+
+/// Re-order a scan chain by physical proximity: greedy nearest-neighbour
+/// from the cell closest to the die origin, the standard post-placement
+/// scan-stitching heuristic. Shorter stitch wiring means less routing and
+/// lower shift power; the returned chain contains the same cells.
+pub fn stitch_by_placement(
+    chain: &ScanChain,
+    placement: &prebond3d_place::Placement,
+) -> ScanChain {
+    if chain.order.len() <= 2 {
+        return chain.clone();
+    }
+    let mut remaining: Vec<GateId> = chain.order.clone();
+    // Start nearest to the origin.
+    let start_idx = remaining
+        .iter()
+        .enumerate()
+        .min_by(|(_, &a), (_, &b)| {
+            let pa = placement.location(a);
+            let pb = placement.location(b);
+            (pa.x + pa.y)
+                .partial_cmp(&(pb.x + pb.y))
+                .expect("finite coordinates")
+        })
+        .map(|(i, _)| i)
+        .expect("non-empty chain");
+    let mut order = vec![remaining.swap_remove(start_idx)];
+    while !remaining.is_empty() {
+        let last = *order.last().expect("non-empty");
+        let next_idx = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| {
+                placement
+                    .distance(last, a)
+                    .partial_cmp(&placement.distance(last, b))
+                    .expect("finite distances")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty remaining");
+        order.push(remaining.swap_remove(next_idx));
+    }
+    ScanChain { order }
+}
+
+/// Total Manhattan stitch wirelength of a chain under `placement`.
+pub fn stitch_wirelength(
+    chain: &ScanChain,
+    placement: &prebond3d_place::Placement,
+) -> prebond3d_celllib::Distance {
+    prebond3d_celllib::Distance(
+        chain
+            .order
+            .windows(2)
+            .map(|w| placement.distance(w[0], w[1]).0)
+            .sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::{itc99, NetlistBuilder};
+    use prebond3d_place::{place, PlaceConfig};
+
+    #[test]
+    fn converts_all_dffs() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let q1 = b.dff(a, "q1");
+        let q2 = b.scan_dff(q1, "q2");
+        b.output(q2, "o");
+        let n = b.finish().unwrap();
+        let (scanned, chain) = insert_scan(&n).unwrap();
+        assert_eq!(scanned.stats().flip_flops, 0);
+        assert_eq!(scanned.stats().scan_flip_flops, 2);
+        assert_eq!(chain.len(), 2);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn placement_stitching_shortens_the_chain() {
+        let die = itc99::generate_flat("scan_demo", 300, 40, 8, 8, 5);
+        let placement = place(&die, &PlaceConfig::default(), 1);
+        let (_, chain) = insert_scan(&die).unwrap();
+        let stitched = stitch_by_placement(&chain, &placement);
+        assert_eq!(stitched.len(), chain.len());
+        // Same cells, possibly different order.
+        let mut a = chain.order.clone();
+        let mut b = stitched.order.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Nearest-neighbour stitching must not be longer than id order.
+        let before = stitch_wirelength(&chain, &placement);
+        let after = stitch_wirelength(&stitched, &placement);
+        assert!(
+            after <= before,
+            "stitching should shorten wiring: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn test_cycles_scale_with_chain() {
+        let chain = ScanChain {
+            order: vec![GateId(0), GateId(1), GateId(2)],
+        };
+        assert_eq!(chain.test_cycles(10), 33);
+        let empty = ScanChain { order: vec![] };
+        assert_eq!(empty.test_cycles(10), 11);
+    }
+}

@@ -1,0 +1,362 @@
+//! Materialize a [`WrapPlan`] into a testable netlist.
+//!
+//! The transformation inserts the paper's Fig. 2 / Fig. 3 hardware as real
+//! gates:
+//!
+//! * every wrapped **inbound** TSV gets a 2:1 mux in front of its fanout:
+//!   `mux(tsv_raw, cell_q, test_en)` — functional data passes through the
+//!   mux (costing its delay, which is why wrapping is not timing-free) and
+//!   the wrapper cell drives the logic in test mode;
+//! * every wrapped **outbound** TSV gets an XOR tap on its driving net,
+//!   chained into the wrapper cell's D input behind a
+//!   `mux(functional_d, xor_chain, test_en)`;
+//! * dedicated wrapper cells are [`GateKind::Wrapper`] scan cells; a
+//!   control-only dedicated cell's D is tied to constant 0;
+//! * a single `test_en` primary input controls all muxes.
+//!
+//! Original gate ids are preserved (new gates are appended), so cone data,
+//! placements and WCM bookkeeping computed on the original die remain
+//! valid for the original portion; [`TestableDie::placement_for`] extends a
+//! pre-DFT placement with anchored locations for the inserted gates.
+
+use std::collections::HashMap;
+
+use prebond3d_netlist::{Gate, GateId, GateKind, Netlist};
+use prebond3d_place::{Placement, Point};
+
+use crate::wrapper::{WrapPlan, WrapperSource};
+
+/// The result of applying a wrapper plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestableDie {
+    /// The DFT-inserted netlist.
+    pub netlist: Netlist,
+    /// The `test_en` control input.
+    pub test_en: GateId,
+    /// Wrapper cell per plan assignment (reused FF id or new Wrapper id),
+    /// same order as the plan's assignments.
+    pub cells: Vec<GateId>,
+    /// Anchors for inserted gates: `(new_gate, original_gate_to_colocate)`.
+    anchors: Vec<(GateId, Option<GateId>)>,
+    /// Length of the original netlist (ids below this are unchanged).
+    original_len: usize,
+}
+
+impl TestableDie {
+    /// Number of gates added by DFT insertion.
+    pub fn added_gates(&self) -> usize {
+        self.netlist.len() - self.original_len
+    }
+
+    /// Extend `original` (a placement of the pre-DFT die) to cover the
+    /// testable netlist: inserted gates sit at their anchor's location
+    /// (mux at its TSV, XOR at its wrapper cell, `test_en` at the die
+    /// origin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `original` does not match the pre-DFT die.
+    pub fn placement_for(&self, original: &Placement) -> Placement {
+        assert_eq!(
+            original.len(),
+            self.original_len,
+            "placement must cover the pre-DFT die"
+        );
+        let mut points: Vec<Point> = (0..self.original_len)
+            .map(|i| original.location(GateId(i as u32)))
+            .collect();
+        points.resize(self.netlist.len(), Point { x: 0.0, y: 0.0 });
+        // Anchors are recorded in creation order and may reference earlier
+        // *inserted* gates (an XOR anchored at a dedicated wrapper cell),
+        // so resolve against the growing point table, not `original`.
+        for &(gate, anchor) in &self.anchors {
+            if let Some(a) = anchor {
+                points[gate.index()] = points[a.index()];
+            }
+        }
+        Placement::new(points, original.width(), original.height())
+    }
+}
+
+/// Apply `plan` to `die`, producing the testable netlist.
+///
+/// # Errors
+///
+/// Returns a descriptive error when the plan fails
+/// [`WrapPlan::validate`], and propagates netlist revalidation errors.
+pub fn apply(die: &Netlist, plan: &WrapPlan) -> Result<TestableDie, Box<dyn std::error::Error>> {
+    plan.validate(die).map_err(PlanError)?;
+
+    let original_len = die.len();
+    let mut gates: Vec<Gate> = die.iter().map(|(_, g)| g.clone()).collect();
+    let mut anchors: Vec<(GateId, Option<GateId>)> = Vec::new();
+
+    let push = |gates: &mut Vec<Gate>,
+                    anchors: &mut Vec<(GateId, Option<GateId>)>,
+                    gate: Gate,
+                    anchor: Option<GateId>|
+     -> GateId {
+        let id = GateId(gates.len() as u32);
+        gates.push(gate);
+        anchors.push((id, anchor));
+        id
+    };
+
+    let test_en = push(
+        &mut gates,
+        &mut anchors,
+        Gate::new("test_en", GateKind::Input, vec![]),
+        None,
+    );
+
+    // Phase 1: wrapper cells and inbound muxes.
+    let mut cells: Vec<GateId> = Vec::with_capacity(plan.assignments.len());
+    let mut mux_of: HashMap<GateId, GateId> = HashMap::new();
+    for (i, a) in plan.assignments.iter().enumerate() {
+        let cell = match a.source {
+            WrapperSource::ReusedScanFf(ff) => ff,
+            WrapperSource::Dedicated => {
+                let anchor = a
+                    .inbound
+                    .first()
+                    .or(a.outbound.first())
+                    .copied();
+                push(
+                    &mut gates,
+                    &mut anchors,
+                    // Placeholder D; fixed in phase 3.
+                    Gate::new(format!("wrapcell__{i}"), GateKind::Wrapper, vec![GateId(0)]),
+                    anchor,
+                )
+            }
+        };
+        cells.push(cell);
+        for &t in &a.inbound {
+            let name = format!("wrapmux__{}", die.gate(t).name);
+            let mux = push(
+                &mut gates,
+                &mut anchors,
+                Gate::new(name, GateKind::Mux2, vec![t, cell, test_en]),
+                Some(t),
+            );
+            mux_of.insert(t, mux);
+        }
+    }
+
+    // Phase 2: rewire original gates' references to wrapped inbound TSVs.
+    for gate in gates.iter_mut().take(original_len) {
+        for input in &mut gate.inputs {
+            if let Some(&mux) = mux_of.get(input) {
+                *input = mux;
+            }
+        }
+    }
+
+    // Phase 3: observation XOR chains and capture muxes.
+    let mut const0: Option<GateId> = None;
+    for (i, a) in plan.assignments.iter().enumerate() {
+        let cell = cells[i];
+        if a.outbound.is_empty() {
+            if let WrapperSource::Dedicated = a.source {
+                // Control-only dedicated cell: tie D to constant 0.
+                let c0 = *const0.get_or_insert_with(|| {
+                    push(
+                        &mut gates,
+                        &mut anchors,
+                        Gate::new("wrap_const0", GateKind::Const0, vec![]),
+                        None,
+                    )
+                });
+                gates[cell.index()].inputs = vec![c0];
+            }
+            continue;
+        }
+        // Chain: start from the first tap (dedicated) or fold taps into the
+        // functional D (reused).
+        let mut chain: Option<GateId> = None;
+        for &t in &a.outbound {
+            let tap = gates[t.index()].inputs[0];
+            chain = Some(match chain {
+                None => tap,
+                Some(prev) => push(
+                    &mut gates,
+                    &mut anchors,
+                    Gate::new(
+                        format!("wrapxor__{}", die.gate(t).name),
+                        GateKind::Xor,
+                        vec![prev, tap],
+                    ),
+                    Some(cell),
+                ),
+            });
+        }
+        let chain = chain.expect("non-empty outbound list");
+        match a.source {
+            WrapperSource::Dedicated => {
+                gates[cell.index()].inputs = vec![chain];
+            }
+            WrapperSource::ReusedScanFf(ff) => {
+                // Fig. 3b: the observation XOR folds the tap chain into the
+                // functional D, and the capture mux selects that path only
+                // in test mode.
+                let func_d = gates[ff.index()].inputs[0];
+                let obs = push(
+                    &mut gates,
+                    &mut anchors,
+                    Gate::new(
+                        format!("wrapobs__{}", die.gate(ff).name),
+                        GateKind::Xor,
+                        vec![func_d, chain],
+                    ),
+                    Some(ff),
+                );
+                let dmux = push(
+                    &mut gates,
+                    &mut anchors,
+                    Gate::new(
+                        format!("wrapdmux__{}", die.gate(ff).name),
+                        GateKind::Mux2,
+                        vec![func_d, obs, test_en],
+                    ),
+                    Some(ff),
+                );
+                gates[ff.index()].inputs = vec![dmux];
+            }
+        }
+    }
+
+    let netlist = Netlist::from_gates(format!("{}_testable", die.name()), gates)?;
+    Ok(TestableDie {
+        netlist,
+        test_en,
+        cells,
+        anchors,
+        original_len,
+    })
+}
+
+/// Wrapper-plan validation failure.
+#[derive(Debug)]
+struct PlanError(String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid wrap plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::WrapAssignment;
+    use prebond3d_netlist::NetlistBuilder;
+
+    fn die() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti0 = b.tsv_in("ti0");
+        let ti1 = b.tsv_in("ti1");
+        let g1 = b.gate(GateKind::And, &[a, ti0], "g1");
+        let g2 = b.gate(GateKind::Or, &[g1, ti1], "g2");
+        let q = b.scan_dff(g2, "q");
+        let g3 = b.gate(GateKind::Not, &[q], "g3");
+        b.tsv_out(g3, "to0");
+        b.tsv_out(g2, "to1");
+        b.output(g3, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_dedicated_plan_applies() {
+        let n = die();
+        let plan = WrapPlan::all_dedicated(&n);
+        let t = apply(&n, &plan).unwrap();
+        let stats = t.netlist.stats();
+        // 4 dedicated cells (2 in + 2 out).
+        assert_eq!(stats.wrapper_cells, 4);
+        // Each inbound TSV got a mux.
+        assert!(t.netlist.find("wrapmux__ti0").is_some());
+        assert!(t.netlist.find("wrapmux__ti1").is_some());
+        // Inbound fanout rewired: g1's input is the mux, not ti0.
+        let g1 = t.netlist.find("g1").unwrap();
+        let mux0 = t.netlist.find("wrapmux__ti0").unwrap();
+        assert!(t.netlist.gate(g1).inputs.contains(&mux0));
+        // test_en exists and feeds all muxes.
+        let te = t.netlist.find("test_en").unwrap();
+        assert_eq!(te, t.test_en);
+        assert!(t.added_gates() >= 7);
+    }
+
+    #[test]
+    fn reused_ff_wraps_inbound_and_outbound() {
+        let n = die();
+        let q = n.find("q").unwrap();
+        let plan = WrapPlan {
+            assignments: vec![
+                WrapAssignment {
+                    source: WrapperSource::ReusedScanFf(q),
+                    inbound: vec![n.find("ti0").unwrap()],
+                    outbound: vec![n.find("to0").unwrap(), n.find("to1").unwrap()],
+                },
+                WrapAssignment {
+                    source: WrapperSource::Dedicated,
+                    inbound: vec![n.find("ti1").unwrap()],
+                    outbound: vec![],
+                },
+            ],
+        };
+        let t = apply(&n, &plan).unwrap();
+        // FF D is now the capture mux.
+        let q_new = t.netlist.find("q").unwrap();
+        let dmux = t.netlist.find("wrapdmux__q").unwrap();
+        assert_eq!(t.netlist.gate(q_new).inputs, vec![dmux]);
+        // Two outbound taps → one chain XOR + one observation XOR.
+        assert!(t.netlist.find("wrapxor__to1").is_some());
+        assert!(t.netlist.find("wrapobs__q").is_some());
+        // Control-only dedicated cell tied to const0.
+        let cell = t.cells[1];
+        let c0 = t.netlist.find("wrap_const0").unwrap();
+        assert_eq!(t.netlist.gate(cell).inputs, vec![c0]);
+        // Reused cell id is the original FF.
+        assert_eq!(t.cells[0], q);
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let n = die();
+        let plan = WrapPlan::default();
+        let err = apply(&n, &plan).unwrap_err().to_string();
+        assert!(err.contains("not wrapped"), "{err}");
+    }
+
+    #[test]
+    fn placement_extension_anchors_new_gates() {
+        use prebond3d_place::{place, PlaceConfig};
+        let n = die();
+        let p = place(&n, &PlaceConfig::default(), 1);
+        let plan = WrapPlan::all_dedicated(&n);
+        let t = apply(&n, &plan).unwrap();
+        let pt = t.placement_for(&p);
+        assert_eq!(pt.len(), t.netlist.len());
+        // The inbound mux sits exactly at its TSV.
+        let ti0 = n.find("ti0").unwrap();
+        let mux0 = t.netlist.find("wrapmux__ti0").unwrap();
+        assert_eq!(pt.location(mux0).manhattan(&p.location(ti0)).0, 0.0);
+        // Original gates keep their spots.
+        let g1 = n.find("g1").unwrap();
+        assert_eq!(pt.location(g1).manhattan(&p.location(g1)).0, 0.0);
+    }
+
+    #[test]
+    fn testable_netlist_keeps_original_ids() {
+        let n = die();
+        let plan = WrapPlan::all_dedicated(&n);
+        let t = apply(&n, &plan).unwrap();
+        for (id, gate) in n.iter() {
+            assert_eq!(t.netlist.gate(id).name, gate.name);
+            assert_eq!(t.netlist.gate(id).kind, gate.kind);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Wrapper-assignment plans: which cell wraps which TSVs.
+
+use std::collections::HashSet;
+
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+
+/// The cell implementing a wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WrapperSource {
+    /// An existing scan flip-flop is reused (Fig. 3 hardware).
+    ReusedScanFf(GateId),
+    /// A dedicated wrapper cell is inserted (Fig. 2 hardware).
+    Dedicated,
+}
+
+/// One wrapper cell and the TSVs it serves (one clique of the WCM
+/// solution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrapAssignment {
+    /// The implementing cell.
+    pub source: WrapperSource,
+    /// Inbound TSVs controlled by this cell.
+    pub inbound: Vec<GateId>,
+    /// Outbound TSVs observed by this cell.
+    pub outbound: Vec<GateId>,
+}
+
+impl WrapAssignment {
+    /// Number of TSVs served.
+    pub fn tsv_count(&self) -> usize {
+        self.inbound.len() + self.outbound.len()
+    }
+}
+
+/// A complete wrapper plan for one die.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WrapPlan {
+    /// One entry per wrapper cell.
+    pub assignments: Vec<WrapAssignment>,
+}
+
+impl WrapPlan {
+    /// The Fig. 2 baseline: every TSV gets its own dedicated wrapper cell.
+    pub fn all_dedicated(netlist: &Netlist) -> Self {
+        let mut assignments = Vec::new();
+        for t in netlist.inbound_tsvs() {
+            assignments.push(WrapAssignment {
+                source: WrapperSource::Dedicated,
+                inbound: vec![t],
+                outbound: vec![],
+            });
+        }
+        for t in netlist.outbound_tsvs() {
+            assignments.push(WrapAssignment {
+                source: WrapperSource::Dedicated,
+                inbound: vec![],
+                outbound: vec![t],
+            });
+        }
+        WrapPlan { assignments }
+    }
+
+    /// Number of *additional* (dedicated) wrapper cells — the paper's cost
+    /// metric.
+    pub fn additional_wrapper_cells(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| a.source == WrapperSource::Dedicated && a.tsv_count() > 0)
+            .count()
+    }
+
+    /// Number of reused scan flip-flops.
+    pub fn reused_scan_ffs(&self) -> usize {
+        self.assignments
+            .iter()
+            .filter(|a| {
+                matches!(a.source, WrapperSource::ReusedScanFf(_)) && a.tsv_count() > 0
+            })
+            .count()
+    }
+
+    /// Validate the plan against a netlist: every TSV wrapped exactly once,
+    /// ids of the right kind, each scan flip-flop reused at most once.
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, netlist: &Netlist) -> Result<(), String> {
+        let mut seen_tsv: HashSet<GateId> = HashSet::new();
+        let mut seen_ff: HashSet<GateId> = HashSet::new();
+        for (i, a) in self.assignments.iter().enumerate() {
+            if let WrapperSource::ReusedScanFf(ff) = a.source {
+                match netlist.get(ff) {
+                    Some(g) if g.kind == GateKind::ScanDff => {}
+                    _ => return Err(format!("assignment {i}: {ff} is not a scan flip-flop")),
+                }
+                if !seen_ff.insert(ff) {
+                    return Err(format!("assignment {i}: scan FF {ff} reused twice"));
+                }
+            }
+            for &t in &a.inbound {
+                match netlist.get(t) {
+                    Some(g) if g.kind == GateKind::TsvIn => {}
+                    _ => return Err(format!("assignment {i}: {t} is not an inbound TSV")),
+                }
+                if !seen_tsv.insert(t) {
+                    return Err(format!("assignment {i}: TSV {t} wrapped twice"));
+                }
+            }
+            for &t in &a.outbound {
+                match netlist.get(t) {
+                    Some(g) if g.kind == GateKind::TsvOut => {}
+                    _ => return Err(format!("assignment {i}: {t} is not an outbound TSV")),
+                }
+                if !seen_tsv.insert(t) {
+                    return Err(format!("assignment {i}: TSV {t} wrapped twice"));
+                }
+            }
+        }
+        let all_in = netlist.inbound_tsvs();
+        let all_out = netlist.outbound_tsvs();
+        for &t in all_in.iter().chain(all_out.iter()) {
+            if !seen_tsv.contains(&t) {
+                return Err(format!(
+                    "TSV `{}` is not wrapped by any assignment",
+                    netlist.gate(t).name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    fn die() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti");
+        let g = b.gate(GateKind::And, &[a, ti], "g");
+        let q = b.scan_dff(g, "q");
+        b.tsv_out(q, "to");
+        b.output(q, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_dedicated_covers_everything() {
+        let n = die();
+        let plan = WrapPlan::all_dedicated(&n);
+        assert_eq!(plan.additional_wrapper_cells(), 2);
+        assert_eq!(plan.reused_scan_ffs(), 0);
+        assert!(plan.validate(&n).is_ok());
+    }
+
+    #[test]
+    fn reuse_counts_and_validates() {
+        let n = die();
+        let q = n.find("q").unwrap();
+        let ti = n.find("ti").unwrap();
+        let to = n.find("to").unwrap();
+        let plan = WrapPlan {
+            assignments: vec![WrapAssignment {
+                source: WrapperSource::ReusedScanFf(q),
+                inbound: vec![ti],
+                outbound: vec![to],
+            }],
+        };
+        assert_eq!(plan.additional_wrapper_cells(), 0);
+        assert_eq!(plan.reused_scan_ffs(), 1);
+        assert!(plan.validate(&n).is_ok());
+    }
+
+    #[test]
+    fn validation_catches_unwrapped_and_double_wrapped() {
+        let n = die();
+        let ti = n.find("ti").unwrap();
+        let plan = WrapPlan {
+            assignments: vec![WrapAssignment {
+                source: WrapperSource::Dedicated,
+                inbound: vec![ti],
+                outbound: vec![],
+            }],
+        };
+        let err = plan.validate(&n).unwrap_err();
+        assert!(err.contains("not wrapped"), "{err}");
+
+        let double = WrapPlan {
+            assignments: vec![
+                WrapAssignment {
+                    source: WrapperSource::Dedicated,
+                    inbound: vec![ti],
+                    outbound: vec![],
+                },
+                WrapAssignment {
+                    source: WrapperSource::Dedicated,
+                    inbound: vec![ti],
+                    outbound: vec![n.find("to").unwrap()],
+                },
+            ],
+        };
+        let err = double.validate(&n).unwrap_err();
+        assert!(err.contains("wrapped twice"), "{err}");
+    }
+
+    #[test]
+    fn validation_checks_kinds_and_single_reuse() {
+        let n = die();
+        let q = n.find("q").unwrap();
+        let g = n.find("g").unwrap();
+        let bad_kind = WrapPlan {
+            assignments: vec![WrapAssignment {
+                source: WrapperSource::ReusedScanFf(g),
+                inbound: vec![],
+                outbound: vec![],
+            }],
+        };
+        assert!(bad_kind.validate(&n).unwrap_err().contains("not a scan"));
+
+        let double_ff = WrapPlan {
+            assignments: vec![
+                WrapAssignment {
+                    source: WrapperSource::ReusedScanFf(q),
+                    inbound: vec![n.find("ti").unwrap()],
+                    outbound: vec![],
+                },
+                WrapAssignment {
+                    source: WrapperSource::ReusedScanFf(q),
+                    inbound: vec![],
+                    outbound: vec![n.find("to").unwrap()],
+                },
+            ],
+        };
+        assert!(double_ff.validate(&n).unwrap_err().contains("reused twice"));
+    }
+}

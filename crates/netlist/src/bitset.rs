@@ -1,0 +1,234 @@
+//! A compact fixed-capacity bit set keyed by dense `usize` indices.
+//!
+//! Used pervasively for cone membership, fault marking and visited sets.
+//! Much faster than `HashSet<GateId>` for the dense id spaces a netlist
+//! produces.
+
+/// Fixed-capacity bit set over `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set able to hold indices `0..len`.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity (exclusive upper bound on indices).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `index`; returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, index: usize) -> bool {
+        assert!(index < self.len, "bitset index {index} out of range {}", self.len);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        fresh
+    }
+
+    /// Remove `index`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, index: usize) -> bool {
+        assert!(index < self.len);
+        let word = &mut self.words[index / 64];
+        let mask = 1u64 << (index % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        if index >= self.len {
+            return false;
+        }
+        self.words[index / 64] & (1u64 << (index % 64)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Remove all elements, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// `true` if `self` and `other` share at least one element.
+    ///
+    /// Capacities need not match; comparison runs over the common prefix.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of elements present in both sets.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.len, other.len, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Iterate over the set bits in ascending index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Iterator over set bits, produced by [`BitSet::iter`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::new(cap);
+        for i in items {
+            set.insert(i);
+        }
+        set
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn iter_yields_sorted() {
+        let mut s = BitSet::new(200);
+        for i in [5usize, 63, 64, 65, 199, 0] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn intersects_and_union() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(10);
+        b.insert(11);
+        assert!(!a.intersects(&b));
+        b.insert(10);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_count(&b), 1);
+        a.union_with(&b);
+        assert_eq!(a.count(), 2);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [3usize, 9, 9, 1].into_iter().collect();
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(9));
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn empty_and_clear() {
+        let mut s = BitSet::new(64);
+        assert!(s.is_empty());
+        s.insert(3);
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 64);
+    }
+}

@@ -1,0 +1,236 @@
+//! Fan-in / fan-out cone computation.
+//!
+//! The paper's edge-construction rule (Algorithm 1, line 19) admits an edge
+//! between a scan flip-flop and a TSV outright when their fan-in/fan-out
+//! cones do **not** overlap, and only then falls back to the testability
+//! probe. Cones are therefore on the hot path of graph construction; they
+//! are represented as [`BitSet`]s over gate ids so overlap tests are a few
+//! word-AND operations.
+
+use crate::bitset::BitSet;
+use crate::gate::GateId;
+use crate::netlist::Netlist;
+
+/// The transitive fan-in cone of `root`, i.e. every gate whose output can
+/// combinationally influence `root`'s value.
+///
+/// Traversal stops at combinational sources (primary inputs, constants,
+/// flip-flop outputs, inbound TSVs): the source itself is included, but the
+/// logic behind a flip-flop is not (it belongs to the previous cycle).
+/// `root` itself is included.
+pub fn fanin_cone(netlist: &Netlist, root: GateId) -> BitSet {
+    let mut set = BitSet::new(netlist.len());
+    let mut stack = vec![root];
+    set.insert(root.index());
+    while let Some(id) = stack.pop() {
+        let gate = netlist.gate(id);
+        // Do not cross sequential boundaries except at the root: a flip-flop
+        // *root* asks "what feeds my D pin", but a flip-flop found inside
+        // the cone is a source and terminates traversal.
+        if id != root && gate.kind.is_source() {
+            continue;
+        }
+        for &input in &gate.inputs {
+            if set.insert(input.index()) {
+                stack.push(input);
+            }
+        }
+    }
+    set
+}
+
+/// The transitive fan-out cone of `root`, i.e. every gate whose value can be
+/// combinationally influenced by `root`'s output.
+///
+/// Traversal stops at combinational sinks (primary outputs, flip-flop D
+/// inputs, outbound TSVs): the sink is included but not crossed. `root`
+/// itself is included.
+pub fn fanout_cone(netlist: &Netlist, root: GateId) -> BitSet {
+    let mut set = BitSet::new(netlist.len());
+    let mut stack = vec![root];
+    set.insert(root.index());
+    while let Some(id) = stack.pop() {
+        let gate = netlist.gate(id);
+        if id != root && gate.kind.is_sink() {
+            continue;
+        }
+        for &fo in netlist.fanout(id) {
+            if set.insert(fo.index()) {
+                stack.push(fo);
+            }
+        }
+    }
+    set
+}
+
+/// Precomputed fan-in and fan-out cones for a set of roots.
+///
+/// Graph construction queries overlap between every (scan-FF, TSV) and
+/// (TSV, TSV) pair; caching the cones turns the quadratic pair loop into
+/// pure bitset intersections.
+#[derive(Debug, Clone)]
+pub struct ConeSet {
+    roots: Vec<GateId>,
+    fanin: Vec<BitSet>,
+    fanout: Vec<BitSet>,
+    index_of: std::collections::HashMap<GateId, usize>,
+}
+
+impl ConeSet {
+    /// Compute both cones for each root in `roots`.
+    pub fn compute(netlist: &Netlist, roots: &[GateId]) -> Self {
+        let mut index_of = std::collections::HashMap::with_capacity(roots.len());
+        let mut fanin = Vec::with_capacity(roots.len());
+        let mut fanout = Vec::with_capacity(roots.len());
+        for (i, &root) in roots.iter().enumerate() {
+            index_of.insert(root, i);
+            fanin.push(fanin_cone(netlist, root));
+            fanout.push(fanout_cone(netlist, root));
+        }
+        ConeSet {
+            roots: roots.to_vec(),
+            fanin,
+            fanout,
+            index_of,
+        }
+    }
+
+    /// The roots this set was computed for.
+    pub fn roots(&self) -> &[GateId] {
+        &self.roots
+    }
+
+    /// Fan-in cone of `root`, if `root` was in the computed set.
+    pub fn fanin(&self, root: GateId) -> Option<&BitSet> {
+        self.index_of.get(&root).map(|&i| &self.fanin[i])
+    }
+
+    /// Fan-out cone of `root`, if `root` was in the computed set.
+    pub fn fanout(&self, root: GateId) -> Option<&BitSet> {
+        self.index_of.get(&root).map(|&i| &self.fanout[i])
+    }
+
+    /// `true` when the fan-in cones of `a` and `b` share any gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either root was not in the computed set.
+    pub fn fanin_overlaps(&self, a: GateId, b: GateId) -> bool {
+        self.fanin(a)
+            .expect("root a in cone set")
+            .intersects(self.fanin(b).expect("root b in cone set"))
+    }
+
+    /// `true` when the fan-out cones of `a` and `b` share any gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either root was not in the computed set.
+    pub fn fanout_overlaps(&self, a: GateId, b: GateId) -> bool {
+        self.fanout(a)
+            .expect("root a in cone set")
+            .intersects(self.fanout(b).expect("root b in cone set"))
+    }
+
+    /// The paper's "overlapped fan-in or fan-out cones" predicate
+    /// (Algorithm 1 line 19): `true` when either cone pair intersects
+    /// beyond the trivial case.
+    pub fn cones_overlap(&self, a: GateId, b: GateId) -> bool {
+        self.fanin_overlaps(a, b) || self.fanout_overlaps(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    /// Two disjoint AND trees and one shared input.
+    fn two_trees() -> (Netlist, GateId, GateId, GateId) {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let e = b.input("d");
+        let g1 = b.gate(GateKind::And, &[a, c], "g1");
+        let g2 = b.gate(GateKind::And, &[d, e], "g2");
+        let o1 = b.output(g1, "o1");
+        let o2 = b.output(g2, "o2");
+        let n = b.finish().unwrap();
+        let _ = (o1, o2);
+        (n, g1, g2, a)
+    }
+
+    #[test]
+    fn disjoint_cones_do_not_overlap() {
+        let (n, g1, g2, _) = two_trees();
+        let cones = ConeSet::compute(&n, &[g1, g2]);
+        assert!(!cones.fanin_overlaps(g1, g2));
+        assert!(!cones.fanout_overlaps(g1, g2));
+        assert!(!cones.cones_overlap(g1, g2));
+    }
+
+    #[test]
+    fn fanin_contains_inputs() {
+        let (n, g1, _, a) = two_trees();
+        let cone = fanin_cone(&n, g1);
+        assert!(cone.contains(a.index()));
+        assert!(cone.contains(g1.index()));
+        assert_eq!(cone.count(), 3); // a, b, g1
+    }
+
+    #[test]
+    fn fanout_reaches_outputs() {
+        let (n, g1, _, a) = two_trees();
+        let cone = fanout_cone(&n, a);
+        assert!(cone.contains(g1.index()));
+        let o1 = n.find("o1").unwrap();
+        assert!(cone.contains(o1.index()));
+        assert!(!cone.contains(n.find("g2").unwrap().index()));
+    }
+
+    #[test]
+    fn cones_stop_at_flip_flops() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, &[a], "g1");
+        let q = b.dff(g1, "q");
+        let g2 = b.gate(GateKind::Not, &[q], "g2");
+        b.output(g2, "o");
+        let n = b.finish().unwrap();
+        let q_id = n.find("q").unwrap();
+        let g2_id = n.find("g2").unwrap();
+
+        // Fan-in of g2 stops at the flip-flop: includes q, not g1 or a.
+        let cone = fanin_cone(&n, g2_id);
+        assert!(cone.contains(q_id.index()));
+        assert!(!cone.contains(n.find("g1").unwrap().index()));
+
+        // Fan-in of the flip-flop itself crosses to its D logic.
+        let cone_q = fanin_cone(&n, q_id);
+        assert!(cone_q.contains(n.find("g1").unwrap().index()));
+        assert!(cone_q.contains(n.find("a").unwrap().index()));
+
+        // Fan-out of g1 stops at the flip-flop.
+        let cone_f = fanout_cone(&n, n.find("g1").unwrap());
+        assert!(cone_f.contains(q_id.index()));
+        assert!(!cone_f.contains(g2_id.index()));
+    }
+
+    #[test]
+    fn shared_input_overlaps_fanin() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let d = b.input("c");
+        let g1 = b.gate(GateKind::And, &[a, c], "g1");
+        let g2 = b.gate(GateKind::And, &[a, d], "g2");
+        b.output(g1, "o1");
+        b.output(g2, "o2");
+        let n = b.finish().unwrap();
+        let cones = ConeSet::compute(&n, &[g1, g2]);
+        assert!(cones.fanin_overlaps(g1, g2));
+        assert!(cones.cones_overlap(g1, g2));
+    }
+}

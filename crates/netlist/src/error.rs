@@ -1,0 +1,107 @@
+//! Error type shared by netlist construction, validation and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::gate::{GateId, GateKind};
+
+/// Errors produced while building, validating or parsing a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate was declared with the wrong number of inputs.
+    ArityMismatch {
+        /// Offending gate name.
+        gate: String,
+        /// Its kind.
+        kind: GateKind,
+        /// Inputs it was given.
+        got: usize,
+    },
+    /// A gate input references a gate id that does not exist.
+    DanglingInput {
+        /// Offending gate name.
+        gate: String,
+        /// The missing id.
+        input: GateId,
+    },
+    /// Two gates share the same instance name.
+    DuplicateName(String),
+    /// The combinational portion of the netlist contains a cycle through
+    /// the named gate.
+    CombinationalCycle(String),
+    /// A gate input references a gate that cannot drive logic
+    /// (e.g. an [`GateKind::Output`] marker or a [`GateKind::TsvOut`]).
+    NonDrivingInput {
+        /// Offending gate name.
+        gate: String,
+        /// Name of the non-driving gate it references.
+        driver: String,
+    },
+    /// Text-format parse error with 1-based line number.
+    Parse {
+        /// Line the error occurred on.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::ArityMismatch { gate, kind, got } => write!(
+                f,
+                "gate `{gate}` of kind {kind} expects {} inputs, got {got}",
+                kind.arity()
+            ),
+            NetlistError::DanglingInput { gate, input } => {
+                write!(f, "gate `{gate}` references undefined signal {input}")
+            }
+            NetlistError::DuplicateName(name) => {
+                write!(f, "duplicate gate name `{name}`")
+            }
+            NetlistError::CombinationalCycle(name) => {
+                write!(f, "combinational cycle through gate `{name}`")
+            }
+            NetlistError::NonDrivingInput { gate, driver } => {
+                write!(f, "gate `{gate}` uses non-driving gate `{driver}` as an input")
+            }
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            NetlistError::ArityMismatch {
+                gate: "g".into(),
+                kind: GateKind::And,
+                got: 3,
+            },
+            NetlistError::DanglingInput {
+                gate: "g".into(),
+                input: GateId(7),
+            },
+            NetlistError::DuplicateName("x".into()),
+            NetlistError::CombinationalCycle("loop".into()),
+            NetlistError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase() || text.starts_with('`'));
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! A line-oriented structural netlist text format.
+//!
+//! One gate per line: `<name> = <kind>(<input>, <input>, ...)`, preceded by
+//! a header line `circuit <name>`. Comments start with `#`. Gates may be
+//! listed in any order; forward references are resolved after parsing.
+//!
+//! ```text
+//! circuit half_adder
+//! a    = input()
+//! b    = input()
+//! sum  = xor(a, b)
+//! cy   = and(a, b)
+//! po0  = output(sum)
+//! po1  = output(cy)
+//! ```
+//!
+//! The format exists so benchmark instances, DFT-transformed netlists and
+//! test fixtures can be round-tripped and diffed as plain text.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// Serialize `netlist` into the text format.
+///
+/// The output lists gates in id order and round-trips through [`parse`]
+/// into a structurally identical netlist.
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "circuit {}", netlist.name());
+    for (_, gate) in netlist.iter() {
+        let args: Vec<&str> = gate
+            .inputs
+            .iter()
+            .map(|&i| netlist.gate(i).name.as_str())
+            .collect();
+        let _ = writeln!(out, "{} = {}({})", gate.name, gate.kind.mnemonic(), args.join(", "));
+    }
+    out
+}
+
+/// Parse the text format produced by [`write`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a 1-based line number on malformed
+/// input, and structural validation errors (duplicate names, arity, cycles)
+/// from [`Netlist::from_gates`].
+pub fn parse(text: &str) -> Result<Netlist, NetlistError> {
+    let mut name: Option<String> = None;
+    // (line_no, gate_name, kind, input names)
+    let mut raw: Vec<(usize, String, GateKind, Vec<String>)> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("circuit ") {
+            if name.is_some() {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: "duplicate `circuit` header".into(),
+                });
+            }
+            name = Some(rest.trim().to_string());
+            continue;
+        }
+        let (lhs, rhs) = line.split_once('=').ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: "expected `name = kind(args)`".into(),
+        })?;
+        let gate_name = lhs.trim().to_string();
+        if gate_name.is_empty() {
+            return Err(NetlistError::Parse {
+                line: lineno,
+                message: "empty gate name".into(),
+            });
+        }
+        let rhs = rhs.trim();
+        let (kind_str, args_str) = rhs
+            .split_once('(')
+            .and_then(|(k, a)| a.strip_suffix(')').map(|a| (k.trim(), a.trim())))
+            .ok_or_else(|| NetlistError::Parse {
+                line: lineno,
+                message: format!("malformed gate expression `{rhs}`"),
+            })?;
+        let kind = GateKind::from_mnemonic(kind_str).ok_or_else(|| NetlistError::Parse {
+            line: lineno,
+            message: format!("unknown gate kind `{kind_str}`"),
+        })?;
+        let args: Vec<String> = if args_str.is_empty() {
+            Vec::new()
+        } else {
+            args_str.split(',').map(|a| a.trim().to_string()).collect()
+        };
+        raw.push((lineno, gate_name, kind, args));
+    }
+
+    let name = name.ok_or(NetlistError::Parse {
+        line: 1,
+        message: "missing `circuit <name>` header".into(),
+    })?;
+
+    let index: HashMap<&str, GateId> = raw
+        .iter()
+        .enumerate()
+        .map(|(i, (_, n, _, _))| (n.as_str(), GateId(i as u32)))
+        .collect();
+
+    let mut gates = Vec::with_capacity(raw.len());
+    for (lineno, gate_name, kind, args) in &raw {
+        let mut inputs = Vec::with_capacity(args.len());
+        for arg in args {
+            let id = index.get(arg.as_str()).ok_or_else(|| NetlistError::Parse {
+                line: *lineno,
+                message: format!("gate `{gate_name}` references undefined signal `{arg}`"),
+            })?;
+            inputs.push(*id);
+        }
+        gates.push(Gate::new(gate_name.clone(), *kind, inputs));
+    }
+    Netlist::from_gates(name, gates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new("sample");
+        let a = b.input("a");
+        let c = b.input("b");
+        let ti = b.tsv_in("ti0");
+        let x = b.gate(GateKind::Xor, &[a, c], "x");
+        let m = b.gate(GateKind::Mux2, &[x, ti, a], "m");
+        let q = b.scan_dff(m, "q");
+        b.tsv_out(q, "to0");
+        b.output(q, "po");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let original = sample();
+        let text = write(&original);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(original.name(), reparsed.name());
+        assert_eq!(original.len(), reparsed.len());
+        for (id, gate) in original.iter() {
+            let other = reparsed.gate(reparsed.find(&gate.name).unwrap());
+            assert_eq!(gate.kind, other.kind, "kind of {}", gate.name);
+            let _ = id;
+            let orig_inputs: Vec<&str> = gate
+                .inputs
+                .iter()
+                .map(|&i| original.gate(i).name.as_str())
+                .collect();
+            let new_inputs: Vec<&str> = other
+                .inputs
+                .iter()
+                .map(|&i| reparsed.gate(i).name.as_str())
+                .collect();
+            assert_eq!(orig_inputs, new_inputs);
+        }
+    }
+
+    #[test]
+    fn parse_supports_comments_and_forward_refs() {
+        let text = "\
+# a comment
+circuit fwd
+o = output(g)   # forward reference
+g = not(a)
+a = input()
+";
+        let n = parse(text).unwrap();
+        assert_eq!(n.name(), "fwd");
+        assert_eq!(n.len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "circuit x\ng = frob(a)\n";
+        match parse(bad) {
+            Err(NetlistError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_header_is_an_error() {
+        assert!(matches!(
+            parse("a = input()\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_signal_is_an_error() {
+        let bad = "circuit x\ng = not(ghost)\n";
+        assert!(matches!(parse(bad), Err(NetlistError::Parse { line: 2, .. })));
+    }
+}

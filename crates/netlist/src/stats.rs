@@ -1,0 +1,111 @@
+//! Aggregate netlist statistics (the raw material of the paper's Table II).
+
+use std::fmt;
+
+use crate::gate::GateKind;
+use crate::netlist::Netlist;
+
+/// Counts of the structurally interesting gate populations of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary inputs.
+    pub primary_inputs: usize,
+    /// Primary outputs.
+    pub primary_outputs: usize,
+    /// Plain (non-scan) flip-flops.
+    pub flip_flops: usize,
+    /// Scan flip-flops.
+    pub scan_flip_flops: usize,
+    /// Combinational logic gates (excluding port/TSV/wrapper markers).
+    pub combinational_gates: usize,
+    /// Inbound TSV endpoints.
+    pub inbound_tsvs: usize,
+    /// Outbound TSV endpoints.
+    pub outbound_tsvs: usize,
+    /// Dedicated wrapper cells already present.
+    pub wrapper_cells: usize,
+    /// Total node count.
+    pub total: usize,
+}
+
+impl NetlistStats {
+    /// Compute statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> Self {
+        let mut s = NetlistStats {
+            total: netlist.len(),
+            ..NetlistStats::default()
+        };
+        for (_, gate) in netlist.iter() {
+            match gate.kind {
+                GateKind::Input => s.primary_inputs += 1,
+                GateKind::Output => s.primary_outputs += 1,
+                GateKind::Dff => s.flip_flops += 1,
+                GateKind::ScanDff => s.scan_flip_flops += 1,
+                GateKind::TsvIn => s.inbound_tsvs += 1,
+                GateKind::TsvOut => s.outbound_tsvs += 1,
+                GateKind::Wrapper => s.wrapper_cells += 1,
+                GateKind::Const0 | GateKind::Const1 => {}
+                _ => s.combinational_gates += 1,
+            }
+        }
+        s
+    }
+
+    /// Total TSV endpoints (`#TSVs` column of Table II).
+    pub fn tsvs(&self) -> usize {
+        self.inbound_tsvs + self.outbound_tsvs
+    }
+
+    /// Total sequential elements.
+    pub fn sequential(&self) -> usize {
+        self.flip_flops + self.scan_flip_flops
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PI={} PO={} FF={} SFF={} gates={} TSV={} (in={}, out={})",
+            self.primary_inputs,
+            self.primary_outputs,
+            self.flip_flops,
+            self.scan_flip_flops,
+            self.combinational_gates,
+            self.tsvs(),
+            self.inbound_tsvs,
+            self.outbound_tsvs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    #[test]
+    fn counts_each_population() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti");
+        let g = b.gate(GateKind::And, &[a, ti], "g");
+        let q = b.scan_dff(g, "q");
+        let d = b.dff(q, "d");
+        b.tsv_out(d, "to");
+        b.output(q, "o");
+        let n = b.finish().unwrap();
+        let s = n.stats();
+        assert_eq!(s.primary_inputs, 1);
+        assert_eq!(s.primary_outputs, 1);
+        assert_eq!(s.scan_flip_flops, 1);
+        assert_eq!(s.flip_flops, 1);
+        assert_eq!(s.combinational_gates, 1);
+        assert_eq!(s.inbound_tsvs, 1);
+        assert_eq!(s.outbound_tsvs, 1);
+        assert_eq!(s.tsvs(), 2);
+        assert_eq!(s.sequential(), 2);
+        assert_eq!(s.total, 7);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! Topological traversal and levelization of the combinational subgraph.
+
+use crate::gate::{GateId, GateKind};
+use crate::netlist::Netlist;
+
+/// A topological order over the combinational gates of `netlist`.
+///
+/// Sources (primary inputs, constants, flip-flop outputs, inbound TSVs) come
+/// first, then every combinational gate after all of its drivers. Sequential
+/// gates appear in the order as *sources* (their Q pin); their D-pin side is
+/// reached like any other sink.
+///
+/// The returned order contains **every** gate exactly once, so evaluating
+/// gates in this order yields a complete single-cycle simulation.
+pub fn combinational_order(netlist: &Netlist) -> Vec<GateId> {
+    let n = netlist.len();
+    let mut indeg = vec![0usize; n];
+    for (i, gate) in netlist.iter().map(|(id, g)| (id.index(), g)) {
+        indeg[i] = if gate.kind.is_sequential() || gate.kind.arity() == 0 {
+            0
+        } else {
+            gate.inputs.len()
+        };
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    // Stable: process in ascending id order for determinism.
+    queue.sort_unstable();
+    queue.reverse();
+    let mut order = Vec::with_capacity(n);
+    let mut heap = std::collections::BinaryHeap::new();
+    for i in queue {
+        heap.push(std::cmp::Reverse(i));
+    }
+    while let Some(std::cmp::Reverse(i)) = heap.pop() {
+        order.push(GateId(i as u32));
+        for &fo in netlist.fanout(GateId(i as u32)) {
+            let j = fo.index();
+            if netlist.gate(fo).kind.is_sequential() {
+                continue;
+            }
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                heap.push(std::cmp::Reverse(j));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "netlist validated as acyclic");
+    order
+}
+
+/// Combinational logic level of every gate.
+///
+/// Sources are level 0; every combinational gate is `1 + max(level of
+/// drivers)`. Sequential gates are level 0 (as sources); their D input's
+/// level is available through the driving gate.
+pub fn levels(netlist: &Netlist) -> Vec<u32> {
+    let order = combinational_order(netlist);
+    let mut level = vec![0u32; netlist.len()];
+    for id in order {
+        let gate = netlist.gate(id);
+        if gate.kind.is_sequential() || gate.kind.arity() == 0 {
+            level[id.index()] = 0;
+        } else {
+            level[id.index()] = gate
+                .inputs
+                .iter()
+                .map(|&i| level[i.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+    }
+    level
+}
+
+/// Maximum combinational depth (in gate levels) of the netlist.
+pub fn depth(netlist: &Netlist) -> u32 {
+    levels(netlist).into_iter().max().unwrap_or(0)
+}
+
+/// Combinational sources of the netlist: primary inputs, constants,
+/// flip-flop outputs and inbound TSVs.
+pub fn sources(netlist: &Netlist) -> Vec<GateId> {
+    netlist
+        .iter()
+        .filter(|(_, g)| g.kind.is_source())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Combinational sinks of the netlist: primary outputs, flip-flop D inputs
+/// (represented by the flip-flop gate itself) and outbound TSVs.
+pub fn sinks(netlist: &Netlist) -> Vec<GateId> {
+    netlist
+        .iter()
+        .filter(|(_, g)| g.kind.is_sink())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// `true` if `kind`'s output participates in combinational propagation
+/// (everything except pure sinks).
+pub fn propagates(kind: GateKind) -> bool {
+    !matches!(kind, GateKind::Output | GateKind::TsvOut)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn chain(depth: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let mut sig = b.input("a");
+        for i in 0..depth {
+            sig = b.gate(GateKind::Not, &[sig], format!("n{i}"));
+        }
+        b.output(sig, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn order_respects_dependencies() {
+        let n = chain(10);
+        let order = combinational_order(&n);
+        assert_eq!(order.len(), n.len());
+        let mut pos = vec![0usize; n.len()];
+        for (p, id) in order.iter().enumerate() {
+            pos[id.index()] = p;
+        }
+        for (id, gate) in n.iter() {
+            if gate.kind.is_sequential() {
+                continue;
+            }
+            for &input in &gate.inputs {
+                assert!(pos[input.index()] < pos[id.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn levels_of_chain() {
+        let n = chain(5);
+        assert_eq!(depth(&n), 6); // 5 inverters + output marker
+        let l = levels(&n);
+        assert_eq!(l[n.find("a").unwrap().index()], 0);
+        assert_eq!(l[n.find("n4").unwrap().index()], 5);
+    }
+
+    #[test]
+    fn ff_cuts_levels() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, &[a], "g1");
+        let q = b.dff(g1, "q");
+        let g2 = b.gate(GateKind::Not, &[q], "g2");
+        b.output(g2, "o");
+        let n = b.finish().unwrap();
+        let l = levels(&n);
+        assert_eq!(l[n.find("q").unwrap().index()], 0);
+        assert_eq!(l[n.find("g2").unwrap().index()], 1);
+    }
+
+    #[test]
+    fn sources_and_sinks() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti");
+        let g = b.gate(GateKind::And, &[a, ti], "g");
+        let q = b.scan_dff(g, "q");
+        let g2 = b.gate(GateKind::Or, &[q, a], "g2");
+        b.tsv_out(g2, "to");
+        b.output(g2, "o");
+        let n = b.finish().unwrap();
+        let src = sources(&n);
+        let snk = sinks(&n);
+        assert_eq!(src.len(), 3); // a, ti, q
+        assert_eq!(snk.len(), 3); // q (D side), to, o
+    }
+}

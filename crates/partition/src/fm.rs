@@ -1,0 +1,296 @@
+//! Recursive Fiduccia–Mattheyses min-cut partitioning.
+//!
+//! FM is the classical move-based hypergraph bipartitioning heuristic
+//! underlying production placement/partitioning flows (including academic
+//! 3D flows like 3D-Craft). This implementation:
+//!
+//! * models every driven signal as a hyperedge (driver + its fanouts),
+//! * runs gain-directed passes with cell locking and best-prefix rollback,
+//! * handles `k > 2` dies by recursive bisection of the die range.
+//!
+//! The partitioner is deterministic given the seed (ties are broken by
+//! cell id).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prebond3d_netlist::{GateId, Netlist};
+
+use crate::spec::{Assignment, DieIndex, PartitionSpec};
+
+/// Partition `netlist` onto `spec.num_dies` dies minimizing cut nets.
+///
+/// Runs recursive FM bisection starting from a seeded random split.
+pub fn partition(netlist: &Netlist, spec: &PartitionSpec, seed: u64) -> Assignment {
+    let mut dies = vec![DieIndex(0); netlist.len()];
+    let all: Vec<usize> = (0..netlist.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    bisect(netlist, spec, &all, 0, spec.num_dies, &mut dies, &mut rng);
+    Assignment::new(dies, spec.num_dies)
+}
+
+/// Recursively split `cells` over die range `[lo, hi)`.
+fn bisect(
+    netlist: &Netlist,
+    spec: &PartitionSpec,
+    cells: &[usize],
+    lo: usize,
+    hi: usize,
+    dies: &mut [DieIndex],
+    rng: &mut StdRng,
+) {
+    if hi - lo == 1 {
+        for &c in cells {
+            dies[c] = DieIndex(lo as u8);
+        }
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    // Target share of the left side is proportional to its die count.
+    let left_share = (mid - lo) as f64 / (hi - lo) as f64;
+    let sides = bipartition(netlist, spec, cells, left_share, rng);
+    let (left, right): (Vec<usize>, Vec<usize>) = cells
+        .iter()
+        .copied()
+        .partition(|&c| sides[index_in(cells, c)]);
+    bisect(netlist, spec, &left, lo, mid, dies, rng);
+    bisect(netlist, spec, &right, mid, hi, dies, rng);
+}
+
+/// Position of `cell` in `cells` (cells are sorted ascending by
+/// construction).
+fn index_in(cells: &[usize], cell: usize) -> usize {
+    cells.binary_search(&cell).expect("cell belongs to slice")
+}
+
+/// One FM bipartition of `cells`; `true` in the result = left side.
+fn bipartition(
+    netlist: &Netlist,
+    spec: &PartitionSpec,
+    cells: &[usize],
+    left_share: f64,
+    rng: &mut StdRng,
+) -> Vec<bool> {
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Local dense ids for the sub-hypergraph.
+    let mut local_of = vec![usize::MAX; netlist.len()];
+    for (i, &c) in cells.iter().enumerate() {
+        local_of[c] = i;
+    }
+
+    // Hyperedges restricted to this cell set: driver + fanouts, keeping
+    // only members inside `cells`, dropping degenerate (size < 2) edges.
+    let mut nets: Vec<Vec<usize>> = Vec::new();
+    for &c in cells {
+        let id = GateId(c as u32);
+        let mut members: Vec<usize> = vec![local_of[c]];
+        members.extend(
+            netlist
+                .fanout(id)
+                .iter()
+                .filter(|fo| local_of[fo.index()] != usize::MAX)
+                .map(|fo| local_of[fo.index()]),
+        );
+        members.sort_unstable();
+        members.dedup();
+        if members.len() >= 2 {
+            nets.push(members);
+        }
+    }
+    let mut pins: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (ni, net) in nets.iter().enumerate() {
+        for &m in net {
+            pins[m].push(ni);
+        }
+    }
+
+    let target_left = ((n as f64) * left_share).round() as usize;
+    let slack = ((n as f64 * spec.balance_tolerance) as usize).max(1);
+
+    // Initial seeded random split near the target.
+    let mut side = vec![false; n];
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        order.swap(i, j);
+    }
+    for &c in order.iter().take(target_left) {
+        side[c] = true;
+    }
+
+    let max_passes = 12;
+    for _ in 0..max_passes {
+        let improved = fm_pass(&nets, &pins, &mut side, target_left, slack);
+        if !improved {
+            break;
+        }
+    }
+    side
+}
+
+/// One FM pass: move cells by gain with locking, keep the best prefix.
+/// Returns `true` if the cut improved.
+fn fm_pass(
+    nets: &[Vec<usize>],
+    pins: &[Vec<usize>],
+    side: &mut [bool],
+    target_left: usize,
+    slack: usize,
+) -> bool {
+    let n = side.len();
+    // Per-net side counts.
+    let mut left_count: Vec<usize> = nets
+        .iter()
+        .map(|net| net.iter().filter(|&&m| side[m]).count())
+        .collect();
+
+    let gain_of = |cell: usize, side: &[bool], left_count: &[usize]| -> i64 {
+        let mut g = 0i64;
+        for &ni in &pins[cell] {
+            let (from, to) = if side[cell] {
+                (left_count[ni], nets[ni].len() - left_count[ni])
+            } else {
+                (nets[ni].len() - left_count[ni], left_count[ni])
+            };
+            if from == 1 {
+                g += 1; // net becomes uncut
+            }
+            if to == 0 {
+                g -= 1; // net becomes cut
+            }
+        }
+        g
+    };
+
+    let mut locked = vec![false; n];
+    let mut heap: std::collections::BinaryHeap<(i64, usize)> = (0..n)
+        .map(|c| (gain_of(c, side, &left_count), c))
+        .collect();
+
+    let mut left_size = side.iter().filter(|&&s| s).count();
+    let mut cum_gain = 0i64;
+    let mut best_gain = 0i64;
+    let mut best_prefix = 0usize;
+    let mut moves: Vec<usize> = Vec::with_capacity(n);
+
+    while let Some((g, cell)) = heap.pop() {
+        if locked[cell] {
+            continue;
+        }
+        // Lazy invalidation: recompute and re-push if stale.
+        let fresh = gain_of(cell, side, &left_count);
+        if fresh != g {
+            heap.push((fresh, cell));
+            continue;
+        }
+        // Balance feasibility of the move.
+        let new_left = if side[cell] {
+            left_size - 1
+        } else {
+            left_size + 1
+        };
+        if new_left + slack < target_left || new_left > target_left + slack {
+            locked[cell] = true; // cannot move this pass
+            continue;
+        }
+        // Apply the move.
+        locked[cell] = true;
+        for &ni in &pins[cell] {
+            if side[cell] {
+                left_count[ni] -= 1;
+            } else {
+                left_count[ni] += 1;
+            }
+        }
+        side[cell] = !side[cell];
+        left_size = new_left;
+        cum_gain += fresh;
+        moves.push(cell);
+        if cum_gain > best_gain {
+            best_gain = cum_gain;
+            best_prefix = moves.len();
+        }
+        // Refresh neighbours (lazy: just re-push with new gains).
+        for &ni in &pins[cell] {
+            for &m in &nets[ni] {
+                if !locked[m] {
+                    heap.push((gain_of(m, side, &left_count), m));
+                }
+            }
+        }
+    }
+
+    // Roll back moves beyond the best prefix.
+    for &cell in moves.iter().skip(best_prefix).rev() {
+        side[cell] = !side[cell];
+    }
+    best_gain > 0
+}
+
+/// Cut size (in hyperedges) of a boolean bipartition — exposed for tests
+/// and benchmarking the heuristic itself.
+pub fn bipartition_cut(netlist: &Netlist, side: &[bool]) -> usize {
+    let mut cut = 0usize;
+    for (id, _) in netlist.iter() {
+        let s = side[id.index()];
+        if netlist.fanout(id).iter().any(|fo| side[fo.index()] != s) {
+            cut += 1;
+        }
+    }
+    cut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random;
+    use prebond3d_netlist::itc99;
+
+    #[test]
+    fn fm_beats_random_on_cut() {
+        let n = itc99::generate_flat("t", 600, 40, 10, 10, 11);
+        let spec = PartitionSpec::new(4);
+        let fm_cut = partition(&n, &spec, 5).cut_size(&n);
+        let rnd_cut = random::partition(&n, &spec, 5).cut_size(&n);
+        assert!(
+            fm_cut < rnd_cut,
+            "FM cut {fm_cut} should beat random cut {rnd_cut}"
+        );
+    }
+
+    #[test]
+    fn fm_is_deterministic_and_balanced() {
+        let n = itc99::generate_flat("t", 400, 25, 8, 8, 2);
+        let spec = PartitionSpec::new(4);
+        let a = partition(&n, &spec, 3);
+        let b = partition(&n, &spec, 3);
+        assert_eq!(a, b);
+        let sizes = a.die_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), n.len());
+        // Every die is populated and none grossly oversized.
+        let ideal = n.len() / 4;
+        for s in sizes {
+            assert!(s > ideal / 2 && s < ideal * 2, "die size {s} vs ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn two_die_partition_works() {
+        let n = itc99::generate_flat("t", 200, 12, 6, 6, 4);
+        let spec = PartitionSpec::new(2);
+        let a = partition(&n, &spec, 1);
+        assert_eq!(a.num_dies(), 2);
+        assert!(a.die_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn single_die_is_trivial() {
+        let n = itc99::generate_flat("t", 100, 8, 4, 4, 6);
+        let a = partition(&n, &PartitionSpec::new(1), 1);
+        assert_eq!(a.cut_size(&n), 0);
+        assert_eq!(a.die_sizes(), vec![n.len()]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # prebond3d-partition
+//!
+//! 3D-IC partitioning substrate: splits a flat gate-level netlist across a
+//! die stack and extracts the through-silicon-via (TSV) endpoints each die
+//! sees, the way the authors' 3D-Craft flow produced the per-die netlists
+//! of Table II.
+//!
+//! Three partitioners are provided:
+//!
+//! * [`random::partition`] — seeded balanced random assignment (baseline),
+//! * [`level::partition`] — level-banded assignment (pipeline-style stacking),
+//! * [`fm::partition`] — recursive Fiduccia–Mattheyses min-cut bipartitioning,
+//!   the classical heuristic real 3D flows build on.
+//!
+//! [`tsv::extract_dies`] then materializes one [`prebond3d_netlist::Netlist`]
+//! per die, with [`prebond3d_netlist::GateKind::TsvIn`] /
+//! [`prebond3d_netlist::GateKind::TsvOut`] endpoints replacing every cut
+//! net, plus a [`tsv::TsvMap`] recording which endpoints belong to the same
+//! physical TSV.
+//!
+//! # Example
+//!
+//! ```
+//! use prebond3d_netlist::itc99;
+//! use prebond3d_partition::{fm, tsv, PartitionSpec};
+//!
+//! let flat = itc99::generate_flat("demo", 300, 24, 8, 8, 1);
+//! let spec = PartitionSpec::new(4);
+//! let assignment = fm::partition(&flat, &spec, 7);
+//! let stack = tsv::extract_dies(&flat, &assignment).expect("valid partition");
+//! assert_eq!(stack.dies.len(), 4);
+//! ```
+
+pub mod fm;
+pub mod level;
+pub mod metrics;
+pub mod random;
+pub mod spec;
+pub mod tsv;
+
+pub use spec::{Assignment, DieIndex, PartitionSpec};
+pub use tsv::{DieStack, TsvMap};

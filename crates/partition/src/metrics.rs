@@ -1,0 +1,93 @@
+//! Partition quality metrics beyond raw cut size.
+
+use prebond3d_netlist::Netlist;
+
+use crate::spec::Assignment;
+
+/// Summary statistics of one die assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionMetrics {
+    /// TSVs required (cut nets × destination dies).
+    pub tsv_count: usize,
+    /// Nets crossing dies at all (each may need several TSVs).
+    pub cut_nets: usize,
+    /// Gates per die.
+    pub die_sizes: Vec<usize>,
+    /// Max/min die-size ratio (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Per-die (inbound, outbound) TSV endpoint counts.
+    pub die_tsvs: Vec<(usize, usize)>,
+}
+
+/// Compute all metrics for `assignment` on `netlist`.
+pub fn evaluate(netlist: &Netlist, assignment: &Assignment) -> PartitionMetrics {
+    let k = assignment.num_dies();
+    let mut cut_nets = 0usize;
+    let mut tsv_count = 0usize;
+    let mut die_tsvs = vec![(0usize, 0usize); k];
+    for (id, _) in netlist.iter() {
+        let src = assignment.die_of(id);
+        let mut dests = vec![false; k];
+        for &fo in netlist.fanout(id) {
+            let d = assignment.die_of(fo);
+            if d != src {
+                dests[d.index()] = true;
+            }
+        }
+        let n_dests = dests.iter().filter(|&&b| b).count();
+        if n_dests > 0 {
+            cut_nets += 1;
+            tsv_count += n_dests;
+            die_tsvs[src.index()].1 += n_dests; // outbound endpoints
+            for (d, &hit) in dests.iter().enumerate() {
+                if hit {
+                    die_tsvs[d].0 += 1; // inbound endpoint
+                }
+            }
+        }
+    }
+    let die_sizes = assignment.die_sizes();
+    let max = *die_sizes.iter().max().unwrap_or(&0) as f64;
+    let min = *die_sizes.iter().min().unwrap_or(&0) as f64;
+    PartitionMetrics {
+        tsv_count,
+        cut_nets,
+        die_sizes,
+        imbalance: if min > 0.0 { max / min } else { f64::INFINITY },
+        die_tsvs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fm, random, PartitionSpec};
+    use prebond3d_netlist::itc99;
+
+    #[test]
+    fn metrics_are_internally_consistent() {
+        let flat = itc99::generate_flat("m", 400, 30, 8, 8, 3);
+        let spec = PartitionSpec::new(4);
+        let asg = fm::partition(&flat, &spec, 5);
+        let m = evaluate(&flat, &asg);
+        assert_eq!(m.tsv_count, asg.cut_size(&flat));
+        assert!(m.cut_nets <= m.tsv_count);
+        assert_eq!(m.die_sizes.iter().sum::<usize>(), flat.len());
+        // Endpoint bookkeeping: Σ inbound = Σ outbound = TSV count.
+        let inbound: usize = m.die_tsvs.iter().map(|t| t.0).sum();
+        let outbound: usize = m.die_tsvs.iter().map(|t| t.1).sum();
+        assert_eq!(inbound, m.tsv_count);
+        assert_eq!(outbound, m.tsv_count);
+        assert!(m.imbalance >= 1.0);
+    }
+
+    #[test]
+    fn fm_improves_both_cut_metrics() {
+        let flat = itc99::generate_flat("m", 500, 40, 8, 8, 9);
+        let spec = PartitionSpec::new(4);
+        let fm_m = evaluate(&flat, &fm::partition(&flat, &spec, 2));
+        let rnd_m = evaluate(&flat, &random::partition(&flat, &spec, 2));
+        assert!(fm_m.tsv_count < rnd_m.tsv_count);
+        assert!(fm_m.cut_nets < rnd_m.cut_nets);
+    }
+}

@@ -1,0 +1,57 @@
+//! Seeded balanced random partitioning (the baseline partitioner).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use prebond3d_netlist::Netlist;
+
+use crate::spec::{Assignment, DieIndex, PartitionSpec};
+
+/// Assign every gate to a uniformly random die, subject to the balance
+/// bound of `spec`. Deterministic given `seed`.
+pub fn partition(netlist: &Netlist, spec: &PartitionSpec, seed: u64) -> Assignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cap = spec.max_per_die(netlist.len());
+    let mut sizes = vec![0usize; spec.num_dies];
+    let mut dies = Vec::with_capacity(netlist.len());
+    for _ in netlist.ids() {
+        // Rejection-sample a die that still has room; capacity is
+        // guaranteed to exist because Σ caps ≥ total.
+        let die = loop {
+            let d = rng.gen_range(0..spec.num_dies);
+            if sizes[d] < cap {
+                break d;
+            }
+        };
+        sizes[die] += 1;
+        dies.push(DieIndex(die as u8));
+    }
+    Assignment::new(dies, spec.num_dies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::itc99;
+
+    #[test]
+    fn balanced_and_deterministic() {
+        let n = itc99::generate_flat("t", 400, 30, 8, 8, 3);
+        let spec = PartitionSpec::new(4);
+        let a1 = partition(&n, &spec, 9);
+        let a2 = partition(&n, &spec, 9);
+        assert_eq!(a1, a2);
+        let cap = spec.max_per_die(n.len());
+        for s in a1.die_sizes() {
+            assert!(s <= cap);
+        }
+        assert_eq!(a1.len(), n.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let n = itc99::generate_flat("t", 400, 30, 8, 8, 3);
+        let spec = PartitionSpec::new(4);
+        assert_ne!(partition(&n, &spec, 1), partition(&n, &spec, 2));
+    }
+}

@@ -1,0 +1,170 @@
+//! Partitioning parameters and the assignment result type.
+
+use prebond3d_netlist::{GateId, Netlist};
+
+/// Index of a die in the stack, 0 = bottom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DieIndex(pub u8);
+
+impl DieIndex {
+    /// Index into per-die arrays.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DieIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "die{}", self.0)
+    }
+}
+
+/// Partitioning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionSpec {
+    /// Number of dies in the stack (the paper uses 4).
+    pub num_dies: usize,
+    /// Allowed relative imbalance: each die holds at most
+    /// `(1 + balance_tolerance) × ideal` gates. Default 0.1.
+    pub balance_tolerance: f64,
+}
+
+impl PartitionSpec {
+    /// Spec with the default 10 % balance tolerance.
+    pub fn new(num_dies: usize) -> Self {
+        assert!(num_dies >= 1, "need at least one die");
+        PartitionSpec {
+            num_dies,
+            balance_tolerance: 0.1,
+        }
+    }
+
+    /// Maximum gates a die may hold for a netlist of `total` gates.
+    pub fn max_per_die(&self, total: usize) -> usize {
+        let ideal = total as f64 / self.num_dies as f64;
+        (ideal * (1.0 + self.balance_tolerance)).ceil() as usize
+    }
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        PartitionSpec::new(4)
+    }
+}
+
+/// A die assignment for every gate of a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    dies: Vec<DieIndex>,
+    num_dies: usize,
+}
+
+impl Assignment {
+    /// Wrap a per-gate die vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is `>= num_dies`.
+    pub fn new(dies: Vec<DieIndex>, num_dies: usize) -> Self {
+        assert!(
+            dies.iter().all(|d| d.index() < num_dies),
+            "die index out of range"
+        );
+        Assignment { dies, num_dies }
+    }
+
+    /// Die of gate `id`.
+    pub fn die_of(&self, id: GateId) -> DieIndex {
+        self.dies[id.index()]
+    }
+
+    /// Number of dies.
+    pub fn num_dies(&self) -> usize {
+        self.num_dies
+    }
+
+    /// Number of gates assigned.
+    pub fn len(&self) -> usize {
+        self.dies.len()
+    }
+
+    /// `true` when no gate is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.dies.is_empty()
+    }
+
+    /// Gates per die.
+    pub fn die_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_dies];
+        for d in &self.dies {
+            sizes[d.index()] += 1;
+        }
+        sizes
+    }
+
+    /// Count of cut nets: nets whose driver and at least one sink live on
+    /// different dies. Each such (net, destination-die) pair needs one TSV.
+    pub fn cut_size(&self, netlist: &Netlist) -> usize {
+        let mut cut = 0usize;
+        for (id, _) in netlist.iter() {
+            let src = self.die_of(id);
+            let mut dest_dies: Vec<bool> = vec![false; self.num_dies];
+            for &fo in netlist.fanout(id) {
+                let d = self.die_of(fo);
+                if d != src {
+                    dest_dies[d.index()] = true;
+                }
+            }
+            cut += dest_dies.iter().filter(|&&b| b).count();
+        }
+        cut
+    }
+
+    /// Mutable access used by refinement passes.
+    #[allow(dead_code)]
+    pub(crate) fn set(&mut self, id: GateId, die: DieIndex) {
+        assert!(die.index() < self.num_dies);
+        self.dies[id.index()] = die;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn max_per_die_respects_tolerance() {
+        let spec = PartitionSpec::new(4);
+        assert_eq!(spec.max_per_die(100), 28); // 25 * 1.1 = 27.5 → 28
+    }
+
+    #[test]
+    fn cut_size_counts_destination_dies() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, &[a], "g1");
+        let g2 = b.gate(GateKind::Not, &[a], "g2");
+        b.output(g1, "o1");
+        b.output(g2, "o2");
+        let n = b.finish().unwrap();
+        // a on die0; g1,o1 on die1; g2,o2 on die2 → net `a` crosses to two
+        // dies → 2 TSVs.
+        let dies = vec![
+            DieIndex(0),
+            DieIndex(1),
+            DieIndex(2),
+            DieIndex(1),
+            DieIndex(2),
+        ];
+        let asg = Assignment::new(dies, 3);
+        assert_eq!(asg.cut_size(&n), 2);
+        assert_eq!(asg.die_sizes(), vec![1, 2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "die index out of range")]
+    fn rejects_out_of_range_die() {
+        Assignment::new(vec![DieIndex(5)], 4);
+    }
+}

@@ -1,0 +1,218 @@
+//! Die extraction: materialize per-die netlists with TSV endpoints.
+//!
+//! Given a flat netlist and a die [`Assignment`], every net that crosses
+//! dies is severed: the driving die receives a
+//! [`GateKind::TsvOut`] tap and every consuming die a
+//! [`GateKind::TsvIn`] source, one per (net, destination-die) pair —
+//! matching how a physical TSV connects exactly two dies.
+
+use std::collections::HashMap;
+
+use prebond3d_netlist::{Gate, GateId, GateKind, Netlist, NetlistError};
+
+use crate::spec::{Assignment, DieIndex};
+
+/// One physical TSV: an outbound endpoint on the driving die paired with an
+/// inbound endpoint on the consuming die.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsvLink {
+    /// The driving signal in the flat (pre-partition) netlist.
+    pub flat_driver: GateId,
+    /// Die holding the driver and the outbound endpoint.
+    pub from_die: DieIndex,
+    /// Die holding the consumers and the inbound endpoint.
+    pub to_die: DieIndex,
+    /// Name of the `tsv_out` gate in the `from_die` netlist.
+    pub outbound: String,
+    /// Name of the `tsv_in` gate in the `to_die` netlist.
+    pub inbound: String,
+}
+
+/// All TSVs of a partitioned stack.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TsvMap {
+    /// Links in deterministic (driver id, destination die) order.
+    pub links: Vec<TsvLink>,
+}
+
+impl TsvMap {
+    /// Number of physical TSVs.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// `true` when the stack has no TSVs.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Links whose inbound endpoint lands on `die`.
+    pub fn inbound_of(&self, die: DieIndex) -> impl Iterator<Item = &TsvLink> {
+        self.links.iter().filter(move |l| l.to_die == die)
+    }
+
+    /// Links whose outbound endpoint sits on `die`.
+    pub fn outbound_of(&self, die: DieIndex) -> impl Iterator<Item = &TsvLink> {
+        self.links.iter().filter(move |l| l.from_die == die)
+    }
+}
+
+/// A partitioned die stack: one netlist per die plus the TSV map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieStack {
+    /// Per-die netlists, index = die number.
+    pub dies: Vec<Netlist>,
+    /// The physical TSVs connecting them.
+    pub tsvs: TsvMap,
+}
+
+/// Split `flat` into per-die netlists according to `assignment`.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors; these indicate an internal bug
+/// (extraction preserves well-formedness) and are surfaced rather than
+/// panicked on so callers can report the offending die.
+pub fn extract_dies(flat: &Netlist, assignment: &Assignment) -> Result<DieStack, NetlistError> {
+    let k = assignment.num_dies();
+    // Per-die gate vectors and flat-id → local-id maps.
+    let mut gates: Vec<Vec<Gate>> = vec![Vec::new(); k];
+    let mut local: Vec<HashMap<GateId, GateId>> = vec![HashMap::new(); k];
+
+    // Pass 1: clone every gate into its die (inputs rewired later).
+    for (id, gate) in flat.iter() {
+        let d = assignment.die_of(id).index();
+        let lid = GateId(gates[d].len() as u32);
+        gates[d].push(gate.clone());
+        local[d].insert(id, lid);
+    }
+
+    // Pass 2: create TSV endpoints for every cross-die (driver, dest) pair.
+    let mut tsv_in_of: HashMap<(GateId, usize), GateId> = HashMap::new();
+    let mut links = Vec::new();
+    for (id, gate) in flat.iter() {
+        let src = assignment.die_of(id);
+        let mut dests: Vec<usize> = flat
+            .fanout(id)
+            .iter()
+            .map(|&fo| assignment.die_of(fo).index())
+            .filter(|&d| d != src.index())
+            .collect();
+        dests.sort_unstable();
+        dests.dedup();
+        for dest in dests {
+            let in_name = format!("tsv_in__{}", gate.name);
+            let out_name = format!("tsv_out__{}__die{dest}", gate.name);
+            // Inbound endpoint on the consuming die.
+            let in_id = GateId(gates[dest].len() as u32);
+            gates[dest].push(Gate::new(in_name.clone(), GateKind::TsvIn, vec![]));
+            tsv_in_of.insert((id, dest), in_id);
+            // Outbound tap on the driving die.
+            let local_driver = local[src.index()][&id];
+            gates[src.index()].push(Gate::new(
+                out_name.clone(),
+                GateKind::TsvOut,
+                vec![local_driver],
+            ));
+            links.push(TsvLink {
+                flat_driver: id,
+                from_die: src,
+                to_die: DieIndex(dest as u8),
+                outbound: out_name,
+                inbound: in_name,
+            });
+        }
+    }
+
+    // Pass 3: rewire every cloned gate's inputs.
+    for (id, gate) in flat.iter() {
+        let d = assignment.die_of(id).index();
+        let lid = local[d][&id];
+        let new_inputs: Vec<GateId> = gate
+            .inputs
+            .iter()
+            .map(|&input| {
+                let s = assignment.die_of(input).index();
+                if s == d {
+                    local[d][&input]
+                } else {
+                    tsv_in_of[&(input, d)]
+                }
+            })
+            .collect();
+        gates[d][lid.index()].inputs = new_inputs;
+    }
+
+    let mut dies = Vec::with_capacity(k);
+    for (d, die_gates) in gates.into_iter().enumerate() {
+        dies.push(Netlist::from_gates(
+            format!("{}_die{d}", flat.name()),
+            die_gates,
+        )?);
+    }
+    Ok(DieStack {
+        dies,
+        tsvs: TsvMap { links },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{fm, level, random, PartitionSpec};
+    use prebond3d_netlist::itc99;
+
+    fn flat() -> Netlist {
+        itc99::generate_flat("flat", 300, 20, 8, 8, 17)
+    }
+
+    #[test]
+    fn endpoint_counts_match_links() {
+        let n = flat();
+        let asg = fm::partition(&n, &PartitionSpec::new(4), 3);
+        let stack = extract_dies(&n, &asg).unwrap();
+        assert_eq!(stack.dies.len(), 4);
+        for (d, die) in stack.dies.iter().enumerate() {
+            let stats = die.stats();
+            let want_in = stack.tsvs.inbound_of(DieIndex(d as u8)).count();
+            let want_out = stack.tsvs.outbound_of(DieIndex(d as u8)).count();
+            assert_eq!(stats.inbound_tsvs, want_in, "die {d} inbound");
+            assert_eq!(stats.outbound_tsvs, want_out, "die {d} outbound");
+        }
+    }
+
+    #[test]
+    fn tsv_count_equals_cut_size() {
+        let n = flat();
+        for seed in [1u64, 2, 3] {
+            let asg = random::partition(&n, &PartitionSpec::new(4), seed);
+            let stack = extract_dies(&n, &asg).unwrap();
+            assert_eq!(stack.tsvs.len(), asg.cut_size(&n));
+        }
+    }
+
+    #[test]
+    fn gate_population_is_preserved() {
+        let n = flat();
+        let asg = level::partition(&n, &PartitionSpec::new(4));
+        let stack = extract_dies(&n, &asg).unwrap();
+        let flat_stats = n.stats();
+        let total_gates: usize = stack.dies.iter().map(|d| d.stats().combinational_gates).sum();
+        let total_ffs: usize = stack.dies.iter().map(|d| d.stats().sequential()).sum();
+        assert_eq!(total_gates, flat_stats.combinational_gates);
+        assert_eq!(total_ffs, flat_stats.sequential());
+    }
+
+    #[test]
+    fn endpoint_names_resolve() {
+        let n = flat();
+        let asg = fm::partition(&n, &PartitionSpec::new(2), 9);
+        let stack = extract_dies(&n, &asg).unwrap();
+        for link in &stack.tsvs.links {
+            let out_die = &stack.dies[link.from_die.index()];
+            let in_die = &stack.dies[link.to_die.index()];
+            assert!(out_die.find(&link.outbound).is_some(), "{}", link.outbound);
+            assert!(in_die.find(&link.inbound).is_some(), "{}", link.inbound);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Placement quality checks: site-overlap detection and density maps.
+//!
+//! The annealing placer swaps whole site assignments so overlaps cannot
+//! occur by construction — but DFT insertion anchors new gates *on top of*
+//! existing cells ([`crate::Placement`] extension), and these checks
+//! quantify how much co-location that introduces and where the hot spots
+//! are.
+
+use std::collections::HashMap;
+
+use prebond3d_netlist::GateId;
+
+use crate::Placement;
+
+/// A coarse occupancy grid over the die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMap {
+    bins_x: usize,
+    bins_y: usize,
+    counts: Vec<usize>,
+    bin_w: f64,
+    bin_h: f64,
+}
+
+impl DensityMap {
+    /// Build a `bins_x × bins_y` occupancy histogram of `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either bin count is zero.
+    pub fn build(placement: &Placement, bins_x: usize, bins_y: usize) -> Self {
+        assert!(bins_x > 0 && bins_y > 0, "need at least one bin");
+        let bin_w = (placement.width() / bins_x as f64).max(1e-9);
+        let bin_h = (placement.height() / bins_y as f64).max(1e-9);
+        let mut counts = vec![0usize; bins_x * bins_y];
+        for i in 0..placement.len() {
+            let p = placement.location(GateId(i as u32));
+            let bx = ((p.x / bin_w) as usize).min(bins_x - 1);
+            let by = ((p.y / bin_h) as usize).min(bins_y - 1);
+            counts[by * bins_x + bx] += 1;
+        }
+        DensityMap {
+            bins_x,
+            bins_y,
+            counts,
+            bin_w,
+            bin_h,
+        }
+    }
+
+    /// Occupancy of bin `(x, y)`.
+    pub fn count(&self, x: usize, y: usize) -> usize {
+        self.counts[y * self.bins_x + x]
+    }
+
+    /// The most crowded bin: `((x, y), count)`.
+    pub fn hottest(&self) -> ((usize, usize), usize) {
+        let (i, &c) = self
+            .counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("at least one bin");
+        ((i % self.bins_x, i / self.bins_x), c)
+    }
+
+    /// Ratio of the hottest bin to the average occupancy (1.0 = uniform).
+    pub fn peak_to_average(&self) -> f64 {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let avg = total as f64 / self.counts.len() as f64;
+        self.hottest().1 as f64 / avg
+    }
+
+    /// Grid dimensions `(bins_x, bins_y)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.bins_x, self.bins_y)
+    }
+
+    /// Bin geometry `(width, height)` in µm.
+    pub fn bin_size(&self) -> (f64, f64) {
+        (self.bin_w, self.bin_h)
+    }
+}
+
+/// Groups of gates that sit on exactly the same coordinates (co-located).
+///
+/// Anchored DFT cells legitimately co-locate with their TSV/flip-flop;
+/// anything else co-locating indicates a placement bug.
+pub fn colocated_groups(placement: &Placement) -> Vec<Vec<GateId>> {
+    let mut by_spot: HashMap<(i64, i64), Vec<GateId>> = HashMap::new();
+    for i in 0..placement.len() {
+        let id = GateId(i as u32);
+        let p = placement.location(id);
+        // Quantize to 0.001 µm to make coordinates hashable.
+        let key = ((p.x * 1000.0).round() as i64, (p.y * 1000.0).round() as i64);
+        by_spot.entry(key).or_default().push(id);
+    }
+    let mut groups: Vec<Vec<GateId>> = by_spot
+        .into_values()
+        .filter(|g| g.len() > 1)
+        .collect();
+    groups.sort_by_key(|g| g[0]);
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{place, PlaceConfig};
+    use prebond3d_netlist::itc99;
+
+    #[test]
+    fn fresh_placement_has_no_overlaps() {
+        let die = itc99::generate_flat("d", 300, 20, 8, 8, 5);
+        let p = place(&die, &PlaceConfig::default(), 1);
+        assert!(
+            colocated_groups(&p).is_empty(),
+            "one cell per site by construction"
+        );
+    }
+
+    #[test]
+    fn density_map_accounts_every_cell() {
+        let die = itc99::generate_flat("d", 300, 20, 8, 8, 5);
+        let p = place(&die, &PlaceConfig::default(), 1);
+        let map = DensityMap::build(&p, 8, 8);
+        let total: usize = (0..8)
+            .flat_map(|y| (0..8).map(move |x| (x, y)))
+            .map(|(x, y)| map.count(x, y))
+            .sum();
+        assert_eq!(total, die.len());
+        assert!(map.peak_to_average() >= 1.0);
+        assert_eq!(map.dims(), (8, 8));
+        assert!(map.bin_size().0 > 0.0);
+    }
+
+    #[test]
+    fn duplicated_points_are_reported() {
+        let die = itc99::generate_flat("d", 50, 6, 4, 4, 5);
+        let p = place(&die, &PlaceConfig::default(), 1);
+        let mut points: Vec<crate::Point> = (0..p.len())
+            .map(|i| p.location(GateId(i as u32)))
+            .collect();
+        points.push(p.location(GateId(0)));
+        let p2 = Placement::new(points, p.width(), p.height());
+        let groups = colocated_groups(&p2);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].len(), 2);
+    }
+}

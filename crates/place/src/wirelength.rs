@@ -1,0 +1,61 @@
+//! Half-perimeter wirelength (HPWL) evaluation.
+
+use prebond3d_netlist::{GateId, Netlist};
+
+use crate::Placement;
+
+/// HPWL of one net: bounding-box half-perimeter over driver + fanouts.
+/// A net with no fanout has zero length.
+pub fn net_hpwl(netlist: &Netlist, placement: &Placement, driver: GateId) -> f64 {
+    let fanout = netlist.fanout(driver);
+    if fanout.is_empty() {
+        return 0.0;
+    }
+    let p0 = placement.location(driver);
+    let (mut min_x, mut max_x, mut min_y, mut max_y) = (p0.x, p0.x, p0.y, p0.y);
+    for &fo in fanout {
+        let p = placement.location(fo);
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    (max_x - min_x) + (max_y - min_y)
+}
+
+/// Total HPWL over all nets.
+pub fn total_hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
+    netlist.ids().map(|id| net_hpwl(netlist, placement, id)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+    use prebond3d_netlist::{GateKind, NetlistBuilder};
+
+    #[test]
+    fn hpwl_is_bounding_box() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, &[a], "g1");
+        let g2 = b.gate(GateKind::Not, &[a], "g2");
+        b.output(g1, "o1");
+        b.output(g2, "o2");
+        let n = b.finish().unwrap();
+        let pts = vec![
+            Point { x: 0.0, y: 0.0 }, // a
+            Point { x: 4.0, y: 0.0 }, // g1
+            Point { x: 0.0, y: 3.0 }, // g2
+            Point { x: 5.0, y: 0.0 }, // o1
+            Point { x: 0.0, y: 5.0 }, // o2
+        ];
+        let p = Placement::new(pts, 10.0, 10.0);
+        // Net `a` spans (0..4, 0..3) → 7.
+        assert_eq!(net_hpwl(&n, &p, a), 7.0);
+        // Output markers drive nothing → 0.
+        assert_eq!(net_hpwl(&n, &p, n.find("o1").unwrap()), 0.0);
+        // total = net a (7) + net g1 (1) + net g2 (2).
+        assert_eq!(total_hpwl(&n, &p), 10.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! K-worst-paths enumeration.
+//!
+//! [`critical_path`](crate::report) traces only the single worst path; DFT
+//! decisions benefit from seeing the *population* of near-critical
+//! endpoints (e.g. which flip-flops are safe to burden with capture
+//! hardware). This module enumerates the K worst endpoint paths by slack
+//! and summarizes slack distributions.
+
+use prebond3d_celllib::{Library, Time};
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+use prebond3d_place::Placement;
+
+use crate::analysis::TimingReport;
+use crate::StaConfig;
+
+/// One enumerated endpoint path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Endpoint (sink gate).
+    pub endpoint: GateId,
+    /// Endpoint slack (required at the sink input minus arrival there).
+    pub slack: Time,
+    /// Gates from launch point to endpoint.
+    pub gates: Vec<GateId>,
+}
+
+impl TimingPath {
+    /// Combinational path length in gates (excluding endpoints).
+    pub fn depth(&self) -> usize {
+        self.gates.len().saturating_sub(2)
+    }
+}
+
+/// Endpoint slack of `sink` in `report` (the same arithmetic the WNS
+/// accounting uses).
+fn endpoint_slack(
+    netlist: &Netlist,
+    placement: &Placement,
+    library: &Library,
+    config: &StaConfig,
+    report: &TimingReport,
+    sink: GateId,
+) -> Option<Time> {
+    let gate = netlist.gate(sink);
+    let req = match gate.kind {
+        GateKind::Dff | GateKind::ScanDff | GateKind::Wrapper => {
+            config.clock_period - library.setup
+        }
+        GateKind::Output | GateKind::TsvOut => config.clock_period - config.output_margin,
+        _ => return None,
+    };
+    let driver = gate.inputs[0];
+    let cell = library.timing(gate.kind);
+    let arr = report.arrival(driver)
+        + library
+            .wire()
+            .elmore_delay(placement.distance(driver, sink), cell.input_cap);
+    Some(req - arr)
+}
+
+/// The K worst endpoint paths, ascending by slack.
+pub fn k_worst_paths(
+    netlist: &Netlist,
+    placement: &Placement,
+    library: &Library,
+    config: &StaConfig,
+    report: &TimingReport,
+    k: usize,
+) -> Vec<TimingPath> {
+    let mut endpoints: Vec<(Time, GateId)> = netlist
+        .iter()
+        .filter_map(|(id, _)| {
+            endpoint_slack(netlist, placement, library, config, report, id)
+                .map(|s| (s, id))
+        })
+        .collect();
+    endpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite slacks"));
+    endpoints
+        .into_iter()
+        .take(k)
+        .map(|(slack, endpoint)| {
+            // Trace backwards along the max-arrival input.
+            let mut gates = vec![endpoint];
+            let mut cursor = endpoint;
+            let mut first = true;
+            loop {
+                let gate = netlist.gate(cursor);
+                if gate.inputs.is_empty() || (!first && gate.kind.is_source()) {
+                    break;
+                }
+                first = false;
+                let critical = gate
+                    .inputs
+                    .iter()
+                    .copied()
+                    .max_by(|&a, &b| {
+                        report
+                            .arrival(a)
+                            .partial_cmp(&report.arrival(b))
+                            .expect("finite arrivals")
+                    })
+                    .expect("non-empty inputs");
+                gates.push(critical);
+                cursor = critical;
+            }
+            gates.reverse();
+            TimingPath {
+                endpoint,
+                slack,
+                gates,
+            }
+        })
+        .collect()
+}
+
+/// A coarse slack histogram over all endpoints: `buckets` equal-width bins
+/// between the worst and best endpoint slack. Returns `(bin_edges,
+/// counts)`.
+pub fn slack_histogram(
+    netlist: &Netlist,
+    placement: &Placement,
+    library: &Library,
+    config: &StaConfig,
+    report: &TimingReport,
+    buckets: usize,
+) -> (Vec<Time>, Vec<usize>) {
+    let slacks: Vec<Time> = netlist
+        .iter()
+        .filter_map(|(id, _)| endpoint_slack(netlist, placement, library, config, report, id))
+        .collect();
+    if slacks.is_empty() || buckets == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let min = slacks.iter().copied().fold(Time(f64::INFINITY), Time::min);
+    let max = slacks.iter().copied().fold(Time(f64::NEG_INFINITY), Time::max);
+    let width = ((max - min).0 / buckets as f64).max(1e-9);
+    let mut counts = vec![0usize; buckets];
+    for s in &slacks {
+        let b = (((s.0 - min.0) / width) as usize).min(buckets - 1);
+        counts[b] += 1;
+    }
+    let edges = (0..=buckets)
+        .map(|i| Time(min.0 + width * i as f64))
+        .collect();
+    (edges, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+
+    fn rig() -> (Netlist, Placement, Library, StaConfig, TimingReport) {
+        let die = itc99::generate_flat("d", 250, 18, 6, 6, 5);
+        let placement = place(&die, &PlaceConfig::default(), 1);
+        let lib = Library::nangate45_like();
+        let config = StaConfig::with_period(Time(900.0));
+        let report = analyze(&die, &placement, &lib, &config);
+        (die, placement, lib, config, report)
+    }
+
+    #[test]
+    fn worst_path_matches_wns() {
+        let (die, placement, lib, config, report) = rig();
+        let paths = k_worst_paths(&die, &placement, &lib, &config, &report, 5);
+        assert_eq!(paths.len(), 5);
+        assert!((paths[0].slack - report.wns).0.abs() < 1e-9);
+        assert_eq!(Some(paths[0].endpoint), report.worst_endpoint);
+        // Ascending by slack.
+        for w in paths.windows(2) {
+            assert!(w[0].slack <= w[1].slack);
+        }
+        // Paths start at a launch point and end at their endpoint.
+        for p in &paths {
+            assert_eq!(*p.gates.last().unwrap(), p.endpoint);
+            assert!(p.gates.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn histogram_covers_all_endpoints() {
+        let (die, placement, lib, config, report) = rig();
+        let (edges, counts) = slack_histogram(&die, &placement, &lib, &config, &report, 8);
+        assert_eq!(edges.len(), 9);
+        let endpoints = die
+            .iter()
+            .filter(|(_, g)| g.kind.is_sink())
+            .count();
+        assert_eq!(counts.iter().sum::<usize>(), endpoints);
+    }
+
+    #[test]
+    fn k_larger_than_endpoints_is_fine() {
+        let (die, placement, lib, config, report) = rig();
+        let paths = k_worst_paths(&die, &placement, &lib, &config, &report, 100_000);
+        let endpoints = die.iter().filter(|(_, g)| g.kind.is_sink()).count();
+        assert_eq!(paths.len(), endpoints);
+    }
+}

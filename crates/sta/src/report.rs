@@ -1,0 +1,103 @@
+//! Human-readable critical-path reporting.
+
+use prebond3d_celllib::Library;
+use prebond3d_netlist::{GateId, Netlist};
+
+use crate::analysis::TimingReport;
+
+/// Trace the critical path backwards from the worst endpoint.
+///
+/// Returns the path source-first; empty when the design has no endpoints.
+pub fn critical_path(netlist: &Netlist, report: &TimingReport) -> Vec<GateId> {
+    let Some(mut cursor) = report.worst_endpoint else {
+        return Vec::new();
+    };
+    let mut path = vec![cursor];
+    let mut first = true;
+    loop {
+        let gate = netlist.gate(cursor);
+        // The endpoint itself may be a flip-flop (walk through its D pin);
+        // any later source (PI, FF output) terminates the path.
+        if gate.inputs.is_empty() || (!first && gate.kind.is_source()) {
+            break;
+        }
+        first = false;
+        // The critical input is the one with the latest arrival.
+        let critical = gate
+            .inputs
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                report
+                    .arrival(a)
+                    .partial_cmp(&report.arrival(b))
+                    .expect("arrival times are finite")
+            })
+            .expect("non-empty inputs");
+        path.push(critical);
+        cursor = critical;
+    }
+    path.reverse();
+    path
+}
+
+/// A PrimeTime-style text rendering of the critical path.
+pub fn critical_path_text(netlist: &Netlist, report: &TimingReport, library: &Library) -> String {
+    use std::fmt::Write as _;
+    let path = critical_path(netlist, report);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical path of `{}` (clock {}, wns {}):",
+        netlist.name(),
+        report.clock_period(),
+        report.wns
+    );
+    for id in path {
+        let gate = netlist.gate(id);
+        let _ = writeln!(
+            out,
+            "  {:<28} {:<8} arrival {:>10}  slack {:>10}  load {:>9}",
+            gate.name,
+            gate.kind.mnemonic(),
+            report.arrival(id).to_string(),
+            report.slack(id).to_string(),
+            report.load(id).to_string(),
+        );
+    }
+    let _ = library; // reserved for per-arc decomposition extensions
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, StaConfig};
+    use prebond3d_celllib::Time;
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+
+    #[test]
+    fn path_runs_source_to_endpoint() {
+        let die = itc99::generate_flat("d", 250, 16, 6, 6, 5);
+        let p = place(&die, &PlaceConfig::default(), 1);
+        let lib = prebond3d_celllib::Library::nangate45_like();
+        let r = analyze(&die, &p, &lib, &StaConfig::with_period(Time(900.0)));
+        let path = critical_path(&die, &r);
+        assert!(!path.is_empty());
+        assert!(die.gate(*path.first().unwrap()).kind.is_source());
+        assert_eq!(Some(*path.last().unwrap()), r.worst_endpoint);
+        // Arrival is monotone along the combinational portion of the path
+        // (a sequential endpoint reports its Q-side launch time, which is
+        // unrelated to the D-side path arrival).
+        for w in path.windows(2) {
+            if die.gate(w[1]).kind.is_sequential() {
+                continue;
+            }
+            assert!(r.arrival(w[0]) <= r.arrival(w[1]));
+        }
+        let text = critical_path_text(&die, &r, &lib);
+        assert!(text.contains("critical path"));
+        assert!(text.lines().count() >= path.len());
+    }
+}

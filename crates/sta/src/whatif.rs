@@ -1,0 +1,257 @@
+//! Incremental "what-if" pricing of scan-flip-flop reuse.
+//!
+//! Algorithm 1 evaluates thousands of candidate (scan-FF, TSV) pairs; a
+//! full re-analysis per candidate would be prohibitive, and the paper's
+//! contribution is precisely that the *model* used per candidate includes
+//! both capacitance and wire delay. This module prices one candidate reuse
+//! against an existing [`TimingReport`]:
+//!
+//! * **Inbound reuse** (Fig. 3a): a 2:1 mux is inserted between the TSV and
+//!   its fanout logic, driven by the flip-flop's Q across a wire of the
+//!   candidate's Manhattan length. The flip-flop's net gains the mux pin
+//!   cap + wire cap; the TSV's functional path gains the mux delay.
+//! * **Outbound reuse** (Fig. 3b): an XOR taps the TSV's driving net (extra
+//!   pin + wire cap on that net → slower drive) and feeds the flip-flop's
+//!   D through a mux (extra series delay on the flip-flop's capture path).
+//!
+//! Agrawal's capacitance-only model corresponds to
+//! [`TapCost::capacitance_only`] — it ignores the wire terms, which is why
+//! it picks distant flip-flops that later violate timing (Table III).
+
+use prebond3d_celllib::{Capacitance, Distance, Library, Time};
+use prebond3d_netlist::{GateId, Netlist};
+
+use crate::analysis::TimingReport;
+
+/// Direction of the TSV being wrapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReuseKind {
+    /// The flip-flop drives the TSV's fanout in test mode (Fig. 3a).
+    Inbound,
+    /// The flip-flop observes the TSV's driver in test mode (Fig. 3b).
+    Outbound,
+}
+
+/// Priced timing impact of one candidate reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TapCost {
+    /// Extra capacitance charged to the flip-flop's (inbound) or the TSV
+    /// driver's (outbound) net.
+    pub extra_load: Capacitance,
+    /// Extra series delay inserted into the affected functional path.
+    pub series_delay: Time,
+    /// Predicted post-reuse worst slack over the affected paths.
+    pub predicted_slack: Time,
+    /// Predicted post-reuse load on the net that must drive the new pin.
+    pub predicted_load: Capacitance,
+}
+
+impl TapCost {
+    /// `true` if the predicted slack stays at or above `s_th` and the
+    /// loaded net stays within `cap_th`.
+    pub fn is_safe(&self, s_th: Time, cap_th: Capacitance) -> bool {
+        self.predicted_slack >= s_th && self.predicted_load <= cap_th
+    }
+}
+
+/// Price the candidate reuse of scan flip-flop `ff` as the wrapper cell of
+/// `tsv`, with `distance` the Manhattan separation from the placement.
+///
+/// The model is the paper's "accurate timing model": capacitance *and*
+/// Elmore wire delay. Set `include_wire = false` to get Agrawal's
+/// capacitance-only pricing for baseline comparisons.
+pub fn reuse_cost(
+    netlist: &Netlist,
+    report: &TimingReport,
+    library: &Library,
+    kind: ReuseKind,
+    ff: GateId,
+    tsv: GateId,
+    distance: Distance,
+    include_wire: bool,
+) -> TapCost {
+    let reuse = library.reuse();
+    let wire = library.wire();
+    let dist = if include_wire { distance } else { Distance(0.0) };
+    let wire_cap = wire.driver_load(dist);
+
+    match kind {
+        ReuseKind::Inbound => {
+            // FF Q gains mux pin + wire; all paths launched from the FF
+            // slow by the extra drive delay.
+            let ff_kind = netlist.gate(ff).kind;
+            let rd = library.timing(ff_kind).drive_resistance;
+            let extra = reuse.mux_input_cap + wire_cap;
+            let drive_penalty = rd * extra;
+            let ff_slack = report.slack(ff) - drive_penalty;
+            // The TSV's functional fanout path is priced *differentially*
+            // against the dedicated-wrapper baseline (wrapper adjacent to
+            // the TSV, which the tight-clock calibration already absorbs):
+            // the reused flip-flop arrives at the mux later than a local
+            // wrapper would, by its heavier drive plus the wire flight.
+            let baseline_drive = rd * reuse.mux_input_cap;
+            let mux_penalty = rd * (report.load(ff) + extra) - baseline_drive
+                + if include_wire {
+                    wire.elmore_delay(dist, reuse.mux_input_cap)
+                } else {
+                    Time(0.0)
+                };
+            let mux_penalty = mux_penalty.max(Time(0.0));
+            let tsv_slack = report.slack(tsv) - mux_penalty;
+            TapCost {
+                extra_load: extra,
+                series_delay: mux_penalty,
+                predicted_slack: ff_slack.min(tsv_slack),
+                predicted_load: report.load(ff) + extra,
+            }
+        }
+        ReuseKind::Outbound => {
+            // The TSV's driving net gains the XOR pin + wire.
+            let driver = netlist.gate(tsv).inputs[0];
+            let drv_kind = netlist.gate(driver).kind;
+            let rd = library.timing(drv_kind).drive_resistance;
+            let extra = reuse.xor_input_cap + wire_cap;
+            let drive_penalty = rd * extra;
+            let tsv_slack = report.slack(tsv) - drive_penalty;
+            // The FF's capture path gains mux (+ xor + wire) in series.
+            let series = reuse.mux_delay
+                + reuse.xor_delay
+                + if include_wire {
+                    wire.elmore_delay(dist, reuse.mux_input_cap)
+                } else {
+                    Time(0.0)
+                };
+            // The capture path is the flip-flop's D side: its slack lives
+            // at the D driver (the setup constraint propagated there), not
+            // at the flip-flop's Q node.
+            let d_driver = netlist.gate(ff).inputs[0];
+            let ff_slack = report.slack(d_driver) - series;
+            // The tap's own path now terminates in the reused flip-flop,
+            // paying wire + XOR + capture-mux and the flip-flop setup that
+            // the (unconstrained) TsvOut slack does not include.
+            let obs_series = series
+                + if include_wire {
+                    wire.elmore_delay(dist, reuse.xor_input_cap)
+                } else {
+                    Time(0.0)
+                };
+            let obs_slack = report.slack(tsv) - library.setup - obs_series;
+            TapCost {
+                extra_load: extra,
+                series_delay: series,
+                predicted_slack: ff_slack.min(tsv_slack).min(obs_slack),
+                predicted_load: report.load(driver) + extra,
+            }
+        }
+    }
+}
+
+/// Price an *additional wrapper cell* on `tsv` (no scan reuse): a dedicated
+/// wrapper sits adjacent to the TSV, so the only functional cost is the
+/// wrapper mux in series (inbound) or the wrapper pin load (outbound).
+pub fn dedicated_wrapper_cost(
+    netlist: &Netlist,
+    report: &TimingReport,
+    library: &Library,
+    kind: ReuseKind,
+    tsv: GateId,
+) -> TapCost {
+    let reuse = library.reuse();
+    match kind {
+        ReuseKind::Inbound => TapCost {
+            extra_load: Capacitance::ZERO,
+            series_delay: reuse.mux_delay,
+            predicted_slack: report.slack(tsv) - reuse.mux_delay,
+            predicted_load: report.load(tsv),
+        },
+        ReuseKind::Outbound => {
+            let driver = netlist.gate(tsv).inputs[0];
+            let rd = library.timing(netlist.gate(driver).kind).drive_resistance;
+            let extra = library.timing(prebond3d_netlist::GateKind::Wrapper).input_cap;
+            TapCost {
+                extra_load: extra,
+                series_delay: Time(0.0),
+                predicted_slack: report.slack(tsv) - rd * extra,
+                predicted_load: report.load(driver) + extra,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, StaConfig};
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+
+    fn die_with_tsvs() -> (Netlist, TimingReport, Library) {
+        let spec = itc99::DieSpec {
+            name: "die".into(),
+            scan_flip_flops: 20,
+            gates: 300,
+            inbound_tsvs: 10,
+            outbound_tsvs: 10,
+            primary_inputs: 4,
+            primary_outputs: 4,
+            seed: 5,
+        };
+        let die = itc99::generate_die(&spec);
+        let p = place(&die, &PlaceConfig::default(), 1);
+        let lib = Library::nangate45_like();
+        let report = analyze(&die, &p, &lib, &StaConfig::with_period(Time(1500.0)));
+        (die, report, lib)
+    }
+
+    #[test]
+    fn wire_terms_make_distance_matter() {
+        let (die, report, lib) = die_with_tsvs();
+        let ff = die.flip_flops()[0];
+        let tsv = die.inbound_tsvs()[0];
+        let near = reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(10.0), true);
+        let far = reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(800.0), true);
+        assert!(far.predicted_slack < near.predicted_slack);
+        assert!(far.extra_load > near.extra_load);
+        // Capacitance-only pricing is blind to the distance.
+        let blind_near =
+            reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(10.0), false);
+        let blind_far =
+            reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(800.0), false);
+        assert_eq!(blind_near, blind_far);
+    }
+
+    #[test]
+    fn outbound_reuse_charges_the_driver() {
+        let (die, report, lib) = die_with_tsvs();
+        let ff = die.flip_flops()[0];
+        let tsv = die.outbound_tsvs()[0];
+        let cost = reuse_cost(&die, &report, &lib, ReuseKind::Outbound, ff, tsv, Distance(50.0), true);
+        let driver = die.gate(tsv).inputs[0];
+        assert!(cost.predicted_load > report.load(driver));
+        assert!(cost.series_delay.0 > 0.0);
+        assert!(cost.predicted_slack < report.slack(tsv).max(report.slack(ff)));
+    }
+
+    #[test]
+    fn safety_check_uses_thresholds() {
+        let (die, report, lib) = die_with_tsvs();
+        let ff = die.flip_flops()[0];
+        let tsv = die.inbound_tsvs()[0];
+        let cost = reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(20.0), true);
+        assert!(cost.is_safe(Time(-1e9), Capacitance(1e9)));
+        assert!(!cost.is_safe(cost.predicted_slack + Time(1.0), Capacitance(1e9)));
+        assert!(!cost.is_safe(Time(-1e9), Capacitance(0.0)));
+    }
+
+    #[test]
+    fn dedicated_wrapper_is_cheap() {
+        let (die, report, lib) = die_with_tsvs();
+        let tsv_in = die.inbound_tsvs()[0];
+        let tsv_out = die.outbound_tsvs()[0];
+        let cin = dedicated_wrapper_cost(&die, &report, &lib, ReuseKind::Inbound, tsv_in);
+        assert_eq!(cin.extra_load, Capacitance::ZERO);
+        let cout = dedicated_wrapper_cost(&die, &report, &lib, ReuseKind::Outbound, tsv_out);
+        assert_eq!(cout.series_delay, Time(0.0));
+        assert!(cout.extra_load.0 > 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Yield-learning demo: a wrapped die comes back from the pre-bond tester
+//! with failing patterns — locate the defect.
+//!
+//! We wrap a die with the paper's flow, build the production test set,
+//! then play defective die: inject a random stuck-at fault, record which
+//! patterns fail on the "tester" (the fault simulator), and ask the fault
+//! dictionary who the culprit is.
+//!
+//! ```text
+//! cargo run --release --example diagnose_failure
+//! ```
+
+use prebond3d::atpg::diagnosis::FaultDictionary;
+use prebond3d::atpg::engine::{run_stuck_at, AtpgConfig};
+use prebond3d::atpg::faultsim::FaultSimulator;
+use prebond3d::atpg::FaultList;
+use prebond3d::celllib::Library;
+use prebond3d::dft::prebond_access;
+use prebond3d::netlist::itc99;
+use prebond3d::place::{place, PlaceConfig};
+use prebond3d::wcm::flow::{run_flow, FlowConfig, Method};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Wrap b11 die 1 with the paper's method.
+    let spec = itc99::circuit("b11").expect("known benchmark");
+    let die = itc99::generate_die(&spec.dies[1]);
+    let placement = place(&die, &PlaceConfig::default(), 1);
+    let library = Library::nangate45_like();
+    let flow = run_flow(
+        &die,
+        &placement,
+        &library,
+        &FlowConfig::performance_optimized(Method::Ours),
+    )?;
+    let netlist = &flow.testable.netlist;
+    let access = prebond_access(&flow.testable);
+
+    // Production test set + fault dictionary.
+    let atpg = run_stuck_at(netlist, &access, &AtpgConfig::thorough());
+    println!(
+        "test set: {} patterns, {:.2}% test coverage",
+        atpg.pattern_count(),
+        100.0 * atpg.test_coverage()
+    );
+    let universe = FaultList::collapsed(netlist);
+    let dictionary = FaultDictionary::build(netlist, &access, &universe.faults, &atpg.patterns);
+    println!(
+        "dictionary: {} faults, diagnostic resolution {:.1}%",
+        dictionary.len(),
+        100.0 * dictionary.resolution()
+    );
+
+    // Play three defective dies.
+    let mut fs = FaultSimulator::new(netlist);
+    for (label, step) in [("die A", 101usize), ("die B", 463), ("die C", 977)] {
+        let defect = universe.faults[step % universe.len()];
+        // The tester observes this die's failing patterns.
+        let mut observed = prebond3d::atpg::Signature::new(atpg.pattern_count());
+        for (chunk_no, window) in atpg.patterns.chunks(64).enumerate() {
+            let masks =
+                fs.simulate_batch(netlist, &access, window, &[defect], &[true]);
+            let mut m = masks[0];
+            while m != 0 {
+                let bit = m.trailing_zeros() as usize;
+                observed.set(chunk_no * 64 + bit);
+                m &= m - 1;
+            }
+        }
+        if observed.fail_count() == 0 {
+            println!("{label}: defect {} escapes this test set", defect.describe(netlist));
+            continue;
+        }
+        let candidates = dictionary.diagnose(&observed, 3);
+        println!(
+            "{label}: {} failing patterns; injected {}",
+            observed.fail_count(),
+            defect.describe(netlist)
+        );
+        for (rank, (fault, dist)) in candidates.iter().enumerate() {
+            let marker = if *fault == defect { "  ← injected" } else { "" };
+            println!(
+                "   #{} {} (distance {}){}",
+                rank + 1,
+                fault.describe(netlist),
+                dist,
+                marker
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Quickstart: wrap one benchmark die with the paper's method and print
+//! what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use prebond3d::atpg::engine::{run_stuck_at, AtpgConfig};
+use prebond3d::celllib::Library;
+use prebond3d::dft::prebond_access;
+use prebond3d::netlist::itc99;
+use prebond3d::place::{place, PlaceConfig};
+use prebond3d::wcm::flow::{run_flow, FlowConfig, Method};
+use prebond3d::wcm::report;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The workload: die 0 of ITC'99 b11, with the paper's published
+    //    population counts (14 scan FFs, 120 gates, 30 TSVs).
+    let spec = itc99::circuit("b11").expect("known benchmark");
+    let die = itc99::generate_die(&spec.dies[0]);
+    println!("die `{}`: {}", die.name(), die.stats());
+
+    // 2. Physical design: placement gives the distances the timing model
+    //    consumes.
+    let placement = place(&die, &PlaceConfig::default(), 1);
+    let library = Library::nangate45_like();
+
+    // 3. The paper's flow (Fig. 6), area-optimized scenario.
+    let result = run_flow(
+        &die,
+        &placement,
+        &library,
+        &FlowConfig::area_optimized(Method::Ours),
+    )?;
+    println!("{}", report::result_row(die.name(), &result));
+    print!("{}", report::phase_summary(&result));
+
+    // 4. Verify testability with the ATPG engine on the wrapped die.
+    let access = prebond_access(&result.testable);
+    let atpg = run_stuck_at(&result.testable.netlist, &access, &AtpgConfig::fast());
+    println!(
+        "stuck-at test coverage {:.2}% with {} patterns",
+        100.0 * atpg.test_coverage(),
+        atpg.pattern_count()
+    );
+
+    // 5. Compare against the naive bound: one dedicated cell per TSV.
+    println!(
+        "naive wrapping would need {} cells; the flow inserted {} (+{} reused FFs)",
+        die.stats().tsvs(),
+        result.additional_wrapper_cells,
+        result.reused_scan_ffs,
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Integration: flat netlist → partition → extract dies → wrap → ATPG.
+//! The "whole paper in one test", on a generated SoC.
+
+use prebond3d::atpg::engine::{run_stuck_at, AtpgConfig};
+use prebond3d::celllib::Library;
+use prebond3d::dft::prebond_access;
+use prebond3d::netlist::itc99;
+use prebond3d::partition::{fm, random, tsv, PartitionSpec};
+use prebond3d::place::{place, PlaceConfig};
+use prebond3d::wcm::flow::{run_flow, FlowConfig, Method};
+
+#[test]
+fn flat_to_tested_stack() {
+    let flat = itc99::generate_flat("soc", 800, 60, 12, 12, 9);
+    let spec = PartitionSpec::new(4);
+    let assignment = fm::partition(&flat, &spec, 3);
+
+    // FM must beat random on TSV count.
+    let rnd = random::partition(&flat, &spec, 3);
+    assert!(assignment.cut_size(&flat) < rnd.cut_size(&flat));
+
+    let stack = tsv::extract_dies(&flat, &assignment).expect("extraction succeeds");
+    assert_eq!(stack.dies.len(), 4);
+    assert_eq!(stack.tsvs.len(), assignment.cut_size(&flat));
+
+    let lib = Library::nangate45_like();
+    for die in &stack.dies {
+        let placement = place(die, &PlaceConfig::default(), 1);
+        let r = run_flow(
+            die,
+            &placement,
+            &lib,
+            &FlowConfig::performance_optimized(Method::Ours),
+        )
+        .expect("flow runs on extracted dies");
+        assert!(!r.timing_violation, "{}: wns {}", die.name(), r.wns_after);
+        r.plan.validate(die).expect("all TSVs wrapped");
+
+        let atpg = run_stuck_at(
+            &r.testable.netlist,
+            &prebond_access(&r.testable),
+            &AtpgConfig::fast(),
+        );
+        assert!(
+            atpg.test_coverage() > 0.80,
+            "{}: wrapped coverage {:.3}",
+            die.name(),
+            atpg.test_coverage()
+        );
+    }
+}
+
+#[test]
+fn stack_conserves_logic() {
+    let flat = itc99::generate_flat("soc", 500, 40, 10, 10, 4);
+    let spec = PartitionSpec::new(3);
+    let assignment = fm::partition(&flat, &spec, 1);
+    let stack = tsv::extract_dies(&flat, &assignment).expect("extraction succeeds");
+    let gates: usize = stack
+        .dies
+        .iter()
+        .map(|d| d.stats().combinational_gates)
+        .sum();
+    let ffs: usize = stack.dies.iter().map(|d| d.stats().sequential()).sum();
+    assert_eq!(gates, flat.stats().combinational_gates);
+    assert_eq!(ffs, flat.stats().sequential());
+    // Inbound and outbound endpoint counts match per link.
+    let inbound: usize = stack.dies.iter().map(|d| d.stats().inbound_tsvs).sum();
+    let outbound: usize = stack.dies.iter().map(|d| d.stats().outbound_tsvs).sum();
+    assert_eq!(inbound, stack.tsvs.len());
+    assert_eq!(outbound, stack.tsvs.len());
+}

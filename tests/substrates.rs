@@ -1,0 +1,123 @@
+//! Cross-crate exercises of the supporting substrates: export formats,
+//! netlist editing, path enumeration, density checks and diagnosis, all
+//! driven through the main flow's artifacts.
+
+use prebond3d::atpg::diagnosis::FaultDictionary;
+use prebond3d::atpg::engine::{run_stuck_at, AtpgConfig};
+use prebond3d::atpg::FaultList;
+use prebond3d::celllib::{liberty, Library};
+use prebond3d::dft::prebond_access;
+use prebond3d::netlist::{edit, format, itc99, verilog};
+use prebond3d::place::density::{colocated_groups, DensityMap};
+use prebond3d::place::{place, PlaceConfig};
+use prebond3d::sta::analysis::analyze_with_statics;
+use prebond3d::sta::{k_worst_paths, slack_histogram, StaConfig};
+use prebond3d::wcm::flow::{run_flow, FlowConfig, Method};
+
+fn wrapped_flow() -> (prebond3d::netlist::Netlist, prebond3d::wcm::flow::FlowResult) {
+    let spec = itc99::circuit("b11").expect("known benchmark");
+    let die = itc99::generate_die(&spec.dies[0]);
+    let placement = place(&die, &PlaceConfig::default(), 1);
+    let lib = Library::nangate45_like();
+    let r = run_flow(
+        &die,
+        &placement,
+        &lib,
+        &FlowConfig::performance_optimized(Method::Ours),
+    )
+    .expect("flow runs");
+    (die, r)
+}
+
+#[test]
+fn testable_netlist_exports_to_verilog_and_text() {
+    let (_, r) = wrapped_flow();
+    let v = verilog::write(&r.testable.netlist);
+    assert!(v.contains("module b11_die0_testable"));
+    assert!(v.contains("wrapmux__"));
+    // The native text format round-trips the DFT netlist.
+    let text = format::write(&r.testable.netlist);
+    let reparsed = format::parse(&text).expect("reparses");
+    assert_eq!(reparsed.len(), r.testable.netlist.len());
+    assert_eq!(reparsed.stats(), r.testable.netlist.stats());
+}
+
+#[test]
+fn library_roundtrips_and_drives_the_flow() {
+    let lib = Library::nangate45_like();
+    let text = liberty::write(&lib);
+    let parsed = liberty::parse(&text).expect("parses");
+    assert_eq!(parsed, lib);
+}
+
+#[test]
+fn test_mode_specialization_folds_muxes() {
+    let (_, r) = wrapped_flow();
+    let netlist = &r.testable.netlist;
+    // Force test_en = 1 and fold: every wrapper mux output becomes the
+    // wrapper-cell path, i.e. the mux survives only as pass-through logic
+    // while constants propagate where data pins are constant. At minimum
+    // the pass must keep the netlist valid and not grow it.
+    let folded = edit::propagate_constants(netlist, &[(r.testable.test_en, true)])
+        .expect("folding preserves validity");
+    assert_eq!(folded.len(), netlist.len());
+    // And dead-logic sweeping after folding keeps every port.
+    let (swept, _) = edit::sweep_dead(&folded).expect("sweep succeeds");
+    assert_eq!(swept.stats().primary_inputs, netlist.stats().primary_inputs);
+    assert_eq!(swept.stats().inbound_tsvs, netlist.stats().inbound_tsvs);
+    assert!(swept.len() <= folded.len());
+}
+
+#[test]
+fn path_enumeration_ranks_wrapped_die_endpoints() {
+    let (_, r) = wrapped_flow();
+    let lib = Library::nangate45_like();
+    let config = StaConfig::with_period(r.clock_period);
+    let report = analyze_with_statics(
+        &r.testable.netlist,
+        &r.placement,
+        &lib,
+        &config,
+        &[r.testable.test_en],
+    );
+    let paths = k_worst_paths(&r.testable.netlist, &r.placement, &lib, &config, &report, 10);
+    assert_eq!(paths.len(), 10);
+    assert!((paths[0].slack - report.wns).0.abs() < 1e-9);
+    let (edges, counts) =
+        slack_histogram(&r.testable.netlist, &r.placement, &lib, &config, &report, 6);
+    assert_eq!(edges.len(), 7);
+    assert!(counts.iter().sum::<usize>() > 0);
+}
+
+#[test]
+fn dft_anchoring_is_the_only_colocation_source() {
+    let (die, r) = wrapped_flow();
+    let placement = place(&die, &PlaceConfig::default(), 1);
+    assert!(colocated_groups(&placement).is_empty());
+    // The extended placement co-locates only inserted gates with anchors.
+    let groups = colocated_groups(&r.placement);
+    for group in &groups {
+        let inserted = group
+            .iter()
+            .filter(|&&g| g.index() >= die.len())
+            .count();
+        assert!(
+            inserted >= group.len() - 1,
+            "each colocated group is one original gate plus inserted DFT"
+        );
+    }
+    let map = DensityMap::build(&r.placement, 10, 10);
+    assert!(map.peak_to_average() >= 1.0);
+}
+
+#[test]
+fn dictionary_resolution_survives_wrapping() {
+    let (_, r) = wrapped_flow();
+    let netlist = &r.testable.netlist;
+    let access = prebond_access(&r.testable);
+    let atpg = run_stuck_at(netlist, &access, &AtpgConfig::fast());
+    let universe = FaultList::collapsed(netlist);
+    let dict = FaultDictionary::build(netlist, &access, &universe.faults, &atpg.patterns);
+    assert!(dict.resolution() > 0.1);
+    assert_eq!(dict.len(), universe.len());
+}
