@@ -14,8 +14,8 @@
 //!    discarded. This is the pattern-count lever the paper's Tables IV/V
 //!    report.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prebond3d_obs as obs;
+use prebond3d_rng::StdRng;
 
 use prebond3d_netlist::Netlist;
 
@@ -175,6 +175,7 @@ fn credit_patterns(batch: &[Pattern], masks: &[u64], alive: &mut [bool]) -> (Vec
         newly += 1;
         useful[mask.trailing_zeros() as usize] = true;
     }
+    obs::count("atpg.faults_dropped", newly as u64);
     let kept = batch
         .iter()
         .zip(useful.iter())
@@ -186,6 +187,7 @@ fn credit_patterns(batch: &[Pattern], masks: &[u64], alive: &mut [bool]) -> (Vec
 
 /// Run stuck-at ATPG.
 pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
+    let _span = obs::span("atpg_stuck_at");
     let list = FaultList::collapsed(netlist);
     let mut alive = vec![true; list.len()];
     let mut fs = FaultSimulator::new(netlist);
@@ -198,6 +200,7 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
             break;
         }
         let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
+        obs::count("atpg.random_batches", 1);
         let masks = fs.simulate_batch_any(netlist, access, &batch, &list.faults, &alive);
         let (kept, newly) = credit_patterns(&batch, &masks, &mut alive);
         patterns.extend(kept);
@@ -290,6 +293,8 @@ fn reverse_order_compact(
     fs: &mut FaultSimulator,
     patterns: Vec<Pattern>,
 ) -> Vec<Pattern> {
+    let _span = obs::span("atpg_compact");
+    let before = patterns.len();
     let mut alive = vec![true; list.len()];
     let mut keep: Vec<Pattern> = Vec::new();
     let reversed: Vec<Pattern> = patterns.into_iter().rev().collect();
@@ -309,6 +314,8 @@ fn reverse_order_compact(
         }
     }
     keep.reverse();
+    obs::count("atpg.compact_kept", keep.len() as u64);
+    obs::count("atpg.compact_dropped", (before - keep.len()) as u64);
     keep
 }
 
@@ -333,6 +340,7 @@ fn count_detected(
 
 /// Run transition-fault ATPG (two-pattern tests, enhanced-scan style).
 pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
+    let _span = obs::span("atpg_transition");
     let faults = transition::transition_universe(netlist);
     let mut alive = vec![true; faults.len()];
     let mut fs = FaultSimulator::new(netlist);
@@ -345,6 +353,7 @@ pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfi
             break;
         }
         let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
+        obs::count("atpg.random_batches", 1);
         // Evaluate with one-pattern overlap into the existing tail.
         let mut seq: Vec<Pattern> = Vec::with_capacity(65);
         if let Some(last) = patterns.last() {

@@ -193,8 +193,8 @@ mod tests {
         let f2 = Fault::output(g2, StuckAt::Zero);
         assert_eq!(f2.site.driver(&n), g2);
         assert_eq!(f2.describe(&n), "g2/sa0");
-        assert_eq!(StuckAt::Zero.excitation(), true);
-        assert_eq!(StuckAt::One.excitation(), false);
+        assert!(StuckAt::Zero.excitation());
+        assert!(!StuckAt::One.excitation());
     }
 
     #[test]

@@ -89,6 +89,7 @@ impl FaultSimulator {
         early_exit: bool,
     ) -> Vec<u64> {
         assert_eq!(faults.len(), alive.len());
+        prebond3d_obs::count("atpg.faultsim_batches", 1);
         let good = self.sim.run_batch(netlist, access, patterns);
         let used: u64 = if patterns.len() == 64 {
             u64::MAX
@@ -121,6 +122,7 @@ impl FaultSimulator {
     ) -> Vec<u64> {
         assert_eq!(faults.len(), alive.len());
         assert_eq!(faults.len(), need.len());
+        prebond3d_obs::count("atpg.faultsim_batches", 1);
         let good = self.sim.run_batch(netlist, access, patterns);
         let used: u64 = if patterns.len() == 64 {
             u64::MAX

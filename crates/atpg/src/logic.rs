@@ -39,7 +39,10 @@ impl V3 {
         self != V3::X
     }
 
-    /// Three-valued negation.
+    /// Three-valued negation. Deliberately named like `ops::Not::not`,
+    /// but kept inherent: `V3` is three-valued, so the trait's boolean
+    /// contract does not apply.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> V3 {
         match self {
             V3::Zero => V3::One,

@@ -8,6 +8,7 @@
 //! coverage accounting can distinguish *undetectable* from *unresolved*.
 
 use prebond3d_netlist::{GateId, GateKind, Netlist};
+use prebond3d_obs as obs;
 
 use crate::access::TestAccess;
 use crate::fault::{Fault, FaultSite};
@@ -79,13 +80,25 @@ impl<'a> Podem<'a> {
     /// good machine (no fault, no propagation requirement). Used to build
     /// the initialization vector of two-pattern transition tests.
     pub fn justify(&mut self, target: GateId, value: bool) -> PodemOutcome {
+        let mut backtracks = 0usize;
+        let outcome = self.justify_search(target, value, &mut backtracks);
+        obs::count("podem.justify_calls", 1);
+        obs::count("podem.backtracks", backtracks as u64);
+        outcome
+    }
+
+    fn justify_search(
+        &mut self,
+        target: GateId,
+        value: bool,
+        backtracks: &mut usize,
+    ) -> PodemOutcome {
         self.pi_values.iter_mut().for_each(|v| *v = V3::X);
         for &(node, v) in self.access.pinned() {
             let rank = self.access.rank_of(node).expect("pinned is controllable");
             self.pi_values[rank] = V3::from_bool(v);
         }
         let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
-        let mut backtracks = 0usize;
         loop {
             self.imply_good();
             match self.good[target.index()].to_bool() {
@@ -95,10 +108,10 @@ impl<'a> Podem<'a> {
                     if !Self::backtrack(
                         &mut decisions,
                         &mut self.pi_values,
-                        &mut backtracks,
+                        backtracks,
                         self.config.backtrack_limit,
                     ) {
-                        return if backtracks > self.config.backtrack_limit {
+                        return if *backtracks > self.config.backtrack_limit {
                             PodemOutcome::Aborted
                         } else {
                             PodemOutcome::Untestable
@@ -114,10 +127,10 @@ impl<'a> Podem<'a> {
                         if !Self::backtrack(
                             &mut decisions,
                             &mut self.pi_values,
-                            &mut backtracks,
+                            backtracks,
                             self.config.backtrack_limit,
                         ) {
-                            return if backtracks > self.config.backtrack_limit {
+                            return if *backtracks > self.config.backtrack_limit {
                                 PodemOutcome::Aborted
                             } else {
                                 PodemOutcome::Untestable
@@ -180,6 +193,14 @@ impl<'a> Podem<'a> {
 
     /// Try to generate a test for `fault`.
     pub fn generate(&mut self, fault: Fault) -> PodemOutcome {
+        let mut backtracks = 0usize;
+        let outcome = self.generate_search(fault, &mut backtracks);
+        obs::count("podem.generate_calls", 1);
+        obs::count("podem.backtracks", backtracks as u64);
+        outcome
+    }
+
+    fn generate_search(&mut self, fault: Fault, backtracks: &mut usize) -> PodemOutcome {
         self.pi_values.iter_mut().for_each(|v| *v = V3::X);
         for &(node, v) in self.access.pinned() {
             let rank = self.access.rank_of(node).expect("pinned is controllable");
@@ -188,7 +209,6 @@ impl<'a> Podem<'a> {
 
         // Decision stack: (rank, value, already-flipped).
         let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
-        let mut backtracks = 0usize;
 
         loop {
             self.imply(fault);
@@ -211,8 +231,8 @@ impl<'a> Podem<'a> {
                         match decisions.pop() {
                             None => return PodemOutcome::Untestable,
                             Some((rank, v, false)) => {
-                                backtracks += 1;
-                                if backtracks > self.config.backtrack_limit {
+                                *backtracks += 1;
+                                if *backtracks > self.config.backtrack_limit {
                                     return PodemOutcome::Aborted;
                                 }
                                 decisions.push((rank, !v, true));

@@ -206,7 +206,7 @@ mod tests {
             site: FaultSite::Output(g),
             slow: SlowTo::Fall,
         };
-        assert_eq!(fault.initial_value(), true);
+        assert!(fault.initial_value());
         assert_eq!(fault.launch_fault().stuck, StuckAt::One);
         let mut fs = FaultSimulator::new(&n);
         // 11 → 01: g falls 1 → 0 and (a=0,b=1) detects g/sa1.

@@ -9,11 +9,12 @@
 //!
 //! Run: `PREBOND3D_CIRCUITS=b11,b12 cargo run --release -p prebond3d-bench --bin ablations`
 
-use prebond3d_bench::context;
+use prebond3d_bench::{context, report};
 use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
 use prebond3d_wcm::OrderingPolicy;
 
 fn main() {
+    report::begin("ablations");
     let lib = context::library();
     let mut cases = Vec::new();
     for name in context::circuit_names() {
@@ -30,14 +31,17 @@ fn main() {
         let mut reused = 0usize;
         let mut cells = 0usize;
         for case in &cases {
-            let config = FlowConfig {
-                method: Method::Ours,
-                scenario: Scenario::Area,
-                ordering: Some(ordering),
-                allow_overlap: None,
-            };
-            let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-                .expect("flow runs");
+            let label = format!("ordering/{ordering:?}/{}", case.label());
+            let r = report::die_scope(&label, || {
+                let config = FlowConfig {
+                    method: Method::Ours,
+                    scenario: Scenario::Area,
+                    ordering: Some(ordering),
+                    allow_overlap: None,
+                };
+                run_flow(&case.netlist, &case.placement, &lib, &config)
+                    .expect("flow runs")
+            });
             reused += r.reused_scan_ffs;
             cells += r.additional_wrapper_cells;
         }
@@ -64,8 +68,11 @@ fn main() {
         let mut cells = 0usize;
         let mut violations = 0usize;
         for case in &cases {
-            let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-                .expect("flow runs");
+            let scope = format!("timing/{label}/{}", case.label());
+            let r = report::die_scope(&scope, || {
+                run_flow(&case.netlist, &case.placement, &lib, &config)
+                    .expect("flow runs")
+            });
             cells += r.additional_wrapper_cells;
             violations += usize::from(r.timing_violation);
         }
@@ -78,14 +85,17 @@ fn main() {
         let mut cells = 0usize;
         let mut overlap_edges = 0usize;
         for case in &cases {
-            let config = FlowConfig {
-                method: Method::Ours,
-                scenario: Scenario::Area,
-                ordering: None,
-                allow_overlap: Some(allow),
-            };
-            let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-                .expect("flow runs");
+            let scope = format!("overlap/{allow}/{}", case.label());
+            let r = report::die_scope(&scope, || {
+                let config = FlowConfig {
+                    method: Method::Ours,
+                    scenario: Scenario::Area,
+                    ordering: None,
+                    allow_overlap: Some(allow),
+                };
+                run_flow(&case.netlist, &case.placement, &lib, &config)
+                    .expect("flow runs")
+            });
             cells += r.additional_wrapper_cells;
             overlap_edges += r.phases.iter().map(|p| p.overlap_edges).sum::<usize>();
         }
@@ -93,4 +103,5 @@ fn main() {
             "overlap={allow}: additional {cells} (+{overlap_edges} overlap edges admitted)"
         );
     }
+    report::finish();
 }

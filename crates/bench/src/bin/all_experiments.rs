@@ -1,8 +1,10 @@
 //! Run every table and figure in sequence (the full reproduction).
 use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::report;
 
 fn main() {
     let atpg = AtpgConfig::thorough();
+    report::begin("all_experiments");
     println!("== Table II ==");
     print!("{}", prebond3d_bench::table2::render(&prebond3d_bench::table2::run()));
     println!("\n== Table I ==");
@@ -15,4 +17,5 @@ fn main() {
     print!("{}", prebond3d_bench::table5::render(&prebond3d_bench::table5::run(&atpg)));
     println!("\n== Fig. 7 ==");
     print!("{}", prebond3d_bench::fig7::render(&prebond3d_bench::fig7::run()));
+    report::finish();
 }

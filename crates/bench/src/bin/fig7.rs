@@ -1,5 +1,9 @@
 //! Regenerate the paper's Fig. 7 (solution-space expansion).
+use prebond3d_bench::report;
+
 fn main() {
+    report::begin("fig7");
     let rows = prebond3d_bench::fig7::run();
     print!("{}", prebond3d_bench::fig7::render(&rows));
+    report::finish();
 }

@@ -1,7 +1,10 @@
 //! Regenerate the paper's Table I (ordering study, b12).
 use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::report;
 
 fn main() {
+    report::begin("table1");
     let rows = prebond3d_bench::table1::run(&AtpgConfig::thorough());
     print!("{}", prebond3d_bench::table1::render(&rows));
+    report::finish();
 }

@@ -1,5 +1,9 @@
 //! Regenerate the paper's Table II (benchmark characteristics).
+use prebond3d_bench::report;
+
 fn main() {
+    report::begin("table2");
     let rows = prebond3d_bench::table2::run();
     print!("{}", prebond3d_bench::table2::render(&rows));
+    report::finish();
 }

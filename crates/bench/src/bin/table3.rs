@@ -1,5 +1,9 @@
 //! Regenerate the paper's Table III.
+use prebond3d_bench::report;
+
 fn main() {
+    report::begin("table3");
     let rows = prebond3d_bench::table3::run();
     print!("{}", prebond3d_bench::table3::render(&rows));
+    report::finish();
 }

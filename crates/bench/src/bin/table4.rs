@@ -1,7 +1,10 @@
 //! Regenerate the paper's Table IV (coverage/pattern comparison).
 use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::report;
 
 fn main() {
+    report::begin("table4");
     let rows = prebond3d_bench::table4::run(&AtpgConfig::thorough());
     print!("{}", prebond3d_bench::table4::render(&rows));
+    report::finish();
 }

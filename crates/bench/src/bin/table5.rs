@@ -1,7 +1,10 @@
 //! Regenerate the paper's Table V (overlapped-cone ablation).
 use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::report;
 
 fn main() {
+    report::begin("table5");
     let rows = prebond3d_bench::table5::run(&AtpgConfig::thorough());
     print!("{}", prebond3d_bench::table5::render(&rows));
+    report::finish();
 }

@@ -25,15 +25,61 @@ impl DieCase {
 }
 
 /// Benchmark subset selected by `PREBOND3D_CIRCUITS` (default: all six).
+///
+/// Exits with a diagnostic when the selection matches nothing — an empty
+/// sweep would silently print empty tables, which always means a typo in
+/// the variable, never an intent.
 pub fn circuit_names() -> Vec<&'static str> {
-    match std::env::var("PREBOND3D_CIRCUITS") {
-        Ok(list) => itc99::CIRCUIT_NAMES
-            .iter()
-            .copied()
-            .filter(|n| list.split(',').any(|s| s.trim() == *n))
-            .collect(),
-        Err(_) => itc99::CIRCUIT_NAMES.to_vec(),
+    match try_circuit_names() {
+        Ok(names) => names,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
     }
+}
+
+/// [`circuit_names`] that reports a bad selection instead of exiting.
+///
+/// Unknown entries produce a warning (with the valid names); a selection
+/// matching *no* benchmark is an error.
+///
+/// # Errors
+///
+/// `PREBOND3D_CIRCUITS` is set and selects no known benchmark.
+pub fn try_circuit_names() -> Result<Vec<&'static str>, String> {
+    let Ok(list) = std::env::var("PREBOND3D_CIRCUITS") else {
+        return Ok(itc99::CIRCUIT_NAMES.to_vec());
+    };
+    let entries: Vec<&str> = list
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let unknown: Vec<&str> = entries
+        .iter()
+        .copied()
+        .filter(|e| !itc99::CIRCUIT_NAMES.contains(e))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "warning: PREBOND3D_CIRCUITS entries [{}] match no benchmark (valid: {})",
+            unknown.join(", "),
+            itc99::CIRCUIT_NAMES.join(", ")
+        );
+    }
+    let selected: Vec<&'static str> = itc99::CIRCUIT_NAMES
+        .iter()
+        .copied()
+        .filter(|n| entries.contains(n))
+        .collect();
+    if selected.is_empty() {
+        return Err(format!(
+            "PREBOND3D_CIRCUITS=`{list}` selects no benchmark; valid names: {}",
+            itc99::CIRCUIT_NAMES.join(", ")
+        ));
+    }
+    Ok(selected)
 }
 
 /// Generate and place all four dies of `name`.

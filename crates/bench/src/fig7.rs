@@ -40,22 +40,29 @@ pub fn run() -> Vec<Row> {
         let mut without = 0usize;
         let mut with = 0usize;
         for case in context::load_circuit(name) {
-            for allow in [false, true] {
-                let config = FlowConfig {
-                    method: Method::Ours,
-                    scenario: Scenario::Tight,
-                    ordering: None,
-                    allow_overlap: Some(allow),
-                };
-                let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-                    .expect("flow runs");
-                let edges: usize = r.phases.iter().map(|p| p.edges).sum();
-                if allow {
-                    with += edges;
-                } else {
-                    without += edges;
+            let (w, wo) = crate::report::die_scope(&case.label(), || {
+                let mut w = 0usize;
+                let mut wo = 0usize;
+                for allow in [false, true] {
+                    let config = FlowConfig {
+                        method: Method::Ours,
+                        scenario: Scenario::Tight,
+                        ordering: None,
+                        allow_overlap: Some(allow),
+                    };
+                    let r = run_flow(&case.netlist, &case.placement, &lib, &config)
+                        .expect("flow runs");
+                    let edges: usize = r.phases.iter().map(|p| p.edges).sum();
+                    if allow {
+                        w += edges;
+                    } else {
+                        wo += edges;
+                    }
                 }
-            }
+                (w, wo)
+            });
+            with += w;
+            without += wo;
         }
         rows.push(Row {
             circuit: name,

@@ -1,0 +1,149 @@
+//! Machine-readable run reports.
+//!
+//! Every experiment binary wraps its work in [`begin`]/[`finish`]; the
+//! table modules bracket each die's work with [`die_scope`]. The result is
+//! one `results/run_<experiment>.json` per invocation, holding per-die
+//! phase timings (the `flow/...` span tree) and the algorithm counters
+//! (graph edges, clique merges, PODEM backtracks, …) that the text tables
+//! do not show.
+//!
+//! The collector forces `prebond3d-obs` recording on for the duration of
+//! the run, independent of the `PREBOND3D_OBS` sink — so reports are
+//! always written, while event streaming stays opt-in. When no collector
+//! is active (unit tests calling `table3::run()` directly), `die_scope`
+//! degrades to a plain call.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use prebond3d_obs as obs;
+use prebond3d_obs::json::Value;
+
+struct Collector {
+    experiment: String,
+    started: Instant,
+    sections: Vec<Value>,
+    /// Keeps obs aggregation on until `finish`.
+    _recording: obs::RecordingGuard,
+}
+
+static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
+
+/// Start collecting a run report for `experiment`. Replaces any collector
+/// left over from an earlier, unfinished run.
+pub fn begin(experiment: &str) {
+    let collector = Collector {
+        experiment: experiment.to_string(),
+        started: Instant::now(),
+        sections: Vec::new(),
+        _recording: obs::record(),
+    };
+    *COLLECTOR.lock().unwrap() = Some(collector);
+    obs::reset();
+}
+
+/// Run `f` as one report section (typically one die), capturing the obs
+/// spans/counters it produces. A plain call when no collector is active.
+pub fn die_scope<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    if COLLECTOR.lock().unwrap().is_none() {
+        return f();
+    }
+    obs::reset();
+    let t = Instant::now();
+    let out = f();
+    let elapsed_ms = t.elapsed().as_secs_f64() * 1.0e3;
+    let mut section = obs::snapshot().to_json();
+    if let Value::Obj(map) = &mut section {
+        map.insert("label".to_string(), label.into());
+        map.insert("ms".to_string(), elapsed_ms.into());
+    }
+    if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
+        c.sections.push(section);
+    }
+    out
+}
+
+/// Finish the report: write `results/run_<experiment>.json` (directory
+/// overridable via `PREBOND3D_REPORT_DIR`) and return its path. `None`
+/// when no collector is active; write errors are reported on stderr rather
+/// than aborting the experiment (the text output already happened).
+pub fn finish() -> Option<PathBuf> {
+    let collector = COLLECTOR.lock().unwrap().take()?;
+    let doc = Value::obj([
+        ("experiment", collector.experiment.as_str().into()),
+        (
+            "elapsed_ms",
+            (collector.started.elapsed().as_secs_f64() * 1.0e3).into(),
+        ),
+        ("sections", Value::Arr(collector.sections)),
+    ]);
+    let dir = std::env::var("PREBOND3D_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("run report: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("run_{}.json", collector.experiment));
+    match std::fs::write(&path, format!("{doc}\n")) {
+        Ok(()) => {
+            eprintln!("run report: {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("run report: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The collector is global state shared with any other test in this
+    // binary that records; serialize access.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn inactive_scope_is_a_plain_call() {
+        let _l = LOCK.lock().unwrap();
+        assert!(COLLECTOR.lock().unwrap().is_none());
+        let out = die_scope("x", || 41 + 1);
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn report_roundtrips_through_the_json_parser() {
+        let _l = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("prebond3d_report_test");
+        std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+
+        begin("unit");
+        let v = die_scope("die0", || {
+            let _s = obs::span("unit_phase");
+            obs::count("unit.counter", 3);
+            7
+        });
+        assert_eq!(v, 7);
+        let path = finish().expect("report written");
+        std::env::remove_var("PREBOND3D_REPORT_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        let doc = prebond3d_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("unit"));
+        let sections = doc.get("sections").unwrap().as_arr().unwrap();
+        assert_eq!(sections.len(), 1);
+        let sec = &sections[0];
+        assert_eq!(sec.get("label").unwrap().as_str(), Some("die0"));
+        assert_eq!(
+            sec.get("counters").unwrap().get("unit.counter").unwrap().as_u64(),
+            Some(3)
+        );
+        let spans = sec.get("spans").unwrap().as_arr().unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.get("path").unwrap().as_str() == Some("unit_phase")));
+    }
+}

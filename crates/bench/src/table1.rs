@@ -59,7 +59,7 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
 pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
     context::load_circuit("b12")
         .iter()
-        .map(|case| run_die(case, atpg))
+        .map(|case| crate::report::die_scope(&case.label(), || run_die(case, atpg)))
         .collect()
 }
 

@@ -30,15 +30,17 @@ pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     for name in context::circuit_names() {
         for case in context::load_circuit(name) {
-            let s = case.netlist.stats();
-            rows.push(Row {
-                label: case.label(),
-                scan_ffs: s.scan_flip_flops,
-                gates: s.combinational_gates,
-                tsvs: s.tsvs(),
-                inbound: s.inbound_tsvs,
-                outbound: s.outbound_tsvs,
-            });
+            rows.push(crate::report::die_scope(&case.label(), || {
+                let s = case.netlist.stats();
+                Row {
+                    label: case.label(),
+                    scan_ffs: s.scan_flip_flops,
+                    gates: s.combinational_gates,
+                    tsvs: s.tsvs(),
+                    inbound: s.inbound_tsvs,
+                    outbound: s.outbound_tsvs,
+                }
+            }));
         }
     }
     rows

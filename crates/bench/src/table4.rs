@@ -68,7 +68,7 @@ pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
     let mut rows = Vec::new();
     for name in context::circuit_names() {
         for case in context::load_circuit(name) {
-            rows.push(run_die(&case, atpg));
+            rows.push(crate::report::die_scope(&case.label(), || run_die(&case, atpg)));
         }
     }
     rows

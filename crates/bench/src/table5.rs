@@ -79,7 +79,7 @@ pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
             continue;
         }
         for case in context::load_circuit(name) {
-            rows.push(run_die(&case, atpg));
+            rows.push(crate::report::die_scope(&case.label(), || run_die(&case, atpg)));
         }
     }
     rows

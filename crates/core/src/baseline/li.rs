@@ -43,7 +43,7 @@ pub fn plan(model: &TimingModel<'_>, thresholds: &Thresholds) -> WrapPlan {
                     continue;
                 }
                 let d = model.distance(ff, t).0;
-                if best.map_or(true, |(bd, _)| d < bd) {
+                if best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, i));
                 }
             }

@@ -24,6 +24,7 @@ use std::collections::{BTreeSet, BinaryHeap};
 
 use prebond3d_celllib::{Capacitance, Distance, Time};
 use prebond3d_netlist::{GateId, GateKind};
+use prebond3d_obs as obs;
 use prebond3d_sta::whatif::ReuseKind;
 
 use crate::graph::{NodeKind, SharingGraph};
@@ -160,6 +161,7 @@ pub fn partition(
     thresholds: &Thresholds,
     policy: MergePolicy,
 ) -> CliquePartition {
+    let _span = obs::span("clique_partition");
     let n = graph.len();
     let report = model.report();
     let library = model.library();
@@ -352,6 +354,11 @@ pub fn partition(
             min_slack: s.min_slack,
         })
         .collect();
+
+    // Aggregated per partition() call — the merge loop stays probe-free.
+    obs::count("clique.merge_attempts", (merges + rejected) as u64);
+    obs::count("clique.merges", merges as u64);
+    obs::count("clique.rejected", rejected as u64);
 
     CliquePartition {
         cliques,

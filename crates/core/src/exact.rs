@@ -42,9 +42,9 @@ pub fn partition(graph: &SharingGraph, node_budget: usize) -> ExactPartition {
     // Adjacency as bit rows for O(1) full-adjacency tests (n ≤ 64 words).
     let words = n.div_ceil(64);
     let mut adj = vec![vec![0u64; words]; n];
-    for i in 0..n {
+    for (i, row) in adj.iter_mut().enumerate() {
         for &j in graph.neighbors(i) {
-            adj[i][j / 64] |= 1 << (j % 64);
+            row[j / 64] |= 1 << (j % 64);
         }
     }
 

@@ -16,6 +16,7 @@
 use prebond3d_celllib::{Distance, Library, Time};
 use prebond3d_dft::{testable, TestableDie, WrapAssignment, WrapPlan, WrapperSource};
 use prebond3d_netlist::{GateId, Netlist};
+use prebond3d_obs as obs;
 use prebond3d_place::Placement;
 use prebond3d_sta::whatif::ReuseKind;
 use prebond3d_sta::{analyze, StaConfig};
@@ -174,17 +175,24 @@ pub fn run_flow(
     library: &Library,
     config: &FlowConfig,
 ) -> Result<FlowResult, Box<dyn std::error::Error>> {
+    let _flow_span = obs::span("flow");
+
     // --- Baseline hardware: the all-dedicated wrapped die ----------------
     // Every method must insert at least this hardware; the timing model
     // prices reuse decisions against it, and the tight clock is calibrated
     // on it.
-    let dedicated = testable::apply(die, &WrapPlan::all_dedicated(die))?;
-    let dedicated_placement = dedicated.placement_for(placement);
+    let (dedicated, dedicated_placement) = {
+        let _s = obs::span("baseline_dft");
+        let dedicated = testable::apply(die, &WrapPlan::all_dedicated(die))?;
+        let dedicated_placement = dedicated.placement_for(placement);
+        (dedicated, dedicated_placement)
+    };
 
     // --- Scenario: clock + thresholds -----------------------------------
     let clock = match config.scenario {
         Scenario::Area => StaConfig::relaxed().clock_period,
         Scenario::Tight => {
+            let _s = obs::span("calibrate");
             let relaxed = StaConfig::relaxed();
             let r = prebond3d_sta::analysis::analyze_with_statics(
                 &dedicated.netlist,
@@ -197,14 +205,18 @@ pub fn run_flow(
         }
     };
     let sta = StaConfig::with_period(clock);
-    let baseline_report = prebond3d_sta::analysis::analyze_with_statics(
-        &dedicated.netlist,
-        &dedicated_placement,
-        library,
-        &sta,
-        &[dedicated.test_en],
-    );
-    let fanout_report = analyze(die, placement, library, &sta);
+    let (baseline_report, fanout_report) = {
+        let _s = obs::span("baseline_sta");
+        let baseline_report = prebond3d_sta::analysis::analyze_with_statics(
+            &dedicated.netlist,
+            &dedicated_placement,
+            library,
+            &sta,
+            &[dedicated.test_en],
+        );
+        let fanout_report = analyze(die, placement, library, &sta);
+        (baseline_report, fanout_report)
+    };
 
     let mut thresholds = match config.scenario {
         Scenario::Area => Thresholds::area_optimized(library),
@@ -221,10 +233,9 @@ pub fn run_flow(
             th
         }
     };
-    let allow_overlap = config.allow_overlap.unwrap_or(match config.method {
-        Method::Ours => true,
-        _ => false,
-    });
+    let allow_overlap = config
+        .allow_overlap
+        .unwrap_or(matches!(config.method, Method::Ours));
     if !allow_overlap {
         thresholds = thresholds.without_overlap();
     }
@@ -253,17 +264,21 @@ pub fn run_flow(
             wrapper_of.insert(t, cell);
         }
     }
-    let model = TimingModel::new(
-        die,
-        placement,
-        library,
-        &baseline_report,
-        &fanout_report,
-        include_wire,
-    )
-    .with_wrapper_map(wrapper_of);
+    let model = {
+        let _s = obs::span("timing_model");
+        TimingModel::new(
+            die,
+            placement,
+            library,
+            &baseline_report,
+            &fanout_report,
+            include_wire,
+        )
+        .with_wrapper_map(wrapper_of)
+    };
 
     // --- Plan construction --------------------------------------------------
+    let _plan_span = obs::span("plan");
     let (plan, phases) = match config.method {
         Method::Naive => (WrapPlan::all_dedicated(die), Vec::new()),
         Method::Li => (baseline::li::plan(&model, &thresholds), Vec::new()),
@@ -301,18 +316,29 @@ pub fn run_flow(
         }
     };
 
+    drop(_plan_span);
+
     // --- DFT insertion + post-insertion STA ---------------------------------
     let reused = plan.reused_scan_ffs();
     let additional = plan.additional_wrapper_cells();
-    let testable_die = testable::apply(die, &plan)?;
-    let testable_placement = testable_die.placement_for(placement);
-    let post = prebond3d_sta::analysis::analyze_with_statics(
-        &testable_die.netlist,
-        &testable_placement,
-        library,
-        &sta,
-        &[testable_die.test_en],
-    );
+    obs::gauge("flow.reused_scan_ffs", reused as u64);
+    obs::gauge("flow.additional_wrapper_cells", additional as u64);
+    let (testable_die, testable_placement) = {
+        let _s = obs::span("dft_insert");
+        let testable_die = testable::apply(die, &plan)?;
+        let testable_placement = testable_die.placement_for(placement);
+        (testable_die, testable_placement)
+    };
+    let post = {
+        let _s = obs::span("post_sta");
+        prebond3d_sta::analysis::analyze_with_statics(
+            &testable_die.netlist,
+            &testable_placement,
+            library,
+            &sta,
+            &[testable_die.test_en],
+        )
+    };
 
     Ok(FlowResult {
         plan,

@@ -15,6 +15,7 @@
 //! reused cell), which the clique construction then preserves for free.
 
 use prebond3d_netlist::{cone::ConeSet, GateId, Netlist};
+use prebond3d_obs as obs;
 use prebond3d_sta::whatif::ReuseKind;
 
 use crate::testability::TestabilityProbe;
@@ -85,6 +86,7 @@ pub fn build(
     tsvs: &[GateId],
     direction: ReuseKind,
 ) -> SharingGraph {
+    let _span = obs::span("graph_build");
     let netlist: &Netlist = model.netlist();
 
     // --- Node construction (Algorithm 1 lines 1–14) -----------------------
@@ -115,12 +117,14 @@ pub fn build(
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut edge_count = 0usize;
     let mut overlap_edges = 0usize;
+    let mut pairs_considered = 0usize;
     for i in 0..n {
         for j in (i + 1)..n {
             // At least one endpoint must be a TSV.
             if kinds[i] == NodeKind::ScanFf && kinds[j] == NodeKind::ScanFf {
                 continue;
             }
+            pairs_considered += 1;
             let (a, b) = (nodes[i], nodes[j]);
             // Timing admission (distance + cap/slack what-if).
             let timing_ok = match (kinds[i], kinds[j]) {
@@ -162,6 +166,13 @@ pub fn build(
             }
         }
     }
+
+    // One emission per build keeps the probes out of the O(n²) inner loop.
+    obs::count("graph.nodes", n as u64);
+    obs::count("graph.pairs_considered", pairs_considered as u64);
+    obs::count("graph.edges", edge_count as u64);
+    obs::count("graph.overlap_edges", overlap_edges as u64);
+    obs::count("graph.ineligible_tsvs", ineligible.len() as u64);
 
     SharingGraph {
         direction,

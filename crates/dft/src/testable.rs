@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 
 use prebond3d_netlist::{Gate, GateId, GateKind, Netlist};
+use prebond3d_obs as obs;
 use prebond3d_place::{Placement, Point};
 
 use crate::wrapper::{WrapPlan, WrapperSource};
@@ -85,6 +86,7 @@ impl TestableDie {
 /// Returns a descriptive error when the plan fails
 /// [`WrapPlan::validate`], and propagates netlist revalidation errors.
 pub fn apply(die: &Netlist, plan: &WrapPlan) -> Result<TestableDie, Box<dyn std::error::Error>> {
+    let _span = obs::span("dft_insert");
     plan.validate(die).map_err(PlanError)?;
 
     let original_len = die.len();
@@ -225,6 +227,8 @@ pub fn apply(die: &Netlist, plan: &WrapPlan) -> Result<TestableDie, Box<dyn std:
         }
     }
 
+    obs::count("dft.wrapper_cells", cells.len() as u64);
+    obs::count("dft.gates_added", (gates.len() - original_len) as u64);
     let netlist = Netlist::from_gates(format!("{}_testable", die.name()), gates)?;
     Ok(TestableDie {
         netlist,

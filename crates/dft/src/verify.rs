@@ -12,8 +12,7 @@
 use prebond3d_atpg::sim::{Pattern, Simulator};
 use prebond3d_atpg::TestAccess;
 use prebond3d_netlist::{GateId, GateKind, Netlist};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prebond3d_rng::StdRng;
 
 use crate::testable::TestableDie;
 

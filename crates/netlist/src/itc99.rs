@@ -17,8 +17,8 @@
 //! All generation is seeded; the same [`DieSpec`] always yields the same
 //! netlist.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prebond3d_obs as obs;
+use prebond3d_rng::StdRng;
 
 use crate::gate::{Gate, GateId, GateKind};
 use crate::netlist::Netlist;
@@ -59,7 +59,9 @@ pub const CIRCUIT_NAMES: [&str; 6] = ["b11", "b12", "b18", "b20", "b21", "b22"];
 /// Table II rows: `(scan_ffs, gates, inbound, outbound)` for 4 dies each,
 /// plus the real ITC'99 circuit-level PI/PO counts which we spread across
 /// dies (Table II does not list per-die pads).
-const TABLE2: [(&str, [(usize, usize, usize, usize); 4], usize, usize); 6] = [
+type Table2Row = (&'static str, [(usize, usize, usize, usize); 4], usize, usize);
+
+const TABLE2: [Table2Row; 6] = [
     ("b11", [(14, 120, 14, 16), (15, 234, 27, 43), (3, 229, 38, 38), (9, 148, 23, 11)], 7, 6),
     ("b12", [(7, 304, 23, 27), (18, 397, 41, 41), (45, 344, 23, 42), (51, 317, 25, 5)], 5, 6),
     (
@@ -233,6 +235,7 @@ fn random_kind_balanced(rng: &mut StdRng, p: &[f64]) -> GateKind {
 /// Panics if `spec.gates` is too small to absorb the die's sources
 /// (needs roughly `sources/2` gates); all Table II rows satisfy this.
 pub fn generate_die(spec: &DieSpec) -> Netlist {
+    let _span = obs::span("generate_die");
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
     let n_src = spec.primary_inputs + spec.inbound_tsvs + spec.scan_flip_flops;

@@ -1,0 +1,458 @@
+//! # prebond3d-obs
+//!
+//! Structured observability for the prebond3d flow: hierarchical wall-clock
+//! **spans**, monotonic **counters**, last-value **gauges**, and pluggable
+//! **sinks** — with zero external dependencies (DESIGN.md §7) and
+//! negligible overhead when disabled, so instrumentation stays compiled-in
+//! for release builds.
+//!
+//! ## Usage
+//!
+//! ```
+//! # use prebond3d_obs as obs;
+//! let _rec = obs::record(); // aggregate even without a sink (e.g. tests)
+//! {
+//!     let _flow = obs::span("flow");
+//!     {
+//!         let _g = obs::span("graph_build");
+//!         obs::count("graph.edges", 42);
+//!     }
+//!     obs::gauge("graph.nodes", 17);
+//! }
+//! let snap = obs::snapshot();
+//! assert_eq!(snap.counter("graph.edges"), 42);
+//! assert_eq!(snap.span("flow/graph_build").unwrap().count, 1);
+//! # obs::reset();
+//! ```
+//!
+//! ## Sinks
+//!
+//! The `PREBOND3D_OBS` environment variable selects the sink on first use:
+//!
+//! * `off` (default) — no output, no aggregation, near-zero cost: every
+//!   probe is one relaxed atomic load and an early return;
+//! * `text` — span completions stream to stderr, indented by nesting
+//!   depth; [`flush`] prints the counter/gauge table;
+//! * `json:<path>` — span completions append JSON-lines events to
+//!   `<path>`; [`flush`] appends aggregated `counters`/`gauges` records.
+//!
+//! Programs can override the environment with [`configure`]. Aggregation
+//! into the in-process registry (read via [`snapshot`]) happens whenever a
+//! sink is active *or* recording was forced on via [`record`] /
+//! [`set_recording`] — the experiment harness uses the latter to build
+//! machine-readable run reports regardless of sink choice.
+//!
+//! ## Threading
+//!
+//! The span stack is thread-local (nesting is per thread); counters and
+//! the aggregate registry are global behind a mutex. The flow itself is
+//! single-threaded per die, so the mutex is uncontended today; it is the
+//! seam a future parallel flow will aggregate through.
+
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fs::OpenOptions;
+use std::io::{BufWriter, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use json::Value;
+
+/// Where events go.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkConfig {
+    /// Drop everything (the default).
+    Off,
+    /// Human-readable lines on stderr.
+    Text,
+    /// JSON-lines appended to a file.
+    JsonFile(PathBuf),
+}
+
+impl SinkConfig {
+    /// Parse a `PREBOND3D_OBS` value. Unknown values fall back to `Off`
+    /// with a one-line warning on stderr.
+    pub fn from_env_value(value: &str) -> SinkConfig {
+        let v = value.trim();
+        if v.is_empty() || v.eq_ignore_ascii_case("off") || v == "0" {
+            SinkConfig::Off
+        } else if v.eq_ignore_ascii_case("text") || v == "1" {
+            SinkConfig::Text
+        } else if let Some(path) = v.strip_prefix("json:") {
+            SinkConfig::JsonFile(PathBuf::from(path))
+        } else {
+            eprintln!(
+                "[obs] unknown PREBOND3D_OBS value `{v}` (expected off|text|json:<path>); \
+                 observability stays off"
+            );
+            SinkConfig::Off
+        }
+    }
+}
+
+enum Sink {
+    Off,
+    Text,
+    Json(BufWriter<std::fs::File>),
+}
+
+/// Aggregated statistics for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanStat {
+    /// `/`-joined ancestry, e.g. `flow/plan/graph_build`.
+    pub path: String,
+    /// Leaf name.
+    pub name: String,
+    /// Nesting depth (root = 0).
+    pub depth: usize,
+    /// Completions recorded.
+    pub count: u64,
+    /// Total wall-clock time across completions, in nanoseconds.
+    pub total_ns: u128,
+}
+
+impl SpanStat {
+    /// Total milliseconds (convenience for reports).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1.0e6
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Span stats in first-completion order (deterministic for the
+    /// single-threaded flow).
+    spans: Vec<SpanStat>,
+    span_index: HashMap<String, usize>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+}
+
+struct State {
+    sink: Mutex<Sink>,
+    sink_active: AtomicBool,
+    recording: AtomicBool,
+    registry: Mutex<Registry>,
+}
+
+static STATE: OnceLock<State> = OnceLock::new();
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+fn state() -> &'static State {
+    STATE.get_or_init(|| {
+        let st = State {
+            sink: Mutex::new(Sink::Off),
+            sink_active: AtomicBool::new(false),
+            recording: AtomicBool::new(false),
+            registry: Mutex::new(Registry::default()),
+        };
+        let cfg = std::env::var("PREBOND3D_OBS")
+            .map(|v| SinkConfig::from_env_value(&v))
+            .unwrap_or(SinkConfig::Off);
+        install_sink(&st, cfg);
+        st
+    })
+}
+
+fn install_sink(st: &State, cfg: SinkConfig) {
+    let sink = match cfg {
+        SinkConfig::Off => Sink::Off,
+        SinkConfig::Text => Sink::Text,
+        SinkConfig::JsonFile(path) => {
+            match OpenOptions::new().create(true).append(true).open(&path) {
+                Ok(f) => Sink::Json(BufWriter::new(f)),
+                Err(e) => {
+                    eprintln!("[obs] cannot open {}: {e}; observability stays off", path.display());
+                    Sink::Off
+                }
+            }
+        }
+    };
+    st.sink_active
+        .store(!matches!(sink, Sink::Off), Ordering::Relaxed);
+    *st.sink.lock().unwrap() = sink;
+}
+
+/// Replace the sink at runtime (overrides `PREBOND3D_OBS`).
+pub fn configure(cfg: SinkConfig) {
+    install_sink(state(), cfg);
+}
+
+/// Is any probe live (sink active or recording forced)?
+#[inline]
+pub fn is_active() -> bool {
+    let st = state();
+    st.sink_active.load(Ordering::Relaxed) || st.recording.load(Ordering::Relaxed)
+}
+
+/// Force aggregation on/off independently of the sink. Returns the
+/// previous value.
+pub fn set_recording(on: bool) -> bool {
+    state().recording.swap(on, Ordering::Relaxed)
+}
+
+/// RAII guard restoring the previous recording state on drop.
+pub struct RecordingGuard {
+    prev: bool,
+}
+
+impl Drop for RecordingGuard {
+    fn drop(&mut self) {
+        set_recording(self.prev);
+    }
+}
+
+/// Enable recording for a scope: `let _rec = obs::record();`.
+#[must_use = "recording stops when the guard drops"]
+pub fn record() -> RecordingGuard {
+    RecordingGuard {
+        prev: set_recording(true),
+    }
+}
+
+/// An in-flight span; completion is recorded when the guard drops.
+///
+/// Guards must drop in LIFO order (natural with RAII scoping) for the
+/// hierarchical path to be correct.
+#[must_use = "a span measures until the guard drops"]
+pub struct Span {
+    start: Option<Instant>,
+    name: &'static str,
+}
+
+/// Open a span. Near-free when observability is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !is_active() {
+        return Span { start: None, name };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    Span {
+        start: Some(Instant::now()),
+        name,
+    }
+}
+
+/// Statement form: `obs::span!("clique_partition");` holds the guard for
+/// the rest of the enclosing block.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        let _obs_span_guard = $crate::span($name);
+    };
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let dur_ns = start.elapsed().as_nanos();
+        let (path, depth) = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let depth = stack.len().saturating_sub(1);
+            let path = stack.join("/");
+            stack.pop();
+            (path, depth)
+        });
+        let st = state();
+        {
+            let mut reg = st.registry.lock().unwrap();
+            match reg.span_index.get(&path) {
+                Some(&i) => {
+                    reg.spans[i].count += 1;
+                    reg.spans[i].total_ns += dur_ns;
+                }
+                None => {
+                    let i = reg.spans.len();
+                    reg.spans.push(SpanStat {
+                        path: path.clone(),
+                        name: self.name.to_string(),
+                        depth,
+                        count: 1,
+                        total_ns: dur_ns,
+                    });
+                    reg.span_index.insert(path.clone(), i);
+                }
+            }
+        }
+        if st.sink_active.load(Ordering::Relaxed) {
+            let mut sink = st.sink.lock().unwrap();
+            match &mut *sink {
+                Sink::Off => {}
+                Sink::Text => {
+                    eprintln!(
+                        "[obs] {:indent$}{}: {:.3} ms",
+                        "",
+                        self.name,
+                        dur_ns as f64 / 1.0e6,
+                        indent = depth * 2
+                    );
+                }
+                Sink::Json(w) => {
+                    let ev = Value::obj([
+                        ("ev", "span".into()),
+                        ("path", path.as_str().into()),
+                        ("name", self.name.into()),
+                        ("depth", depth.into()),
+                        ("ns", (dur_ns as f64).into()),
+                    ]);
+                    let _ = writeln!(w, "{ev}");
+                    let _ = w.flush();
+                }
+            }
+        }
+    }
+}
+
+/// Add `delta` to the monotonic counter `name`.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !is_active() || delta == 0 {
+        return;
+    }
+    let mut reg = state().registry.lock().unwrap();
+    *reg.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Record the latest value of gauge `name`.
+#[inline]
+pub fn gauge(name: &'static str, value: u64) {
+    if !is_active() {
+        return;
+    }
+    let mut reg = state().registry.lock().unwrap();
+    reg.gauges.insert(name, value);
+}
+
+/// A point-in-time copy of the aggregate registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Span stats in first-completion order.
+    pub spans: Vec<SpanStat>,
+    /// Counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+}
+
+impl Snapshot {
+    /// Counter value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Latest gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Span stats for an exact `/`-joined path.
+    pub fn span(&self, path: &str) -> Option<&SpanStat> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Serialize as a JSON object (the run-report per-die payload).
+    pub fn to_json(&self) -> Value {
+        let spans: Vec<Value> = self
+            .spans
+            .iter()
+            .map(|s| {
+                Value::obj([
+                    ("path", s.path.as_str().into()),
+                    ("name", s.name.as_str().into()),
+                    ("depth", s.depth.into()),
+                    ("count", s.count.into()),
+                    ("ms", s.total_ms().into()),
+                ])
+            })
+            .collect();
+        let counters = Value::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                .collect(),
+        );
+        let gauges = Value::Obj(
+            self.gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::from(*v)))
+                .collect(),
+        );
+        Value::obj([
+            ("spans", Value::Arr(spans)),
+            ("counters", counters),
+            ("gauges", gauges),
+        ])
+    }
+}
+
+/// Copy out the aggregate registry.
+pub fn snapshot() -> Snapshot {
+    let reg = state().registry.lock().unwrap();
+    Snapshot {
+        spans: reg.spans.clone(),
+        counters: reg.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        gauges: reg.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+    }
+}
+
+/// Clear the aggregate registry (the harness calls this between dies).
+pub fn reset() {
+    let mut reg = state().registry.lock().unwrap();
+    *reg = Registry::default();
+}
+
+/// Emit the aggregated counters/gauges to the sink (text table or JSON
+/// records) and flush file sinks. A no-op for `off`.
+pub fn flush() {
+    let st = state();
+    if !st.sink_active.load(Ordering::Relaxed) {
+        return;
+    }
+    let snap = snapshot();
+    let mut sink = st.sink.lock().unwrap();
+    match &mut *sink {
+        Sink::Off => {}
+        Sink::Text => {
+            for (name, v) in &snap.counters {
+                eprintln!("[obs] counter {name} = {v}");
+            }
+            for (name, v) in &snap.gauges {
+                eprintln!("[obs] gauge   {name} = {v}");
+            }
+        }
+        Sink::Json(w) => {
+            for (name, v) in &snap.counters {
+                let ev = Value::obj([
+                    ("ev", "counter".into()),
+                    ("name", name.as_str().into()),
+                    ("value", (*v).into()),
+                ]);
+                let _ = writeln!(w, "{ev}");
+            }
+            for (name, v) in &snap.gauges {
+                let ev = Value::obj([
+                    ("ev", "gauge".into()),
+                    ("name", name.as_str().into()),
+                    ("value", (*v).into()),
+                ]);
+                let _ = writeln!(w, "{ev}");
+            }
+            let _ = w.flush();
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Behavioral tests for the observability runtime: span nesting and
+//! ordering determinism, counter/gauge aggregation, and JSON-lines sink
+//! round-trips. The registry and sink are process-global, so every test
+//! serializes on one lock and leaves the state reset.
+
+use std::sync::Mutex;
+
+use prebond3d_obs as obs;
+use prebond3d_obs::json;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with recording on and a clean registry, returning the snapshot.
+fn recorded(f: impl FnOnce()) -> obs::Snapshot {
+    let _rec = obs::record();
+    obs::reset();
+    f();
+    let snap = obs::snapshot();
+    obs::reset();
+    snap
+}
+
+fn nested_workload() {
+    let _flow = obs::span("flow");
+    {
+        let _plan = obs::span("plan");
+        {
+            let _g = obs::span("graph_build");
+            obs::count("graph.edges", 7);
+        }
+        let _c = obs::span("clique_partition");
+        obs::count("clique.merges", 3);
+    }
+    obs::gauge("flow.cells", 11);
+}
+
+#[test]
+fn nested_spans_aggregate_hierarchical_paths() {
+    let _l = LOCK.lock().unwrap();
+    let snap = recorded(nested_workload);
+
+    let g = snap.span("flow/plan/graph_build").expect("graph span");
+    assert_eq!(g.name, "graph_build");
+    assert_eq!(g.depth, 2);
+    assert_eq!(g.count, 1);
+
+    let c = snap.span("flow/plan/clique_partition").expect("clique span");
+    assert_eq!(c.depth, 2);
+
+    let f = snap.span("flow").expect("root span");
+    assert_eq!(f.depth, 0);
+    // The parent span covers at least the sum of its observed children.
+    assert!(f.total_ns >= g.total_ns + c.total_ns);
+}
+
+#[test]
+fn span_order_and_shape_are_deterministic_across_runs() {
+    let _l = LOCK.lock().unwrap();
+    let shape = |s: &obs::Snapshot| {
+        s.spans
+            .iter()
+            .map(|sp| (sp.path.clone(), sp.depth, sp.count))
+            .collect::<Vec<_>>()
+    };
+    let a = recorded(nested_workload);
+    let b = recorded(nested_workload);
+    assert_eq!(shape(&a), shape(&b));
+    // First-completion order: innermost leaves close before their parents.
+    let order: Vec<&str> = a.spans.iter().map(|s| s.path.as_str()).collect();
+    assert_eq!(
+        order,
+        [
+            "flow/plan/graph_build",
+            "flow/plan/clique_partition",
+            "flow/plan",
+            "flow"
+        ]
+    );
+}
+
+#[test]
+fn repeated_spans_accumulate_counts_and_time() {
+    let _l = LOCK.lock().unwrap();
+    let snap = recorded(|| {
+        for _ in 0..5 {
+            let _s = obs::span("batch");
+        }
+    });
+    let s = snap.span("batch").expect("batch span");
+    assert_eq!(s.count, 5);
+    assert_eq!(snap.spans.len(), 1, "same path aggregates into one stat");
+}
+
+#[test]
+fn counters_sum_and_gauges_keep_the_last_value() {
+    let _l = LOCK.lock().unwrap();
+    let snap = recorded(|| {
+        obs::count("atpg.backtracks", 2);
+        obs::count("atpg.backtracks", 3);
+        obs::count("atpg.backtracks", 0); // zero deltas are dropped
+        obs::gauge("flow.cells", 4);
+        obs::gauge("flow.cells", 9);
+    });
+    assert_eq!(snap.counter("atpg.backtracks"), 5);
+    assert_eq!(snap.counter("never.touched"), 0);
+    assert_eq!(snap.gauge("flow.cells"), Some(9));
+    assert_eq!(snap.gauge("never.touched"), None);
+}
+
+#[test]
+fn inactive_probes_record_nothing() {
+    let _l = LOCK.lock().unwrap();
+    obs::configure(obs::SinkConfig::Off);
+    obs::reset();
+    assert!(!obs::is_active());
+    {
+        let _s = obs::span("ignored");
+        obs::count("ignored.counter", 99);
+        obs::gauge("ignored.gauge", 1);
+    }
+    assert!(obs::snapshot().is_empty());
+}
+
+#[test]
+fn json_sink_round_trips_through_the_parser() {
+    let _l = LOCK.lock().unwrap();
+    let path = std::env::temp_dir().join(format!(
+        "prebond3d_obs_roundtrip_{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path); // the sink appends
+    obs::reset();
+    obs::configure(obs::SinkConfig::JsonFile(path.clone()));
+    {
+        let _outer = obs::span("outer");
+        let _inner = obs::span("inner");
+        obs::count("events.seen", 12);
+    }
+    obs::flush();
+    obs::configure(obs::SinkConfig::Off);
+    obs::reset();
+
+    let text = std::fs::read_to_string(&path).expect("sink file exists");
+    let events: Vec<json::Value> = text
+        .lines()
+        .map(|l| json::parse(l).expect("every line is valid JSON"))
+        .collect();
+    let _ = std::fs::remove_file(&path);
+
+    let field = |v: &json::Value, k: &str| match v {
+        json::Value::Obj(m) => m.get(k).cloned().expect("field present"),
+        _ => panic!("event is not an object"),
+    };
+    let spans: Vec<&json::Value> = events
+        .iter()
+        .filter(|e| field(e, "ev") == json::Value::Str("span".into()))
+        .collect();
+    assert_eq!(spans.len(), 2);
+    assert_eq!(field(spans[0], "path"), json::Value::Str("outer/inner".into()));
+    assert_eq!(field(spans[0], "depth"), json::Value::Num(1.0));
+    assert_eq!(field(spans[1], "path"), json::Value::Str("outer".into()));
+
+    let counter = events
+        .iter()
+        .find(|e| field(e, "ev") == json::Value::Str("counter".into()))
+        .expect("flush appends the counter record");
+    assert_eq!(field(counter, "name"), json::Value::Str("events.seen".into()));
+    assert_eq!(field(counter, "value"), json::Value::Num(12.0));
+}
+
+#[test]
+fn snapshot_to_json_carries_spans_counters_and_gauges() {
+    let _l = LOCK.lock().unwrap();
+    let snap = recorded(nested_workload);
+    let doc = snap.to_json().to_string();
+    let parsed = json::parse(&doc).expect("snapshot JSON parses");
+    let json::Value::Obj(m) = parsed else { panic!("snapshot is an object") };
+    let json::Value::Arr(spans) = &m["spans"] else { panic!("spans is an array") };
+    assert_eq!(spans.len(), 4);
+    let json::Value::Obj(counters) = &m["counters"] else { panic!("counters object") };
+    assert_eq!(counters["graph.edges"], json::Value::Num(7.0));
+    let json::Value::Obj(gauges) = &m["gauges"] else { panic!("gauges object") };
+    assert_eq!(gauges["flow.cells"], json::Value::Num(11.0));
+}

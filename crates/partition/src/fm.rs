@@ -11,8 +11,7 @@
 //! The partitioner is deterministic given the seed (ties are broken by
 //! cell id).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prebond3d_rng::StdRng;
 
 use prebond3d_netlist::{GateId, Netlist};
 

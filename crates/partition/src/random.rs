@@ -1,7 +1,6 @@
 //! Seeded balanced random partitioning (the baseline partitioner).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prebond3d_rng::StdRng;
 
 use prebond3d_netlist::Netlist;
 

@@ -5,8 +5,8 @@
 //! probability under a geometric cooling schedule. Incremental cost
 //! evaluation touches only the nets incident to the two swapped cells.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use prebond3d_obs as obs;
+use prebond3d_rng::StdRng;
 
 use prebond3d_netlist::{GateId, Netlist};
 
@@ -23,6 +23,7 @@ pub fn refine(netlist: &Netlist, placement: &mut Placement, config: &PlaceConfig
     if n < 2 || config.moves_per_cell == 0 {
         return;
     }
+    let _span = obs::span("anneal");
     let mut rng = StdRng::seed_from_u64(seed);
 
     // Nets incident to each cell: the cell's own output net plus the output
@@ -44,6 +45,10 @@ pub fn refine(netlist: &Netlist, placement: &mut Placement, config: &PlaceConfig
     let t_end: f64 = 0.1;
     let cooling = (t_end / t_start).powf(1.0 / moves as f64);
     let mut temp = t_start;
+    // Accumulated locally; emitted once after the loop so the probes stay
+    // out of the per-move hot path.
+    let mut proposed = 0u64;
+    let mut accepted = 0u64;
 
     for _ in 0..moves {
         let a = GateId(rng.gen_range(0..n as u32));
@@ -66,11 +71,17 @@ pub fn refine(netlist: &Netlist, placement: &mut Placement, config: &PlaceConfig
         let after: f64 = nets.iter().map(|&d| net_hpwl(netlist, placement, d)).sum();
         let delta = after - before;
         let accept = delta <= 0.0 || rng.gen_bool((-delta / temp).exp().clamp(0.0, 1.0));
-        if !accept {
+        proposed += 1;
+        if accept {
+            accepted += 1;
+        } else {
             placement.swap(a, b); // revert
         }
         temp *= cooling;
     }
+    obs::count("anneal.moves_proposed", proposed);
+    obs::count("anneal.moves_accepted", accepted);
+    obs::count("anneal.moves_reverted", proposed - accepted);
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ pub fn initial(netlist: &Netlist, config: &PlaceConfig) -> Placement {
         let row = site / cols;
         // Snake order: odd rows run right-to-left.
         let col_in_row = site % cols;
-        let col = if row % 2 == 0 {
+        let col = if row.is_multiple_of(2) {
             col_in_row
         } else {
             cols - 1 - col_in_row
@@ -75,8 +75,8 @@ fn bfs_order(netlist: &Netlist) -> Vec<GateId> {
             }
         }
     }
-    for i in 0..n {
-        if !seen[i] {
+    for (i, &s) in seen.iter().enumerate() {
+        if !s {
             order.push(GateId(i as u32));
         }
     }

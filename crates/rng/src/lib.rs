@@ -1,0 +1,208 @@
+//! Seeded pseudo-random numbers with no external dependencies.
+//!
+//! The repo builds in network-isolated environments, so it cannot pull
+//! `rand` from a registry. Everything random in the workspace — synthetic
+//! netlist generation, annealing moves, ATPG pattern fill — only ever needs
+//! a *seeded, deterministic, decent-quality* stream, which SplitMix64
+//! provides in ~10 lines. The API mirrors the `rand` subset the workspace
+//! used (`StdRng::seed_from_u64`, `gen`, `gen_range`, `gen_bool`) so call
+//! sites read the same; swapping a registry `rand` back in would only
+//! change the concrete streams, never the algorithms under test.
+//!
+//! Determinism is part of the contract: the same seed yields the same
+//! sequence on every platform (pure wrapping integer arithmetic, no
+//! platform entropy), which the reproduction relies on for its
+//! `flow_is_deterministic`-style tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded SplitMix64 generator.
+///
+/// Named `StdRng` after the `rand` type it replaces, so call sites are
+/// drop-in. Passes through a full 2^64 period with well-mixed output
+/// (Steele et al., "Fast splittable pseudorandom number generators").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+/// `rand`-compat module path: `prebond3d_rng::rngs::StdRng`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+impl StdRng {
+    /// Seed the generator. Identical seeds yield identical streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng { state: seed }
+    }
+
+    /// Next raw 64-bit value (the SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value of a primitive type (`bool`, `u32`, `u64`, `f64`).
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Uniform value in an integer range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range, like `rand`.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, n)`; `n` must be nonzero.
+    fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift (Lemire) keeps bias below 2^-64 without loops.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+}
+
+/// Types [`StdRng::gen`] can produce.
+pub trait Sample {
+    /// Draw one uniform value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Sample for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draw one uniform value from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let width = (self.end - self.start) as u64;
+                self.start + rng.below(width) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let width = (hi - lo) as u64;
+                if width == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + rng.below(width + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..=5);
+            assert!(y <= 5);
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.gen_range(4usize..=4), 4);
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn f64_is_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5u32..5);
+    }
+}

@@ -2,6 +2,7 @@
 
 use prebond3d_celllib::{Capacitance, Library, Time};
 use prebond3d_netlist::{traverse, GateId, GateKind, Netlist};
+use prebond3d_obs as obs;
 use prebond3d_place::Placement;
 
 use crate::StaConfig;
@@ -111,8 +112,12 @@ pub fn analyze_with_statics(
     config: &StaConfig,
     statics: &[GateId],
 ) -> TimingReport {
+    let _span = obs::span("sta_analyze");
     let n = netlist.len();
     assert_eq!(placement.len(), n, "placement must cover the netlist");
+    obs::count("sta.runs", 1);
+    // Loads + forward + backward each touch every node once.
+    obs::count("sta.nodes_visited", 3 * n as u64);
     let wire = library.wire();
 
     // --- Loads ----------------------------------------------------------

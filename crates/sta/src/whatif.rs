@@ -20,6 +20,7 @@
 
 use prebond3d_celllib::{Capacitance, Distance, Library, Time};
 use prebond3d_netlist::{GateId, Netlist};
+use prebond3d_obs as obs;
 
 use crate::analysis::TimingReport;
 
@@ -60,6 +61,7 @@ impl TapCost {
 /// The model is the paper's "accurate timing model": capacitance *and*
 /// Elmore wire delay. Set `include_wire = false` to get Agrawal's
 /// capacitance-only pricing for baseline comparisons.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's cost-model inputs
 pub fn reuse_cost(
     netlist: &Netlist,
     report: &TimingReport,
@@ -70,6 +72,7 @@ pub fn reuse_cost(
     distance: Distance,
     include_wire: bool,
 ) -> TapCost {
+    obs::count("sta.whatif_queries", 1);
     let reuse = library.reuse();
     let wire = library.wire();
     let dist = if include_wire { distance } else { Distance(0.0) };
@@ -156,6 +159,7 @@ pub fn dedicated_wrapper_cost(
     kind: ReuseKind,
     tsv: GateId,
 ) -> TapCost {
+    obs::count("sta.whatif_queries", 1);
     let reuse = library.reuse();
     match kind {
         ReuseKind::Inbound => TapCost {

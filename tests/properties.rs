@@ -1,6 +1,9 @@
-//! Property-based tests over the core data structures and invariants.
-
-use proptest::prelude::*;
+//! Property-style tests over the core data structures and invariants.
+//!
+//! Each test sweeps a deterministic seeded case list (the registry-free
+//! replacement for `proptest`; DESIGN.md §7): inputs are drawn from
+//! `prebond3d_rng`, so failures reproduce exactly and the sweep costs the
+//! same every run.
 
 use prebond3d::atpg::engine::{run_stuck_at, AtpgConfig};
 use prebond3d::atpg::TestAccess;
@@ -9,37 +12,43 @@ use prebond3d::netlist::{format, itc99, traverse, BitSet};
 use prebond3d::partition::{fm, level, random as rpart, tsv, PartitionSpec};
 use prebond3d::place::{place, PlaceConfig};
 use prebond3d::sta::{analyze, StaConfig};
+use prebond3d_rng::StdRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+const CASES: u64 = 24;
 
-    /// BitSet agrees with a reference HashSet under arbitrary operations.
-    #[test]
-    fn bitset_matches_hashset(ops in prop::collection::vec((0usize..200, any::<bool>()), 1..120)) {
+/// BitSet agrees with a reference HashSet under arbitrary operations.
+#[test]
+fn bitset_matches_hashset() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xB175 ^ case);
+        let ops = rng.gen_range(1usize..120);
         let mut set = BitSet::new(200);
         let mut reference = std::collections::HashSet::new();
-        for (idx, insert) in ops {
-            if insert {
-                prop_assert_eq!(set.insert(idx), reference.insert(idx));
+        for _ in 0..ops {
+            let idx = rng.gen_range(0usize..200);
+            if rng.gen::<bool>() {
+                assert_eq!(set.insert(idx), reference.insert(idx), "case {case}");
             } else {
-                prop_assert_eq!(set.remove(idx), reference.remove(&idx));
+                assert_eq!(set.remove(idx), reference.remove(&idx), "case {case}");
             }
         }
-        prop_assert_eq!(set.count(), reference.len());
+        assert_eq!(set.count(), reference.len(), "case {case}");
         let collected: std::collections::HashSet<usize> = set.iter().collect();
-        prop_assert_eq!(collected, reference);
+        assert_eq!(collected, reference, "case {case}");
     }
+}
 
-    /// Generated dies always match their spec exactly and round-trip
-    /// through the text format.
-    #[test]
-    fn generated_die_roundtrips(
-        ffs in 4usize..24,
-        gates in 60usize..240,
-        inbound in 2usize..10,
-        outbound in 2usize..10,
-        seed in 0u64..1000,
-    ) {
+/// Generated dies always match their spec exactly and round-trip through
+/// the text format.
+#[test]
+fn generated_die_roundtrips() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xD1E5 ^ case);
+        let ffs = rng.gen_range(4usize..24);
+        let gates = rng.gen_range(60usize..240);
+        let inbound = rng.gen_range(2usize..10);
+        let outbound = rng.gen_range(2usize..10);
+        let seed = rng.gen_range(0u64..1000);
         let spec = itc99::DieSpec {
             name: "prop_die".into(),
             scan_flip_flops: ffs,
@@ -52,23 +61,27 @@ proptest! {
         };
         let die = itc99::generate_die(&spec);
         let stats = die.stats();
-        prop_assert_eq!(stats.scan_flip_flops, ffs);
-        prop_assert_eq!(stats.combinational_gates, gates);
-        prop_assert_eq!(stats.inbound_tsvs, inbound);
-        prop_assert_eq!(stats.outbound_tsvs, outbound);
+        assert_eq!(stats.scan_flip_flops, ffs, "case {case}");
+        assert_eq!(stats.combinational_gates, gates, "case {case}");
+        assert_eq!(stats.inbound_tsvs, inbound, "case {case}");
+        assert_eq!(stats.outbound_tsvs, outbound, "case {case}");
 
         let text = format::write(&die);
         let reparsed = format::parse(&text).expect("emitted text reparses");
-        prop_assert_eq!(die.len(), reparsed.len());
-        prop_assert_eq!(die.stats(), reparsed.stats());
+        assert_eq!(die.len(), reparsed.len(), "case {case}");
+        assert_eq!(die.stats(), reparsed.stats(), "case {case}");
     }
+}
 
-    /// Topological order puts every combinational gate after its drivers.
-    #[test]
-    fn topological_order_is_consistent(seed in 0u64..500) {
+/// Topological order puts every combinational gate after its drivers.
+#[test]
+fn topological_order_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x0710 ^ case);
+        let seed = rng.gen_range(0u64..500);
         let die = itc99::generate_flat("prop", 150, 12, 5, 5, seed);
         let order = traverse::combinational_order(&die);
-        prop_assert_eq!(order.len(), die.len());
+        assert_eq!(order.len(), die.len(), "case {case}");
         let mut pos = vec![0usize; die.len()];
         for (p, id) in order.iter().enumerate() {
             pos[id.index()] = p;
@@ -78,15 +91,20 @@ proptest! {
                 continue;
             }
             for &input in &gate.inputs {
-                prop_assert!(pos[input.index()] < pos[id.index()]);
+                assert!(pos[input.index()] < pos[id.index()], "case {case}");
             }
         }
     }
+}
 
-    /// Every partitioner covers all gates, respects die count, and the
-    /// extracted stack's TSV count equals the cut size.
-    #[test]
-    fn partitioners_are_well_formed(seed in 0u64..200, dies in 2usize..5) {
+/// Every partitioner covers all gates, respects die count, and the
+/// extracted stack's TSV count equals the cut size.
+#[test]
+fn partitioners_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xFA27 ^ case);
+        let seed = rng.gen_range(0u64..200);
+        let dies = rng.gen_range(2usize..5);
         let flat = itc99::generate_flat("prop", 200, 16, 6, 6, seed);
         let spec = PartitionSpec::new(dies);
         for assignment in [
@@ -94,46 +112,68 @@ proptest! {
             level::partition(&flat, &spec),
             rpart::partition(&flat, &spec, seed),
         ] {
-            prop_assert_eq!(assignment.len(), flat.len());
-            prop_assert_eq!(assignment.die_sizes().len(), dies);
+            assert_eq!(assignment.len(), flat.len(), "case {case}");
+            assert_eq!(assignment.die_sizes().len(), dies, "case {case}");
             let stack = tsv::extract_dies(&flat, &assignment).expect("valid extraction");
-            prop_assert_eq!(stack.tsvs.len(), assignment.cut_size(&flat));
+            assert_eq!(stack.tsvs.len(), assignment.cut_size(&flat), "case {case}");
         }
     }
+}
 
-    /// STA invariants: loads are non-negative, the worst endpoint slack
-    /// equals WNS, and a longer clock strictly increases every endpoint
-    /// slack by the same amount.
-    #[test]
-    fn sta_invariants(seed in 0u64..200) {
+/// STA invariants: loads are non-negative, the worst endpoint slack equals
+/// WNS, and a longer clock increases every endpoint slack by the same
+/// amount.
+#[test]
+fn sta_invariants() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x57A0 ^ case);
+        let seed = rng.gen_range(0u64..200);
         let die = itc99::generate_flat("prop", 180, 14, 5, 5, seed);
         let placement = place(&die, &PlaceConfig::default(), 1);
         let lib = Library::nangate45_like();
-        let r1 = analyze(&die, &placement, &lib, &StaConfig::with_period(
-            prebond3d::celllib::Time(1000.0)));
-        let r2 = analyze(&die, &placement, &lib, &StaConfig::with_period(
-            prebond3d::celllib::Time(1500.0)));
-        prop_assert!((r2.wns - r1.wns - prebond3d::celllib::Time(500.0)).0.abs() < 1e-6);
+        let r1 = analyze(
+            &die,
+            &placement,
+            &lib,
+            &StaConfig::with_period(prebond3d::celllib::Time(1000.0)),
+        );
+        let r2 = analyze(
+            &die,
+            &placement,
+            &lib,
+            &StaConfig::with_period(prebond3d::celllib::Time(1500.0)),
+        );
+        assert!(
+            (r2.wns - r1.wns - prebond3d::celllib::Time(500.0)).0.abs() < 1e-6,
+            "case {case}"
+        );
         for id in die.ids() {
-            prop_assert!(r1.load(id).0 >= 0.0);
-            prop_assert_eq!(r1.load(id), r2.load(id));
+            assert!(r1.load(id).0 >= 0.0, "case {case}");
+            assert_eq!(r1.load(id), r2.load(id), "case {case}");
             // Arrival is clock-independent.
-            prop_assert!((r1.arrival(id) - r2.arrival(id)).0.abs() < 1e-9);
+            assert!((r1.arrival(id) - r2.arrival(id)).0.abs() < 1e-9, "case {case}");
         }
     }
+}
 
-    /// ATPG patterns generated for a die always detect at least as many
-    /// faults as the engine claims (re-simulation agrees).
-    #[test]
-    fn atpg_accounting_is_consistent(seed in 0u64..60) {
+/// ATPG patterns generated for a die always detect at least as many faults
+/// as the engine claims (re-simulation agrees).
+#[test]
+fn atpg_accounting_is_consistent() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA7B6 ^ case);
+        let seed = rng.gen_range(0u64..60);
         let die = itc99::generate_flat("prop", 100, 8, 5, 5, seed);
         let access = TestAccess::full_scan(&die);
         let result = run_stuck_at(&die, &access, &AtpgConfig::fast());
         let list = prebond3d::atpg::FaultList::collapsed(&die);
-        let detected = prebond3d::atpg::engine::detected_by(
-            &die, &access, &list.faults, &result.patterns);
+        let detected =
+            prebond3d::atpg::engine::detected_by(&die, &access, &list.faults, &result.patterns);
         let count = detected.iter().filter(|&&d| d).count();
-        prop_assert_eq!(count, result.detected);
-        prop_assert!(result.detected + result.untestable <= result.total_faults);
+        assert_eq!(count, result.detected, "case {case}");
+        assert!(
+            result.detected + result.untestable <= result.total_faults,
+            "case {case}"
+        );
     }
 }
