@@ -11,19 +11,53 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use prebond3d_netlist::{GateKind, Netlist};
+use prebond3d_pool as pool;
 
 use crate::access::TestAccess;
 use crate::fault::{Fault, FaultSite};
 use crate::sim::{eval_rail, Pattern, Rail, Simulator};
 
+/// Epoch-stamped overlay of faulty values — the only mutable scratch a
+/// single-fault resimulation needs. Each pool worker owns one overlay
+/// (allocated once per worker, reused across its chunk of faults), which
+/// is what makes the fault loop embarrassingly parallel: everything else
+/// in a batch (`Simulator`, good machine, fault list) is shared read-only.
+#[derive(Debug)]
+struct Overlay {
+    stamp: Vec<u32>,
+    faulty: Vec<Rail>,
+    epoch: u32,
+}
+
+impl Overlay {
+    fn new(len: usize) -> Self {
+        Overlay {
+            stamp: vec![0; len],
+            faulty: vec![(0, 0); len],
+            epoch: 0,
+        }
+    }
+}
+
+/// Shared read-only context of one PPSFP batch.
+struct BatchCtx<'a> {
+    sim: &'a Simulator,
+    netlist: &'a Netlist,
+    access: &'a TestAccess,
+    good: &'a [Rail],
+    used: u64,
+}
+
+/// Below this many faults a batch stays serial: spawning threads costs
+/// more than the cone resimulations themselves.
+const PAR_FAULT_THRESHOLD: usize = 64;
+
 /// Reusable fault-simulation scratch state for one netlist.
 #[derive(Debug)]
 pub struct FaultSimulator {
     sim: Simulator,
-    /// Epoch-stamped overlay of faulty values.
-    stamp: Vec<u32>,
-    faulty: Vec<Rail>,
-    epoch: u32,
+    /// Overlay reused by the serial (single-thread) path.
+    overlay: Overlay,
 }
 
 impl FaultSimulator {
@@ -31,9 +65,7 @@ impl FaultSimulator {
     pub fn new(netlist: &Netlist) -> Self {
         FaultSimulator {
             sim: Simulator::new(netlist),
-            stamp: vec![0; netlist.len()],
-            faulty: vec![(0, 0); netlist.len()],
-            epoch: 0,
+            overlay: Overlay::new(netlist.len()),
         }
     }
 
@@ -88,6 +120,34 @@ impl FaultSimulator {
         alive: &[bool],
         early_exit: bool,
     ) -> Vec<u64> {
+        self.batch_masks(netlist, access, patterns, faults, alive, |_, used| {
+            if early_exit {
+                used
+            } else {
+                0
+            }
+        })
+    }
+
+    /// The shared batch driver: one good-machine simulation, then one
+    /// cone-restricted resimulation per alive fault.
+    ///
+    /// Per-fault resimulations are independent (shared state is read-only,
+    /// scratch is per-overlay), so with more than one pool thread the fault
+    /// list is partitioned into index-contiguous chunks and the masks are
+    /// merged back in fault order — bit-identical to the serial loop (see
+    /// `prebond3d-pool`'s determinism contract). `PREBOND3D_THREADS=1`
+    /// takes the exact pre-existing serial path with the persistent
+    /// overlay.
+    fn batch_masks(
+        &mut self,
+        netlist: &Netlist,
+        access: &TestAccess,
+        patterns: &[Pattern],
+        faults: &[Fault],
+        alive: &[bool],
+        need_of: impl Fn(usize, u64) -> u64 + Sync,
+    ) -> Vec<u64> {
         assert_eq!(faults.len(), alive.len());
         prebond3d_obs::count("atpg.faultsim_batches", 1);
         let good = self.sim.run_batch(netlist, access, patterns);
@@ -96,14 +156,48 @@ impl FaultSimulator {
         } else {
             (1u64 << patterns.len()) - 1
         };
-        let need = if early_exit { used } else { 0 };
-        let mut masks = vec![0u64; faults.len()];
-        for (fi, fault) in faults.iter().enumerate() {
-            if alive[fi] {
-                masks[fi] = self.simulate_one(netlist, access, &good, used, *fault, need);
+        let ctx = BatchCtx {
+            sim: &self.sim,
+            netlist,
+            access,
+            good: &good,
+            used,
+        };
+        let threads = pool::threads();
+        if threads <= 1 || faults.len() < PAR_FAULT_THRESHOLD {
+            let mut masks = vec![0u64; faults.len()];
+            for (fi, fault) in faults.iter().enumerate() {
+                if alive[fi] {
+                    masks[fi] =
+                        simulate_one(&ctx, &mut self.overlay, *fault, need_of(fi, used));
+                }
             }
+            return masks;
         }
-        masks
+        prebond3d_obs::count("atpg.faultsim_parallel_batches", 1);
+        let ctx = &ctx;
+        // ~8 chunks per worker for load balancing; ≥32 faults per chunk so
+        // the per-chunk merge stays negligible next to cone resimulation.
+        let chunk = faults.len().div_ceil(threads * 8).max(32);
+        pool::par_chunks(
+            faults.len(),
+            chunk,
+            || Overlay::new(netlist.len()),
+            |overlay, range| {
+                range
+                    .map(|fi| {
+                        if alive[fi] {
+                            simulate_one(ctx, overlay, faults[fi], need_of(fi, used))
+                        } else {
+                            0
+                        }
+                    })
+                    .collect::<Vec<u64>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Per-fault *need-mask* variant: propagation of fault `f` stops as
@@ -120,172 +214,157 @@ impl FaultSimulator {
         alive: &[bool],
         need: &[u64],
     ) -> Vec<u64> {
-        assert_eq!(faults.len(), alive.len());
         assert_eq!(faults.len(), need.len());
-        prebond3d_obs::count("atpg.faultsim_batches", 1);
-        let good = self.sim.run_batch(netlist, access, patterns);
-        let used: u64 = if patterns.len() == 64 {
-            u64::MAX
+        self.batch_masks(netlist, access, patterns, faults, alive, |fi, _| need[fi])
+    }
+}
+
+/// Detection mask of a single fault against an already-simulated good
+/// machine. Pure with respect to `ctx` (all reads); only `overlay` is
+/// written — which is why one overlay per worker suffices.
+fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) -> u64 {
+    let BatchCtx {
+        sim,
+        netlist,
+        access,
+        good,
+        used,
+    } = *ctx;
+    overlay.epoch = overlay.epoch.wrapping_add(1);
+    if overlay.epoch == 0 {
+        // wrapped: clear stamps
+        overlay.stamp.iter_mut().for_each(|s| *s = 0);
+        overlay.epoch = 1;
+    }
+    let stuck_word = if fault.stuck.value() { used } else { 0 };
+
+    // Inject at the propagation root.
+    let root = fault.site.propagation_root();
+    let root_faulty: Rail = match fault.site {
+        FaultSite::Output(_) => (stuck_word, !used),
+        FaultSite::Input { gate, pin } => {
+            let g = netlist.gate(gate);
+            if !g.kind.is_combinational() {
+                // Branch into a sequential/sink pin: the faulty value is
+                // the stuck value as seen by the capture point; the
+                // "gate output" for detection purposes is the pin value
+                // itself, which only matters if the driver is observed —
+                // handled below via driver comparison. Model the FF/sink
+                // input as a passthrough.
+                (stuck_word, !used)
+            } else {
+                let mut buf = [(0u64, 0u64); 3];
+                for (k, (slot, &i)) in buf.iter_mut().zip(g.inputs.iter()).enumerate() {
+                    *slot = if k == pin as usize {
+                        (stuck_word, !used)
+                    } else {
+                        good[i.index()]
+                    };
+                }
+                eval_rail(g.kind, &buf[..g.inputs.len()])
+            }
+        }
+    };
+
+    let gv = |overlay: &Overlay, i: usize| -> Rail {
+        if overlay.stamp[i] == overlay.epoch {
+            overlay.faulty[i]
         } else {
-            (1u64 << patterns.len()) - 1
-        };
-        let mut masks = vec![0u64; faults.len()];
-        for (fi, fault) in faults.iter().enumerate() {
-            if alive[fi] {
-                masks[fi] =
-                    self.simulate_one(netlist, access, &good, used, *fault, need[fi]);
-            }
+            good[i]
         }
-        masks
+    };
+
+    // Difference mask at the root: where both values are known and
+    // differ, or knownness changed (X→known divergence can become a
+    // detection downstream only if it resolves; we track full rail).
+    let root_good = good[root.index()];
+    if root_faulty == root_good {
+        return 0;
     }
+    overlay.stamp[root.index()] = overlay.epoch;
+    overlay.faulty[root.index()] = root_faulty;
 
-    /// Detection mask of a single fault against an already-simulated good
-    /// machine.
-    fn simulate_one(
-        &mut self,
-        netlist: &Netlist,
-        access: &TestAccess,
-        good: &[Rail],
-        used: u64,
-        fault: Fault,
-        need: u64,
-    ) -> u64 {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            // wrapped: clear stamps
-            self.stamp.iter_mut().for_each(|s| *s = 0);
-            self.epoch = 1;
+    let mut detect = 0u64;
+    let check_observed = |detect: &mut u64, idx: usize, f: Rail| {
+        let g = good[idx];
+        let diff = (g.0 ^ f.0) & !(g.1 | f.1) & used;
+        *detect |= diff;
+    };
+
+    if access.is_observed(root) {
+        if let FaultSite::Output(_) = fault.site {
+            check_observed(&mut detect, root.index(), root_faulty);
+        } else {
+            // Input-pin fault: the observed stem value is the gate's
+            // (already faulty-evaluated) output.
+            check_observed(&mut detect, root.index(), root_faulty);
         }
-        let stuck_word = if fault.stuck.value() { used } else { 0 };
-
-        // Inject at the propagation root.
-        let root = fault.site.propagation_root();
-        let root_faulty: Rail = match fault.site {
-            FaultSite::Output(_) => (stuck_word, !used),
-            FaultSite::Input { gate, pin } => {
-                let g = netlist.gate(gate);
-                if !g.kind.is_combinational() {
-                    // Branch into a sequential/sink pin: the faulty value is
-                    // the stuck value as seen by the capture point; the
-                    // "gate output" for detection purposes is the pin value
-                    // itself, which only matters if the driver is observed —
-                    // handled below via driver comparison. Model the FF/sink
-                    // input as a passthrough.
-                    (stuck_word, !used)
-                } else {
-                    let mut buf = [(0u64, 0u64); 3];
-                    for (k, (slot, &i)) in buf.iter_mut().zip(g.inputs.iter()).enumerate() {
-                        *slot = if k == pin as usize {
-                            (stuck_word, !used)
-                        } else {
-                            good[i.index()]
-                        };
-                    }
-                    eval_rail(g.kind, &buf[..g.inputs.len()])
-                }
-            }
-        };
-
-        let gv = |overlay: &Self, i: usize| -> Rail {
-            if overlay.stamp[i] == overlay.epoch {
-                overlay.faulty[i]
-            } else {
-                good[i]
-            }
-        };
-
-        // Difference mask at the root: where both values are known and
-        // differ, or knownness changed (X→known divergence can become a
-        // detection downstream only if it resolves; we track full rail).
-        let root_good = good[root.index()];
-        if root_faulty == root_good {
-            return 0;
-        }
-        self.stamp[root.index()] = self.epoch;
-        self.faulty[root.index()] = root_faulty;
-
-        let mut detect = 0u64;
-        let check_observed = |detect: &mut u64, idx: usize, f: Rail| {
-            let g = good[idx];
+    }
+    // Special case: a branch fault into an observed *capture pin*. The
+    // observation list stores drivers; a branch fault on the FF's D pin
+    // diverges the captured value even though the driver stem is fine.
+    // We conservatively account for it by treating the pin's stuck
+    // value as the captured value when the pin's gate is sequential or
+    // a sink marker.
+    if detect & need != 0 {
+        return detect;
+    }
+    if let FaultSite::Input { gate, .. } = fault.site {
+        let gk = netlist.gate(gate).kind;
+        if !gk.is_combinational() && access.is_observed(fault.site.driver(netlist)) {
+            // Driver value observed through this very pin: compare the
+            // driver's good value with the stuck value.
+            let g = good[fault.site.driver(netlist).index()];
+            let f: Rail = (stuck_word, !used);
             let diff = (g.0 ^ f.0) & !(g.1 | f.1) & used;
-            *detect |= diff;
-        };
-
-        if access.is_observed(root) {
-            if let FaultSite::Output(_) = fault.site {
-                check_observed(&mut detect, root.index(), root_faulty);
-            } else {
-                // Input-pin fault: the observed stem value is the gate's
-                // (already faulty-evaluated) output.
-                check_observed(&mut detect, root.index(), root_faulty);
-            }
+            detect |= diff;
         }
-        // Special case: a branch fault into an observed *capture pin*. The
-        // observation list stores drivers; a branch fault on the FF's D pin
-        // diverges the captured value even though the driver stem is fine.
-        // We conservatively account for it by treating the pin's stuck
-        // value as the captured value when the pin's gate is sequential or
-        // a sink marker.
-        if detect & need != 0 {
-            return detect;
-        }
-        if let FaultSite::Input { gate, .. } = fault.site {
-            let gk = netlist.gate(gate).kind;
-            if !gk.is_combinational() && access.is_observed(fault.site.driver(netlist)) {
-                // Driver value observed through this very pin: compare the
-                // driver's good value with the stuck value.
-                let g = good[fault.site.driver(netlist).index()];
-                let f: Rail = (stuck_word, !used);
-                let diff = (g.0 ^ f.0) & !(g.1 | f.1) & used;
-                detect |= diff;
-            }
-        }
-
-        // Event-driven propagation in topological-rank order.
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        let push_fanouts = |heap: &mut BinaryHeap<Reverse<(u32, u32)>>, id: prebond3d_netlist::GateId| {
-            for &fo in netlist.fanout(id) {
-                let kind = netlist.gate(fo).kind;
-                if kind.is_sequential() || matches!(kind, GateKind::Output | GateKind::TsvOut) {
-                    continue; // frame boundary; detection uses the driver
-                }
-                heap.push(Reverse((self.sim.rank(fo), fo.0)));
-            }
-        };
-        push_fanouts(&mut heap, root);
-
-        let mut last: Option<u32> = None;
-        while let Some(Reverse((rank, raw))) = heap.pop() {
-            if last == Some(raw) {
-                continue; // deduplicate multi-pushes
-            }
-            last = Some(raw);
-            let _ = rank;
-            let id = prebond3d_netlist::GateId(raw);
-            let gate = netlist.gate(id);
-            // Max arity is 3; a stack buffer avoids a heap allocation per
-            // evaluated gate, which dominates the first (all-faults-alive)
-            // simulation batch on the large b18 dies.
-            let mut buf = [(0u64, 0u64); 3];
-            for (slot, &i) in buf.iter_mut().zip(gate.inputs.iter()) {
-                *slot = gv(self, i.index());
-            }
-            let f = eval_rail(gate.kind, &buf[..gate.inputs.len()]);
-            if f == good[id.index()] {
-                continue; // reconverged: no event
-            }
-            self.stamp[id.index()] = self.epoch;
-            self.faulty[id.index()] = f;
-            if access.is_observed(id) {
-                check_observed(&mut detect, id.index(), f);
-                if detect & need != 0 {
-                    return detect;
-                }
-            }
-            push_fanouts(&mut heap, id);
-        }
-        detect
     }
+
+    // Event-driven propagation in topological-rank order.
+    let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+    let push_fanouts = |heap: &mut BinaryHeap<Reverse<(u32, u32)>>, id: prebond3d_netlist::GateId| {
+        for &fo in netlist.fanout(id) {
+            let kind = netlist.gate(fo).kind;
+            if kind.is_sequential() || matches!(kind, GateKind::Output | GateKind::TsvOut) {
+                continue; // frame boundary; detection uses the driver
+            }
+            heap.push(Reverse((sim.rank(fo), fo.0)));
+        }
+    };
+    push_fanouts(&mut heap, root);
+
+    let mut last: Option<u32> = None;
+    while let Some(Reverse((rank, raw))) = heap.pop() {
+        if last == Some(raw) {
+            continue; // deduplicate multi-pushes
+        }
+        last = Some(raw);
+        let _ = rank;
+        let id = prebond3d_netlist::GateId(raw);
+        let gate = netlist.gate(id);
+        // Max arity is 3; a stack buffer avoids a heap allocation per
+        // evaluated gate, which dominates the first (all-faults-alive)
+        // simulation batch on the large b18 dies.
+        let mut buf = [(0u64, 0u64); 3];
+        for (slot, &i) in buf.iter_mut().zip(gate.inputs.iter()) {
+            *slot = gv(overlay, i.index());
+        }
+        let f = eval_rail(gate.kind, &buf[..gate.inputs.len()]);
+        if f == good[id.index()] {
+            continue; // reconverged: no event
+        }
+        overlay.stamp[id.index()] = overlay.epoch;
+        overlay.faulty[id.index()] = f;
+        if access.is_observed(id) {
+            check_observed(&mut detect, id.index(), f);
+            if detect & need != 0 {
+                return detect;
+            }
+        }
+        push_fanouts(&mut heap, id);
+    }
+    detect
 }
 
 #[cfg(test)]
@@ -391,6 +470,36 @@ mod tests {
         // known 0, faulty 1 → detected.
         assert_eq!(masks[1], 0b11 & masks[1]);
         assert!(masks[1] & 0b01 != 0, "a=0 pattern detects sa1");
+    }
+
+    #[test]
+    fn parallel_detection_masks_are_bit_identical_to_serial() {
+        use prebond3d_netlist::itc99;
+        let die = itc99::generate_flat("d", 400, 24, 6, 6, 11);
+        let acc = TestAccess::full_scan(&die);
+        let list = FaultList::collapsed(&die);
+        assert!(list.len() >= PAR_FAULT_THRESHOLD, "must take the parallel path");
+        let mut state = 0x9E3779B9u64;
+        let ps: Vec<Pattern> = (0..64)
+            .map(|_| Pattern {
+                bits: (0..acc.width())
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        state >> 33 & 1 == 1
+                    })
+                    .collect(),
+            })
+            .collect();
+        let alive = vec![true; list.len()];
+        let masks_at = |threads: usize| {
+            pool::with_threads(threads, || {
+                let mut fs = FaultSimulator::new(&die);
+                fs.simulate_batch(&die, &acc, &ps, &list.faults, &alive)
+            })
+        };
+        let serial = masks_at(1);
+        assert_eq!(masks_at(2), serial, "2 threads must match serial");
+        assert_eq!(masks_at(8), serial, "8 threads must match serial");
     }
 
     #[test]

@@ -17,5 +17,6 @@ fn main() {
     print!("{}", prebond3d_bench::table5::render(&prebond3d_bench::table5::run(&atpg)));
     println!("\n== Fig. 7 ==");
     print!("{}", prebond3d_bench::fig7::render(&prebond3d_bench::fig7::run()));
+    prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
     report::finish();
 }

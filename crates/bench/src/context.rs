@@ -3,6 +3,7 @@
 use prebond3d_celllib::Library;
 use prebond3d_netlist::{itc99, Netlist};
 use prebond3d_place::{place, PlaceConfig, Placement};
+use prebond3d_pool as pool;
 
 /// One benchmark die ready for experiments.
 #[derive(Debug, Clone)]
@@ -89,31 +90,45 @@ pub fn try_circuit_names() -> Result<Vec<&'static str>, String> {
 /// distances, not the algorithms under test.
 pub fn load_circuit(name: &str) -> Vec<DieCase> {
     let spec = itc99::circuit(name).unwrap_or_else(|| panic!("unknown circuit `{name}`"));
-    spec.dies
+    pool::par_range_map(spec.dies.len(), |i| build_case(spec.name, i, &spec.dies[i]))
+}
+
+/// Generate and place all dies of every circuit in `names`, flattened to
+/// `circuit × die` order. Each die is one pool work unit (generation +
+/// annealing placement are seeded and self-contained), so the result is
+/// identical for any thread count.
+pub fn load_circuits(names: &[&'static str]) -> Vec<DieCase> {
+    let specs: Vec<itc99::CircuitSpec> = names
         .iter()
-        .enumerate()
-        .map(|(i, die_spec)| {
-            let netlist = itc99::generate_die(die_spec);
-            let moves = if netlist.len() > 20_000 {
-                4
-            } else if netlist.len() > 5_000 {
-                10
-            } else {
-                24
-            };
-            let config = PlaceConfig {
-                moves_per_cell: moves,
-                ..PlaceConfig::default()
-            };
-            let placement = place(&netlist, &config, 1);
-            DieCase {
-                circuit: spec.name,
-                die: i,
-                netlist,
-                placement,
-            }
-        })
-        .collect()
+        .map(|n| itc99::circuit(n).unwrap_or_else(|| panic!("unknown circuit `{n}`")))
+        .collect();
+    let units: Vec<(&'static str, usize, &itc99::DieSpec)> = specs
+        .iter()
+        .flat_map(|s| s.dies.iter().enumerate().map(|(i, d)| (s.name, i, d)))
+        .collect();
+    pool::par_map_chunked(&units, 1, |&(name, i, d)| build_case(name, i, d))
+}
+
+fn build_case(circuit: &'static str, die: usize, die_spec: &itc99::DieSpec) -> DieCase {
+    let netlist = itc99::generate_die(die_spec);
+    let moves = if netlist.len() > 20_000 {
+        4
+    } else if netlist.len() > 5_000 {
+        10
+    } else {
+        24
+    };
+    let config = PlaceConfig {
+        moves_per_cell: moves,
+        ..PlaceConfig::default()
+    };
+    let placement = place(&netlist, &config, 1);
+    DieCase {
+        circuit,
+        die,
+        netlist,
+        placement,
+    }
 }
 
 /// The shared standard-cell library.

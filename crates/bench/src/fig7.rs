@@ -32,15 +32,17 @@ impl Row {
     }
 }
 
-/// Run over the selected circuits.
+/// Run over the selected circuits; dies run on the pool, per-circuit
+/// sums fold over the submission-ordered results.
 pub fn run() -> Vec<Row> {
     let lib = context::library();
     let mut rows = Vec::new();
     for name in context::circuit_names() {
-        let mut without = 0usize;
-        let mut with = 0usize;
-        for case in context::load_circuit(name) {
-            let (w, wo) = crate::report::die_scope(&case.label(), || {
+        let cases = context::load_circuit(name);
+        let per_die = crate::report::par_die_scopes(
+            &cases,
+            crate::DieCase::label,
+            |case| {
                 let mut w = 0usize;
                 let mut wo = 0usize;
                 for allow in [false, true] {
@@ -60,10 +62,11 @@ pub fn run() -> Vec<Row> {
                     }
                 }
                 (w, wo)
-            });
-            with += w;
-            without += wo;
-        }
+            },
+        );
+        let (with, without) = per_die
+            .into_iter()
+            .fold((0, 0), |(aw, awo), (w, wo)| (aw + w, awo + wo));
         rows.push(Row {
             circuit: name,
             edges_without: without,

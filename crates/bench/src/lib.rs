@@ -12,6 +12,7 @@
 
 pub mod context;
 pub mod fig7;
+pub mod perf;
 pub mod report;
 pub mod table1;
 pub mod table2;
@@ -19,7 +20,7 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 
-pub use context::{circuit_names, load_circuit, try_circuit_names, DieCase};
+pub use context::{circuit_names, load_circuit, load_circuits, try_circuit_names, DieCase};
 
 /// Render a percentage like the paper (`99.42%`).
 pub fn pct(x: f64) -> String {

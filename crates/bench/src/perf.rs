@@ -1,0 +1,86 @@
+//! Serial-vs-parallel wall-clock probes for `BENCH_<exp>.json`.
+//!
+//! [`record_fault_sim_speedup`] measures the hottest phase of the flow —
+//! PPSFP fault simulation — on the largest selected substrate, once with
+//! one thread and once with the parallel pool, asserts the detection
+//! masks are bit-identical (the determinism contract), and records the
+//! speedup via [`crate::report::record_speedup`]. The measured numbers
+//! are whatever the host machine gives: on a single-core container the
+//! "parallel" run is oversubscribed and the speedup hovers around 1x;
+//! the ≥1.5x target is only observable on multi-core hardware.
+
+use std::time::Instant;
+
+use prebond3d_atpg::fault::FaultList;
+use prebond3d_atpg::faultsim::FaultSimulator;
+use prebond3d_atpg::sim::Pattern;
+use prebond3d_atpg::TestAccess;
+use prebond3d_netlist::itc99;
+use prebond3d_pool as pool;
+use prebond3d_rng::StdRng;
+
+use crate::report;
+
+/// Measure one 64-pattern all-faults-alive batch on the largest die of
+/// the largest circuit in `circuits`, serial vs parallel, and record the
+/// result. Panics if the two runs disagree on a single detection bit.
+pub fn record_fault_sim_speedup(circuits: &[&str]) {
+    // Largest substrate: most gates decides, dies within a circuit too.
+    let largest = circuits
+        .iter()
+        .filter_map(|name| itc99::circuit(name))
+        .flat_map(|spec| {
+            spec.dies
+                .into_iter()
+                .enumerate()
+                .map(move |(i, d)| (spec.name, i, d))
+        })
+        .max_by_key(|(_, _, d)| d.gates + d.scan_flip_flops);
+    let Some((circuit, die_idx, die_spec)) = largest else {
+        return;
+    };
+    let substrate = format!("{circuit} Die{die_idx}");
+    let netlist = itc99::generate_die(&die_spec);
+    let access = TestAccess::full_scan(&netlist);
+    let faults = FaultList::collapsed(&netlist);
+    let alive = vec![true; faults.len()];
+    let mut rng = StdRng::seed_from_u64(0x5EED_BA5E);
+    let patterns: Vec<Pattern> = (0..64)
+        .map(|_| Pattern {
+            bits: (0..access.width()).map(|_| rng.gen_bool(0.5)).collect(),
+        })
+        .collect();
+
+    // One batch is sub-millisecond on the small circuits; repeating it
+    // inside the timed window keeps thread-spawn overhead from dominating
+    // the parallel measurement.
+    const REPS: usize = 16;
+    let run = |threads: usize| {
+        pool::with_threads(threads, || {
+            let mut fs = FaultSimulator::new(&netlist);
+            let t = Instant::now();
+            let mut masks = Vec::new();
+            for _ in 0..REPS {
+                masks =
+                    fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive);
+            }
+            (t.elapsed().as_secs_f64() * 1.0e3, masks)
+        })
+    };
+
+    let parallel_threads = pool::threads().max(4);
+    let _warmup = run(1); // page in the netlist and good machine once
+    let (serial_ms, serial_masks) = run(1);
+    let (parallel_ms, parallel_masks) = run(parallel_threads);
+    assert_eq!(
+        serial_masks, parallel_masks,
+        "fault-sim masks must be bit-identical across thread counts"
+    );
+    report::record_speedup(
+        "fault_simulation",
+        &substrate,
+        parallel_threads,
+        serial_ms,
+        parallel_ms,
+    );
+}

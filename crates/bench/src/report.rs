@@ -1,29 +1,48 @@
-//! Machine-readable run reports.
+//! Machine-readable run reports and the perf trajectory.
 //!
 //! Every experiment binary wraps its work in [`begin`]/[`finish`]; the
-//! table modules bracket each die's work with [`die_scope`]. The result is
-//! one `results/run_<experiment>.json` per invocation, holding per-die
-//! phase timings (the `flow/...` span tree) and the algorithm counters
-//! (graph edges, clique merges, PODEM backtracks, …) that the text tables
-//! do not show.
+//! table modules bracket each die's work with [`die_scope`] (serial) or
+//! [`par_die_scopes`] (one pool worker per die). The result is one
+//! `results/run_<experiment>.json` per invocation, holding per-die phase
+//! timings (the `flow/...` span tree) and the algorithm counters (graph
+//! edges, clique merges, PODEM backtracks, …) that the text tables do not
+//! show — plus one `BENCH_<experiment>.json` with the aggregated
+//! wall-time-per-phase breakdown, the thread count, and any serial-vs-
+//! parallel speedup measurements recorded via [`record_speedup`].
 //!
 //! The collector forces `prebond3d-obs` recording on for the duration of
 //! the run, independent of the `PREBOND3D_OBS` sink — so reports are
 //! always written, while event streaming stays opt-in. When no collector
-//! is active (unit tests calling `table3::run()` directly), `die_scope`
-//! degrades to a plain call.
+//! is active (unit tests calling `table3::run()` directly), the scopes
+//! degrade to plain calls.
+//!
+//! ## Parallel sections and determinism
+//!
+//! Each die section is captured with [`obs::capture`], which aggregates
+//! that worker's probes into a thread-local registry — workers never
+//! touch (let alone reset) the global registry, and the collector pushes
+//! sections **in submission order**, so the report's section list is
+//! identical for any `PREBOND3D_THREADS`. Only the `ms` timings differ
+//! run to run; every counter and span count is exact (counters commute —
+//! each probe lands in exactly one section's registry).
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
 
 use prebond3d_obs as obs;
 use prebond3d_obs::json::Value;
+use prebond3d_pool as pool;
 
 struct Collector {
     experiment: String,
     started: Instant,
     sections: Vec<Value>,
+    /// `span path → (completions, total ms)` aggregated across sections.
+    phase_ms: BTreeMap<String, (u64, f64)>,
+    /// Speedup records from [`record_speedup`].
+    speedups: Vec<Value>,
     /// Keeps obs aggregation on until `finish`.
     _recording: obs::RecordingGuard,
 }
@@ -37,65 +56,176 @@ pub fn begin(experiment: &str) {
         experiment: experiment.to_string(),
         started: Instant::now(),
         sections: Vec::new(),
+        phase_ms: BTreeMap::new(),
+        speedups: Vec::new(),
         _recording: obs::record(),
     };
     *COLLECTOR.lock().unwrap() = Some(collector);
     obs::reset();
 }
 
-/// Run `f` as one report section (typically one die), capturing the obs
-/// spans/counters it produces. A plain call when no collector is active.
-pub fn die_scope<T>(label: &str, f: impl FnOnce() -> T) -> T {
-    if COLLECTOR.lock().unwrap().is_none() {
-        return f();
-    }
-    obs::reset();
-    let t = Instant::now();
-    let out = f();
-    let elapsed_ms = t.elapsed().as_secs_f64() * 1.0e3;
-    let mut section = obs::snapshot().to_json();
+fn collector_active() -> bool {
+    COLLECTOR.lock().unwrap().is_some()
+}
+
+/// Build the per-section JSON payload and fold its spans into the
+/// collector's phase aggregation.
+fn push_section(label: &str, elapsed_ms: f64, snap: &obs::Snapshot) {
+    let mut section = snap.to_json();
     if let Value::Obj(map) = &mut section {
         map.insert("label".to_string(), label.into());
         map.insert("ms".to_string(), elapsed_ms.into());
     }
     if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
+        for s in &snap.spans {
+            let e = c.phase_ms.entry(s.path.clone()).or_insert((0, 0.0));
+            e.0 += s.count;
+            e.1 += s.total_ms();
+        }
         c.sections.push(section);
     }
+}
+
+/// Run `f` as one report section (typically one die), capturing the obs
+/// spans/counters it produces. A plain call when no collector is active.
+pub fn die_scope<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    if !collector_active() {
+        return f();
+    }
+    let t = Instant::now();
+    let (out, snap) = obs::capture(f);
+    push_section(label, t.elapsed().as_secs_f64() * 1.0e3, &snap);
     out
 }
 
-/// Finish the report: write `results/run_<experiment>.json` (directory
-/// overridable via `PREBOND3D_REPORT_DIR`) and return its path. `None`
-/// when no collector is active; write errors are reported on stderr rather
+/// Parallel [`die_scope`]: run `f` over `cases` on the pool, one section
+/// per case. Outputs **and** report sections come back in `cases` order
+/// regardless of thread count — each worker captures its own probes
+/// thread-locally and the merge happens here, serially. With no active
+/// collector the cases still run on the pool; only the sections are
+/// skipped.
+pub fn par_die_scopes<C, T>(
+    cases: &[C],
+    label: impl Fn(&C) -> String + Sync,
+    f: impl Fn(&C) -> T + Sync,
+) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+{
+    let active = collector_active();
+    // Chunk size 1: dies are few and heavy, so each is its own work unit.
+    let results = pool::par_map_chunked(cases, 1, |case| {
+        let t = Instant::now();
+        let (out, snap) = if active {
+            obs::capture(|| f(case))
+        } else {
+            (f(case), obs::Snapshot::empty())
+        };
+        (out, t.elapsed().as_secs_f64() * 1.0e3, snap)
+    });
+    results
+        .into_iter()
+        .zip(cases)
+        .map(|((out, ms, snap), case)| {
+            if active {
+                push_section(&label(case), ms, &snap);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Record one serial-vs-parallel wall-clock measurement (written to
+/// `BENCH_<experiment>.json`). A no-op when no collector is active.
+pub fn record_speedup(
+    phase: &str,
+    substrate: &str,
+    threads: usize,
+    serial_ms: f64,
+    parallel_ms: f64,
+) {
+    let speedup = if parallel_ms > 0.0 {
+        serial_ms / parallel_ms
+    } else {
+        0.0
+    };
+    eprintln!(
+        "perf: {phase} on {substrate}: {serial_ms:.1} ms serial, \
+         {parallel_ms:.1} ms at {threads} threads ({speedup:.2}x)"
+    );
+    if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
+        c.speedups.push(Value::obj([
+            ("phase", phase.into()),
+            ("substrate", substrate.into()),
+            ("threads", threads.into()),
+            ("serial_ms", serial_ms.into()),
+            ("parallel_ms", parallel_ms.into()),
+            ("speedup", speedup.into()),
+        ]));
+    }
+}
+
+fn report_dir() -> PathBuf {
+    std::env::var("PREBOND3D_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"))
+}
+
+fn write_report(path: &PathBuf, doc: &Value) -> bool {
+    match std::fs::write(path, format!("{doc}\n")) {
+        Ok(()) => {
+            eprintln!("run report: {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("run report: cannot write {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+/// Finish the report: write `results/run_<experiment>.json` and
+/// `results/BENCH_<experiment>.json` (directory overridable via
+/// `PREBOND3D_REPORT_DIR`) and return the run report's path. `None` when
+/// no collector is active; write errors are reported on stderr rather
 /// than aborting the experiment (the text output already happened).
 pub fn finish() -> Option<PathBuf> {
     let collector = COLLECTOR.lock().unwrap().take()?;
-    let doc = Value::obj([
+    let elapsed_ms = collector.started.elapsed().as_secs_f64() * 1.0e3;
+    let run_doc = Value::obj([
         ("experiment", collector.experiment.as_str().into()),
-        (
-            "elapsed_ms",
-            (collector.started.elapsed().as_secs_f64() * 1.0e3).into(),
-        ),
+        ("elapsed_ms", elapsed_ms.into()),
         ("sections", Value::Arr(collector.sections)),
     ]);
-    let dir = std::env::var("PREBOND3D_REPORT_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"));
+    let phases: Vec<Value> = collector
+        .phase_ms
+        .iter()
+        .map(|(path, &(count, ms))| {
+            Value::obj([
+                ("path", path.as_str().into()),
+                ("count", count.into()),
+                ("ms", ms.into()),
+            ])
+        })
+        .collect();
+    let bench_doc = Value::obj([
+        ("experiment", collector.experiment.as_str().into()),
+        ("threads", pool::threads().into()),
+        ("elapsed_ms", elapsed_ms.into()),
+        ("phases", Value::Arr(phases)),
+        ("speedup", Value::Arr(collector.speedups)),
+    ]);
+
+    let dir = report_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("run report: cannot create {}: {e}", dir.display());
         return None;
     }
-    let path = dir.join(format!("run_{}.json", collector.experiment));
-    match std::fs::write(&path, format!("{doc}\n")) {
-        Ok(()) => {
-            eprintln!("run report: {}", path.display());
-            Some(path)
-        }
-        Err(e) => {
-            eprintln!("run report: cannot write {}: {e}", path.display());
-            None
-        }
-    }
+    let bench_path = dir.join(format!("BENCH_{}.json", collector.experiment));
+    write_report(&bench_path, &bench_doc);
+    let run_path = dir.join(format!("run_{}.json", collector.experiment));
+    write_report(&run_path, &run_doc).then_some(run_path)
 }
 
 #[cfg(test)]
@@ -112,6 +242,8 @@ mod tests {
         assert!(COLLECTOR.lock().unwrap().is_none());
         let out = die_scope("x", || 41 + 1);
         assert_eq!(out, 42);
+        let outs = par_die_scopes(&[1, 2, 3], |c| format!("c{c}"), |&c| c * 10);
+        assert_eq!(outs, vec![10, 20, 30]);
     }
 
     #[test]
@@ -145,5 +277,81 @@ mod tests {
         assert!(spans
             .iter()
             .any(|s| s.get("path").unwrap().as_str() == Some("unit_phase")));
+    }
+
+    #[test]
+    fn parallel_sections_keep_submission_order_and_exact_counters() {
+        let _l = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("prebond3d_report_par_test");
+        std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+
+        let cases: Vec<u64> = (0..6).collect();
+        begin("unit_par");
+        let outs = pool::with_threads(4, || {
+            par_die_scopes(
+                &cases,
+                |c| format!("die{c}"),
+                |&c| {
+                    let _s = obs::span("work");
+                    obs::count("work.items", c + 1);
+                    c * 2
+                },
+            )
+        });
+        assert_eq!(outs, vec![0, 2, 4, 6, 8, 10]);
+        let path = finish().expect("report written");
+        std::env::remove_var("PREBOND3D_REPORT_DIR");
+
+        let doc = prebond3d_obs::json::parse(&std::fs::read_to_string(&path).unwrap())
+            .expect("valid JSON");
+        let sections = doc.get("sections").unwrap().as_arr().unwrap();
+        let labels: Vec<&str> = sections
+            .iter()
+            .map(|s| s.get("label").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(labels, ["die0", "die1", "die2", "die3", "die4", "die5"]);
+        for (i, sec) in sections.iter().enumerate() {
+            assert_eq!(
+                sec.get("counters").unwrap().get("work.items").unwrap().as_u64(),
+                Some(i as u64 + 1),
+                "each section holds exactly its own worker's counters"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_report_carries_phases_and_speedups() {
+        let _l = LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("prebond3d_report_bench_test");
+        std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+
+        begin("unit_bench");
+        die_scope("die0", || {
+            let _s = obs::span("phase_a");
+        });
+        die_scope("die1", || {
+            let _s = obs::span("phase_a");
+        });
+        record_speedup("fault_simulation", "b12_die0", 4, 100.0, 40.0);
+        let run_path = finish().expect("report written");
+        std::env::remove_var("PREBOND3D_REPORT_DIR");
+
+        let bench_path = run_path.with_file_name("BENCH_unit_bench.json");
+        let doc = prebond3d_obs::json::parse(&std::fs::read_to_string(&bench_path).unwrap())
+            .expect("valid JSON");
+        assert_eq!(doc.get("experiment").unwrap().as_str(), Some("unit_bench"));
+        assert!(doc.get("threads").unwrap().as_u64().unwrap() >= 1);
+        let phases = doc.get("phases").unwrap().as_arr().unwrap();
+        let pa = phases
+            .iter()
+            .find(|p| p.get("path").unwrap().as_str() == Some("phase_a"))
+            .expect("phase_a aggregated");
+        assert_eq!(pa.get("count").unwrap().as_u64(), Some(2));
+        let speedups = doc.get("speedup").unwrap().as_arr().unwrap();
+        assert_eq!(speedups.len(), 1);
+        let s = &speedups[0];
+        assert_eq!(s.get("phase").unwrap().as_str(), Some("fault_simulation"));
+        assert_eq!(s.get("speedup").unwrap().as_u64(), None); // 2.5 is not integral
+        assert!((s.get("speedup").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
     }
 }

@@ -55,12 +55,11 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
     }
 }
 
-/// Run over the paper's Table I workload (b12, all four dies).
+/// Run over the paper's Table I workload (b12, all four dies), one pool
+/// worker per die.
 pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
-    context::load_circuit("b12")
-        .iter()
-        .map(|case| crate::report::die_scope(&case.label(), || run_die(case, atpg)))
-        .collect()
+    let cases = context::load_circuit("b12");
+    crate::report::par_die_scopes(&cases, DieCase::label, |case| run_die(case, atpg))
 }
 
 /// Render paper-style.

@@ -25,25 +25,21 @@ pub struct Row {
     pub outbound: usize,
 }
 
-/// Collect rows for the selected circuits.
+/// Collect rows for the selected circuits (die generation + placement is
+/// the work here, parallelized inside [`context::load_circuits`]).
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for name in context::circuit_names() {
-        for case in context::load_circuit(name) {
-            rows.push(crate::report::die_scope(&case.label(), || {
-                let s = case.netlist.stats();
-                Row {
-                    label: case.label(),
-                    scan_ffs: s.scan_flip_flops,
-                    gates: s.combinational_gates,
-                    tsvs: s.tsvs(),
-                    inbound: s.inbound_tsvs,
-                    outbound: s.outbound_tsvs,
-                }
-            }));
+    let cases = context::load_circuits(&context::circuit_names());
+    crate::report::par_die_scopes(&cases, crate::DieCase::label, |case| {
+        let s = case.netlist.stats();
+        Row {
+            label: case.label(),
+            scan_ffs: s.scan_flip_flops,
+            gates: s.combinational_gates,
+            tsvs: s.tsvs(),
+            inbound: s.inbound_tsvs,
+            outbound: s.outbound_tsvs,
         }
-    }
-    rows
+    })
 }
 
 /// Render paper-style.

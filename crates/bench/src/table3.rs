@@ -50,15 +50,10 @@ pub fn run_die(case: &DieCase) -> Row {
     }
 }
 
-/// Run over the selected benchmark set.
+/// Run over the selected benchmark set, one pool worker per die.
 pub fn run() -> Vec<Row> {
-    let mut rows = Vec::new();
-    for name in context::circuit_names() {
-        for case in context::load_circuit(name) {
-            rows.push(crate::report::die_scope(&case.label(), || run_die(&case)));
-        }
-    }
-    rows
+    let cases = context::load_circuits(&context::circuit_names());
+    crate::report::par_die_scopes(&cases, DieCase::label, run_die)
 }
 
 /// Aggregate means and violation counts, paper-style.

@@ -63,15 +63,10 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
     }
 }
 
-/// Run over the selected circuits.
+/// Run over the selected circuits, one pool worker per die.
 pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for name in context::circuit_names() {
-        for case in context::load_circuit(name) {
-            rows.push(crate::report::die_scope(&case.label(), || run_die(&case, atpg)));
-        }
-    }
-    rows
+    let cases = context::load_circuits(&context::circuit_names());
+    crate::report::par_die_scopes(&cases, DieCase::label, |case| run_die(case, atpg))
 }
 
 /// Render paper-style `(coverage, #patterns)` cells.

@@ -71,18 +71,15 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
     }
 }
 
-/// The paper's Table V circuits, intersected with the selection.
+/// The paper's Table V circuits, intersected with the selection; one pool
+/// worker per die.
 pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for name in context::circuit_names() {
-        if !matches!(name, "b20" | "b21" | "b22") {
-            continue;
-        }
-        for case in context::load_circuit(name) {
-            rows.push(crate::report::die_scope(&case.label(), || run_die(&case, atpg)));
-        }
-    }
-    rows
+    let names: Vec<&'static str> = context::circuit_names()
+        .into_iter()
+        .filter(|n| matches!(*n, "b20" | "b21" | "b22"))
+        .collect();
+    let cases = context::load_circuits(&names);
+    crate::report::par_die_scopes(&cases, DieCase::label, |case| run_die(case, atpg))
 }
 
 /// Render paper-style.

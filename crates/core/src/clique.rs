@@ -169,8 +169,13 @@ pub fn partition(
     let rd = library.timing(GateKind::ScanDff).drive_resistance;
     let include_wire = policy == MergePolicy::Accurate;
 
-    let mut states: Vec<State> = (0..n)
-        .map(|i| {
+    // Candidate scoring: each node's initial budget state is an
+    // independent set of timing-model queries (loads, slacks, anchor
+    // contributions), so it runs on the pool; `par_range_map` returns the
+    // states in node order, identical to the serial loop. The merge loop
+    // below is inherently sequential — each merge decision depends on the
+    // partition produced by all previous ones.
+    let mut states: Vec<State> = prebond3d_pool::par_range_map(n, |i| {
             let gate = graph.nodes[i];
             match graph.kinds[i] {
                 NodeKind::ScanFf => {
@@ -217,8 +222,7 @@ pub fn partition(
                     q_slack: Time(f64::INFINITY),
                 },
             }
-        })
-        .collect();
+        });
 
     let mut neighbors: Vec<BTreeSet<usize>> = (0..n)
         .map(|i| graph.neighbors(i).iter().copied().collect())

@@ -16,6 +16,7 @@
 
 use prebond3d_netlist::{cone::ConeSet, GateId, Netlist};
 use prebond3d_obs as obs;
+use prebond3d_pool as pool;
 use prebond3d_sta::whatif::ReuseKind;
 
 use crate::testability::TestabilityProbe;
@@ -113,21 +114,30 @@ pub fn build(
     let cones = ConeSet::compute(netlist, &nodes);
 
     // --- Edge construction (Algorithm 1 lines 16–26) ----------------------
+    // Each pair's admission — the timing what-if plus the cone-overlap /
+    // testability pricing — reads only shared immutable state, so the
+    // O(n²) scan is partitioned by row across the pool. Workers return
+    // each row's admitted edges; the replay below applies them serially
+    // in ascending (i, j) order, which reproduces the serial double
+    // loop's adjacency-list push order (and counters) exactly for any
+    // thread count — `PREBOND3D_THREADS=1` short-circuits to an inline
+    // loop inside the pool itself.
     let n = nodes.len();
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let mut edge_count = 0usize;
-    let mut overlap_edges = 0usize;
-    let mut pairs_considered = 0usize;
-    for i in 0..n {
+    let kinds_ref = &kinds;
+    let nodes_ref = &nodes;
+    let cones_ref = &cones;
+    let scan_row = |i: usize| -> (usize, Vec<(usize, bool)>) {
+        let mut pairs = 0usize;
+        let mut admitted: Vec<(usize, bool)> = Vec::new();
         for j in (i + 1)..n {
             // At least one endpoint must be a TSV.
-            if kinds[i] == NodeKind::ScanFf && kinds[j] == NodeKind::ScanFf {
+            if kinds_ref[i] == NodeKind::ScanFf && kinds_ref[j] == NodeKind::ScanFf {
                 continue;
             }
-            pairs_considered += 1;
-            let (a, b) = (nodes[i], nodes[j]);
+            pairs += 1;
+            let (a, b) = (nodes_ref[i], nodes_ref[j]);
             // Timing admission (distance + cap/slack what-if).
-            let timing_ok = match (kinds[i], kinds[j]) {
+            let timing_ok = match (kinds_ref[i], kinds_ref[j]) {
                 (NodeKind::ScanFf, NodeKind::Tsv) => {
                     model.reuse_is_safe(a, b, direction, thresholds)
                 }
@@ -145,24 +155,39 @@ pub fn build(
             // disjointness rule (correlated test values across two TSV
             // fanouts compound, and admitting them mostly destabilizes
             // the clique heuristic).
-            let overlapped = cones.cones_overlap(a, b);
-            let ff_pair = kinds[i] == NodeKind::ScanFf || kinds[j] == NodeKind::ScanFf;
+            let overlapped = cones_ref.cones_overlap(a, b);
+            let ff_pair =
+                kinds_ref[i] == NodeKind::ScanFf || kinds_ref[j] == NodeKind::ScanFf;
             let admit = if !overlapped {
                 true
             } else if ff_pair && thresholds.allows_overlap() {
                 probe
-                    .sharing_cost(netlist, &cones, a, b)
+                    .sharing_cost(netlist, cones_ref, a, b)
                     .within(thresholds.cov_th, thresholds.p_th)
             } else {
                 false
             };
             if admit {
-                adj[i].push(j);
-                adj[j].push(i);
-                edge_count += 1;
-                if overlapped {
-                    overlap_edges += 1;
-                }
+                admitted.push((j, overlapped));
+            }
+        }
+        (pairs, admitted)
+    };
+    let rows = pool::par_range_map(n, scan_row);
+
+    // Submission-order replay: deterministic merge of the parallel scan.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut edge_count = 0usize;
+    let mut overlap_edges = 0usize;
+    let mut pairs_considered = 0usize;
+    for (i, (pairs, admitted)) in rows.into_iter().enumerate() {
+        pairs_considered += pairs;
+        for (j, overlapped) in admitted {
+            adj[i].push(j);
+            adj[j].push(i);
+            edge_count += 1;
+            if overlapped {
+                overlap_edges += 1;
             }
         }
     }

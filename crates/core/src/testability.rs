@@ -42,7 +42,11 @@ impl TestabilityCost {
 }
 
 /// A source of sharing-cost estimates.
-pub trait TestabilityProbe {
+///
+/// `Sync` is a supertrait because graph construction shares one probe
+/// across the pool's row-scan workers; probes are pure pricing functions
+/// over shared read-only state, so this costs implementations nothing.
+pub trait TestabilityProbe: Sync {
     /// Price the sharing of one wrapper cell by nodes `a` and `b` (each a
     /// scan flip-flop or TSV endpoint) whose cones overlap.
     fn sharing_cost(&self, netlist: &Netlist, cones: &ConeSet, a: GateId, b: GateId)

@@ -45,9 +45,15 @@
 //! ## Threading
 //!
 //! The span stack is thread-local (nesting is per thread); counters and
-//! the aggregate registry are global behind a mutex. The flow itself is
-//! single-threaded per die, so the mutex is uncontended today; it is the
-//! seam a future parallel flow will aggregate through.
+//! the aggregate registry are global behind a mutex. Parallel callers
+//! that need per-worker isolation wrap their work in [`capture`], which
+//! installs a **thread-local registry** for the closure's duration: every
+//! probe the closure emits (including probes from nested serial parallel
+//! regions — see `prebond3d-pool`'s nesting rule) aggregates into that
+//! registry instead of the global one, and is returned as a
+//! [`Snapshot`]. Counter *sums* across captured workers equal the serial
+//! run's counters exactly, because counters only ever add and each probe
+//! lands in exactly one registry — merge order cannot change a sum.
 
 pub mod json;
 
@@ -125,11 +131,41 @@ impl SpanStat {
 #[derive(Default)]
 struct Registry {
     /// Span stats in first-completion order (deterministic for the
-    /// single-threaded flow).
+    /// single-threaded flow and within one [`capture`] scope).
     spans: Vec<SpanStat>,
     span_index: HashMap<String, usize>,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
+}
+
+impl Registry {
+    fn record_span(&mut self, path: &str, name: &'static str, depth: usize, dur_ns: u128) {
+        match self.span_index.get(path) {
+            Some(&i) => {
+                self.spans[i].count += 1;
+                self.spans[i].total_ns += dur_ns;
+            }
+            None => {
+                let i = self.spans.len();
+                self.spans.push(SpanStat {
+                    path: path.to_string(),
+                    name: name.to_string(),
+                    depth,
+                    count: 1,
+                    total_ns: dur_ns,
+                });
+                self.span_index.insert(path.to_string(), i);
+            }
+        }
+    }
+
+    fn to_snapshot(&self) -> Snapshot {
+        Snapshot {
+            spans: self.spans.clone(),
+            counters: self.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            gauges: self.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+        }
+    }
 }
 
 struct State {
@@ -143,6 +179,9 @@ static STATE: OnceLock<State> = OnceLock::new();
 
 thread_local! {
     static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// Registry installed by [`capture`] — probes on this thread aggregate
+    /// here instead of the global registry while it is present.
+    static LOCAL: RefCell<Option<Registry>> = const { RefCell::new(None) };
 }
 
 fn state() -> &'static State {
@@ -261,25 +300,19 @@ impl Drop for Span {
             (path, depth)
         });
         let st = state();
-        {
-            let mut reg = st.registry.lock().unwrap();
-            match reg.span_index.get(&path) {
-                Some(&i) => {
-                    reg.spans[i].count += 1;
-                    reg.spans[i].total_ns += dur_ns;
-                }
-                None => {
-                    let i = reg.spans.len();
-                    reg.spans.push(SpanStat {
-                        path: path.clone(),
-                        name: self.name.to_string(),
-                        depth,
-                        count: 1,
-                        total_ns: dur_ns,
-                    });
-                    reg.span_index.insert(path.clone(), i);
-                }
+        let captured = LOCAL.with(|l| {
+            if let Some(reg) = l.borrow_mut().as_mut() {
+                reg.record_span(&path, self.name, depth, dur_ns);
+                true
+            } else {
+                false
             }
+        });
+        if !captured {
+            st.registry
+                .lock()
+                .unwrap()
+                .record_span(&path, self.name, depth, dur_ns);
         }
         if st.sink_active.load(Ordering::Relaxed) {
             let mut sink = st.sink.lock().unwrap();
@@ -316,8 +349,18 @@ pub fn count(name: &'static str, delta: u64) {
     if !is_active() || delta == 0 {
         return;
     }
-    let mut reg = state().registry.lock().unwrap();
-    *reg.counters.entry(name).or_insert(0) += delta;
+    let captured = LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            *reg.counters.entry(name).or_insert(0) += delta;
+            true
+        } else {
+            false
+        }
+    });
+    if !captured {
+        let mut reg = state().registry.lock().unwrap();
+        *reg.counters.entry(name).or_insert(0) += delta;
+    }
 }
 
 /// Record the latest value of gauge `name`.
@@ -326,8 +369,18 @@ pub fn gauge(name: &'static str, value: u64) {
     if !is_active() {
         return;
     }
-    let mut reg = state().registry.lock().unwrap();
-    reg.gauges.insert(name, value);
+    let captured = LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            reg.gauges.insert(name, value);
+            true
+        } else {
+            false
+        }
+    });
+    if !captured {
+        let mut reg = state().registry.lock().unwrap();
+        reg.gauges.insert(name, value);
+    }
 }
 
 /// A point-in-time copy of the aggregate registry.
@@ -342,6 +395,15 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
+    /// A snapshot with nothing recorded.
+    pub fn empty() -> Snapshot {
+        Snapshot {
+            spans: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+        }
+    }
+
     /// Counter value (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters
@@ -402,12 +464,45 @@ impl Snapshot {
 
 /// Copy out the aggregate registry.
 pub fn snapshot() -> Snapshot {
-    let reg = state().registry.lock().unwrap();
-    Snapshot {
-        spans: reg.spans.clone(),
-        counters: reg.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
-        gauges: reg.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+    state().registry.lock().unwrap().to_snapshot()
+}
+
+/// Run `f` with a fresh **thread-local** registry capturing every probe
+/// it emits, and return `f`'s output alongside the captured [`Snapshot`].
+///
+/// This is the aggregation seam for parallel experiment drivers: each
+/// worker thread wraps its die's flow in `capture`, so per-die sections
+/// never race on (or reset) the global registry, and the caller merges
+/// the returned snapshots in submission order. Nested captures stack;
+/// the previous registry is restored even when `f` unwinds. Probes are
+/// only live under a sink or [`record`] — the capture does not force
+/// recording on by itself.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    /// Restores the previously installed registry on drop (unwind-safe).
+    struct Restore {
+        prev: Option<Registry>,
+        done: bool,
     }
+    impl Restore {
+        fn finish(&mut self) -> Registry {
+            self.done = true;
+            let mine = LOCAL.with(|l| l.borrow_mut().take()).unwrap_or_default();
+            LOCAL.with(|l| *l.borrow_mut() = self.prev.take());
+            mine
+        }
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if !self.done {
+                LOCAL.with(|l| *l.borrow_mut() = self.prev.take());
+            }
+        }
+    }
+    let prev = LOCAL.with(|l| l.borrow_mut().replace(Registry::default()));
+    let mut restore = Restore { prev, done: false };
+    let out = f();
+    let snap = restore.finish().to_snapshot();
+    (out, snap)
 }
 
 /// Clear the aggregate registry (the harness calls this between dies).

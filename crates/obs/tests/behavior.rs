@@ -169,6 +169,80 @@ fn json_sink_round_trips_through_the_parser() {
 }
 
 #[test]
+fn capture_isolates_probes_from_the_global_registry() {
+    let _l = LOCK.lock().unwrap();
+    let _rec = obs::record();
+    obs::reset();
+    obs::count("outside.before", 1);
+    let ((), local) = obs::capture(|| {
+        nested_workload();
+        obs::count("inside.only", 5);
+    });
+    obs::count("outside.after", 2);
+    let global = obs::snapshot();
+    obs::reset();
+
+    // Everything the closure emitted landed in the captured snapshot…
+    assert_eq!(local.counter("inside.only"), 5);
+    assert_eq!(local.counter("graph.edges"), 7);
+    assert!(local.span("flow/plan/graph_build").is_some());
+    // …and nothing leaked into (or out of) the global registry.
+    assert_eq!(global.counter("inside.only"), 0);
+    assert!(global.span("flow").is_none());
+    assert_eq!(global.counter("outside.before"), 1);
+    assert_eq!(global.counter("outside.after"), 2);
+}
+
+#[test]
+fn capture_nests_and_restores_on_unwind() {
+    let _l = LOCK.lock().unwrap();
+    let _rec = obs::record();
+    obs::reset();
+    let ((), outer) = obs::capture(|| {
+        obs::count("outer.events", 1);
+        let ((), inner) = obs::capture(|| obs::count("inner.events", 3));
+        assert_eq!(inner.counter("inner.events"), 3);
+        // The outer registry is back in place after the inner capture.
+        obs::count("outer.events", 1);
+        // A panicking capture must restore the outer registry too.
+        let _ = std::panic::catch_unwind(|| {
+            obs::capture(|| -> () { panic!("worker died") })
+        });
+        obs::count("outer.events", 1);
+    });
+    let global = obs::snapshot();
+    obs::reset();
+    assert_eq!(outer.counter("outer.events"), 3);
+    assert_eq!(outer.counter("inner.events"), 0);
+    assert_eq!(global.counter("outer.events"), 0);
+}
+
+#[test]
+fn captured_counter_sums_match_the_uncaptured_run() {
+    let _l = LOCK.lock().unwrap();
+    // Counters commute: splitting a workload across capture scopes and
+    // summing gives exactly the counters of one uncaptured run.
+    let serial = recorded(|| {
+        for _ in 0..4 {
+            nested_workload();
+        }
+    });
+    let _rec = obs::record();
+    obs::reset();
+    let parts: Vec<obs::Snapshot> = (0..4)
+        .map(|_| obs::capture(nested_workload).1)
+        .collect();
+    obs::reset();
+    let summed: u64 = parts.iter().map(|s| s.counter("graph.edges")).sum();
+    assert_eq!(summed, serial.counter("graph.edges"));
+    let span_total: u64 = parts
+        .iter()
+        .map(|s| s.span("flow").map_or(0, |sp| sp.count))
+        .sum();
+    assert_eq!(span_total, serial.span("flow").unwrap().count);
+}
+
+#[test]
 fn snapshot_to_json_carries_spans_counters_and_gauges() {
     let _l = LOCK.lock().unwrap();
     let snap = recorded(nested_workload);

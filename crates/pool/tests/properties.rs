@@ -1,0 +1,137 @@
+//! Seeded property sweeps for the pool's determinism contract.
+//!
+//! Randomized input lengths, chunk sizes and thread counts (driven by the
+//! in-tree `prebond3d-rng` so every run sees the same cases) check the
+//! three load-bearing properties: parallel output equals serial output in
+//! order, every item is processed exactly once, and a panicking worker
+//! propagates instead of deadlocking the scope.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use prebond3d_pool::{par_chunks, par_map, par_map_chunked, with_threads};
+use prebond3d_rng::StdRng;
+
+#[test]
+fn par_map_preserves_order_for_random_shapes() {
+    let mut rng = StdRng::seed_from_u64(0x0001_0001);
+    for _ in 0..200 {
+        let len = rng.gen_range(0..300usize);
+        let threads = rng.gen_range(1..9usize);
+        let chunk = rng.gen_range(1..40usize);
+        let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x ^ 0xABCD).collect();
+        let got = with_threads(threads, || {
+            par_map_chunked(&items, chunk, |x| x ^ 0xABCD)
+        });
+        assert_eq!(
+            got, expected,
+            "len={len} threads={threads} chunk={chunk}: order or content diverged"
+        );
+    }
+}
+
+#[test]
+fn every_item_is_processed_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(0x0002_0002);
+    for _ in 0..100 {
+        let len = rng.gen_range(1..500usize);
+        let threads = rng.gen_range(2..9usize);
+        let chunk = rng.gen_range(1..64usize);
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        let indices: Vec<usize> = (0..len).collect();
+        with_threads(threads, || {
+            par_map_chunked(&indices, chunk, |&i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        for (i, h) in hits.iter().enumerate() {
+            let n = h.load(Ordering::Relaxed);
+            assert_eq!(
+                n, 1,
+                "item {i} processed {n} times (len={len} threads={threads} chunk={chunk})"
+            );
+        }
+    }
+}
+
+#[test]
+fn chunk_ranges_partition_the_input() {
+    let mut rng = StdRng::seed_from_u64(0x0003_0003);
+    for _ in 0..100 {
+        let len = rng.gen_range(0..400usize);
+        let threads = rng.gen_range(1..9usize);
+        let chunk = rng.gen_range(1..50usize);
+        let ranges: Vec<std::ops::Range<usize>> =
+            with_threads(threads, || {
+                par_chunks(len, chunk, || (), |_, range| range)
+            });
+        // Concatenated in merge order, the ranges must tile [0, len).
+        let mut next = 0usize;
+        for r in &ranges {
+            assert_eq!(r.start, next, "gap or overlap before {r:?}");
+            assert!(r.end > r.start, "empty chunk {r:?}");
+            assert!(r.end - r.start <= chunk, "oversized chunk {r:?}");
+            next = r.end;
+        }
+        assert_eq!(next, len, "ranges do not cover the input");
+    }
+}
+
+#[test]
+fn panicking_worker_propagates_instead_of_deadlocking() {
+    let mut rng = StdRng::seed_from_u64(0x0004_0004);
+    for _ in 0..20 {
+        let len = rng.gen_range(10..200usize);
+        let threads = rng.gen_range(2..9usize);
+        let victim = rng.gen_range(0..len);
+        let items: Vec<usize> = (0..len).collect();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(threads, || {
+                par_map(&items, |&i| {
+                    assert!(i != victim, "poisoned item {i}");
+                    i
+                })
+            })
+        }));
+        let err = result.expect_err("the worker panic must propagate");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("poisoned item"),
+            "propagated panic carries the original payload, got {msg:?}"
+        );
+    }
+}
+
+#[test]
+fn serial_path_and_parallel_path_agree_on_worker_state_reduction() {
+    // par_chunks with stateful workers: each chunk returns (range, sum);
+    // the merged result must equal the serial computation regardless of
+    // how chunks were distributed across workers.
+    let mut rng = StdRng::seed_from_u64(0x0005_0005);
+    for _ in 0..100 {
+        let len = rng.gen_range(0..600usize);
+        let threads = rng.gen_range(1..9usize);
+        let chunk = rng.gen_range(1..80usize);
+        let data: Vec<u64> = (0..len as u64).map(|i| i * i + 7).collect();
+        let run = || {
+            par_chunks(
+                data.len(),
+                chunk,
+                || 0u64, // per-worker scratch: counts items seen by this worker
+                |seen, range| {
+                    *seen += range.len() as u64;
+                    data[range].iter().sum::<u64>()
+                },
+            )
+            .into_iter()
+            .collect::<Vec<u64>>()
+        };
+        let serial = with_threads(1, run);
+        let parallel = with_threads(threads, run);
+        assert_eq!(serial, parallel, "len={len} threads={threads} chunk={chunk}");
+    }
+}

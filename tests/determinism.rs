@@ -1,0 +1,138 @@
+//! Serial-vs-parallel equivalence: every stage the pool touches must be
+//! bit-identical for any thread count (DESIGN.md §8).
+//!
+//! Each test computes a result under `PREBOND3D_THREADS`-equivalent
+//! overrides of 1 (the exact serial path), 2 and 8 via
+//! `prebond3d_pool::with_threads`, then compares byte-for-byte — either
+//! the raw values or their `Debug` renderings, which pin down ordering as
+//! well as content. Thread count 8 deliberately oversubscribes small
+//! work lists so chunk claiming is maximally racy; determinism must come
+//! from the merge order, not from scheduling luck.
+
+use prebond3d::atpg::engine::{run_stuck_at, AtpgConfig};
+use prebond3d::atpg::faultsim::FaultSimulator;
+use prebond3d::atpg::sim::Pattern;
+use prebond3d::atpg::{FaultList, TestAccess};
+use prebond3d::celllib::Library;
+use prebond3d::netlist::{itc99, Netlist};
+use prebond3d::place::{place, PlaceConfig};
+use prebond3d::wcm::flow::{run_flow, FlowConfig, FlowResult, Method, Scenario};
+use prebond3d_pool::with_threads;
+use prebond3d_rng::StdRng;
+
+/// The deterministic substrates the suite sweeps: a small and a medium
+/// ITC'99-style die, generated from fixed published parameters.
+fn substrates() -> Vec<(String, Netlist)> {
+    let mut out = Vec::new();
+    for (name, dies) in [("b11", 2), ("b12", 1)] {
+        let spec = itc99::circuit(name).expect("known benchmark");
+        for (i, die) in spec.dies.iter().enumerate().take(dies) {
+            out.push((format!("{name} Die{i}"), itc99::generate_die(die)));
+        }
+    }
+    out
+}
+
+/// Run `f` at thread counts 1, 2 and 8 and assert all results equal.
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    f: impl Fn() -> T,
+) {
+    let serial = with_threads(1, &f);
+    for threads in [2usize, 8] {
+        let parallel = with_threads(threads, &f);
+        assert_eq!(
+            serial, parallel,
+            "{what}: serial and {threads}-thread results diverge"
+        );
+    }
+}
+
+#[test]
+fn fault_coverage_maps_are_identical_across_thread_counts() {
+    for (label, netlist) in substrates() {
+        let access = TestAccess::full_scan(&netlist);
+        let faults = FaultList::collapsed(&netlist);
+        let alive = vec![true; faults.len()];
+        let mut rng = StdRng::seed_from_u64(0xD1CE_0001);
+        let patterns: Vec<Pattern> = (0..64)
+            .map(|_| Pattern {
+                bits: (0..access.width()).map(|_| rng.gen_bool(0.5)).collect(),
+            })
+            .collect();
+        assert_thread_invariant(&format!("{label} detection masks"), || {
+            let mut fs = FaultSimulator::new(&netlist);
+            fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive)
+        });
+    }
+}
+
+/// Sharing-graph edge sets, clique partitions and the final wrapper-cell
+/// counts, all captured through the flow's own outputs: `PhaseStats`
+/// carries the per-phase node/edge/overlap counts, `WrapPlan` the exact
+/// reuse assignment the cliques produced, and the two counters the final
+/// answer. `WrapPlan` is `Eq`, so a single adjacency-order difference in
+/// the graph or a reordered merge in the partition shows up here.
+#[test]
+fn sharing_graphs_cliques_and_wrapper_counts_are_thread_invariant() {
+    let lib = Library::nangate45_like();
+    for (label, netlist) in substrates() {
+        let placement = place(&netlist, &PlaceConfig::default(), 1);
+        for scenario in [Scenario::Area, Scenario::Tight] {
+            let fingerprint = |r: &FlowResult| {
+                format!(
+                    "{:?}\n{:?}\nreused={} additional={} wns={:?} violation={}",
+                    r.phases,
+                    r.plan,
+                    r.reused_scan_ffs,
+                    r.additional_wrapper_cells,
+                    r.wns_after,
+                    r.timing_violation,
+                )
+            };
+            assert_thread_invariant(
+                &format!("{label} flow ({scenario:?})"),
+                || {
+                    let config = FlowConfig {
+                        method: Method::Ours,
+                        scenario,
+                        ordering: None,
+                        allow_overlap: Some(true),
+                    };
+                    let r = run_flow(&netlist, &placement, &lib, &config)
+                        .expect("flow runs");
+                    fingerprint(&r)
+                },
+            );
+        }
+    }
+}
+
+/// End-to-end: the testable netlist that comes out of the flow plus a
+/// full deterministic ATPG run on it. This is the Fig. 6 pipeline exactly
+/// as the bench drivers execute it.
+#[test]
+fn full_flow_and_atpg_results_are_thread_invariant() {
+    let lib = Library::nangate45_like();
+    let spec = itc99::circuit("b11").expect("known benchmark");
+    let netlist = itc99::generate_die(&spec.dies[1]);
+    let placement = place(&netlist, &PlaceConfig::default(), 1);
+    assert_thread_invariant("b11 Die1 flow + stuck-at ATPG", || {
+        let r = run_flow(
+            &netlist,
+            &placement,
+            &lib,
+            &FlowConfig::performance_optimized(Method::Ours),
+        )
+        .expect("flow runs");
+        let access = prebond3d::dft::prebond_access(&r.testable);
+        let result = run_stuck_at(&r.testable.netlist, &access, &AtpgConfig::default());
+        format!(
+            "cells={} coverage={:.6} patterns={} wrapped_len={}",
+            r.additional_wrapper_cells,
+            result.test_coverage(),
+            result.pattern_count(),
+            r.testable.netlist.len(),
+        )
+    });
+}

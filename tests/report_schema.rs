@@ -1,0 +1,118 @@
+//! Golden-file schema test for the two machine-readable reports:
+//! `results/run_<exp>.json` (per-die sections with spans and counters)
+//! and `results/BENCH_<exp>.json` (aggregated phases + speedup records).
+//!
+//! The test runs a tiny synthetic experiment through the real
+//! begin/die_scope/record_speedup/finish pipeline, parses both files with
+//! the in-tree JSON parser, reduces them to a type-schema (one sorted
+//! `path: type` line per distinct field) and compares against the golden
+//! files in `tests/golden/`. Downstream tooling parses these reports;
+//! changing a field name or type must be a conscious, reviewed act.
+
+use std::collections::BTreeSet;
+
+use prebond3d_bench::report;
+use prebond3d_obs as obs;
+use prebond3d_obs::json::{parse, Value};
+
+/// Reduce a JSON value to sorted `path: type` lines. The `counters` and
+/// `gauges` objects are keyed by dynamic metric names, so they collapse
+/// to a single `map<number>` entry (asserting every value is numeric)
+/// instead of enumerating whatever counters this run happened to touch.
+fn schema_lines(path: &str, v: &Value, out: &mut BTreeSet<String>) {
+    match v {
+        Value::Null => {
+            out.insert(format!("{path}: null"));
+        }
+        Value::Bool(_) => {
+            out.insert(format!("{path}: bool"));
+        }
+        Value::Num(_) => {
+            out.insert(format!("{path}: number"));
+        }
+        Value::Str(_) => {
+            out.insert(format!("{path}: string"));
+        }
+        Value::Arr(items) => {
+            out.insert(format!("{path}: array"));
+            for item in items {
+                schema_lines(&format!("{path}[]"), item, out);
+            }
+        }
+        Value::Obj(map) => {
+            if path.ends_with(".counters") || path.ends_with(".gauges") {
+                out.insert(format!("{path}: map<number>"));
+                for (k, v) in map {
+                    assert!(
+                        matches!(v, Value::Num(_)),
+                        "{path}.{k} must be numeric, got {v:?}"
+                    );
+                }
+                return;
+            }
+            out.insert(format!("{path}: object"));
+            for (k, v) in map {
+                schema_lines(&format!("{path}.{k}"), v, out);
+            }
+        }
+    }
+}
+
+fn schema_of(text: &str) -> String {
+    let doc = parse(text).expect("report parses as JSON");
+    let mut lines = BTreeSet::new();
+    schema_lines("$", &doc, &mut lines);
+    let mut s = lines.into_iter().collect::<Vec<_>>().join("\n");
+    s.push('\n');
+    s
+}
+
+fn assert_matches_golden(actual: &str, golden: &str, which: &str) {
+    assert!(
+        actual == golden,
+        "{which} schema drifted from tests/golden.\n--- expected ---\n{golden}\n--- actual ---\n{actual}\n\
+         If the change is intentional, update the golden file."
+    );
+}
+
+/// Single test function: `begin`/`finish` use process-global state and
+/// `PREBOND3D_REPORT_DIR` is a process-global env var, so the whole
+/// scenario runs in one sequential body.
+#[test]
+fn report_files_match_the_golden_schemas() {
+    let dir = std::env::temp_dir().join(format!("prebond3d-schema-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp report dir");
+    std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+
+    report::begin("schema_probe");
+    for die in 0..2 {
+        report::die_scope(&format!("synthetic Die{die}"), || {
+            let _flow = obs::span("flow");
+            {
+                let _inner = obs::span("graph_build");
+                obs::count("graph.edges", 3 + die as u64);
+            }
+            obs::gauge("flow.reused_scan_ffs", die as u64);
+        });
+    }
+    report::record_speedup("fault_simulation", "synthetic Die1", 4, 10.0, 4.0);
+    let run_path = report::finish().expect("reports written");
+    let bench_path = run_path.with_file_name("BENCH_schema_probe.json");
+
+    let run_schema = schema_of(&std::fs::read_to_string(&run_path).expect("run report"));
+    let bench_schema =
+        schema_of(&std::fs::read_to_string(&bench_path).expect("bench report"));
+
+    assert_matches_golden(
+        &run_schema,
+        include_str!("golden/run_report.schema.txt"),
+        "run_<exp>.json",
+    );
+    assert_matches_golden(
+        &bench_schema,
+        include_str!("golden/bench_report.schema.txt"),
+        "BENCH_<exp>.json",
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
