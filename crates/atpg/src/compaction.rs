@@ -46,7 +46,7 @@ pub fn care_bits(cube: &[V3]) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use V3::{One, X, Zero};
+    use V3::{One, Zero, X};
 
     #[test]
     fn compatibility_rules() {

@@ -191,8 +191,9 @@ mod tests {
             // own signature must be among the zero-distance class (exact
             // identity may be shared with structurally equivalent faults).
             assert!(
-                candidates.iter().any(|&(f, d)| d == 0
-                    && dict.signature_of(f) == Some(&sig)),
+                candidates
+                    .iter()
+                    .any(|&(f, d)| d == 0 && dict.signature_of(f) == Some(&sig)),
                 "fault {} must be explained",
                 fault.describe(&die)
             );
@@ -210,7 +211,10 @@ mod tests {
         // The exact resolution depends on the seeded pattern stream (the
         // fast config compacts aggressively); "meaningful" means well away
         // from the all-faults-in-one-class floor, not a precise value.
-        assert!(r > 0.15, "compacted ATPG sets still separate many faults: {r:.3}");
+        assert!(
+            r > 0.15,
+            "compacted ATPG sets still separate many faults: {r:.3}"
+        );
         assert!(r <= 1.0);
         assert_eq!(dict.pattern_count(), patterns.len());
         assert_eq!(dict.len(), list.len());

@@ -64,7 +64,9 @@ impl AtpgConfig {
             AtpgConfig {
                 max_random_batches: 16,
                 min_random_yield: 8,
-                podem: PodemConfig { backtrack_limit: 64 },
+                podem: PodemConfig {
+                    backtrack_limit: 64,
+                },
                 compact: true,
                 seed: 0xA7_9C,
             }
@@ -216,16 +218,18 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
     let mut aborted = 0usize;
     let mut pending: Vec<Pattern> = Vec::new();
 
-    let flush =
-        |pending: &mut Vec<Pattern>, patterns: &mut Vec<Pattern>, alive: &mut [bool], fs: &mut FaultSimulator| {
-            if pending.is_empty() {
-                return;
-            }
-            let masks = fs.simulate_batch_any(netlist, access, pending, &list.faults, alive);
-            let (kept, _) = credit_patterns(pending, &masks, alive);
-            patterns.extend(kept);
-            pending.clear();
-        };
+    let flush = |pending: &mut Vec<Pattern>,
+                 patterns: &mut Vec<Pattern>,
+                 alive: &mut [bool],
+                 fs: &mut FaultSimulator| {
+        if pending.is_empty() {
+            return;
+        }
+        let masks = fs.simulate_batch_any(netlist, access, pending, &list.faults, alive);
+        let (kept, _) = credit_patterns(pending, &masks, alive);
+        patterns.extend(kept);
+        pending.clear();
+    };
 
     for (f, fault) in list.faults.iter().enumerate() {
         if !alive[f] {
@@ -432,8 +436,7 @@ pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfi
         let p1 = fill(&v1, &mut rng);
         let p2 = fill(&v2, &mut rng);
         let pair = vec![p1, p2];
-        let det =
-            transition::simulate_sequence(&mut fs, netlist, access, &pair, &faults, &alive);
+        let det = transition::simulate_sequence(&mut fs, netlist, access, &pair, &faults, &alive);
         for (g, d) in det.into_iter().enumerate() {
             if d {
                 alive[g] = false;

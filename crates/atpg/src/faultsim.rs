@@ -168,8 +168,7 @@ impl FaultSimulator {
             let mut masks = vec![0u64; faults.len()];
             for (fi, fault) in faults.iter().enumerate() {
                 if alive[fi] {
-                    masks[fi] =
-                        simulate_one(&ctx, &mut self.overlay, *fault, need_of(fi, used));
+                    masks[fi] = simulate_one(&ctx, &mut self.overlay, *fault, need_of(fi, used));
                 }
             }
             return masks;
@@ -323,7 +322,8 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
 
     // Event-driven propagation in topological-rank order.
     let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-    let push_fanouts = |heap: &mut BinaryHeap<Reverse<(u32, u32)>>, id: prebond3d_netlist::GateId| {
+    let push_fanouts = |heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                        id: prebond3d_netlist::GateId| {
         for &fo in netlist.fanout(id) {
             let kind = netlist.gate(fo).kind;
             if kind.is_sequential() || matches!(kind, GateKind::Output | GateKind::TsvOut) {
@@ -410,7 +410,9 @@ mod tests {
         let (n, acc) = and_rig();
         let g = n.find("g").unwrap();
         let mut fs = FaultSimulator::new(&n);
-        let ps = vec![Pattern { bits: vec![true, true] }];
+        let ps = vec![Pattern {
+            bits: vec![true, true],
+        }];
         let faults = vec![Fault::output(g, StuckAt::Zero)];
         let masks = fs.simulate_batch(&n, &acc, &ps, &faults, &[false]);
         assert_eq!(masks[0], 0);
@@ -432,7 +434,9 @@ mod tests {
         let mut fs = FaultSimulator::new(&n);
         // Pattern a=1,b=1,c=0: stem a/sa0 flips both g1 (1→0) and g2 (1→0).
         // Branch g1.in0/sa0 flips only g1.
-        let p = Pattern { bits: vec![true, true, false] };
+        let p = Pattern {
+            bits: vec![true, true, false],
+        };
         let faults = vec![
             Fault::output(a, StuckAt::Zero),
             Fault::input(g1, 0, StuckAt::Zero),
@@ -456,10 +460,7 @@ mod tests {
         let n = b.finish().unwrap();
         let acc = TestAccess::full_scan(&n);
         let mut fs = FaultSimulator::new(&n);
-        let ps = vec![
-            Pattern { bits: vec![false] },
-            Pattern { bits: vec![true] },
-        ];
+        let ps = vec![Pattern { bits: vec![false] }, Pattern { bits: vec![true] }];
         let faults = vec![
             Fault::output(g, StuckAt::Zero),
             Fault::output(g, StuckAt::One),
@@ -478,7 +479,10 @@ mod tests {
         let die = itc99::generate_flat("d", 400, 24, 6, 6, 11);
         let acc = TestAccess::full_scan(&die);
         let list = FaultList::collapsed(&die);
-        assert!(list.len() >= PAR_FAULT_THRESHOLD, "must take the parallel path");
+        assert!(
+            list.len() >= PAR_FAULT_THRESHOLD,
+            "must take the parallel path"
+        );
         let mut state = 0x9E3779B9u64;
         let ps: Vec<Pattern> = (0..64)
             .map(|_| Pattern {
@@ -515,15 +519,13 @@ mod tests {
         let mut state = 0x12345678u64;
         for _ in 0..4 {
             let ps: Vec<Pattern> = (0..64)
-                .map(|_| {
-                    Pattern {
-                        bits: (0..acc.width())
-                            .map(|_| {
-                                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-                                state >> 33 & 1 == 1
-                            })
-                            .collect(),
-                    }
+                .map(|_| Pattern {
+                    bits: (0..acc.width())
+                        .map(|_| {
+                            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            state >> 33 & 1 == 1
+                        })
+                        .collect(),
                 })
                 .collect();
             let masks = fs.simulate_batch(&die, &acc, &ps, &list.faults, &alive);

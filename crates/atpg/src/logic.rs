@@ -133,8 +133,14 @@ mod tests {
     fn mux_with_unknown_select() {
         assert_eq!(eval_v3(GateKind::Mux2, &[V3::One, V3::One, V3::X]), V3::One);
         assert_eq!(eval_v3(GateKind::Mux2, &[V3::Zero, V3::One, V3::X]), V3::X);
-        assert_eq!(eval_v3(GateKind::Mux2, &[V3::Zero, V3::One, V3::One]), V3::One);
-        assert_eq!(eval_v3(GateKind::Mux2, &[V3::Zero, V3::One, V3::Zero]), V3::Zero);
+        assert_eq!(
+            eval_v3(GateKind::Mux2, &[V3::Zero, V3::One, V3::One]),
+            V3::One
+        );
+        assert_eq!(
+            eval_v3(GateKind::Mux2, &[V3::Zero, V3::One, V3::Zero]),
+            V3::Zero
+        );
     }
 
     #[test]
@@ -143,7 +149,8 @@ mod tests {
         for kind in [And, Or, Nand, Nor, Xor, Xnor] {
             for a in [false, true] {
                 for b in [false, true] {
-                    let words = kind.eval_words(&[if a { u64::MAX } else { 0 }, if b { u64::MAX } else { 0 }]);
+                    let words = kind
+                        .eval_words(&[if a { u64::MAX } else { 0 }, if b { u64::MAX } else { 0 }]);
                     let expect = words & 1 != 0;
                     let got = eval_v3(kind, &[V3::from_bool(a), V3::from_bool(b)]);
                     assert_eq!(got, V3::from_bool(expect), "{kind:?}({a},{b})");

@@ -576,10 +576,7 @@ impl<'a> Podem<'a> {
                         (None, None) => {
                             // Both free: pick the cheapest finite
                             // (va, vb = needed ^ va) combination.
-                            let combos = [
-                                (false, needed_pre),
-                                (true, !needed_pre),
-                            ];
+                            let combos = [(false, needed_pre), (true, !needed_pre)];
                             let best = combos
                                 .iter()
                                 .filter(|&&(va, vb)| {
@@ -604,16 +601,11 @@ impl<'a> Podem<'a> {
                             // Pick the cheapest finite (select, data) path;
                             // also allow the select-free path where both
                             // data inputs carry the value.
-                            let via0 = self
-                                .cc_for(s, false)
-                                .saturating_add(self.cc_for(a, value));
-                            let via1 = self
-                                .cc_for(s, true)
-                                .saturating_add(self.cc_for(b, value));
+                            let via0 = self.cc_for(s, false).saturating_add(self.cc_for(a, value));
+                            let via1 = self.cc_for(s, true).saturating_add(self.cc_for(b, value));
                             if via0.min(via1) >= INF {
-                                let both = self
-                                    .cc_for(a, value)
-                                    .saturating_add(self.cc_for(b, value));
+                                let both =
+                                    self.cc_for(a, value).saturating_add(self.cc_for(b, value));
                                 if both >= INF {
                                     return None;
                                 }

@@ -69,22 +69,10 @@ impl Scoap {
             let (c0, c1) = match gate.kind {
                 GateKind::Buf | GateKind::Output | GateKind::TsvOut => (in0[0], in1[0]),
                 GateKind::Not => (in1[0], in0[0]),
-                GateKind::And => (
-                    in0.iter().copied().min().unwrap(),
-                    sat_add(in1[0], in1[1]),
-                ),
-                GateKind::Nand => (
-                    sat_add(in1[0], in1[1]),
-                    in0.iter().copied().min().unwrap(),
-                ),
-                GateKind::Or => (
-                    sat_add(in0[0], in0[1]),
-                    in1.iter().copied().min().unwrap(),
-                ),
-                GateKind::Nor => (
-                    in1.iter().copied().min().unwrap(),
-                    sat_add(in0[0], in0[1]),
-                ),
+                GateKind::And => (in0.iter().copied().min().unwrap(), sat_add(in1[0], in1[1])),
+                GateKind::Nand => (sat_add(in1[0], in1[1]), in0.iter().copied().min().unwrap()),
+                GateKind::Or => (sat_add(in0[0], in0[1]), in1.iter().copied().min().unwrap()),
+                GateKind::Nor => (in1.iter().copied().min().unwrap(), sat_add(in0[0], in0[1])),
                 GateKind::Xor => (
                     sat_add(in0[0], in0[1]).min(sat_add(in1[0], in1[1])),
                     sat_add(in0[0], in1[1]).min(sat_add(in1[0], in0[1])),
@@ -160,11 +148,7 @@ impl Scoap {
                 };
                 // Sequential capture (scan FF / wrapper): the D pin is the
                 // observation point itself if the FF is scan-accessible.
-                let base = if gate.kind.is_sequential() {
-                    0
-                } else {
-                    co_out
-                };
+                let base = if gate.kind.is_sequential() { 0 } else { co_out };
                 let cost = sat_add(sat_add(base, side_cost), 1);
                 if cost < co[input.index()] {
                     co[input.index()] = cost;

@@ -30,10 +30,7 @@ impl Pattern {
     /// Build from a V3 assignment, filling X with `fill`.
     pub fn from_v3(values: &[V3], fill: bool) -> Pattern {
         Pattern {
-            bits: values
-                .iter()
-                .map(|v| v.to_bool().unwrap_or(fill))
-                .collect(),
+            bits: values.iter().map(|v| v.to_bool().unwrap_or(fill)).collect(),
         }
     }
 }
@@ -146,11 +143,7 @@ impl Simulator {
         for (rank, &src) in access.controllable().iter().enumerate() {
             let mut word = 0u64;
             for (p, pattern) in patterns.iter().enumerate() {
-                assert_eq!(
-                    pattern.bits.len(),
-                    access.width(),
-                    "pattern width mismatch"
-                );
+                assert_eq!(pattern.bits.len(), access.width(), "pattern width mismatch");
                 if pattern.bits[rank] {
                     word |= 1 << p;
                 }
@@ -170,11 +163,8 @@ impl Simulator {
                 GateKind::Const1 => values[id.index()] = (used, !used),
                 _ => {
                     if gate.kind.is_combinational() {
-                        let inputs: Vec<Rail> = gate
-                            .inputs
-                            .iter()
-                            .map(|&i| values[i.index()])
-                            .collect();
+                        let inputs: Vec<Rail> =
+                            gate.inputs.iter().map(|&i| values[i.index()]).collect();
                         values[id.index()] = eval_rail(gate.kind, &inputs);
                     }
                     // Sources (Input/ScanDff/TsvIn/Wrapper) keep whatever
@@ -221,8 +211,12 @@ mod tests {
         let (n, acc, sim) = rig();
         // pattern 0: a=1, b=0 → x=1; y = 1&X = X; z = 1|X = 1.
         // pattern 1: a=1, b=1 → x=0; y = 0&X = 0; z = 0|X = X.
-        let p0 = Pattern { bits: vec![true, false] };
-        let p1 = Pattern { bits: vec![true, true] };
+        let p0 = Pattern {
+            bits: vec![true, false],
+        };
+        let p1 = Pattern {
+            bits: vec![true, true],
+        };
         let vals = sim.run_batch(&n, &acc, &[p0, p1]);
         let x = n.find("x").unwrap();
         let y = n.find("y").unwrap();
@@ -241,7 +235,9 @@ mod tests {
     fn pinned_values_apply() {
         let (n, mut acc, sim) = rig();
         acc.pin(n.find("a").unwrap(), true);
-        let p = Pattern { bits: vec![false, false] }; // a bit ignored
+        let p = Pattern {
+            bits: vec![false, false],
+        }; // a bit ignored
         let vals = sim.run_batch(&n, &acc, &[p]);
         let a = n.find("a").unwrap();
         assert_eq!(known(&vals, a, 0), Some(true));
@@ -293,8 +289,10 @@ mod tests {
             for &b in &vals {
                 for &s in &vals {
                     let want = eval_v3(GateKind::Mux2, &[a, b, s]);
-                    let got =
-                        from_rail(eval_rail(GateKind::Mux2, &[to_rail(a), to_rail(b), to_rail(s)]));
+                    let got = from_rail(eval_rail(
+                        GateKind::Mux2,
+                        &[to_rail(a), to_rail(b), to_rail(s)],
+                    ));
                     assert_eq!(got, want, "mux({a:?},{b:?},{s:?})");
                 }
             }

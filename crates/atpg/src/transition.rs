@@ -105,7 +105,7 @@ pub fn simulate_sequence(
     while start + 1 < patterns.len() {
         let end = (start + 64).min(patterns.len());
         let window = &patterns[start..end];
-        let launch: Vec<Fault> = faults.iter().map(|f| f.launch_fault()).collect();
+        let launch: Vec<Fault> = faults.iter().map(TransitionFault::launch_fault).collect();
         let window_alive: Vec<bool> = alive
             .iter()
             .zip(detected.iter())
@@ -184,15 +184,23 @@ mod tests {
         let mut fs = FaultSimulator::new(&n);
         // Sequence 00 → 11: g goes 0 → 1, and 11 detects g/sa0. Detected.
         let seq = vec![
-            Pattern { bits: vec![false, false] },
-            Pattern { bits: vec![true, true] },
+            Pattern {
+                bits: vec![false, false],
+            },
+            Pattern {
+                bits: vec![true, true],
+            },
         ];
         let det = simulate_sequence(&mut fs, &n, &acc, &seq, &[fault], &[true]);
         assert!(det[0]);
         // Sequence 11 → 11 never launches a rise on g.
         let seq2 = vec![
-            Pattern { bits: vec![true, true] },
-            Pattern { bits: vec![true, true] },
+            Pattern {
+                bits: vec![true, true],
+            },
+            Pattern {
+                bits: vec![true, true],
+            },
         ];
         let det2 = simulate_sequence(&mut fs, &n, &acc, &seq2, &[fault], &[true]);
         assert!(!det2[0]);
@@ -211,8 +219,12 @@ mod tests {
         let mut fs = FaultSimulator::new(&n);
         // 11 → 01: g falls 1 → 0 and (a=0,b=1) detects g/sa1.
         let seq = vec![
-            Pattern { bits: vec![true, true] },
-            Pattern { bits: vec![false, true] },
+            Pattern {
+                bits: vec![true, true],
+            },
+            Pattern {
+                bits: vec![false, true],
+            },
         ];
         let det = simulate_sequence(&mut fs, &n, &acc, &seq, &[fault], &[true]);
         assert!(det[0]);
@@ -231,7 +243,9 @@ mod tests {
             &mut fs,
             &n,
             &acc,
-            &[Pattern { bits: vec![true, true] }],
+            &[Pattern {
+                bits: vec![true, true],
+            }],
             &[fault],
             &[true],
         );

@@ -45,9 +45,7 @@ impl Harness {
     fn from_args() -> Harness {
         // `cargo bench -- <filter>` forwards trailing args; `--bench` is
         // injected by cargo's libtest convention — ignore flags.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         let budget = std::env::var("PREBOND3D_BENCH_SECS")
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
@@ -109,8 +107,12 @@ fn bench_netlist(h: &Harness) {
 fn bench_partition(h: &Harness) {
     let flat = itc99::generate_flat("bench", 1500, 120, 16, 16, 3);
     let spec = PartitionSpec::new(4);
-    h.bench("partition", "fm_4way_1500", || fm::partition(&flat, &spec, 7));
-    h.bench("partition", "level_4way_1500", || level::partition(&flat, &spec));
+    h.bench("partition", "fm_4way_1500", || {
+        fm::partition(&flat, &spec, 7)
+    });
+    h.bench("partition", "level_4way_1500", || {
+        level::partition(&flat, &spec)
+    });
     h.bench("partition", "random_4way_1500", || {
         rpart::partition(&flat, &spec, 7)
     });

@@ -9,8 +9,9 @@
 //!
 //! Run: `PREBOND3D_CIRCUITS=b11,b12 cargo run --release -p prebond3d-bench --bin ablations`
 
+use prebond3d_bench::lintflow::checked_run_flow;
 use prebond3d_bench::{context, report};
-use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
+use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 use prebond3d_wcm::OrderingPolicy;
 
 fn main() {
@@ -39,8 +40,8 @@ fn main() {
                     ordering: Some(ordering),
                     allow_overlap: None,
                 };
-                run_flow(&case.netlist, &case.placement, &lib, &config)
-                    .expect("flow runs")
+                checked_run_flow(&label, &case.netlist, &case.placement, &lib, &config)
+                    .expect("flow runs and lints clean")
             });
             reused += r.reused_scan_ffs;
             cells += r.additional_wrapper_cells;
@@ -53,7 +54,10 @@ fn main() {
     // overlap sharing: isolates the wire-delay term.
     println!("\n== Ablation: timing model (tight scenario) ==");
     let mut configs = vec![
-        ("accurate (Ours)", FlowConfig::performance_optimized(Method::Ours)),
+        (
+            "accurate (Ours)",
+            FlowConfig::performance_optimized(Method::Ours),
+        ),
         (
             "cap-only (Agrawal model, Ours ordering+overlap)",
             FlowConfig {
@@ -70,13 +74,16 @@ fn main() {
         for case in &cases {
             let scope = format!("timing/{label}/{}", case.label());
             let r = report::die_scope(&scope, || {
-                run_flow(&case.netlist, &case.placement, &lib, &config)
-                    .expect("flow runs")
+                checked_run_flow(&scope, &case.netlist, &case.placement, &lib, &config)
+                    .expect("flow runs and lints clean")
             });
             cells += r.additional_wrapper_cells;
             violations += usize::from(r.timing_violation);
         }
-        println!("{label}: additional {cells}, violations {violations}/{}", cases.len());
+        println!(
+            "{label}: additional {cells}, violations {violations}/{}",
+            cases.len()
+        );
     }
 
     // --- Ablation 3: overlap sharing -------------------------------------
@@ -93,15 +100,13 @@ fn main() {
                     ordering: None,
                     allow_overlap: Some(allow),
                 };
-                run_flow(&case.netlist, &case.placement, &lib, &config)
-                    .expect("flow runs")
+                checked_run_flow(&scope, &case.netlist, &case.placement, &lib, &config)
+                    .expect("flow runs and lints clean")
             });
             cells += r.additional_wrapper_cells;
             overlap_edges += r.phases.iter().map(|p| p.overlap_edges).sum::<usize>();
         }
-        println!(
-            "overlap={allow}: additional {cells} (+{overlap_edges} overlap edges admitted)"
-        );
+        println!("overlap={allow}: additional {cells} (+{overlap_edges} overlap edges admitted)");
     }
     report::finish();
 }

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
+use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
 use crate::context;
 
@@ -27,8 +27,7 @@ impl Row {
         if self.edges_without == 0 {
             return 0.0;
         }
-        100.0 * (self.edges_with as f64 - self.edges_without as f64)
-            / self.edges_without as f64
+        100.0 * (self.edges_with as f64 - self.edges_without as f64) / self.edges_without as f64
     }
 }
 
@@ -39,31 +38,33 @@ pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     for name in context::circuit_names() {
         let cases = context::load_circuit(name);
-        let per_die = crate::report::par_die_scopes(
-            &cases,
-            crate::DieCase::label,
-            |case| {
-                let mut w = 0usize;
-                let mut wo = 0usize;
-                for allow in [false, true] {
-                    let config = FlowConfig {
-                        method: Method::Ours,
-                        scenario: Scenario::Tight,
-                        ordering: None,
-                        allow_overlap: Some(allow),
-                    };
-                    let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-                        .expect("flow runs");
-                    let edges: usize = r.phases.iter().map(|p| p.edges).sum();
-                    if allow {
-                        w += edges;
-                    } else {
-                        wo += edges;
-                    }
+        let per_die = crate::report::par_die_scopes(&cases, crate::DieCase::label, |case| {
+            let mut w = 0usize;
+            let mut wo = 0usize;
+            for allow in [false, true] {
+                let config = FlowConfig {
+                    method: Method::Ours,
+                    scenario: Scenario::Tight,
+                    ordering: None,
+                    allow_overlap: Some(allow),
+                };
+                let r = crate::lintflow::checked_run_flow(
+                    &case.label(),
+                    &case.netlist,
+                    &case.placement,
+                    &lib,
+                    &config,
+                )
+                .expect("flow runs and lints clean");
+                let edges: usize = r.phases.iter().map(|p| p.edges).sum();
+                if allow {
+                    w += edges;
+                } else {
+                    wo += edges;
                 }
-                (w, wo)
-            },
-        );
+            }
+            (w, wo)
+        });
         let (with, without) = per_die
             .into_iter()
             .fold((0, 0), |(aw, awo), (w, wo)| (aw + w, awo + wo));

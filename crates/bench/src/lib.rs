@@ -12,6 +12,7 @@
 
 pub mod context;
 pub mod fig7;
+pub mod lintflow;
 pub mod perf;
 pub mod report;
 pub mod table1;

@@ -61,8 +61,7 @@ pub fn record_fault_sim_speedup(circuits: &[&str]) {
             let t = Instant::now();
             let mut masks = Vec::new();
             for _ in 0..REPS {
-                masks =
-                    fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive);
+                masks = fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive);
             }
             (t.elapsed().as_secs_f64() * 1.0e3, masks)
         })

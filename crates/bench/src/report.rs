@@ -167,9 +167,7 @@ pub fn record_speedup(
 }
 
 fn report_dir() -> PathBuf {
-    std::env::var("PREBOND3D_REPORT_DIR")
-        .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("results"))
+    std::env::var("PREBOND3D_REPORT_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
 
 fn write_report(path: &PathBuf, doc: &Value) -> bool {
@@ -270,7 +268,11 @@ mod tests {
         let sec = &sections[0];
         assert_eq!(sec.get("label").unwrap().as_str(), Some("die0"));
         assert_eq!(
-            sec.get("counters").unwrap().get("unit.counter").unwrap().as_u64(),
+            sec.get("counters")
+                .unwrap()
+                .get("unit.counter")
+                .unwrap()
+                .as_u64(),
             Some(3)
         );
         let spans = sec.get("spans").unwrap().as_arr().unwrap();
@@ -312,7 +314,11 @@ mod tests {
         assert_eq!(labels, ["die0", "die1", "die2", "die3", "die4", "die5"]);
         for (i, sec) in sections.iter().enumerate() {
             assert_eq!(
-                sec.get("counters").unwrap().get("work.items").unwrap().as_u64(),
+                sec.get("counters")
+                    .unwrap()
+                    .get("work.items")
+                    .unwrap()
+                    .as_u64(),
                 Some(i as u64 + 1),
                 "each section holds exactly its own worker's counters"
             );

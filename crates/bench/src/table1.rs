@@ -9,10 +9,11 @@ use std::fmt::Write as _;
 
 use prebond3d_atpg::engine::{run_stuck_at, AtpgConfig};
 use prebond3d_dft::prebond_access;
-use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
+use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 use prebond3d_wcm::OrderingPolicy;
 
 use crate::context::{self, DieCase};
+use crate::lintflow::checked_run_flow;
 
 /// One die's two ordering outcomes.
 #[derive(Debug, Clone)]
@@ -39,8 +40,8 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
             ordering: Some(ordering),
             allow_overlap: None,
         };
-        let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-            .expect("flow runs");
+        let r = checked_run_flow(&case.label(), &case.netlist, &case.placement, &lib, &config)
+            .expect("flow runs and lints clean");
         let access = prebond_access(&r.testable);
         let atpg_result = run_stuck_at(&r.testable.netlist, &access, atpg);
         (atpg_result.test_coverage(), r.additional_wrapper_cells)

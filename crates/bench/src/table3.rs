@@ -4,9 +4,10 @@
 
 use std::fmt::Write as _;
 
-use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
+use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
 use crate::context::{self, DieCase};
+use crate::lintflow::checked_run_flow;
 
 /// One die's results across the four (method, scenario) cells.
 #[derive(Debug, Clone)]
@@ -33,9 +34,13 @@ pub fn run_die(case: &DieCase) -> Row {
             ordering: None,
             allow_overlap: None,
         };
-        let r = run_flow(&case.netlist, &case.placement, &lib, &config)
-            .expect("flow runs on benchmark dies");
-        (r.reused_scan_ffs, r.additional_wrapper_cells, r.timing_violation)
+        let r = checked_run_flow(&case.label(), &case.netlist, &case.placement, &lib, &config)
+            .expect("flow runs on benchmark dies and lints clean");
+        (
+            r.reused_scan_ffs,
+            r.additional_wrapper_cells,
+            r.timing_violation,
+        )
     };
     let aa = get(Method::Agrawal, Scenario::Area);
     let oa = get(Method::Ours, Scenario::Area);
@@ -74,8 +79,7 @@ pub struct Summary {
 /// Summarize rows.
 pub fn summarize(rows: &[Row]) -> Summary {
     let n = rows.len().max(1) as f64;
-    let mean =
-        |f: &dyn Fn(&Row) -> usize| rows.iter().map(|r| f(r) as f64).sum::<f64>() / n;
+    let mean = |f: &dyn Fn(&Row) -> usize| rows.iter().map(|r| f(r) as f64).sum::<f64>() / n;
     Summary {
         agrawal_area: (mean(&|r| r.agrawal_area.0), mean(&|r| r.agrawal_area.1)),
         ours_area: (mean(&|r| r.ours_area.0), mean(&|r| r.ours_area.1)),

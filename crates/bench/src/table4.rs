@@ -8,9 +8,10 @@ use std::fmt::Write as _;
 
 use prebond3d_atpg::engine::{run_stuck_at, run_transition, AtpgConfig};
 use prebond3d_dft::prebond_access;
-use prebond3d_wcm::flow::{run_flow, FlowConfig, Method};
+use prebond3d_wcm::flow::{FlowConfig, Method};
 
 use crate::context::{self, DieCase};
+use crate::lintflow::checked_run_flow;
 
 /// Coverage/pattern numbers for one method on one die.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,18 +35,23 @@ pub struct Row {
 
 fn measure(case: &DieCase, method: Method, atpg: &AtpgConfig) -> Cell {
     let lib = context::library();
-    let r = run_flow(
+    let r = checked_run_flow(
+        &case.label(),
         &case.netlist,
         &case.placement,
         &lib,
         &FlowConfig::performance_optimized(method),
     )
-    .expect("flow runs");
+    .expect("flow runs and lints clean");
     let access = prebond_access(&r.testable);
     // Huge dies get size-scaled deterministic effort (PODEM implication is
     // linear in gate count, so the b18 dies would otherwise dominate).
     let scaled = AtpgConfig::scaled_for(r.testable.netlist.len());
-    let atpg = if r.testable.netlist.len() > 15_000 { &scaled } else { atpg };
+    let atpg = if r.testable.netlist.len() > 15_000 {
+        &scaled
+    } else {
+        atpg
+    };
     let sa = run_stuck_at(&r.testable.netlist, &access, atpg);
     let tr = run_transition(&r.testable.netlist, &access, atpg);
     Cell {

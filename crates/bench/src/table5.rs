@@ -10,9 +10,10 @@ use std::fmt::Write as _;
 
 use prebond3d_atpg::engine::{run_stuck_at, run_transition, AtpgConfig};
 use prebond3d_dft::prebond_access;
-use prebond3d_wcm::flow::{run_flow, FlowConfig, Method, Scenario};
+use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
 use crate::context::{self, DieCase};
+use crate::lintflow::checked_run_flow;
 
 /// Numbers for one overlap setting.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,12 +47,17 @@ fn measure(case: &DieCase, allow_overlap: bool, atpg: &AtpgConfig) -> Cell {
         ordering: None,
         allow_overlap: Some(allow_overlap),
     };
-    let r = run_flow(&case.netlist, &case.placement, &lib, &config).expect("flow runs");
+    let r = checked_run_flow(&case.label(), &case.netlist, &case.placement, &lib, &config)
+        .expect("flow runs and lints clean");
     let access = prebond_access(&r.testable);
     // Huge dies get size-scaled deterministic effort (PODEM implication is
     // linear in gate count, so the b18 dies would otherwise dominate).
     let scaled = AtpgConfig::scaled_for(r.testable.netlist.len());
-    let atpg = if r.testable.netlist.len() > 15_000 { &scaled } else { atpg };
+    let atpg = if r.testable.netlist.len() > 15_000 {
+        &scaled
+    } else {
+        atpg
+    };
     let sa = run_stuck_at(&r.testable.netlist, &access, atpg);
     let tr = run_transition(&r.testable.netlist, &access, atpg);
     Cell {
@@ -119,8 +125,16 @@ pub fn render(rows: &[Row]) -> String {
         );
     }
     let n = rows.len().max(1) as f64;
-    let no_cells = rows.iter().map(|r| r.no_overlap.additional as f64).sum::<f64>() / n;
-    let ov_cells = rows.iter().map(|r| r.overlap.additional as f64).sum::<f64>() / n;
+    let no_cells = rows
+        .iter()
+        .map(|r| r.no_overlap.additional as f64)
+        .sum::<f64>()
+        / n;
+    let ov_cells = rows
+        .iter()
+        .map(|r| r.overlap.additional as f64)
+        .sum::<f64>()
+        / n;
     let no_ff = rows.iter().map(|r| r.no_overlap.reused as f64).sum::<f64>() / n;
     let ov_ff = rows.iter().map(|r| r.overlap.reused as f64).sum::<f64>() / n;
     let _ = writeln!(

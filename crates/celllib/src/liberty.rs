@@ -80,7 +80,11 @@ pub struct LibertyError {
 
 impl std::fmt::Display for LibertyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "liberty parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "liberty parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 

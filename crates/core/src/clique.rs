@@ -118,7 +118,13 @@ struct State {
 }
 
 /// Combine two clique states across a wire of length `dist`.
-fn merge_states(a: &State, b: &State, dist: Distance, include_wire: bool, model: &TimingModel<'_>) -> State {
+fn merge_states(
+    a: &State,
+    b: &State,
+    dist: Distance,
+    include_wire: bool,
+    model: &TimingModel<'_>,
+) -> State {
     let library = model.library();
     let reuse = library.reuse();
     let wire_cap = if include_wire {
@@ -176,53 +182,53 @@ pub fn partition(
     // below is inherently sequential — each merge decision depends on the
     // partition produced by all previous ones.
     let mut states: Vec<State> = prebond3d_pool::par_range_map(n, |i| {
-            let gate = graph.nodes[i];
-            match graph.kinds[i] {
-                NodeKind::ScanFf => {
-                    // For outbound sharing the relevant flip-flop slack is
-                    // the D-side (capture) path; for inbound it is the Q
-                    // side. Track both.
-                    let d_driver = netlist.gate(gate).inputs[0];
-                    State {
-                        members: vec![i],
-                        ff: Some(gate),
-                        drive_load: report.load(gate),
-                        base_load: report.load(gate),
-                        wire_delay: Time(0.0),
-                        capture_delay: Time(0.0),
-                        anchor: gate,
-                        min_slack: match graph.direction {
-                            ReuseKind::Inbound => Time(f64::INFINITY),
-                            ReuseKind::Outbound => report.slack(d_driver),
-                        },
-                        q_slack: report.slack(gate),
-                    }
-                }
-                NodeKind::Tsv => State {
+        let gate = graph.nodes[i];
+        match graph.kinds[i] {
+            NodeKind::ScanFf => {
+                // For outbound sharing the relevant flip-flop slack is
+                // the D-side (capture) path; for inbound it is the Q
+                // side. Track both.
+                let d_driver = netlist.gate(gate).inputs[0];
+                State {
                     members: vec![i],
-                    ff: None,
-                    // The shared cell pays one mux pin per inbound TSV; a
-                    // dedicated cell's baseline (one adjacent mux) is
-                    // already absorbed by the tight-clock calibration.
-                    drive_load: match graph.direction {
-                        ReuseKind::Inbound => model.drive_contribution(Distance(0.0)),
-                        ReuseKind::Outbound => Capacitance::ZERO,
-                    },
-                    base_load: match graph.direction {
-                        ReuseKind::Inbound => model.drive_contribution(Distance(0.0)),
-                        ReuseKind::Outbound => Capacitance::ZERO,
-                    },
+                    ff: Some(gate),
+                    drive_load: report.load(gate),
+                    base_load: report.load(gate),
                     wire_delay: Time(0.0),
                     capture_delay: Time(0.0),
                     anchor: gate,
                     min_slack: match graph.direction {
-                        ReuseKind::Inbound => model.inbound_anchor_slack(gate),
-                        ReuseKind::Outbound => model.outbound_tap_slack(gate),
+                        ReuseKind::Inbound => Time(f64::INFINITY),
+                        ReuseKind::Outbound => report.slack(d_driver),
                     },
-                    q_slack: Time(f64::INFINITY),
-                },
+                    q_slack: report.slack(gate),
+                }
             }
-        });
+            NodeKind::Tsv => State {
+                members: vec![i],
+                ff: None,
+                // The shared cell pays one mux pin per inbound TSV; a
+                // dedicated cell's baseline (one adjacent mux) is
+                // already absorbed by the tight-clock calibration.
+                drive_load: match graph.direction {
+                    ReuseKind::Inbound => model.drive_contribution(Distance(0.0)),
+                    ReuseKind::Outbound => Capacitance::ZERO,
+                },
+                base_load: match graph.direction {
+                    ReuseKind::Inbound => model.drive_contribution(Distance(0.0)),
+                    ReuseKind::Outbound => Capacitance::ZERO,
+                },
+                wire_delay: Time(0.0),
+                capture_delay: Time(0.0),
+                anchor: gate,
+                min_slack: match graph.direction {
+                    ReuseKind::Inbound => model.inbound_anchor_slack(gate),
+                    ReuseKind::Outbound => model.outbound_tap_slack(gate),
+                },
+                q_slack: Time(f64::INFINITY),
+            },
+        }
+    });
 
     let mut neighbors: Vec<BTreeSet<usize>> = (0..n)
         .map(|i| graph.neighbors(i).iter().copied().collect())
@@ -279,8 +285,7 @@ pub fn partition(
                     // functional path (plus its wire).
                     let drive_penalty = rd * (merged.drive_load - merged.base_load);
                     cap_ok
-                        && merged.min_slack - drive_penalty - merged.wire_delay
-                            >= thresholds.s_th
+                        && merged.min_slack - drive_penalty - merged.wire_delay >= thresholds.s_th
                         && merged.q_slack - drive_penalty >= thresholds.s_th
                 }
             }
@@ -295,8 +300,7 @@ pub fn partition(
                     // the capture-hardware insertion (XOR + mux, exact
                     // delays) sits on top of the XOR chain.
                     let capture_overhead = model.capture_insertion_delay();
-                    merged.min_slack - merged.capture_delay - capture_overhead
-                        >= thresholds.s_th
+                    merged.min_slack - merged.capture_delay - capture_overhead >= thresholds.s_th
                 }
             }
         };

@@ -251,15 +251,27 @@ pub fn run_flow(
     // --- Method wiring ----------------------------------------------------
     let (include_wire, merge_policy, default_ordering) = match config.method {
         Method::Ours => (true, MergePolicy::Accurate, OrderingPolicy::LargerFirst),
-        Method::Agrawal => (false, MergePolicy::CapacitanceOnly, OrderingPolicy::InboundFirst),
-        Method::Li | Method::Naive => (false, MergePolicy::CapacitanceOnly, OrderingPolicy::InboundFirst),
+        Method::Agrawal => (
+            false,
+            MergePolicy::CapacitanceOnly,
+            OrderingPolicy::InboundFirst,
+        ),
+        Method::Li | Method::Naive => (
+            false,
+            MergePolicy::CapacitanceOnly,
+            OrderingPolicy::InboundFirst,
+        ),
     };
     let ordering = config.ordering.unwrap_or(default_ordering);
     // TSV → dedicated wrapper cell in the baseline netlist, so the model
     // can read test-path slacks at the right launch points.
     let dedicated_plan = WrapPlan::all_dedicated(die);
     let mut wrapper_of = std::collections::HashMap::new();
-    for (assignment, &cell) in dedicated_plan.assignments.iter().zip(dedicated.cells.iter()) {
+    for (assignment, &cell) in dedicated_plan
+        .assignments
+        .iter()
+        .zip(dedicated.cells.iter())
+    {
         for &t in assignment.inbound.iter().chain(assignment.outbound.iter()) {
             wrapper_of.insert(t, cell);
         }
@@ -289,12 +301,9 @@ pub fn run_flow(
             // edges can also deplete flip-flops early and starve the
             // second phase), so solve the restricted problem too and keep
             // the globally better plan.
-            if thresholds.allows_overlap()
-                && phases.iter().any(|p| p.overlap_edges > 0)
-            {
+            if thresholds.allows_overlap() && phases.iter().any(|p| p.overlap_edges > 0) {
                 let strict = thresholds.without_overlap();
-                let (plan2, phases2) =
-                    clique_flow(die, &model, &strict, merge_policy, ordering);
+                let (plan2, phases2) = clique_flow(die, &model, &strict, merge_policy, ordering);
                 let better = (
                     plan2.additional_wrapper_cells(),
                     std::cmp::Reverse(plan2.reused_scan_ffs()),
@@ -454,8 +463,13 @@ mod tests {
     #[test]
     fn ours_beats_or_matches_agrawal_on_cells() {
         let (die, placement, lib) = rig();
-        let ours = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(Method::Ours))
-            .unwrap();
+        let ours = run_flow(
+            &die,
+            &placement,
+            &lib,
+            &FlowConfig::area_optimized(Method::Ours),
+        )
+        .unwrap();
         let agrawal = run_flow(
             &die,
             &placement,
@@ -508,8 +522,7 @@ mod tests {
     fn area_scenario_never_violates() {
         let (die, placement, lib) = rig();
         for method in [Method::Ours, Method::Agrawal] {
-            let r = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(method))
-                .unwrap();
+            let r = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(method)).unwrap();
             assert!(!r.timing_violation, "{method:?}");
         }
     }

@@ -156,8 +156,7 @@ pub fn build(
             // fanouts compound, and admitting them mostly destabilizes
             // the clique heuristic).
             let overlapped = cones_ref.cones_overlap(a, b);
-            let ff_pair =
-                kinds_ref[i] == NodeKind::ScanFf || kinds_ref[j] == NodeKind::ScanFf;
+            let ff_pair = kinds_ref[i] == NodeKind::ScanFf || kinds_ref[j] == NodeKind::ScanFf;
             let admit = if !overlapped {
                 true
             } else if ff_pair && thresholds.allows_overlap() {
@@ -240,7 +239,12 @@ mod tests {
         let die = itc99::generate_die(&spec);
         let placement = place(&die, &PlaceConfig::default(), 1);
         let library = Library::nangate45_like();
-        let report = analyze(&die, &placement, &library, &StaConfig::with_period(Time(3000.0)));
+        let report = analyze(
+            &die,
+            &placement,
+            &library,
+            &StaConfig::with_period(Time(3000.0)),
+        );
         Rig {
             die,
             placement,

@@ -42,8 +42,13 @@ mod tests {
         let die = itc99::generate_die(&spec.dies[0]);
         let placement = place(&die, &PlaceConfig::default(), 1);
         let lib = Library::nangate45_like();
-        let r = run_flow(&die, &placement, &lib, &FlowConfig::area_optimized(Method::Ours))
-            .unwrap();
+        let r = run_flow(
+            &die,
+            &placement,
+            &lib,
+            &FlowConfig::area_optimized(Method::Ours),
+        )
+        .unwrap();
         let row = super::result_row("b11_die0", &r);
         assert!(row.contains("reused="));
         let phases = super::phase_summary(&r);

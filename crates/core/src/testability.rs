@@ -49,8 +49,13 @@ impl TestabilityCost {
 pub trait TestabilityProbe: Sync {
     /// Price the sharing of one wrapper cell by nodes `a` and `b` (each a
     /// scan flip-flop or TSV endpoint) whose cones overlap.
-    fn sharing_cost(&self, netlist: &Netlist, cones: &ConeSet, a: GateId, b: GateId)
-        -> TestabilityCost;
+    fn sharing_cost(
+        &self,
+        netlist: &Netlist,
+        cones: &ConeSet,
+        a: GateId,
+        b: GateId,
+    ) -> TestabilityCost;
 }
 
 /// Cone-intersection estimator.
@@ -93,13 +98,11 @@ impl TestabilityProbe for StructuralProbe {
         let fanin_overlap = cones
             .fanin(a)
             .zip(cones.fanin(b))
-            .map(|(x, y)| x.intersection_count(y))
-            .unwrap_or(0);
+            .map_or(0, |(x, y)| x.intersection_count(y));
         let fanout_overlap = cones
             .fanout(a)
             .zip(cones.fanout(b))
-            .map(|(x, y)| x.intersection_count(y))
-            .unwrap_or(0);
+            .map_or(0, |(x, y)| x.intersection_count(y));
         let overlap = (fanin_overlap + fanout_overlap) as f64;
         TestabilityCost {
             coverage_loss: self.loss_per_gate * overlap / netlist.len().max(1) as f64,
@@ -295,7 +298,10 @@ mod tests {
         let t = die.inbound_tsvs()[0];
         let cost = probe.sharing_cost(&die, &cones, ff, t);
         assert!(cost.coverage_loss >= 0.0);
-        assert!(cost.coverage_loss < 0.5, "sharing one pair cannot halve coverage");
+        assert!(
+            cost.coverage_loss < 0.5,
+            "sharing one pair cannot halve coverage"
+        );
     }
 
     /// Calibration check: the structural probe must be *conservative*

@@ -191,20 +191,18 @@ impl<'a> TimingModel<'a> {
     /// baseline: inbound reuse swaps the local wrapper's launch for the
     /// flip-flop's heavier, wire-delayed launch; outbound reuse swaps the
     /// adjacent capture for a wire + XOR + mux path into the flip-flop.
-    pub fn reuse_is_safe(
-        &self,
-        ff: GateId,
-        tsv: GateId,
-        kind: ReuseKind,
-        th: &Thresholds,
-    ) -> bool {
+    pub fn reuse_is_safe(&self, ff: GateId, tsv: GateId, kind: ReuseKind, th: &Thresholds) -> bool {
         let dist = self.distance(ff, tsv);
         if self.include_wire && dist >= th.d_th {
             return false;
         }
         let reuse = self.library.reuse();
         let wire = self.library.wire();
-        let eff_dist = if self.include_wire { dist } else { Distance(0.0) };
+        let eff_dist = if self.include_wire {
+            dist
+        } else {
+            Distance(0.0)
+        };
         match kind {
             ReuseKind::Inbound => {
                 let extra = reuse.mux_input_cap + wire.driver_load(eff_dist);
@@ -271,17 +269,13 @@ impl<'a> TimingModel<'a> {
                 // model) the wire between the anchors; its mission launch
                 // also drifts by the wire flight, priced against both
                 // TSVs' baseline test-path slack.
-                let cap_ok = self.drive_contribution(dist)
-                    + self.drive_contribution(Distance(0.0))
+                let cap_ok = self.drive_contribution(dist) + self.drive_contribution(Distance(0.0))
                     <= th.cap_th;
                 if !self.include_wire {
                     return cap_ok;
                 }
                 let reuse = self.library.reuse();
-                let flight = self
-                    .library
-                    .wire()
-                    .elmore_delay(dist, reuse.mux_input_cap);
+                let flight = self.library.wire().elmore_delay(dist, reuse.mux_input_cap);
                 cap_ok
                     && self.inbound_anchor_slack(t1) - flight >= th.s_th
                     && self.inbound_anchor_slack(t2) - flight >= th.s_th
@@ -291,9 +285,7 @@ impl<'a> TimingModel<'a> {
                 // absorb an XOR (+ wire for the distant one).
                 let reuse = self.library.reuse();
                 let wire_d = if self.include_wire {
-                    self.library
-                        .wire()
-                        .elmore_delay(dist, reuse.xor_input_cap)
+                    self.library.wire().elmore_delay(dist, reuse.xor_input_cap)
                 } else {
                     Time(0.0)
                 };
@@ -343,7 +335,12 @@ mod tests {
         let die = itc99::generate_die(&spec);
         let placement = place(&die, &PlaceConfig::default(), 1);
         let library = Library::nangate45_like();
-        let report = analyze(&die, &placement, &library, &StaConfig::with_period(Time(2000.0)));
+        let report = analyze(
+            &die,
+            &placement,
+            &library,
+            &StaConfig::with_period(Time(2000.0)),
+        );
         Rig {
             die,
             placement,
@@ -355,8 +352,16 @@ mod tests {
     #[test]
     fn wire_model_is_distance_sensitive() {
         let r = rig();
-        let accurate = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
-        let blind = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, false);
+        let accurate =
+            TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
+        let blind = TimingModel::new(
+            &r.die,
+            &r.placement,
+            &r.library,
+            &r.report,
+            &r.report,
+            false,
+        );
         let far = Distance(500.0);
         // The accurate model charges the wire; Agrawal's cannot see it.
         assert!(accurate.drive_contribution(far) > blind.drive_contribution(far));
@@ -389,16 +394,10 @@ mod tests {
         let model = TimingModel::new(&r.die, &r.placement, &r.library, &r.report, &r.report, true);
         let th = Thresholds::area_optimized(&r.library);
         for t in r.die.inbound_tsvs() {
-            assert_eq!(
-                model.inbound_eligible(t, &th),
-                r.report.load(t) < th.cap_th
-            );
+            assert_eq!(model.inbound_eligible(t, &th), r.report.load(t) < th.cap_th);
         }
         for t in r.die.outbound_tsvs() {
-            assert_eq!(
-                model.outbound_eligible(t, &th),
-                r.report.slack(t) > th.s_th
-            );
+            assert_eq!(model.outbound_eligible(t, &th), r.report.slack(t) > th.s_th);
         }
     }
 

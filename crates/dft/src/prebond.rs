@@ -109,8 +109,16 @@ mod tests {
         let die = tsv_die();
         let plan = WrapPlan::all_dedicated(&die);
         let wrapped = apply(&die, &plan).unwrap();
-        let pre = run_stuck_at(&wrapped.netlist, &prebond_access(&wrapped), &AtpgConfig::fast());
-        let post = run_stuck_at(&wrapped.netlist, &postbond_access(&wrapped), &AtpgConfig::fast());
+        let pre = run_stuck_at(
+            &wrapped.netlist,
+            &prebond_access(&wrapped),
+            &AtpgConfig::fast(),
+        );
+        let post = run_stuck_at(
+            &wrapped.netlist,
+            &postbond_access(&wrapped),
+            &AtpgConfig::fast(),
+        );
         // Bonded TSVs add controllability/observability the pre-bond
         // tester lacks (e.g. raw TSV stems become testable).
         assert!(

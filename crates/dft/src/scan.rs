@@ -61,10 +61,7 @@ pub fn insert_scan(netlist: &Netlist) -> Result<(Netlist, ScanChain), NetlistErr
 /// from the cell closest to the die origin, the standard post-placement
 /// scan-stitching heuristic. Shorter stitch wiring means less routing and
 /// lower shift power; the returned chain contains the same cells.
-pub fn stitch_by_placement(
-    chain: &ScanChain,
-    placement: &prebond3d_place::Placement,
-) -> ScanChain {
+pub fn stitch_by_placement(chain: &ScanChain, placement: &prebond3d_place::Placement) -> ScanChain {
     if chain.order.len() <= 2 {
         return chain.clone();
     }

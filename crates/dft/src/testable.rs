@@ -94,9 +94,9 @@ pub fn apply(die: &Netlist, plan: &WrapPlan) -> Result<TestableDie, Box<dyn std:
     let mut anchors: Vec<(GateId, Option<GateId>)> = Vec::new();
 
     let push = |gates: &mut Vec<Gate>,
-                    anchors: &mut Vec<(GateId, Option<GateId>)>,
-                    gate: Gate,
-                    anchor: Option<GateId>|
+                anchors: &mut Vec<(GateId, Option<GateId>)>,
+                gate: Gate,
+                anchor: Option<GateId>|
      -> GateId {
         let id = GateId(gates.len() as u32);
         gates.push(gate);
@@ -118,11 +118,7 @@ pub fn apply(die: &Netlist, plan: &WrapPlan) -> Result<TestableDie, Box<dyn std:
         let cell = match a.source {
             WrapperSource::ReusedScanFf(ff) => ff,
             WrapperSource::Dedicated => {
-                let anchor = a
-                    .inbound
-                    .first()
-                    .or(a.outbound.first())
-                    .copied();
+                let anchor = a.inbound.first().or(a.outbound.first()).copied();
                 push(
                     &mut gates,
                     &mut anchors,

@@ -73,9 +73,7 @@ impl WrapPlan {
     pub fn reused_scan_ffs(&self) -> usize {
         self.assignments
             .iter()
-            .filter(|a| {
-                matches!(a.source, WrapperSource::ReusedScanFf(_)) && a.tsv_count() > 0
-            })
+            .filter(|a| matches!(a.source, WrapperSource::ReusedScanFf(_)) && a.tsv_count() > 0)
             .count()
     }
 

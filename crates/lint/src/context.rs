@@ -1,0 +1,183 @@
+//! The lint context: everything a pass may inspect.
+//!
+//! A [`LintContext`] is a bag of optional references to flow artifacts.
+//! Each pass looks at the slices it understands and silently skips when
+//! its inputs are absent, so one [`crate::Linter`] run works at any stage
+//! of the Fig. 6 flow: right after netlist generation (structure only),
+//! after scan insertion (plus chain checks), or after the full flow
+//! (everything including post-insertion timing and mission co-simulation).
+
+use prebond3d_celllib::{Library, Time};
+use prebond3d_dft::{ScanChain, TestableDie, WrapPlan};
+use prebond3d_netlist::{Gate, GateId, Netlist};
+use prebond3d_wcm::Thresholds;
+
+/// How expensive a check the linter may run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Depth {
+    /// Structural checks only: suitable as an inline gate after every flow
+    /// stage (linear in netlist size).
+    #[default]
+    Quick,
+    /// Everything, including cone-overlap justification and mission-mode
+    /// co-simulation (quadratic-ish; for the `prebond3d-lint` binary and
+    /// tests).
+    Deep,
+}
+
+/// Artifacts available to the lint passes. All fields are optional;
+/// construct with [`LintContext::new`] and chain the `with_*` builders.
+#[derive(Default)]
+pub struct LintContext<'a> {
+    /// Label for diagnostics (die name, report path, …).
+    pub artifact: String,
+    /// A *validated* netlist to lint (testable die if present, else the
+    /// original die).
+    pub netlist: Option<&'a Netlist>,
+    /// A raw, possibly-invalid gate list — lets the structure pass report
+    /// every violation where the builder stops at the first.
+    pub gates: Option<&'a [Gate]>,
+    /// The pre-DFT die (reference for coverage and mission checks).
+    pub original: Option<&'a Netlist>,
+    /// The wrapper plan under audit.
+    pub plan: Option<&'a WrapPlan>,
+    /// The DFT-inserted die (needed for mission co-simulation).
+    pub testable: Option<&'a TestableDie>,
+    /// The `test_en` control input of [`Self::netlist`].
+    pub test_en: Option<GateId>,
+    /// The stitched scan chain, checked against [`Self::netlist`].
+    pub chain: Option<&'a ScanChain>,
+    /// The cell library (timing-model sanity checks).
+    pub library: Option<&'a Library>,
+    /// The flow thresholds (sanity checks).
+    pub thresholds: Option<&'a Thresholds>,
+    /// Whether the policy in force admits overlapped-cone sharing.
+    pub allow_overlap: bool,
+    /// Post-insertion worst negative slack, if STA ran.
+    pub wns_after: Option<Time>,
+    /// The clock period the scenario used.
+    pub clock_period: Option<Time>,
+    /// Report documents to schema-check: `(label, JSON text)`.
+    pub reports: Vec<(String, String)>,
+    /// Mission co-simulation batches (0 disables the mission pass).
+    pub mission_batches: usize,
+    /// Mission co-simulation seed.
+    pub mission_seed: u64,
+    /// Check depth.
+    pub depth: Depth,
+}
+
+impl<'a> LintContext<'a> {
+    /// Empty context labelled `artifact`. Overlapped-cone sharing defaults
+    /// to allowed (the paper's own policy).
+    pub fn new(artifact: impl Into<String>) -> Self {
+        LintContext {
+            artifact: artifact.into(),
+            allow_overlap: true,
+            mission_seed: 0xC0FFEE,
+            ..LintContext::default()
+        }
+    }
+
+    /// Attach a validated netlist.
+    #[must_use]
+    pub fn with_netlist(mut self, netlist: &'a Netlist) -> Self {
+        self.netlist = Some(netlist);
+        self
+    }
+
+    /// Attach a raw gate list (pre-validation structure linting).
+    #[must_use]
+    pub fn with_gates(mut self, gates: &'a [Gate]) -> Self {
+        self.gates = Some(gates);
+        self
+    }
+
+    /// Attach the pre-DFT die.
+    #[must_use]
+    pub fn with_original(mut self, original: &'a Netlist) -> Self {
+        self.original = Some(original);
+        self
+    }
+
+    /// Attach the wrapper plan.
+    #[must_use]
+    pub fn with_plan(mut self, plan: &'a WrapPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Attach the DFT-inserted die (also sets netlist and `test_en`).
+    #[must_use]
+    pub fn with_testable(mut self, testable: &'a TestableDie) -> Self {
+        self.testable = Some(testable);
+        self.netlist = Some(&testable.netlist);
+        self.test_en = Some(testable.test_en);
+        self
+    }
+
+    /// Set the `test_en` gate of the attached netlist.
+    #[must_use]
+    pub fn with_test_en(mut self, test_en: GateId) -> Self {
+        self.test_en = Some(test_en);
+        self
+    }
+
+    /// Attach the scan chain.
+    #[must_use]
+    pub fn with_chain(mut self, chain: &'a ScanChain) -> Self {
+        self.chain = Some(chain);
+        self
+    }
+
+    /// Attach the cell library.
+    #[must_use]
+    pub fn with_library(mut self, library: &'a Library) -> Self {
+        self.library = Some(library);
+        self
+    }
+
+    /// Attach the flow thresholds.
+    #[must_use]
+    pub fn with_thresholds(mut self, thresholds: &'a Thresholds) -> Self {
+        self.thresholds = Some(thresholds);
+        self
+    }
+
+    /// Set the overlapped-cone sharing policy.
+    #[must_use]
+    pub fn with_overlap_policy(mut self, allow: bool) -> Self {
+        self.allow_overlap = allow;
+        self
+    }
+
+    /// Attach the post-insertion STA verdict.
+    #[must_use]
+    pub fn with_post_sta(mut self, wns: Time, clock_period: Time) -> Self {
+        self.wns_after = Some(wns);
+        self.clock_period = Some(clock_period);
+        self
+    }
+
+    /// Queue a report document for schema checking.
+    #[must_use]
+    pub fn with_report(mut self, label: impl Into<String>, text: impl Into<String>) -> Self {
+        self.reports.push((label.into(), text.into()));
+        self
+    }
+
+    /// Enable mission co-simulation with `batches × 64` patterns.
+    #[must_use]
+    pub fn with_mission(mut self, batches: usize, seed: u64) -> Self {
+        self.mission_batches = batches;
+        self.mission_seed = seed;
+        self
+    }
+
+    /// Set the check depth.
+    #[must_use]
+    pub fn with_depth(mut self, depth: Depth) -> Self {
+        self.depth = depth;
+        self
+    }
+}

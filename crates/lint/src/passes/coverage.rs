@@ -1,0 +1,305 @@
+//! TSV-coverage pass: every pre-bond crossing wrapped or justified.
+//!
+//! Pre-bond, an inbound TSV floats and an outbound TSV is unobservable;
+//! the wrapper plan must cover **every** crossing exactly once (P3301 /
+//! P3302), with well-formed assignments (P3303). Where the plan reuses a
+//! scan flip-flop whose cones overlap a wrapped TSV's — the paper's
+//! Fig. 4 subtlety — the pass attaches the cone-overlap rationale as an
+//! Info finding (P3304) under the default policy, or flags it as an Error
+//! (P3305) when the policy in force forbids overlapped sharing (the
+//! `without_overlap` ablation and the Agrawal/Li baselines).
+//!
+//! Unlike [`prebond3d_dft::WrapPlan::validate`], which stops at the first
+//! violation, this pass reports all of them.
+
+use std::collections::HashSet;
+
+use prebond3d_netlist::{ConeSet, GateId, GateKind, Netlist};
+use prebond3d_wcm::Thresholds;
+
+use crate::context::{Depth, LintContext};
+use crate::diagnostic::{
+    Code, Diagnostic, Location, TSV_DOUBLE_WRAPPED, TSV_INVALID_ASSIGNMENT, TSV_OVERLAP_FORBIDDEN,
+    TSV_SHARED_OVERLAP, TSV_UNWRAPPED,
+};
+use crate::Pass;
+use prebond3d_dft::{WrapPlan, WrapperSource};
+
+/// The TSV-coverage pass.
+pub struct TsvCoveragePass;
+
+impl Pass for TsvCoveragePass {
+    fn name(&self) -> &'static str {
+        "tsv-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every pre-bond TSV crossing wrapped exactly once, shares justified"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            TSV_UNWRAPPED,
+            TSV_DOUBLE_WRAPPED,
+            TSV_INVALID_ASSIGNMENT,
+            TSV_SHARED_OVERLAP,
+            TSV_OVERLAP_FORBIDDEN,
+        ]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(original), Some(plan)) = (ctx.original, ctx.plan) else {
+            return;
+        };
+        check_coverage(ctx, original, plan, out);
+        if ctx.depth == Depth::Deep {
+            check_overlaps(ctx, original, plan, out);
+        }
+    }
+}
+
+fn name_of(netlist: &Netlist, id: GateId) -> String {
+    netlist
+        .get(id)
+        .map_or_else(|| id.to_string(), |g| g.name.clone())
+}
+
+fn check_coverage(
+    ctx: &LintContext<'_>,
+    original: &Netlist,
+    plan: &WrapPlan,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut seen_tsv: HashSet<GateId> = HashSet::new();
+    let mut seen_ff: HashSet<GateId> = HashSet::new();
+    for (i, a) in plan.assignments.iter().enumerate() {
+        if let WrapperSource::ReusedScanFf(ff) = a.source {
+            match original.get(ff) {
+                Some(g) if g.kind == GateKind::ScanDff => {}
+                _ => out.push(Diagnostic::new(
+                    TSV_INVALID_ASSIGNMENT,
+                    Location::item(&ctx.artifact, name_of(original, ff)),
+                    format!("assignment {i} reuses {ff}, which is not a scan flip-flop"),
+                )),
+            }
+            if !seen_ff.insert(ff) {
+                out.push(
+                    Diagnostic::new(
+                        TSV_INVALID_ASSIGNMENT,
+                        Location::item(&ctx.artifact, name_of(original, ff)),
+                        format!("assignment {i} reuses a flip-flop already claimed earlier"),
+                    )
+                    .with_help("a scan flip-flop can implement at most one wrapper cell"),
+                );
+            }
+        }
+        for (&t, want) in a
+            .inbound
+            .iter()
+            .map(|t| (t, GateKind::TsvIn))
+            .chain(a.outbound.iter().map(|t| (t, GateKind::TsvOut)))
+        {
+            match original.get(t) {
+                Some(g) if g.kind == want => {}
+                _ => out.push(Diagnostic::new(
+                    TSV_INVALID_ASSIGNMENT,
+                    Location::item(&ctx.artifact, name_of(original, t)),
+                    format!("assignment {i} lists {t} as {want}, but it is not"),
+                )),
+            }
+            if !seen_tsv.insert(t) {
+                out.push(Diagnostic::new(
+                    TSV_DOUBLE_WRAPPED,
+                    Location::item(&ctx.artifact, name_of(original, t)),
+                    format!("assignment {i} wraps a TSV already wrapped earlier"),
+                ));
+            }
+        }
+    }
+    for t in original
+        .inbound_tsvs()
+        .into_iter()
+        .chain(original.outbound_tsvs())
+    {
+        if !seen_tsv.contains(&t) {
+            out.push(
+                Diagnostic::new(
+                    TSV_UNWRAPPED,
+                    Location::item(&ctx.artifact, &original.gate(t).name),
+                    format!(
+                        "pre-bond {} crossing has no wrapper cell",
+                        original.gate(t).kind
+                    ),
+                )
+                .with_help("add a dedicated cell or a reused scan flip-flop assignment"),
+            );
+        }
+    }
+}
+
+/// Deep check: for every reused flip-flop, test cone overlap against each
+/// of its TSVs (Algorithm 1 line 19) and attach the rationale.
+fn check_overlaps(
+    ctx: &LintContext<'_>,
+    original: &Netlist,
+    plan: &WrapPlan,
+    out: &mut Vec<Diagnostic>,
+) {
+    for a in &plan.assignments {
+        let WrapperSource::ReusedScanFf(ff) = a.source else {
+            continue;
+        };
+        if original.get(ff).is_none() {
+            continue; // already reported as P3303
+        }
+        let mut roots: Vec<GateId> = vec![ff];
+        roots.extend(
+            a.inbound
+                .iter()
+                .chain(a.outbound.iter())
+                .copied()
+                .filter(|&t| original.get(t).is_some()),
+        );
+        let cones = ConeSet::compute(original, &roots);
+        for &t in roots.iter().skip(1) {
+            let Some(overlap) = cones.try_cones_overlap(ff, t) else {
+                continue;
+            };
+            if !overlap {
+                continue;
+            }
+            let ff_name = &original.gate(ff).name;
+            let tsv_name = &original.gate(t).name;
+            if ctx.allow_overlap {
+                out.push(
+                    Diagnostic::new(
+                        TSV_SHARED_OVERLAP,
+                        Location::item(&ctx.artifact, tsv_name),
+                        format!("share with `{ff_name}` has overlapping cones"),
+                    )
+                    .with_help(justification(ctx.thresholds)),
+                );
+            } else {
+                out.push(
+                    Diagnostic::new(
+                        TSV_OVERLAP_FORBIDDEN,
+                        Location::item(&ctx.artifact, tsv_name),
+                        format!(
+                            "share with `{ff_name}` has overlapping cones under a no-overlap policy"
+                        ),
+                    )
+                    .with_help("this configuration set cov_th = 0 and p_th = 0"),
+                );
+            }
+        }
+    }
+}
+
+fn justification(thresholds: Option<&Thresholds>) -> String {
+    match thresholds {
+        Some(th) => format!(
+            "admitted by the testability probe: coverage loss ≤ {:.3}%, extra patterns ≤ {}",
+            th.cov_th * 100.0,
+            th.p_th
+        ),
+        None => {
+            "admitted by the testability probe within the flow's cov_th/p_th budget".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter};
+    use prebond3d_dft::WrapAssignment;
+    use prebond3d_netlist::NetlistBuilder;
+
+    /// Die where the scan FF's cones overlap ti's fanout cone.
+    fn die() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti");
+        let g = b.gate(GateKind::And, &[a, ti], "g");
+        let q = b.scan_dff(g, "q");
+        b.tsv_out(q, "to");
+        b.output(q, "o");
+        b.finish().unwrap()
+    }
+
+    fn lint(n: &Netlist, plan: &WrapPlan, depth: Depth, allow: bool) -> crate::LintReport {
+        Linter::with_default_passes().run(
+            &LintContext::new("t")
+                .with_original(n)
+                .with_plan(plan)
+                .with_depth(depth)
+                .with_overlap_policy(allow),
+        )
+    }
+
+    #[test]
+    fn complete_plan_is_clean() {
+        let n = die();
+        let report = lint(&n, &WrapPlan::all_dedicated(&n), Depth::Quick, true);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn unwrapped_tsvs_are_all_reported() {
+        let n = die();
+        let report = lint(&n, &WrapPlan::default(), Depth::Quick, true);
+        let unwrapped = report.with_code(TSV_UNWRAPPED);
+        assert_eq!(unwrapped.len(), 2, "{}", report.render());
+    }
+
+    #[test]
+    fn double_wrap_and_bad_kind_are_reported_together() {
+        let n = die();
+        let ti = n.find("ti").unwrap();
+        let g = n.find("g").unwrap();
+        let plan = WrapPlan {
+            assignments: vec![
+                WrapAssignment {
+                    source: WrapperSource::Dedicated,
+                    inbound: vec![ti],
+                    outbound: vec![],
+                },
+                WrapAssignment {
+                    source: WrapperSource::ReusedScanFf(g), // not a scan FF
+                    inbound: vec![ti],                      // double wrap
+                    outbound: vec![n.find("to").unwrap()],
+                },
+            ],
+        };
+        let report = lint(&n, &plan, Depth::Quick, true);
+        assert_eq!(report.with_code(TSV_DOUBLE_WRAPPED).len(), 1);
+        assert_eq!(report.with_code(TSV_INVALID_ASSIGNMENT).len(), 1);
+    }
+
+    #[test]
+    fn overlapping_share_is_info_or_error_by_policy() {
+        let n = die();
+        let plan = WrapPlan {
+            assignments: vec![WrapAssignment {
+                source: WrapperSource::ReusedScanFf(n.find("q").unwrap()),
+                inbound: vec![n.find("ti").unwrap()],
+                outbound: vec![n.find("to").unwrap()],
+            }],
+        };
+        let tolerant = lint(&n, &plan, Depth::Deep, true);
+        assert!(
+            !tolerant.with_code(TSV_SHARED_OVERLAP).is_empty(),
+            "{}",
+            tolerant.render()
+        );
+        assert!(!tolerant.has_errors());
+
+        let strict = lint(&n, &plan, Depth::Deep, false);
+        assert!(!strict.with_code(TSV_OVERLAP_FORBIDDEN).is_empty());
+        assert!(strict.has_errors());
+
+        // Quick depth skips cone computation entirely.
+        let quick = lint(&n, &plan, Depth::Quick, false);
+        assert!(quick.with_code(TSV_OVERLAP_FORBIDDEN).is_empty());
+    }
+}

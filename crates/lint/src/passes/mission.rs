@@ -1,0 +1,118 @@
+//! Mission-equivalence pass.
+//!
+//! Wrapper insertion must be invisible with `test_en = 0`: the testable
+//! die simulates identically to the original at every sink. The dft crate
+//! checks this dynamically ([`prebond3d_dft::verify::mission_equivalent`]);
+//! this pass surfaces any mismatch as a stable P3501 diagnostic carrying
+//! the offending sink as its location, so flow hooks and the lint binary
+//! report it alongside the static findings instead of as a bare error
+//! string.
+
+use prebond3d_dft::verify::{mission_equivalent, Mismatch};
+
+use crate::context::LintContext;
+use crate::diagnostic::{Code, Diagnostic, Location, MISSION_MISMATCH};
+use crate::Pass;
+
+/// Convert a dynamic [`Mismatch`] into its stable diagnostic.
+pub fn diagnostic_for(artifact: &str, mismatch: &Mismatch) -> Diagnostic {
+    Diagnostic::new(
+        MISSION_MISMATCH,
+        Location::item(artifact, &mismatch.sink),
+        format!(
+            "mission-mode value diverges from the original die on pattern {}",
+            mismatch.pattern
+        ),
+    )
+    .with_help("wrapper insertion changed functional behaviour; the wrap wiring is wrong")
+}
+
+/// The mission-equivalence pass.
+pub struct MissionEquivPass;
+
+impl Pass for MissionEquivPass {
+    fn name(&self) -> &'static str {
+        "mission-equiv"
+    }
+
+    fn description(&self) -> &'static str {
+        "wrapped die simulates identically to the original in mission mode"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[MISSION_MISMATCH]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if ctx.mission_batches == 0 {
+            return;
+        }
+        let (Some(original), Some(testable)) = (ctx.original, ctx.testable) else {
+            return;
+        };
+        if let Err(mismatch) =
+            mission_equivalent(original, testable, ctx.mission_batches, ctx.mission_seed)
+        {
+            out.push(diagnostic_for(&ctx.artifact, &mismatch));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Depth, LintContext, Linter};
+    use prebond3d_dft::{testable, WrapPlan};
+    use prebond3d_netlist::{GateKind, Netlist, NetlistBuilder};
+
+    fn die() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti0");
+        let g = b.gate(GateKind::Xor, &[a, ti], "g");
+        let q = b.scan_dff(g, "q");
+        b.tsv_out(q, "to0");
+        b.output(q, "o");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn real_insertion_passes_mission_check() {
+        let n = die();
+        let t = testable::apply(&n, &WrapPlan::all_dedicated(&n)).unwrap();
+        let report = Linter::with_default_passes().run(
+            &LintContext::new("t")
+                .with_original(&n)
+                .with_testable(&t)
+                .with_plan(&WrapPlan::all_dedicated(&n))
+                .with_mission(2, 7)
+                .with_depth(Depth::Deep),
+        );
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(report.with_code(MISSION_MISMATCH).is_empty());
+    }
+
+    #[test]
+    fn mismatch_converts_to_p3501_at_the_sink() {
+        let m = Mismatch {
+            sink: "o".to_string(),
+            pattern: 17,
+        };
+        let d = diagnostic_for("b11", &m);
+        assert_eq!(d.code, MISSION_MISMATCH);
+        assert_eq!(d.location.item.as_deref(), Some("o"));
+        assert!(d.message.contains("pattern 17"));
+        assert_eq!(d.severity, crate::Severity::Error);
+    }
+
+    #[test]
+    fn zero_batches_skips_simulation() {
+        let n = die();
+        let t = testable::apply(&n, &WrapPlan::all_dedicated(&n)).unwrap();
+        let report = Linter::with_default_passes()
+            .run(&LintContext::new("t").with_original(&n).with_testable(&t));
+        // Default context has mission_batches == 0: the pass must not run
+        // the simulator, and the report stays clean.
+        assert!(report.with_code(MISSION_MISMATCH).is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! The built-in lint passes.
+
+pub mod coverage;
+pub mod mission;
+pub mod report;
+pub mod scan;
+pub mod structure;
+pub mod timing;
+pub mod wrapper;

@@ -1,0 +1,184 @@
+//! Report-schema pass.
+//!
+//! The bench binaries emit machine-readable run reports
+//! (`results/run_<exp>.json`, `results/BENCH_<exp>.json`) that downstream
+//! tooling parses; a silent schema drift breaks that tooling long after
+//! the run that introduced it. This pass re-validates any report attached
+//! to the context: unparsable JSON is P3601, and any field path whose
+//! shape is absent from the golden schema is P3602.
+//!
+//! The goldens are the same files `tests/report_schema.rs` pins
+//! (`tests/golden/*.schema.txt`), embedded at compile time so the lint
+//! binary needs no working directory. Drift is one-sided on purpose:
+//! reports may legally *omit* optional sections (a lite run has no
+//! speedup block), but may not *invent* shapes the golden never saw.
+
+use std::collections::BTreeSet;
+use std::sync::OnceLock;
+
+use crate::context::LintContext;
+use crate::diagnostic::{Code, Diagnostic, Location, REPORT_SCHEMA_DRIFT, REPORT_UNPARSABLE};
+use crate::schema;
+use crate::Pass;
+
+/// Cap on drift findings per report, to keep a wholesale corruption from
+/// flooding the output.
+const MAX_DRIFT: usize = 5;
+
+static RUN_GOLDEN: OnceLock<BTreeSet<String>> = OnceLock::new();
+static BENCH_GOLDEN: OnceLock<BTreeSet<String>> = OnceLock::new();
+
+fn run_golden() -> &'static BTreeSet<String> {
+    RUN_GOLDEN.get_or_init(|| {
+        schema::parse_golden(include_str!(
+            "../../../../tests/golden/run_report.schema.txt"
+        ))
+    })
+}
+
+fn bench_golden() -> &'static BTreeSet<String> {
+    BENCH_GOLDEN.get_or_init(|| {
+        schema::parse_golden(include_str!(
+            "../../../../tests/golden/bench_report.schema.txt"
+        ))
+    })
+}
+
+/// Pick the golden schema for a report label (file basename); `None` for
+/// artifacts the pass does not know how to validate.
+fn golden_for(label: &str) -> Option<&'static BTreeSet<String>> {
+    let base = label.rsplit('/').next().unwrap_or(label);
+    if base.starts_with("BENCH_") {
+        Some(bench_golden())
+    } else if base.starts_with("run_") {
+        Some(run_golden())
+    } else {
+        None
+    }
+}
+
+/// The report-schema pass.
+pub struct ReportSchemaPass;
+
+impl Pass for ReportSchemaPass {
+    fn name(&self) -> &'static str {
+        "report-schema"
+    }
+
+    fn description(&self) -> &'static str {
+        "run reports parse and match the golden schema"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[REPORT_UNPARSABLE, REPORT_SCHEMA_DRIFT]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        for (label, text) in &ctx.reports {
+            let Some(golden) = golden_for(label) else {
+                continue;
+            };
+            let value = match prebond3d_obs::json::parse(text) {
+                Ok(v) => v,
+                Err(e) => {
+                    out.push(Diagnostic::new(
+                        REPORT_UNPARSABLE,
+                        Location::item(&ctx.artifact, label.clone()),
+                        format!("report is not valid JSON: {e}"),
+                    ));
+                    continue;
+                }
+            };
+            let actual = schema::schema_lines(&value);
+            let drift = schema::drift(&actual, golden);
+            for line in drift.iter().take(MAX_DRIFT) {
+                out.push(
+                    Diagnostic::new(
+                        REPORT_SCHEMA_DRIFT,
+                        Location::item(&ctx.artifact, label.clone()),
+                        format!("shape not in the golden schema: {line}"),
+                    )
+                    .with_help(
+                        "if the new field is intentional, regenerate \
+                         tests/golden/*.schema.txt via tests/report_schema.rs",
+                    ),
+                );
+            }
+            if drift.len() > MAX_DRIFT {
+                out.push(Diagnostic::new(
+                    REPORT_SCHEMA_DRIFT,
+                    Location::item(&ctx.artifact, label.clone()),
+                    format!("... and {} more drifting shapes", drift.len() - MAX_DRIFT),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter};
+
+    /// Minimal run report that satisfies the golden schema.
+    fn valid_run_report() -> String {
+        r#"{
+            "elapsed_ms": 12.0,
+            "experiment": "smoke",
+            "sections": [{
+                "label": "flow",
+                "ms": 11.0,
+                "counters": {"gates": 10},
+                "gauges": {"wns": 4},
+                "spans": [{"name": "sta", "path": "flow/sta",
+                           "count": 1, "depth": 1, "ms": 3.0}]
+            }]
+        }"#
+        .to_string()
+    }
+
+    fn lint(label: &str, text: String) -> crate::LintReport {
+        Linter::with_default_passes().run(&LintContext::new("t").with_report(label, text))
+    }
+
+    #[test]
+    fn valid_report_is_clean() {
+        let report = lint("run_smoke.json", valid_run_report());
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn truncated_report_is_unparsable() {
+        let mut text = valid_run_report();
+        text.truncate(text.len() / 2);
+        let report = lint("run_smoke.json", text);
+        assert_eq!(report.with_code(REPORT_UNPARSABLE).len(), 1);
+    }
+
+    #[test]
+    fn invented_field_is_drift() {
+        let text = valid_run_report().replace("\"experiment\": \"smoke\"", "\"experiment\": 42");
+        let report = lint("run_smoke.json", text);
+        let drift = report.with_code(REPORT_SCHEMA_DRIFT);
+        assert_eq!(drift.len(), 1, "{}", report.render());
+        assert!(drift[0].message.contains("$.experiment: number"));
+    }
+
+    #[test]
+    fn missing_optional_section_is_not_drift() {
+        // Omitting sections entirely leaves only known shapes behind.
+        let text = r#"{"elapsed_ms": 1.0, "experiment": "lite", "sections": []}"#.to_string();
+        let report = lint("run_lite.json", text);
+        assert!(
+            report.with_code(REPORT_SCHEMA_DRIFT).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn unknown_labels_are_skipped() {
+        let report = lint("notes.json", "not json at all".to_string());
+        assert!(report.with_code(REPORT_UNPARSABLE).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Scan-chain pass: connectivity and single-pass ordering.
+//!
+//! The stitched chain is how pre-bond test patterns get in and out; every
+//! scan-accessible cell (scan flip-flop or wrapper cell) must appear in
+//! the chain exactly once (P3201 missing / P3202 duplicated), and nothing
+//! else may be stitched in (P3203).
+
+use std::collections::HashSet;
+
+use crate::context::LintContext;
+use crate::diagnostic::{
+    Code, Diagnostic, Location, SCAN_DUPLICATE_CELL, SCAN_MISSING_CELL, SCAN_NOT_A_CELL,
+};
+use crate::Pass;
+use prebond3d_netlist::{GateId, GateKind};
+
+/// The scan-chain pass.
+pub struct ScanChainPass;
+
+impl Pass for ScanChainPass {
+    fn name(&self) -> &'static str {
+        "scan-chain"
+    }
+
+    fn description(&self) -> &'static str {
+        "every scan-accessible cell is stitched into the chain exactly once"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[SCAN_MISSING_CELL, SCAN_DUPLICATE_CELL, SCAN_NOT_A_CELL]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(netlist), Some(chain)) = (ctx.netlist, ctx.chain) else {
+            return;
+        };
+        let name_of = |id: GateId| {
+            netlist
+                .get(id)
+                .map_or_else(|| id.to_string(), |g| g.name.clone())
+        };
+
+        let mut seen: HashSet<GateId> = HashSet::with_capacity(chain.order.len());
+        for &cell in &chain.order {
+            match netlist.get(cell) {
+                Some(g) if matches!(g.kind, GateKind::ScanDff | GateKind::Wrapper) => {}
+                Some(g) => {
+                    out.push(Diagnostic::new(
+                        SCAN_NOT_A_CELL,
+                        Location::item(&ctx.artifact, &g.name),
+                        format!("chain entry is a {}, not a scan-accessible cell", g.kind),
+                    ));
+                }
+                None => {
+                    out.push(Diagnostic::new(
+                        SCAN_NOT_A_CELL,
+                        Location::item(&ctx.artifact, cell.to_string()),
+                        "chain entry references a gate outside the netlist".to_string(),
+                    ));
+                }
+            }
+            if !seen.insert(cell) {
+                out.push(
+                    Diagnostic::new(
+                        SCAN_DUPLICATE_CELL,
+                        Location::item(&ctx.artifact, name_of(cell)),
+                        "cell stitched into the chain more than once".to_string(),
+                    )
+                    .with_help("a duplicated cell shifts its neighbour's data over itself"),
+                );
+            }
+        }
+
+        for (id, gate) in netlist.iter() {
+            if matches!(gate.kind, GateKind::ScanDff | GateKind::Wrapper) && !seen.contains(&id) {
+                out.push(
+                    Diagnostic::new(
+                        SCAN_MISSING_CELL,
+                        Location::item(&ctx.artifact, &gate.name),
+                        format!("{} is not stitched into the scan chain", gate.kind),
+                    )
+                    .with_help("an unstitched cell is neither controllable nor observable"),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter};
+    use prebond3d_dft::{insert_scan, ScanChain};
+    use prebond3d_netlist::{Netlist, NetlistBuilder};
+
+    fn die() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let q1 = b.dff(a, "q1");
+        let q2 = b.dff(q1, "q2");
+        b.output(q2, "o");
+        b.finish().unwrap()
+    }
+
+    fn lint(netlist: &Netlist, chain: &ScanChain) -> crate::LintReport {
+        Linter::with_default_passes().run(
+            &LintContext::new("t")
+                .with_netlist(netlist)
+                .with_chain(chain),
+        )
+    }
+
+    #[test]
+    fn full_chain_is_clean() {
+        let (scanned, chain) = insert_scan(&die()).unwrap();
+        let report = lint(&scanned, &chain);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn dropped_cell_is_missing() {
+        let (scanned, mut chain) = insert_scan(&die()).unwrap();
+        let dropped = chain.order.pop().unwrap();
+        let report = lint(&scanned, &chain);
+        let missing = report.with_code(SCAN_MISSING_CELL);
+        assert_eq!(missing.len(), 1);
+        assert_eq!(
+            missing[0].location.item.as_deref(),
+            Some(scanned.gate(dropped).name.as_str())
+        );
+    }
+
+    #[test]
+    fn duplicated_cell_is_flagged() {
+        let (scanned, mut chain) = insert_scan(&die()).unwrap();
+        chain.order.push(chain.order[0]);
+        let report = lint(&scanned, &chain);
+        assert_eq!(report.with_code(SCAN_DUPLICATE_CELL).len(), 1);
+    }
+
+    #[test]
+    fn non_cell_entry_is_flagged() {
+        let (scanned, mut chain) = insert_scan(&die()).unwrap();
+        chain.order.push(scanned.find("a").unwrap());
+        chain.order.push(prebond3d_netlist::GateId(999));
+        let report = lint(&scanned, &chain);
+        let hits = report.with_code(SCAN_NOT_A_CELL);
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().any(|d| d.message.contains("input")));
+        assert!(hits
+            .iter()
+            .any(|d| d.message.contains("outside the netlist")));
+    }
+}

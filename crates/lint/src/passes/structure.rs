@@ -1,0 +1,364 @@
+//! Structure pass: netlist DAG invariants beyond the builder.
+//!
+//! [`prebond3d_netlist::Netlist::from_gates`] enforces arity, name
+//! uniqueness, wiring and acyclicity — but it stops at the *first*
+//! violation and refuses to construct. This pass reports **every**
+//! violation over a raw gate list, and adds two liveness checks the
+//! builder does not perform at all: dead combinational logic (P3006) and
+//! unused sources (P3007). On an already-validated [`Netlist`] the
+//! builder-level checks re-verify trivially and the liveness checks do
+//! the real work.
+
+use std::collections::HashMap;
+
+use prebond3d_netlist::{Gate, GateKind};
+
+use crate::context::LintContext;
+use crate::diagnostic::{
+    Code, Diagnostic, Location, ARITY_MISMATCH, COMBINATIONAL_LOOP, DANGLING_INPUT, DEAD_LOGIC,
+    DUPLICATE_NAME, NON_DRIVING_INPUT, UNUSED_SOURCE,
+};
+use crate::Pass;
+
+/// Cap on per-code findings so a thoroughly broken netlist stays readable.
+const MAX_PER_CODE: usize = 16;
+
+/// The structure pass.
+pub struct StructurePass;
+
+impl Pass for StructurePass {
+    fn name(&self) -> &'static str {
+        "structure"
+    }
+
+    fn description(&self) -> &'static str {
+        "netlist DAG invariants: arity, names, wiring, loops, liveness"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            ARITY_MISMATCH,
+            DUPLICATE_NAME,
+            DANGLING_INPUT,
+            NON_DRIVING_INPUT,
+            COMBINATIONAL_LOOP,
+            DEAD_LOGIC,
+            UNUSED_SOURCE,
+        ]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(gates) = ctx.gates {
+            let refs: Vec<&Gate> = gates.iter().collect();
+            lint_gates(&ctx.artifact, &refs, out);
+        } else if let Some(netlist) = ctx.netlist {
+            let refs: Vec<&Gate> = netlist.iter().map(|(_, g)| g).collect();
+            lint_gates(&ctx.artifact, &refs, out);
+        }
+    }
+}
+
+/// A bounded emitter: keeps diagnostics per code below [`MAX_PER_CODE`]
+/// and closes each capped code with a `+N more` summary.
+struct Emitter<'a> {
+    artifact: &'a str,
+    counts: HashMap<u16, usize>,
+    out: &'a mut Vec<Diagnostic>,
+}
+
+impl<'a> Emitter<'a> {
+    fn emit(&mut self, code: Code, item: &str, message: String) {
+        let n = self.counts.entry(code.0).or_insert(0);
+        *n += 1;
+        match (*n).cmp(&(MAX_PER_CODE + 1)) {
+            std::cmp::Ordering::Less => {
+                self.out.push(Diagnostic::new(
+                    code,
+                    Location::item(self.artifact, item),
+                    message,
+                ));
+            }
+            std::cmp::Ordering::Equal => {
+                self.out.push(Diagnostic::new(
+                    code,
+                    Location::artifact(self.artifact),
+                    format!("further {code} findings elided"),
+                ));
+            }
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+}
+
+/// Lint a gate list (raw or from a validated netlist).
+pub fn lint_gates(artifact: &str, gates: &[&Gate], out: &mut Vec<Diagnostic>) {
+    let mut e = Emitter {
+        artifact,
+        counts: HashMap::new(),
+        out,
+    };
+
+    // Name uniqueness.
+    let mut first_owner: HashMap<&str, usize> = HashMap::new();
+    for (i, gate) in gates.iter().enumerate() {
+        if let Some(&prev) = first_owner.get(gate.name.as_str()) {
+            e.emit(
+                DUPLICATE_NAME,
+                &gate.name,
+                format!("gate #{i} reuses the name of gate #{prev}"),
+            );
+        } else {
+            first_owner.insert(gate.name.as_str(), i);
+        }
+    }
+
+    // Arity and wiring.
+    let mut wiring_broken = false;
+    for gate in gates {
+        if gate.inputs.len() != gate.kind.arity() {
+            e.emit(
+                ARITY_MISMATCH,
+                &gate.name,
+                format!(
+                    "kind `{}` takes {} input(s), found {}",
+                    gate.kind,
+                    gate.kind.arity(),
+                    gate.inputs.len()
+                ),
+            );
+        }
+        for &input in &gate.inputs {
+            match gates.get(input.index()) {
+                None => {
+                    wiring_broken = true;
+                    e.emit(
+                        DANGLING_INPUT,
+                        &gate.name,
+                        format!("input {input} does not exist ({} gates)", gates.len()),
+                    );
+                }
+                Some(driver) if matches!(driver.kind, GateKind::Output | GateKind::TsvOut) => {
+                    e.emit(
+                        NON_DRIVING_INPUT,
+                        &gate.name,
+                        format!("driven by `{}`, a non-driving {}", driver.name, driver.kind),
+                    );
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // Graph-shape checks need resolvable edges.
+    if wiring_broken {
+        return;
+    }
+    check_loops(&mut e, gates);
+    check_liveness(&mut e, gates);
+}
+
+/// Kahn's algorithm over combinational edges, as in `Netlist::from_gates`,
+/// but reporting every gate stuck on a cycle.
+fn check_loops(e: &mut Emitter<'_>, gates: &[&Gate]) {
+    let mut fanouts: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    let mut indeg = vec![0usize; gates.len()];
+    for (i, gate) in gates.iter().enumerate() {
+        for &input in &gate.inputs {
+            fanouts[input.index()].push(i);
+        }
+        indeg[i] = if gate.kind.is_sequential() || gate.kind.arity() == 0 {
+            0
+        } else {
+            gate.inputs.len()
+        };
+    }
+    let mut queue: Vec<usize> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(i, _)| i)
+        .collect();
+    while let Some(i) = queue.pop() {
+        for &j in &fanouts[i] {
+            if gates[j].kind.is_sequential() {
+                continue;
+            }
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push(j);
+            }
+        }
+    }
+    for (i, &d) in indeg.iter().enumerate() {
+        if d > 0 {
+            e.emit(
+                COMBINATIONAL_LOOP,
+                &gates[i].name,
+                "stuck on a combinational cycle".to_string(),
+            );
+        }
+    }
+}
+
+/// Liveness: combinational logic must reach a sink; sources must drive
+/// something. Both are warnings — dead hardware is waste, not breakage.
+fn check_liveness(e: &mut Emitter<'_>, gates: &[&Gate]) {
+    // Mark alive backwards from sinks, crossing flip-flops (their D cone
+    // is alive because the state is architectural).
+    let mut alive = vec![false; gates.len()];
+    let mut stack: Vec<usize> = gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| {
+            matches!(g.kind, GateKind::Output | GateKind::TsvOut) || g.kind.is_sequential()
+        })
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &stack {
+        alive[i] = true;
+    }
+    while let Some(i) = stack.pop() {
+        for &input in &gates[i].inputs {
+            if !alive[input.index()] {
+                alive[input.index()] = true;
+                stack.push(input.index());
+            }
+        }
+    }
+
+    let mut has_fanout = vec![false; gates.len()];
+    for gate in gates {
+        for &input in &gate.inputs {
+            has_fanout[input.index()] = true;
+        }
+    }
+
+    for (i, gate) in gates.iter().enumerate() {
+        let is_pure_logic = gate.kind.is_combinational()
+            && !matches!(gate.kind, GateKind::Output | GateKind::TsvOut);
+        if is_pure_logic && !alive[i] {
+            e.emit(
+                DEAD_LOGIC,
+                &gate.name,
+                format!("{} gate reaches no sink", gate.kind),
+            );
+        }
+        // Sequential sources (scan cells, wrapper cells) are observed
+        // through the scan chain, so a floating Q is legitimate.
+        if gate.kind.is_source() && !gate.kind.is_sequential() && !has_fanout[i] {
+            e.emit(
+                UNUSED_SOURCE,
+                &gate.name,
+                format!("{} source drives nothing", gate.kind),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter};
+    use prebond3d_netlist::{Gate, GateId, GateKind, NetlistBuilder};
+
+    fn run_on_gates(gates: &[Gate]) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let refs: Vec<&Gate> = gates.iter().collect();
+        lint_gates("t", &refs, &mut out);
+        out
+    }
+
+    #[test]
+    fn reports_every_violation_not_just_the_first() {
+        let gates = vec![
+            Gate::new("a", GateKind::Input, vec![]),
+            Gate::new("a", GateKind::Input, vec![]),
+            Gate::new("g", GateKind::And, vec![GateId(0)]),
+            Gate::new("o", GateKind::Output, vec![GateId(0)]),
+            Gate::new("h", GateKind::Not, vec![GateId(3)]),
+        ];
+        let out = run_on_gates(&gates);
+        let codes: Vec<u16> = out.iter().map(|d| d.code.0).collect();
+        assert!(codes.contains(&DUPLICATE_NAME.0));
+        assert!(codes.contains(&ARITY_MISMATCH.0));
+        assert!(codes.contains(&NON_DRIVING_INPUT.0));
+    }
+
+    #[test]
+    fn detects_combinational_loop_in_raw_gates() {
+        let gates = vec![
+            Gate::new("g0", GateKind::Not, vec![GateId(1)]),
+            Gate::new("g1", GateKind::Not, vec![GateId(0)]),
+        ];
+        let out = run_on_gates(&gates);
+        assert_eq!(
+            out.iter().filter(|d| d.code == COMBINATIONAL_LOOP).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn sequential_feedback_is_legal() {
+        let gates = vec![
+            Gate::new("q", GateKind::Dff, vec![GateId(1)]),
+            Gate::new("d", GateKind::Not, vec![GateId(0)]),
+        ];
+        let out = run_on_gates(&gates);
+        assert!(out.iter().all(|d| d.code != COMBINATIONAL_LOOP));
+    }
+
+    #[test]
+    fn dangling_input_suppresses_graph_checks() {
+        let gates = vec![Gate::new("g", GateKind::Not, vec![GateId(9)])];
+        let out = run_on_gates(&gates);
+        assert!(out.iter().any(|d| d.code == DANGLING_INPUT));
+        assert!(out.iter().all(|d| d.code != DEAD_LOGIC));
+    }
+
+    #[test]
+    fn dead_logic_and_unused_sources_warn_on_valid_netlists() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let unused = b.input("unused");
+        let live = b.gate(GateKind::Not, &[a], "live");
+        let dead = b.gate(GateKind::Not, &[a], "dead");
+        b.output(live, "o");
+        let n = b.finish().unwrap();
+        let _ = (unused, dead);
+        let report = Linter::with_default_passes().run(&LintContext::new("t").with_netlist(&n));
+        assert!(!report.has_errors());
+        let dead_hits = report.with_code(DEAD_LOGIC);
+        assert_eq!(dead_hits.len(), 1);
+        assert_eq!(dead_hits[0].location.item.as_deref(), Some("dead"));
+        let unused_hits = report.with_code(UNUSED_SOURCE);
+        assert_eq!(unused_hits.len(), 1);
+        assert_eq!(unused_hits[0].location.item.as_deref(), Some("unused"));
+    }
+
+    #[test]
+    fn floating_scan_cell_is_not_an_unused_source() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, &[a], "g");
+        b.scan_dff(g, "q"); // no Q fanout: observed via scan only
+        b.output(a, "o");
+        let n = b.finish().unwrap();
+        let report = Linter::with_default_passes().run(&LintContext::new("t").with_netlist(&n));
+        assert!(report.with_code(UNUSED_SOURCE).is_empty());
+    }
+
+    #[test]
+    fn findings_are_capped_per_code() {
+        let mut gates = vec![Gate::new("a", GateKind::Input, vec![])];
+        for i in 0..40 {
+            gates.push(Gate::new(format!("g{i}"), GateKind::And, vec![GateId(0)]));
+        }
+        let out = run_on_gates(&gates);
+        let arity = out.iter().filter(|d| d.code == ARITY_MISMATCH).count();
+        assert_eq!(
+            arity,
+            MAX_PER_CODE + 1,
+            "capped findings plus one elision note"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Timing-model sanity pass.
+//!
+//! The reuse decisions all lean on the Elmore wire model and the
+//! threshold vector, so a corrupted model silently corrupts every
+//! downstream number. This pass probes the model like a property test:
+//! wire delay and driver load must be monotone non-decreasing in distance
+//! (P3401 / P3402), the thresholds must be internally sane (P3403), and —
+//! when the context carries post-insertion STA results — the worst slack
+//! must not be negative (P3404), the paper's Table III acceptance bar.
+
+use prebond3d_celllib::{Capacitance, Distance, Library};
+use prebond3d_wcm::Thresholds;
+
+use crate::context::LintContext;
+use crate::diagnostic::{
+    Code, Diagnostic, Location, NEGATIVE_POST_SLACK, THRESHOLDS_INSANE, WIRE_DELAY_NON_MONOTONE,
+    WIRE_LOAD_NON_MONOTONE,
+};
+use crate::Pass;
+
+/// Distances (µm) the wire model is probed at. Chosen to straddle the
+/// buffer interval of realistic models so saturation plateaus are covered.
+const PROBE_UM: &[f64] = &[
+    0.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 120.0, 150.0, 200.0, 400.0, 800.0, 1600.0,
+];
+
+/// Fixed sink load (fF) used for the delay probe.
+const PROBE_LOAD_FF: f64 = 5.0;
+
+/// The timing-model pass.
+pub struct TimingModelPass;
+
+impl Pass for TimingModelPass {
+    fn name(&self) -> &'static str {
+        "timing-model"
+    }
+
+    fn description(&self) -> &'static str {
+        "wire model monotone, thresholds sane, post-insertion slack non-negative"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            WIRE_DELAY_NON_MONOTONE,
+            WIRE_LOAD_NON_MONOTONE,
+            THRESHOLDS_INSANE,
+            NEGATIVE_POST_SLACK,
+        ]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(library) = ctx.library {
+            check_wire_model(&ctx.artifact, library, out);
+        }
+        if let Some(thresholds) = ctx.thresholds {
+            check_thresholds(&ctx.artifact, thresholds, out);
+        }
+        if let Some(wns) = ctx.wns_after {
+            // `< 0` or NaN — a NaN slack is just as broken as a negative one.
+            if wns.0 < 0.0 || wns.0.is_nan() {
+                let period = ctx
+                    .clock_period
+                    .map_or_else(String::new, |p| format!(" at a {:.0} ps clock", p.0));
+                out.push(
+                    Diagnostic::new(
+                        NEGATIVE_POST_SLACK,
+                        Location::artifact(&ctx.artifact),
+                        format!("post-insertion worst slack is {:.2} ps{period}", wns.0),
+                    )
+                    .with_help(
+                        "wrapper insertion must not create timing violations; \
+                         tighten s_th/d_th or fall back to dedicated cells",
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_wire_model(artifact: &str, library: &Library, out: &mut Vec<Diagnostic>) {
+    let wire = library.wire();
+    let load = Capacitance(PROBE_LOAD_FF);
+    let mut prev_delay = f64::NEG_INFINITY;
+    let mut prev_load = f64::NEG_INFINITY;
+    let mut prev_um = 0.0;
+    for &um in PROBE_UM {
+        let d = wire.elmore_delay(Distance(um), load).0;
+        let l = wire.driver_load(Distance(um)).0;
+        if d < prev_delay || d.is_nan() {
+            out.push(Diagnostic::new(
+                WIRE_DELAY_NON_MONOTONE,
+                Location::artifact(artifact),
+                format!(
+                    "wire delay decreases with distance: {prev_delay:.3} ps at {prev_um} µm \
+                     but {d:.3} ps at {um} µm"
+                ),
+            ));
+            break;
+        }
+        if l < prev_load || l.is_nan() {
+            out.push(Diagnostic::new(
+                WIRE_LOAD_NON_MONOTONE,
+                Location::artifact(artifact),
+                format!(
+                    "driver load decreases with distance: {prev_load:.3} fF at {prev_um} µm \
+                     but {l:.3} fF at {um} µm"
+                ),
+            ));
+            break;
+        }
+        prev_delay = d;
+        prev_load = l;
+        prev_um = um;
+    }
+}
+
+fn check_thresholds(artifact: &str, th: &Thresholds, out: &mut Vec<Diagnostic>) {
+    let mut bad = |what: String| {
+        out.push(
+            Diagnostic::new(THRESHOLDS_INSANE, Location::artifact(artifact), what)
+                .with_help("see Thresholds::area_optimized / performance_optimized for sane sets"),
+        );
+    };
+    if th.cap_th.0 <= 0.0 || th.cap_th.0.is_nan() {
+        bad(format!("cap_th = {} fF must be positive", th.cap_th.0));
+    }
+    if th.s_th.0.is_nan() || th.s_th.0 == f64::INFINITY {
+        // -inf is the area-optimized "never reject on slack" sentinel.
+        bad(format!(
+            "s_th = {} ps is not a usable slack bound",
+            th.s_th.0
+        ));
+    }
+    if th.d_th.0.is_nan() || th.d_th.0 < 0.0 {
+        // +inf is the area-optimized "any distance" sentinel.
+        bad(format!("d_th = {} µm must be non-negative", th.d_th.0));
+    }
+    if !(0.0..=1.0).contains(&th.cov_th) {
+        bad(format!("cov_th = {} must lie in [0, 1]", th.cov_th));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter};
+    use prebond3d_celllib::Time;
+
+    fn lint(ctx: &LintContext<'_>) -> crate::LintReport {
+        Linter::with_default_passes().run(ctx)
+    }
+
+    /// A stock library with its wire model replaced.
+    fn with_wire(wire: prebond3d_celllib::WireModel) -> Library {
+        let stock = Library::nangate45_like();
+        Library::from_parts(
+            "broken".to_string(),
+            wire,
+            *stock.tsv(),
+            *stock.reuse(),
+            stock.clk_to_q,
+            stock.setup,
+        )
+    }
+
+    #[test]
+    fn stock_library_and_thresholds_are_clean() {
+        let library = Library::nangate45_like();
+        for th in [
+            Thresholds::area_optimized(&library),
+            Thresholds::performance_optimized(&library, Distance(120.0)),
+            Thresholds::performance_optimized(&library, Distance(120.0)).without_overlap(),
+        ] {
+            let report = lint(
+                &LintContext::new("t")
+                    .with_library(&library)
+                    .with_thresholds(&th)
+                    .with_post_sta(Time(12.5), Time(5000.0)),
+            );
+            assert!(!report.has_errors(), "{}", report.render());
+        }
+    }
+
+    #[test]
+    fn negative_resistance_breaks_monotonicity() {
+        let mut wire = prebond3d_celllib::WireModel::m45();
+        wire.res_per_um = prebond3d_celllib::Resistance(-0.1);
+        let report = lint(&LintContext::new("t").with_library(&with_wire(wire)));
+        assert!(
+            !report.with_code(WIRE_DELAY_NON_MONOTONE).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn negative_capacitance_breaks_load_monotonicity() {
+        let mut wire = prebond3d_celllib::WireModel::m45();
+        wire.cap_per_um = Capacitance(-0.05);
+        wire.res_per_um = prebond3d_celllib::Resistance(0.0);
+        let report = lint(&LintContext::new("t").with_library(&with_wire(wire)));
+        assert!(
+            !report.with_code(WIRE_LOAD_NON_MONOTONE).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn insane_thresholds_are_each_reported() {
+        let th = Thresholds {
+            cap_th: Capacitance(0.0),
+            s_th: Time(f64::NAN),
+            d_th: Distance(-3.0),
+            cov_th: 1.5,
+            p_th: 0,
+        };
+        let report = lint(&LintContext::new("t").with_thresholds(&th));
+        assert_eq!(
+            report.with_code(THRESHOLDS_INSANE).len(),
+            4,
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn negative_wns_is_an_error() {
+        let report = lint(&LintContext::new("t").with_post_sta(Time(-4.25), Time(2500.0)));
+        let hits = report.with_code(NEGATIVE_POST_SLACK);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("-4.25"));
+        assert!(report.has_errors());
+    }
+}

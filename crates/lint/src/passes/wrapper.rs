@@ -1,0 +1,272 @@
+//! Wrapper-mux pass: the inserted Fig. 2/Fig. 3 hardware must be wired
+//! for transparency.
+//!
+//! DFT insertion ([`prebond3d_dft::testable::apply`]) names its gates by
+//! convention — `wrapmux__<tsv>` for the inbound isolation mux and
+//! `wrapdmux__<ff>` for the reused flip-flop's capture mux — and the
+//! mission-mode guarantee rests on three wiring facts this pass checks
+//! statically:
+//!
+//! * every wrapper mux selects on `test_en` and passes the raw signal on
+//!   the `0` branch (P3102 otherwise: non-transparent);
+//! * a wrapped inbound TSV feeds **only** its mux — any remaining direct
+//!   consumer sees floating pre-bond data in test mode and stale wrapper
+//!   data post-insertion (P3101: fanout leak);
+//! * the mux actually drives something, else the wrap is dead hardware
+//!   (P3103, warning).
+
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+
+use crate::context::LintContext;
+use crate::diagnostic::{
+    Code, Diagnostic, Location, WRAPPER_DANGLING_MUX, WRAPPER_FANOUT_LEAK, WRAPPER_NON_TRANSPARENT,
+};
+use crate::Pass;
+
+/// The wrapper-mux pass.
+pub struct WrapperMuxPass;
+
+impl Pass for WrapperMuxPass {
+    fn name(&self) -> &'static str {
+        "wrapper-mux"
+    }
+
+    fn description(&self) -> &'static str {
+        "inserted wrapper-mux wiring is transparent in mission mode"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            WRAPPER_FANOUT_LEAK,
+            WRAPPER_NON_TRANSPARENT,
+            WRAPPER_DANGLING_MUX,
+        ]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(netlist) = ctx.netlist else { return };
+        let Some(test_en) = ctx.test_en else { return };
+        for (id, gate) in netlist.iter() {
+            if let Some(tsv_name) = gate.name.strip_prefix("wrapmux__") {
+                check_inbound_mux(&ctx.artifact, netlist, id, tsv_name, test_en, out);
+            } else if gate.name.starts_with("wrapdmux__") {
+                check_capture_mux(&ctx.artifact, netlist, id, test_en, out);
+            }
+        }
+    }
+}
+
+fn check_inbound_mux(
+    artifact: &str,
+    netlist: &Netlist,
+    mux: GateId,
+    tsv_name: &str,
+    test_en: GateId,
+    out: &mut Vec<Diagnostic>,
+) {
+    let gate = netlist.gate(mux);
+    let loc = || Location::item(artifact, &gate.name);
+    if gate.kind != GateKind::Mux2 {
+        out.push(Diagnostic::new(
+            WRAPPER_NON_TRANSPARENT,
+            loc(),
+            format!("wrapper mux is a {}, not a mux2", gate.kind),
+        ));
+        return;
+    }
+    if gate.inputs[2] != test_en {
+        out.push(
+            Diagnostic::new(
+                WRAPPER_NON_TRANSPARENT,
+                loc(),
+                format!(
+                    "select pin is `{}`, not test_en",
+                    netlist.gate(gate.inputs[2]).name
+                ),
+            )
+            .with_help("mission mode needs test_en on the select so the raw TSV passes through"),
+        );
+    }
+    let Some(tsv) = netlist.find(tsv_name) else {
+        out.push(Diagnostic::new(
+            WRAPPER_NON_TRANSPARENT,
+            loc(),
+            format!("no TSV named `{tsv_name}` behind this mux"),
+        ));
+        return;
+    };
+    if gate.inputs[0] != tsv {
+        out.push(
+            Diagnostic::new(
+                WRAPPER_NON_TRANSPARENT,
+                loc(),
+                format!(
+                    "mission branch (data0) is `{}`, not the raw TSV `{tsv_name}`",
+                    netlist.gate(gate.inputs[0]).name
+                ),
+            )
+            .with_help("data0 must carry the functional TSV signal"),
+        );
+    }
+    let cell_kind = netlist.gate(gate.inputs[1]).kind;
+    if !matches!(cell_kind, GateKind::ScanDff | GateKind::Wrapper) {
+        out.push(Diagnostic::new(
+            WRAPPER_NON_TRANSPARENT,
+            loc(),
+            format!(
+                "test branch (data1) is `{}` ({cell_kind}), not a wrapper cell",
+                netlist.gate(gate.inputs[1]).name
+            ),
+        ));
+    }
+    // The raw TSV must fan out only into this mux.
+    for &consumer in netlist.fanout(tsv) {
+        if consumer != mux {
+            out.push(
+                Diagnostic::new(
+                    WRAPPER_FANOUT_LEAK,
+                    Location::item(artifact, tsv_name),
+                    format!(
+                        "wrapped TSV still feeds `{}` directly, bypassing its mux",
+                        netlist.gate(consumer).name
+                    ),
+                )
+                .with_help("pre-bond the raw TSV floats; every consumer must go through the mux"),
+            );
+        }
+    }
+    if netlist.fanout(mux).is_empty() {
+        out.push(Diagnostic::new(
+            WRAPPER_DANGLING_MUX,
+            loc(),
+            "wrapper mux drives nothing; the wrap has no effect".to_string(),
+        ));
+    }
+}
+
+fn check_capture_mux(
+    artifact: &str,
+    netlist: &Netlist,
+    mux: GateId,
+    test_en: GateId,
+    out: &mut Vec<Diagnostic>,
+) {
+    let gate = netlist.gate(mux);
+    if gate.kind != GateKind::Mux2 {
+        out.push(Diagnostic::new(
+            WRAPPER_NON_TRANSPARENT,
+            Location::item(artifact, &gate.name),
+            format!("capture mux is a {}, not a mux2", gate.kind),
+        ));
+        return;
+    }
+    if gate.inputs[2] != test_en {
+        out.push(Diagnostic::new(
+            WRAPPER_NON_TRANSPARENT,
+            Location::item(artifact, &gate.name),
+            format!(
+                "capture-mux select is `{}`, not test_en",
+                netlist.gate(gate.inputs[2]).name
+            ),
+        ));
+    }
+    if netlist.fanout(mux).is_empty() {
+        out.push(Diagnostic::new(
+            WRAPPER_DANGLING_MUX,
+            Location::item(artifact, &gate.name),
+            "capture mux drives nothing".to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LintContext, Linter};
+    use prebond3d_dft::{testable, WrapPlan};
+    use prebond3d_netlist::{Gate, GateKind, Netlist, NetlistBuilder};
+
+    fn die() -> Netlist {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti0");
+        let g = b.gate(GateKind::And, &[a, ti], "g");
+        let q = b.scan_dff(g, "q");
+        b.tsv_out(q, "to0");
+        b.output(q, "o");
+        b.finish().unwrap()
+    }
+
+    fn lint(netlist: &Netlist) -> crate::LintReport {
+        let te = netlist.find("test_en").expect("testable die has test_en");
+        Linter::with_default_passes()
+            .run(&LintContext::new("t").with_netlist(netlist).with_test_en(te))
+    }
+
+    #[test]
+    fn real_insertion_is_clean() {
+        let n = die();
+        let t = testable::apply(&n, &WrapPlan::all_dedicated(&n)).unwrap();
+        let report = lint(&t.netlist);
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    /// Rebuild the testable netlist with one gate mutated.
+    fn mutate(netlist: &Netlist, f: impl Fn(&mut Vec<Gate>)) -> Netlist {
+        let mut gates: Vec<Gate> = netlist.iter().map(|(_, g)| g.clone()).collect();
+        f(&mut gates);
+        Netlist::from_gates(netlist.name().to_string(), gates).unwrap()
+    }
+
+    #[test]
+    fn wrong_select_pin_is_non_transparent() {
+        let n = die();
+        let t = testable::apply(&n, &WrapPlan::all_dedicated(&n)).unwrap();
+        let a = t.netlist.find("a").unwrap();
+        let mux = t.netlist.find("wrapmux__ti0").unwrap();
+        let bad = mutate(&t.netlist, |gates| {
+            gates[mux.index()].inputs[2] = a;
+        });
+        let report = lint(&bad);
+        assert!(
+            !report.with_code(WRAPPER_NON_TRANSPARENT).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn swapped_data_pins_are_non_transparent() {
+        let n = die();
+        let t = testable::apply(&n, &WrapPlan::all_dedicated(&n)).unwrap();
+        let mux = t.netlist.find("wrapmux__ti0").unwrap();
+        let bad = mutate(&t.netlist, |gates| {
+            gates[mux.index()].inputs.swap(0, 1);
+        });
+        let report = lint(&bad);
+        assert!(!report.with_code(WRAPPER_NON_TRANSPARENT).is_empty());
+    }
+
+    #[test]
+    fn direct_tsv_consumer_is_a_fanout_leak() {
+        let n = die();
+        let t = testable::apply(&n, &WrapPlan::all_dedicated(&n)).unwrap();
+        let ti = t.netlist.find("ti0").unwrap();
+        let g = t.netlist.find("g").unwrap();
+        let mux = t.netlist.find("wrapmux__ti0").unwrap();
+        let bad = mutate(&t.netlist, |gates| {
+            // Rewire `g` back to the raw TSV, bypassing the mux.
+            for input in &mut gates[g.index()].inputs {
+                if *input == mux {
+                    *input = ti;
+                }
+            }
+        });
+        let report = lint(&bad);
+        let leaks = report.with_code(WRAPPER_FANOUT_LEAK);
+        assert_eq!(leaks.len(), 1, "{}", report.render());
+        assert_eq!(leaks[0].location.item.as_deref(), Some("ti0"));
+        // The now-unconsumed mux is also flagged as dangling.
+        assert!(!report.with_code(WRAPPER_DANGLING_MUX).is_empty());
+    }
+}

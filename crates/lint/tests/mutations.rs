@@ -1,0 +1,244 @@
+//! Acceptance sweep for the lint pipeline: a clean die through the real
+//! flow produces zero errors at deep depth, and seeded mutations of each
+//! artifact trip the matching `P3xxx` code — one mutation per pass, so a
+//! regression that silently disables a pass fails here, not in the field.
+
+use prebond3d_celllib::{Library, Time};
+use prebond3d_dft::insert_scan;
+use prebond3d_lint::diagnostic::{
+    COMBINATIONAL_LOOP, MISSION_MISMATCH, NEGATIVE_POST_SLACK, REPORT_UNPARSABLE,
+    SCAN_MISSING_CELL, TSV_UNWRAPPED, WRAPPER_FANOUT_LEAK,
+};
+use prebond3d_lint::flow::lint_flow;
+use prebond3d_lint::{Depth, LintContext, Linter};
+use prebond3d_netlist::itc99::{generate_die, DieSpec};
+use prebond3d_netlist::{Gate, GateKind, Netlist};
+use prebond3d_place::{place, PlaceConfig};
+use prebond3d_rng::StdRng;
+use prebond3d_wcm::flow::{FlowConfig, Method};
+use prebond3d_wcm::{run_flow, FlowResult};
+
+const SEED: u64 = 0x3D1C;
+
+fn die() -> Netlist {
+    generate_die(&DieSpec {
+        name: "mut".to_string(),
+        gates: 200,
+        scan_flip_flops: 16,
+        inbound_tsvs: 6,
+        outbound_tsvs: 6,
+        primary_inputs: 5,
+        primary_outputs: 5,
+        seed: SEED,
+    })
+}
+
+fn flow(die: &Netlist) -> (FlowResult, Library, FlowConfig) {
+    let placement = place(die, &PlaceConfig::default(), SEED);
+    let library = Library::nangate45_like();
+    let config = FlowConfig::area_optimized(Method::Ours);
+    let result = run_flow(die, &placement, &library, &config).unwrap();
+    (result, library, config)
+}
+
+fn rebuild(netlist: &Netlist, f: impl FnOnce(&mut Vec<Gate>, &mut StdRng)) -> Netlist {
+    let mut gates: Vec<Gate> = netlist.iter().map(|(_, g)| g.clone()).collect();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    f(&mut gates, &mut rng);
+    Netlist::from_gates(netlist.name().to_string(), gates).unwrap()
+}
+
+/// The unmutated baseline: the full flow lints clean at deep depth.
+#[test]
+fn clean_flow_has_zero_errors() {
+    let n = die();
+    let (result, library, config) = flow(&n);
+    let report = lint_flow("clean", &n, &result, &library, &config, Depth::Deep);
+    assert!(!report.has_errors(), "{}", report.render());
+    assert_eq!(report.passes_run.len(), 7, "all default passes must run");
+}
+
+/// structure: a raw gate list with a combinational cycle trips P3005.
+#[test]
+fn mutation_trips_structure_pass() {
+    let n = die();
+    let mut gates: Vec<Gate> = n.iter().map(|(_, g)| g.clone()).collect();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // Tie two seeded combinational gates into each other: a genuine
+    // two-gate cycle, whatever the rest of the topology looks like.
+    let comb: Vec<usize> = gates
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| g.kind.is_combinational() && !g.inputs.is_empty())
+        .map(|(i, _)| i)
+        .collect();
+    let a = comb[rng.gen_range(0..comb.len())];
+    let b = loop {
+        let c = comb[rng.gen_range(0..comb.len())];
+        if c != a {
+            break c;
+        }
+    };
+    gates[a].inputs[0] = prebond3d_netlist::GateId(b as u32);
+    gates[b].inputs[0] = prebond3d_netlist::GateId(a as u32);
+    let report = Linter::with_default_passes().run(&LintContext::new("mut").with_gates(&gates));
+    assert!(
+        !report.with_code(COMBINATIONAL_LOOP).is_empty(),
+        "expected P3005, got:\n{}",
+        report.render()
+    );
+}
+
+/// wrapper-mux: a consumer reading the raw TSV around its mux trips P3101.
+#[test]
+fn mutation_trips_wrapper_pass() {
+    let n = die();
+    let (result, ..) = flow(&n);
+    let testable = &result.testable;
+    let mux = testable
+        .netlist
+        .iter()
+        .find(|(_, g)| g.name.starts_with("wrapmux__"))
+        .map(|(id, _)| id)
+        .expect("flow wraps at least one inbound TSV");
+    let tsv = testable.netlist.gate(mux).inputs[0];
+    let mutated = rebuild(&testable.netlist, |gates, rng| {
+        // A seeded combinational gate other than the mux now taps the raw
+        // TSV directly — exactly the leak the wrapper isolates against.
+        let victims: Vec<usize> = gates
+            .iter()
+            .enumerate()
+            .filter(|&(i, g)| g.kind.is_combinational() && !g.inputs.is_empty() && i != mux.index())
+            .map(|(i, _)| i)
+            .collect();
+        let v = victims[rng.gen_range(0..victims.len())];
+        gates[v].inputs[0] = tsv;
+    });
+    let te = mutated.find("test_en").unwrap();
+    let report = Linter::with_default_passes().run(
+        &LintContext::new("mut")
+            .with_netlist(&mutated)
+            .with_test_en(te),
+    );
+    assert!(
+        !report.with_code(WRAPPER_FANOUT_LEAK).is_empty(),
+        "expected P3101, got:\n{}",
+        report.render()
+    );
+}
+
+/// scan-chain: dropping a seeded cell from the chain trips P3201.
+#[test]
+fn mutation_trips_scan_pass() {
+    let n = die();
+    let (scanned, mut chain) = insert_scan(&n).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    chain.order.remove(rng.gen_range(0..chain.order.len()));
+    let report = Linter::with_default_passes().run(
+        &LintContext::new("mut")
+            .with_netlist(&scanned)
+            .with_chain(&chain),
+    );
+    assert!(
+        !report.with_code(SCAN_MISSING_CELL).is_empty(),
+        "expected P3201, got:\n{}",
+        report.render()
+    );
+}
+
+/// tsv-coverage: dropping a seeded plan assignment trips P3301.
+#[test]
+fn mutation_trips_coverage_pass() {
+    let n = die();
+    let (result, ..) = flow(&n);
+    let mut plan = result.plan.clone();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // Keep removing until some TSV loses its wrap (an assignment can be
+    // control-only, covering no TSV at all).
+    while !plan.assignments.is_empty() {
+        let victim = plan
+            .assignments
+            .remove(rng.gen_range(0..plan.assignments.len()));
+        if !victim.inbound.is_empty() || !victim.outbound.is_empty() {
+            break;
+        }
+    }
+    let report = Linter::with_default_passes()
+        .run(&LintContext::new("mut").with_original(&n).with_plan(&plan));
+    assert!(
+        !report.with_code(TSV_UNWRAPPED).is_empty(),
+        "expected P3301, got:\n{}",
+        report.render()
+    );
+}
+
+/// timing-model: negative post-insertion slack trips P3404.
+#[test]
+fn mutation_trips_timing_pass() {
+    let report = Linter::with_default_passes()
+        .run(&LintContext::new("mut").with_post_sta(Time(-3.25), Time(1000.0)));
+    assert!(
+        !report.with_code(NEGATIVE_POST_SLACK).is_empty(),
+        "expected P3404, got:\n{}",
+        report.render()
+    );
+}
+
+/// mission-equiv: corrupting mission logic in the testable die trips P3501.
+#[test]
+fn mutation_trips_mission_pass() {
+    let n = die();
+    let (result, ..) = flow(&n);
+    let testable = &result.testable;
+    let mut rng = StdRng::seed_from_u64(SEED);
+    // Invert a seeded 2-input gate's function; try candidates until the
+    // co-simulation actually observes the flip at a sink (a mutation can
+    // land in logic masked off by the sampled patterns).
+    let candidates: Vec<usize> = testable
+        .netlist
+        .iter()
+        .filter(|(_, g)| matches!(g.kind, GateKind::And | GateKind::Or))
+        .map(|(id, _)| id.index())
+        .collect();
+    assert!(!candidates.is_empty(), "die has no and/or gates to corrupt");
+    let mut tripped = false;
+    for _ in 0..candidates.len().min(16) {
+        let victim = candidates[rng.gen_range(0..candidates.len())];
+        let mutated = rebuild(&testable.netlist, |gates, _| {
+            gates[victim].kind = match gates[victim].kind {
+                GateKind::And => GateKind::Nand,
+                _ => GateKind::Nor,
+            };
+        });
+        let mut corrupted = result.testable.clone();
+        corrupted.netlist = mutated;
+        let report = Linter::with_default_passes().run(
+            &LintContext::new("mut")
+                .with_original(&n)
+                .with_testable(&corrupted)
+                .with_mission(4, SEED)
+                .with_depth(Depth::Deep),
+        );
+        if !report.with_code(MISSION_MISMATCH).is_empty() {
+            tripped = true;
+            break;
+        }
+    }
+    assert!(
+        tripped,
+        "no seeded gate-kind flip produced a P3501 mismatch"
+    );
+}
+
+/// report-schema: a truncated run report trips P3601.
+#[test]
+fn mutation_trips_report_pass() {
+    let text = r#"{"experiment":"mut","elapsed_ms":1,"sections":["#;
+    let report = Linter::with_default_passes()
+        .run(&LintContext::new("mut").with_report("run_mut.json", text));
+    assert!(
+        !report.with_code(REPORT_UNPARSABLE).is_empty(),
+        "expected P3601, got:\n{}",
+        report.render()
+    );
+}

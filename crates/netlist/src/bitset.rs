@@ -32,7 +32,11 @@ impl BitSet {
     /// Panics if `index >= capacity`.
     #[inline]
     pub fn insert(&mut self, index: usize) -> bool {
-        assert!(index < self.len, "bitset index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bitset index {index} out of range {}",
+            self.len
+        );
         let word = &mut self.words[index / 64];
         let mask = 1u64 << (index % 64);
         let fresh = *word & mask == 0;

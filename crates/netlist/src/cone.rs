@@ -110,33 +110,58 @@ impl ConeSet {
         self.index_of.get(&root).map(|&i| &self.fanout[i])
     }
 
+    /// `true` when the fan-in cones of `a` and `b` share any gate, or
+    /// `None` if either root was not in the computed set.
+    pub fn try_fanin_overlaps(&self, a: GateId, b: GateId) -> Option<bool> {
+        Some(self.fanin(a)?.intersects(self.fanin(b)?))
+    }
+
+    /// `true` when the fan-out cones of `a` and `b` share any gate, or
+    /// `None` if either root was not in the computed set.
+    pub fn try_fanout_overlaps(&self, a: GateId, b: GateId) -> Option<bool> {
+        Some(self.fanout(a)?.intersects(self.fanout(b)?))
+    }
+
+    /// The paper's "overlapped fan-in or fan-out cones" predicate
+    /// (Algorithm 1 line 19), or `None` if either root was not in the
+    /// computed set.
+    pub fn try_cones_overlap(&self, a: GateId, b: GateId) -> Option<bool> {
+        Some(self.try_fanin_overlaps(a, b)? || self.try_fanout_overlaps(a, b)?)
+    }
+
     /// `true` when the fan-in cones of `a` and `b` share any gate.
     ///
     /// # Panics
     ///
-    /// Panics if either root was not in the computed set.
+    /// Panics if either root was not in the computed set; callers that
+    /// cannot guarantee membership should use [`Self::try_fanin_overlaps`].
     pub fn fanin_overlaps(&self, a: GateId, b: GateId) -> bool {
-        self.fanin(a)
-            .expect("root a in cone set")
-            .intersects(self.fanin(b).expect("root b in cone set"))
+        self.try_fanin_overlaps(a, b)
+            .expect("both overlap roots must be in the computed cone set")
     }
 
     /// `true` when the fan-out cones of `a` and `b` share any gate.
     ///
     /// # Panics
     ///
-    /// Panics if either root was not in the computed set.
+    /// Panics if either root was not in the computed set; callers that
+    /// cannot guarantee membership should use [`Self::try_fanout_overlaps`].
     pub fn fanout_overlaps(&self, a: GateId, b: GateId) -> bool {
-        self.fanout(a)
-            .expect("root a in cone set")
-            .intersects(self.fanout(b).expect("root b in cone set"))
+        self.try_fanout_overlaps(a, b)
+            .expect("both overlap roots must be in the computed cone set")
     }
 
     /// The paper's "overlapped fan-in or fan-out cones" predicate
     /// (Algorithm 1 line 19): `true` when either cone pair intersects
     /// beyond the trivial case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either root was not in the computed set; callers that
+    /// cannot guarantee membership should use [`Self::try_cones_overlap`].
     pub fn cones_overlap(&self, a: GateId, b: GateId) -> bool {
-        self.fanin_overlaps(a, b) || self.fanout_overlaps(a, b)
+        self.try_cones_overlap(a, b)
+            .expect("both overlap roots must be in the computed cone set")
     }
 }
 
@@ -216,6 +241,16 @@ mod tests {
         let cone_f = fanout_cone(&n, n.find("g1").unwrap());
         assert!(cone_f.contains(q_id.index()));
         assert!(!cone_f.contains(g2_id.index()));
+    }
+
+    #[test]
+    fn try_variants_return_none_for_unknown_roots() {
+        let (n, g1, g2, a) = two_trees();
+        let cones = ConeSet::compute(&n, &[g1, g2]);
+        assert_eq!(cones.try_fanin_overlaps(g1, a), None);
+        assert_eq!(cones.try_fanout_overlaps(a, g2), None);
+        assert_eq!(cones.try_cones_overlap(a, a), None);
+        assert_eq!(cones.try_cones_overlap(g1, g2), Some(false));
     }
 
     #[test]

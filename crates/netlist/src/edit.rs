@@ -63,6 +63,15 @@ pub fn propagate_constants(
     let order = crate::traverse::combinational_order(netlist);
     let mut values: Vec<Option<bool>> = vec![None; netlist.len()];
     for &(id, v) in forced {
+        // A forced id outside the netlist is a caller bug, but one that is
+        // easy to hit when ids from a pre-edit netlist leak through; report
+        // it as a dangling reference instead of panicking on the index.
+        if netlist.get(id).is_none() {
+            return Err(NetlistError::DanglingInput {
+                gate: "<forced assignment>".to_string(),
+                input: id,
+            });
+        }
         values[id.index()] = Some(v);
     }
     for &id in &order {
@@ -91,11 +100,13 @@ pub fn propagate_constants(
             let mut g = g.clone();
             // Sinks and sources keep their role; internal logic with a
             // known value becomes a constant source.
-            if g.kind.is_combinational()
-                && !matches!(g.kind, GateKind::Output | GateKind::TsvOut)
-            {
+            if g.kind.is_combinational() && !matches!(g.kind, GateKind::Output | GateKind::TsvOut) {
                 if let Some(v) = values[id.index()] {
-                    g.kind = if v { GateKind::Const1 } else { GateKind::Const0 };
+                    g.kind = if v {
+                        GateKind::Const1
+                    } else {
+                        GateKind::Const0
+                    };
                     g.inputs.clear();
                 }
             }
@@ -186,7 +197,11 @@ pub fn sweep_dead(netlist: &Netlist) -> Result<(Netlist, HashMap<GateId, GateId>
     }
     for gate in &mut gates {
         for input in &mut gate.inputs {
-            *input = mapping[input];
+            // Liveness is closed over inputs: every input of a surviving
+            // gate was marked alive above, so it must be in the mapping.
+            *input = *mapping
+                .get(input)
+                .expect("sweep keeps live-input closure: inputs of live gates are live");
         }
     }
     let swept = Netlist::from_gates(netlist.name().to_string(), gates)?;
@@ -224,8 +239,14 @@ mod tests {
         b.output(g3, "o2");
         let n = b.finish().unwrap();
         let folded = propagate_constants(&n, &[]).unwrap();
-        assert_eq!(folded.gate(folded.find("g1").unwrap()).kind, GateKind::Const0);
-        assert_eq!(folded.gate(folded.find("g3").unwrap()).kind, GateKind::Const1);
+        assert_eq!(
+            folded.gate(folded.find("g1").unwrap()).kind,
+            GateKind::Const0
+        );
+        assert_eq!(
+            folded.gate(folded.find("g3").unwrap()).kind,
+            GateKind::Const1
+        );
         assert_eq!(folded.gate(folded.find("g2").unwrap()).kind, GateKind::Or);
     }
 
@@ -244,7 +265,10 @@ mod tests {
         assert_eq!(folded.gate(folded.find("m").unwrap()).kind, GateKind::Mux2);
         // Force `a` too: now the mux folds to a's value.
         let folded2 = propagate_constants(&n, &[(sel, false), (a, true)]).unwrap();
-        assert_eq!(folded2.gate(folded2.find("m").unwrap()).kind, GateKind::Const1);
+        assert_eq!(
+            folded2.gate(folded2.find("m").unwrap()).kind,
+            GateKind::Const1
+        );
     }
 
     #[test]
@@ -263,6 +287,22 @@ mod tests {
         assert!(swept.find("live").is_some());
         assert!(mapping.contains_key(&live));
         assert_eq!(swept.len(), 3); // a, live, o
+    }
+
+    #[test]
+    fn forced_id_outside_netlist_is_an_error_not_a_panic() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        b.output(a, "o");
+        let n = b.finish().unwrap();
+        let err = propagate_constants(&n, &[(GateId(99), true)]).unwrap_err();
+        assert!(matches!(
+            err,
+            NetlistError::DanglingInput {
+                input: GateId(99),
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational cycle through gate `{name}`")
             }
             NetlistError::NonDrivingInput { gate, driver } => {
-                write!(f, "gate `{gate}` uses non-driving gate `{driver}` as an input")
+                write!(
+                    f,
+                    "gate `{gate}` uses non-driving gate `{driver}` as an input"
+                )
             }
             NetlistError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")

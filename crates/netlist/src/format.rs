@@ -37,7 +37,13 @@ pub fn write(netlist: &Netlist) -> String {
             .iter()
             .map(|&i| netlist.gate(i).name.as_str())
             .collect();
-        let _ = writeln!(out, "{} = {}({})", gate.name, gate.kind.mnemonic(), args.join(", "));
+        let _ = writeln!(
+            out,
+            "{} = {}({})",
+            gate.name,
+            gate.kind.mnemonic(),
+            args.join(", ")
+        );
     }
     out
 }
@@ -204,6 +210,9 @@ a = input()
     #[test]
     fn undefined_signal_is_an_error() {
         let bad = "circuit x\ng = not(ghost)\n";
-        assert!(matches!(parse(bad), Err(NetlistError::Parse { line: 2, .. })));
+        assert!(matches!(
+            parse(bad),
+            Err(NetlistError::Parse { line: 2, .. })
+        ));
     }
 }

@@ -89,7 +89,11 @@ impl GateKind {
             | GateKind::ScanDff
             | GateKind::TsvOut
             | GateKind::Wrapper => 1,
-            GateKind::And | GateKind::Or | GateKind::Nand | GateKind::Nor | GateKind::Xor
+            GateKind::And
+            | GateKind::Or
+            | GateKind::Nand
+            | GateKind::Nor
+            | GateKind::Xor
             | GateKind::Xnor => 2,
             GateKind::Mux2 => 3,
         }

@@ -59,11 +59,36 @@ pub const CIRCUIT_NAMES: [&str; 6] = ["b11", "b12", "b18", "b20", "b21", "b22"];
 /// Table II rows: `(scan_ffs, gates, inbound, outbound)` for 4 dies each,
 /// plus the real ITC'99 circuit-level PI/PO counts which we spread across
 /// dies (Table II does not list per-die pads).
-type Table2Row = (&'static str, [(usize, usize, usize, usize); 4], usize, usize);
+type Table2Row = (
+    &'static str,
+    [(usize, usize, usize, usize); 4],
+    usize,
+    usize,
+);
 
 const TABLE2: [Table2Row; 6] = [
-    ("b11", [(14, 120, 14, 16), (15, 234, 27, 43), (3, 229, 38, 38), (9, 148, 23, 11)], 7, 6),
-    ("b12", [(7, 304, 23, 27), (18, 397, 41, 41), (45, 344, 23, 42), (51, 317, 25, 5)], 5, 6),
+    (
+        "b11",
+        [
+            (14, 120, 14, 16),
+            (15, 234, 27, 43),
+            (3, 229, 38, 38),
+            (9, 148, 23, 11),
+        ],
+        7,
+        6,
+    ),
+    (
+        "b12",
+        [
+            (7, 304, 23, 27),
+            (18, 397, 41, 41),
+            (45, 344, 23, 42),
+            (51, 317, 25, 5),
+        ],
+        5,
+        6,
+    ),
     (
         "b18",
         [
@@ -77,13 +102,23 @@ const TABLE2: [Table2Row; 6] = [
     ),
     (
         "b20",
-        [(180, 6937, 251, 363), (49, 8603, 720, 780), (118, 8101, 740, 778), (83, 7325, 408, 235)],
+        [
+            (180, 6937, 251, 363),
+            (49, 8603, 720, 780),
+            (118, 8101, 740, 778),
+            (83, 7325, 408, 235),
+        ],
         32,
         22,
     ),
     (
         "b21",
-        [(196, 6200, 264, 328), (113, 9172, 836, 775), (69, 9093, 837, 895), (52, 6402, 368, 343)],
+        [
+            (196, 6200, 264, 328),
+            (113, 9172, 836, 775),
+            (69, 9093, 837, 895),
+            (52, 6402, 368, 343),
+        ],
         32,
         22,
     ),
@@ -122,7 +157,10 @@ pub fn circuit(name: &str) -> Option<CircuitSpec> {
 
 /// All six benchmark circuits in paper order.
 pub fn all_circuits() -> Vec<CircuitSpec> {
-    CIRCUIT_NAMES.iter().map(|n| circuit(n).expect("known name")).collect()
+    CIRCUIT_NAMES
+        .iter()
+        .map(|n| circuit(n).expect("known name"))
+        .collect()
 }
 
 /// Spread `total` pads over 4 dies: die `i` gets the i-th quarter, with the
@@ -247,9 +285,8 @@ pub fn generate_die(spec: &DieSpec) -> Netlist {
         n_src
     );
 
-    let mut gates: Vec<Gate> = Vec::with_capacity(
-        n_src + spec.gates + spec.outbound_tsvs + spec.primary_outputs,
-    );
+    let mut gates: Vec<Gate> =
+        Vec::with_capacity(n_src + spec.gates + spec.outbound_tsvs + spec.primary_outputs);
 
     // --- Sources ------------------------------------------------------
     for i in 0..spec.primary_inputs {
@@ -262,7 +299,11 @@ pub fn generate_die(spec: &DieSpec) -> Netlist {
     // is always valid (there is at least one primary input).
     let ff_base = gates.len();
     for i in 0..spec.scan_flip_flops {
-        gates.push(Gate::new(format!("sff{i}"), GateKind::ScanDff, vec![GateId(0)]));
+        gates.push(Gate::new(
+            format!("sff{i}"),
+            GateKind::ScanDff,
+            vec![GateId(0)],
+        ));
     }
     let source_count = gates.len();
 
@@ -316,8 +357,7 @@ pub fn generate_die(spec: &DieSpec) -> Netlist {
 
     for i in 0..spec.gates {
         let remaining = spec.gates - i;
-        let reduction_mode =
-            dangling_count > n_sinks && dangling_count - n_sinks + 1 >= remaining;
+        let reduction_mode = dangling_count > n_sinks && dangling_count - n_sinks + 1 >= remaining;
         let len = gates.len();
 
         let pop_newest = |consumed: &[bool], stack: &mut Vec<u32>| -> Option<GateId> {

@@ -52,10 +52,12 @@ impl Netlist {
         let mut fanouts: Vec<Vec<GateId>> = vec![Vec::new(); gates.len()];
         for (i, gate) in gates.iter().enumerate() {
             for &input in &gate.inputs {
-                let driver = gates.get(input.index()).ok_or(NetlistError::DanglingInput {
-                    gate: gate.name.clone(),
-                    input,
-                })?;
+                let driver = gates
+                    .get(input.index())
+                    .ok_or(NetlistError::DanglingInput {
+                        gate: gate.name.clone(),
+                        input,
+                    })?;
                 if matches!(driver.kind, GateKind::Output | GateKind::TsvOut) {
                     return Err(NetlistError::NonDrivingInput {
                         gate: gate.name.clone(),

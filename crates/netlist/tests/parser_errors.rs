@@ -1,0 +1,183 @@
+//! Error-path coverage for the text-format parser: malformed input of any
+//! kind must come back as a [`NetlistError`], never a panic.
+//!
+//! Two layers: a table of targeted malformations (each naming the error
+//! variant it must produce), and a seeded corruption sweep that mangles
+//! the serialized form of a generated die hundreds of ways — truncations,
+//! byte splices, line drops and duplications — accepting any `Ok`/`Err`
+//! outcome but treating a panic as failure (the harness aborts the test
+//! process on panic, so merely *running* each case is the assertion).
+
+use prebond3d_netlist::itc99::{generate_die, DieSpec};
+use prebond3d_netlist::{format, NetlistError};
+use prebond3d_rng::StdRng;
+
+#[test]
+fn malformed_gate_arity_is_an_arity_error() {
+    let text = "circuit x\na = input()\nb = input()\ng = not(a, b)\npo = output(g)\n";
+    match format::parse(text) {
+        Err(NetlistError::ArityMismatch { gate, got, .. }) => {
+            assert_eq!(gate, "g");
+            assert_eq!(got, 2);
+        }
+        other => panic!("expected arity mismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn zero_inputs_on_a_binary_gate_is_an_arity_error() {
+    let text = "circuit x\ng = and()\npo = output(g)\n";
+    assert!(matches!(
+        format::parse(text),
+        Err(NetlistError::ArityMismatch { got: 0, .. })
+    ));
+}
+
+#[test]
+fn duplicate_names_are_rejected() {
+    let text = "circuit x\na = input()\na = input()\npo = output(a)\n";
+    match format::parse(text) {
+        Err(NetlistError::DuplicateName(name)) => assert_eq!(name, "a"),
+        other => panic!("expected duplicate name, got {other:?}"),
+    }
+}
+
+#[test]
+fn dangling_reference_is_a_parse_error_with_its_line() {
+    let text = "circuit x\na = input()\ng = not(phantom)\n";
+    match format::parse(text) {
+        Err(NetlistError::Parse { line, message }) => {
+            assert_eq!(line, 3);
+            assert!(message.contains("phantom"));
+        }
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn combinational_loop_is_rejected() {
+    let text = "circuit x\ng1 = not(g2)\ng2 = not(g1)\npo = output(g1)\n";
+    assert!(matches!(
+        format::parse(text),
+        Err(NetlistError::CombinationalCycle(_))
+    ));
+}
+
+#[test]
+fn output_as_driver_is_rejected() {
+    let text = "circuit x\na = input()\npo = output(a)\ng = not(po)\npo2 = output(g)\n";
+    assert!(matches!(
+        format::parse(text),
+        Err(NetlistError::NonDrivingInput { .. })
+    ));
+}
+
+#[test]
+fn truncated_files_never_panic() {
+    let text = sample_text();
+    // Cut at every byte boundary of the first 200 bytes and at every line.
+    for cut in 0..text.len().min(200) {
+        if text.is_char_boundary(cut) {
+            let _ = format::parse(&text[..cut]);
+        }
+    }
+    let lines: Vec<&str> = text.lines().collect();
+    for keep in 0..lines.len() {
+        let _ = format::parse(&lines[..keep].join("\n"));
+    }
+}
+
+#[test]
+fn garbage_lines_are_parse_errors() {
+    for bad in [
+        "circuit x\n= not(a)\n",
+        "circuit x\ng not(a)\n",
+        "circuit x\ng = not(a\n",
+        "circuit x\ng = (a)\n",
+        "circuit x\ng = not a)\n",
+        "circuit x\ncircuit y\n",
+        "g = not(a)\n",
+        "",
+    ] {
+        assert!(
+            matches!(format::parse(bad), Err(NetlistError::Parse { .. })),
+            "input {bad:?} must be a parse error"
+        );
+    }
+}
+
+fn sample_text() -> String {
+    let die = generate_die(&DieSpec {
+        name: "fuzz".to_string(),
+        scan_flip_flops: 12,
+        gates: 160,
+        inbound_tsvs: 5,
+        outbound_tsvs: 5,
+        primary_inputs: 4,
+        primary_outputs: 4,
+        seed: 0xF00D,
+    });
+    format::write(&die)
+}
+
+/// Seeded corruption sweep: splice random bytes, drop/duplicate random
+/// lines, truncate at random offsets. The parser must return — `Ok` or
+/// `Err` — for every mutation, across every seed.
+#[test]
+fn seeded_corruption_sweep_never_panics() {
+    let text = sample_text();
+    let bytes = text.as_bytes();
+    let mut parsed_ok = 0usize;
+    let mut rejected = 0usize;
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x5EED_0000 + seed);
+        for _case in 0..8 {
+            let mutated = match rng.gen_range(0..4u32) {
+                // Truncate at a random offset.
+                0 => {
+                    let mut cut = rng.gen_range(0..bytes.len());
+                    while !text.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    text[..cut].to_string()
+                }
+                // Overwrite a random byte with a random printable char.
+                1 => {
+                    let mut b = bytes.to_vec();
+                    let pos = rng.gen_range(0..b.len());
+                    b[pos] = 32 + (rng.gen_range(0..95u32) as u8);
+                    String::from_utf8_lossy(&b).into_owned()
+                }
+                // Drop a random line.
+                2 => {
+                    let lines: Vec<&str> = text.lines().collect();
+                    let drop = rng.gen_range(0..lines.len());
+                    lines
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != drop)
+                        .map(|(_, l)| *l)
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                }
+                // Duplicate a random line (duplicate names / double header).
+                _ => {
+                    let lines: Vec<&str> = text.lines().collect();
+                    let dup = rng.gen_range(0..lines.len());
+                    let mut out: Vec<&str> = lines.clone();
+                    out.insert(dup, lines[dup]);
+                    out.join("\n")
+                }
+            };
+            match format::parse(&mutated) {
+                Ok(_) => parsed_ok += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+    }
+    // The sweep must have exercised both outcomes: single-byte overwrites
+    // of a comment-free format nearly always break something, while a
+    // dropped trailing line often still validates.
+    assert_eq!(parsed_ok + rejected, 64 * 8);
+    assert!(rejected > 0, "corruptions were all silently accepted");
+}

@@ -235,9 +235,7 @@ fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Value) -> Result<Value, St
 
 fn parse_num(b: &[u8], pos: &mut usize) -> Result<Value, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
@@ -268,9 +266,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,
@@ -354,7 +350,10 @@ mod tests {
             ("name", "clique_partition".into()),
             ("ns", 123456u64.into()),
             ("ok", true.into()),
-            ("child", Value::Arr(vec![1u64.into(), Value::Null, "x\"y".into()])),
+            (
+                "child",
+                Value::Arr(vec![1u64.into(), Value::Null, "x\"y".into()]),
+            ),
         ]);
         let text = v.to_string();
         assert_eq!(parse(&text).unwrap(), v);

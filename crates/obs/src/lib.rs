@@ -162,8 +162,16 @@ impl Registry {
     fn to_snapshot(&self) -> Snapshot {
         Snapshot {
             spans: self.spans.clone(),
-            counters: self.counters.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
-            gauges: self.gauges.iter().map(|(&k, &v)| (k.to_string(), v)).collect(),
+            counters: self
+                .counters
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
         }
     }
 }
@@ -193,8 +201,7 @@ fn state() -> &'static State {
             registry: Mutex::new(Registry::default()),
         };
         let cfg = std::env::var("PREBOND3D_OBS")
-            .map(|v| SinkConfig::from_env_value(&v))
-            .unwrap_or(SinkConfig::Off);
+            .map_or(SinkConfig::Off, |v| SinkConfig::from_env_value(&v));
         install_sink(&st, cfg);
         st
     })
@@ -208,7 +215,10 @@ fn install_sink(st: &State, cfg: SinkConfig) {
             match OpenOptions::new().create(true).append(true).open(&path) {
                 Ok(f) => Sink::Json(BufWriter::new(f)),
                 Err(e) => {
-                    eprintln!("[obs] cannot open {}: {e}; observability stays off", path.display());
+                    eprintln!(
+                        "[obs] cannot open {}: {e}; observability stays off",
+                        path.display()
+                    );
                     Sink::Off
                 }
             }

@@ -44,7 +44,9 @@ fn nested_spans_aggregate_hierarchical_paths() {
     assert_eq!(g.depth, 2);
     assert_eq!(g.count, 1);
 
-    let c = snap.span("flow/plan/clique_partition").expect("clique span");
+    let c = snap
+        .span("flow/plan/clique_partition")
+        .expect("clique span");
     assert_eq!(c.depth, 2);
 
     let f = snap.span("flow").expect("root span");
@@ -156,7 +158,10 @@ fn json_sink_round_trips_through_the_parser() {
         .filter(|e| field(e, "ev") == json::Value::Str("span".into()))
         .collect();
     assert_eq!(spans.len(), 2);
-    assert_eq!(field(spans[0], "path"), json::Value::Str("outer/inner".into()));
+    assert_eq!(
+        field(spans[0], "path"),
+        json::Value::Str("outer/inner".into())
+    );
     assert_eq!(field(spans[0], "depth"), json::Value::Num(1.0));
     assert_eq!(field(spans[1], "path"), json::Value::Str("outer".into()));
 
@@ -164,7 +169,10 @@ fn json_sink_round_trips_through_the_parser() {
         .iter()
         .find(|e| field(e, "ev") == json::Value::Str("counter".into()))
         .expect("flush appends the counter record");
-    assert_eq!(field(counter, "name"), json::Value::Str("events.seen".into()));
+    assert_eq!(
+        field(counter, "name"),
+        json::Value::Str("events.seen".into())
+    );
     assert_eq!(field(counter, "value"), json::Value::Num(12.0));
 }
 
@@ -205,9 +213,7 @@ fn capture_nests_and_restores_on_unwind() {
         // The outer registry is back in place after the inner capture.
         obs::count("outer.events", 1);
         // A panicking capture must restore the outer registry too.
-        let _ = std::panic::catch_unwind(|| {
-            obs::capture(|| -> () { panic!("worker died") })
-        });
+        let _ = std::panic::catch_unwind(|| obs::capture(|| -> () { panic!("worker died") }));
         obs::count("outer.events", 1);
     });
     let global = obs::snapshot();
@@ -229,9 +235,7 @@ fn captured_counter_sums_match_the_uncaptured_run() {
     });
     let _rec = obs::record();
     obs::reset();
-    let parts: Vec<obs::Snapshot> = (0..4)
-        .map(|_| obs::capture(nested_workload).1)
-        .collect();
+    let parts: Vec<obs::Snapshot> = (0..4).map(|_| obs::capture(nested_workload).1).collect();
     obs::reset();
     let summed: u64 = parts.iter().map(|s| s.counter("graph.edges")).sum();
     assert_eq!(summed, serial.counter("graph.edges"));
@@ -248,11 +252,19 @@ fn snapshot_to_json_carries_spans_counters_and_gauges() {
     let snap = recorded(nested_workload);
     let doc = snap.to_json().to_string();
     let parsed = json::parse(&doc).expect("snapshot JSON parses");
-    let json::Value::Obj(m) = parsed else { panic!("snapshot is an object") };
-    let json::Value::Arr(spans) = &m["spans"] else { panic!("spans is an array") };
+    let json::Value::Obj(m) = parsed else {
+        panic!("snapshot is an object")
+    };
+    let json::Value::Arr(spans) = &m["spans"] else {
+        panic!("spans is an array")
+    };
     assert_eq!(spans.len(), 4);
-    let json::Value::Obj(counters) = &m["counters"] else { panic!("counters object") };
+    let json::Value::Obj(counters) = &m["counters"] else {
+        panic!("counters object")
+    };
     assert_eq!(counters["graph.edges"], json::Value::Num(7.0));
-    let json::Value::Obj(gauges) = &m["gauges"] else { panic!("gauges object") };
+    let json::Value::Obj(gauges) = &m["gauges"] else {
+        panic!("gauges object")
+    };
     assert_eq!(gauges["flow.cells"], json::Value::Num(11.0));
 }

@@ -165,9 +165,8 @@ fn fm_pass(
     };
 
     let mut locked = vec![false; n];
-    let mut heap: std::collections::BinaryHeap<(i64, usize)> = (0..n)
-        .map(|c| (gain_of(c, side, &left_count), c))
-        .collect();
+    let mut heap: std::collections::BinaryHeap<(i64, usize)> =
+        (0..n).map(|c| (gain_of(c, side, &left_count), c)).collect();
 
     let mut left_size = side.iter().filter(|&&s| s).count();
     let mut cum_gain = 0i64;
@@ -272,7 +271,10 @@ mod tests {
         // Every die is populated and none grossly oversized.
         let ideal = n.len() / 4;
         for s in sizes {
-            assert!(s > ideal / 2 && s < ideal * 2, "die size {s} vs ideal {ideal}");
+            assert!(
+                s > ideal / 2 && s < ideal * 2,
+                "die size {s} vs ideal {ideal}"
+            );
         }
     }
 

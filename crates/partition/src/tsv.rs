@@ -197,7 +197,11 @@ mod tests {
         let asg = level::partition(&n, &PartitionSpec::new(4));
         let stack = extract_dies(&n, &asg).unwrap();
         let flat_stats = n.stats();
-        let total_gates: usize = stack.dies.iter().map(|d| d.stats().combinational_gates).sum();
+        let total_gates: usize = stack
+            .dies
+            .iter()
+            .map(|d| d.stats().combinational_gates)
+            .sum();
         let total_ffs: usize = stack.dies.iter().map(|d| d.stats().sequential()).sum();
         assert_eq!(total_gates, flat_stats.combinational_gates);
         assert_eq!(total_ffs, flat_stats.sequential());

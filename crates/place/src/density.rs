@@ -98,10 +98,7 @@ pub fn colocated_groups(placement: &Placement) -> Vec<Vec<GateId>> {
         let key = ((p.x * 1000.0).round() as i64, (p.y * 1000.0).round() as i64);
         by_spot.entry(key).or_default().push(id);
     }
-    let mut groups: Vec<Vec<GateId>> = by_spot
-        .into_values()
-        .filter(|g| g.len() > 1)
-        .collect();
+    let mut groups: Vec<Vec<GateId>> = by_spot.into_values().filter(|g| g.len() > 1).collect();
     groups.sort_by_key(|g| g[0]);
     groups
 }
@@ -141,9 +138,8 @@ mod tests {
     fn duplicated_points_are_reported() {
         let die = itc99::generate_flat("d", 50, 6, 4, 4, 5);
         let p = place(&die, &PlaceConfig::default(), 1);
-        let mut points: Vec<crate::Point> = (0..p.len())
-            .map(|i| p.location(GateId(i as u32)))
-            .collect();
+        let mut points: Vec<crate::Point> =
+            (0..p.len()).map(|i| p.location(GateId(i as u32))).collect();
         points.push(p.location(GateId(0)));
         let p2 = Placement::new(points, p.width(), p.height());
         let groups = colocated_groups(&p2);

@@ -25,7 +25,10 @@ pub fn net_hpwl(netlist: &Netlist, placement: &Placement, driver: GateId) -> f64
 
 /// Total HPWL over all nets.
 pub fn total_hpwl(netlist: &Netlist, placement: &Placement) -> f64 {
-    netlist.ids().map(|id| net_hpwl(netlist, placement, id)).sum()
+    netlist
+        .ids()
+        .map(|id| net_hpwl(netlist, placement, id))
+        .sum()
 }
 
 #[cfg(test)]

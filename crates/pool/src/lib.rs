@@ -60,7 +60,7 @@ thread_local! {
 /// Threads the hardware offers ([`std::thread::available_parallelism`],
 /// `1` when unknown).
 pub fn available() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 fn configured() -> usize {
@@ -88,12 +88,12 @@ pub fn threads() -> usize {
     if is_worker() {
         return 1;
     }
-    OVERRIDE.with(|o| o.get()).unwrap_or_else(configured)
+    OVERRIDE.with(Cell::get).unwrap_or_else(configured)
 }
 
 /// Is the current thread a pool worker?
 pub fn is_worker() -> bool {
-    IN_WORKER.with(|w| w.get())
+    IN_WORKER.with(Cell::get)
 }
 
 /// Run `f` with [`threads`] forced to `n` on this thread (RAII-restored,
@@ -234,9 +234,12 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_chunks(items.len(), chunk, || (), |_, range| {
-        range.map(|i| f(&items[i])).collect::<Vec<R>>()
-    })
+    par_chunks(
+        items.len(),
+        chunk,
+        || (),
+        |_, range| range.map(|i| f(&items[i])).collect::<Vec<R>>(),
+    )
     .into_iter()
     .flatten()
     .collect()
@@ -249,9 +252,12 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    par_chunks(n, auto_chunk(n), || (), |_, range| {
-        range.map(&f).collect::<Vec<R>>()
-    })
+    par_chunks(
+        n,
+        auto_chunk(n),
+        || (),
+        |_, range| range.map(&f).collect::<Vec<R>>(),
+    )
     .into_iter()
     .flatten()
     .collect()
@@ -317,9 +323,11 @@ mod tests {
 
     #[test]
     fn nested_parallelism_serializes() {
-        let inner: Vec<usize> =
-            with_threads(4, || par_range_map(8, |_| threads()));
-        assert!(inner.iter().all(|&t| t == 1), "workers must report 1 thread");
+        let inner: Vec<usize> = with_threads(4, || par_range_map(8, |_| threads()));
+        assert!(
+            inner.iter().all(|&t| t == 1),
+            "workers must report 1 thread"
+        );
         assert!(!is_worker(), "caller is not a worker after the call");
     }
 
@@ -334,10 +342,15 @@ mod tests {
     fn par_map_reduce_folds_in_order() {
         let items: Vec<u32> = (0..100).collect();
         let folded = with_threads(4, || {
-            par_map_reduce(&items, |&x| x, Vec::new(), |mut acc, x| {
-                acc.push(x);
-                acc
-            })
+            par_map_reduce(
+                &items,
+                |&x| x,
+                Vec::new(),
+                |mut acc, x| {
+                    acc.push(x);
+                    acc
+                },
+            )
         });
         assert_eq!(folded, items);
     }

@@ -21,9 +21,7 @@ fn par_map_preserves_order_for_random_shapes() {
         let chunk = rng.gen_range(1..40usize);
         let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(0x9E37)).collect();
         let expected: Vec<u64> = items.iter().map(|x| x ^ 0xABCD).collect();
-        let got = with_threads(threads, || {
-            par_map_chunked(&items, chunk, |x| x ^ 0xABCD)
-        });
+        let got = with_threads(threads, || par_map_chunked(&items, chunk, |x| x ^ 0xABCD));
         assert_eq!(
             got, expected,
             "len={len} threads={threads} chunk={chunk}: order or content diverged"
@@ -63,9 +61,7 @@ fn chunk_ranges_partition_the_input() {
         let threads = rng.gen_range(1..9usize);
         let chunk = rng.gen_range(1..50usize);
         let ranges: Vec<std::ops::Range<usize>> =
-            with_threads(threads, || {
-                par_chunks(len, chunk, || (), |_, range| range)
-            });
+            with_threads(threads, || par_chunks(len, chunk, || (), |_, range| range));
         // Concatenated in merge order, the ranges must tile [0, len).
         let mut next = 0usize;
         for r in &ranges {
@@ -95,10 +91,7 @@ fn panicking_worker_propagates_instead_of_deadlocking() {
             })
         }));
         let err = result.expect_err("the worker panic must propagate");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .unwrap_or_default();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
         assert!(
             msg.contains("poisoned item"),
             "propagated panic carries the original payload, got {msg:?}"
@@ -132,6 +125,9 @@ fn serial_path_and_parallel_path_agree_on_worker_state_reduction() {
         };
         let serial = with_threads(1, run);
         let parallel = with_threads(threads, run);
-        assert_eq!(serial, parallel, "len={len} threads={threads} chunk={chunk}");
+        assert_eq!(
+            serial, parallel,
+            "len={len} threads={threads} chunk={chunk}"
+        );
     }
 }

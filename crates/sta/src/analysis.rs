@@ -196,8 +196,7 @@ pub fn analyze_with_statics(
         // Sinks were fully handled by the seeding pass; sequential Q-side
         // required (accumulated from fanout) concerns the *next* cycle and
         // must not leak onto the D pin.
-        if gate.kind.is_sequential() || matches!(gate.kind, GateKind::Output | GateKind::TsvOut)
-        {
+        if gate.kind.is_sequential() || matches!(gate.kind, GateKind::Output | GateKind::TsvOut) {
             continue;
         }
         let req_here = required[id.index()];
@@ -353,7 +352,12 @@ mod tests {
     fn scan_ff_slack_reflects_period() {
         let (die, placement, lib) = setup(300);
         let tight = analyze(&die, &placement, &lib, &StaConfig::with_period(Time(700.0)));
-        let loose = analyze(&die, &placement, &lib, &StaConfig::with_period(Time(1400.0)));
+        let loose = analyze(
+            &die,
+            &placement,
+            &lib,
+            &StaConfig::with_period(Time(1400.0)),
+        );
         for ff in die.flip_flops() {
             let delta = loose.slack(ff) - tight.slack(ff);
             assert!((delta.0 - 700.0).abs() < 1e-6, "slack delta {delta}");

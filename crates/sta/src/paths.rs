@@ -70,8 +70,7 @@ pub fn k_worst_paths(
     let mut endpoints: Vec<(Time, GateId)> = netlist
         .iter()
         .filter_map(|(id, _)| {
-            endpoint_slack(netlist, placement, library, config, report, id)
-                .map(|s| (s, id))
+            endpoint_slack(netlist, placement, library, config, report, id).map(|s| (s, id))
         })
         .collect();
     endpoints.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite slacks"));
@@ -132,7 +131,10 @@ pub fn slack_histogram(
         return (Vec::new(), Vec::new());
     }
     let min = slacks.iter().copied().fold(Time(f64::INFINITY), Time::min);
-    let max = slacks.iter().copied().fold(Time(f64::NEG_INFINITY), Time::max);
+    let max = slacks
+        .iter()
+        .copied()
+        .fold(Time(f64::NEG_INFINITY), Time::max);
     let width = ((max - min).0 / buckets as f64).max(1e-9);
     let mut counts = vec![0usize; buckets];
     for s in &slacks {
@@ -184,10 +186,7 @@ mod tests {
         let (die, placement, lib, config, report) = rig();
         let (edges, counts) = slack_histogram(&die, &placement, &lib, &config, &report, 8);
         assert_eq!(edges.len(), 9);
-        let endpoints = die
-            .iter()
-            .filter(|(_, g)| g.kind.is_sink())
-            .count();
+        let endpoints = die.iter().filter(|(_, g)| g.kind.is_sink()).count();
         assert_eq!(counts.iter().sum::<usize>(), endpoints);
     }
 

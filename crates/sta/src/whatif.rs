@@ -75,7 +75,11 @@ pub fn reuse_cost(
     obs::count("sta.whatif_queries", 1);
     let reuse = library.reuse();
     let wire = library.wire();
-    let dist = if include_wire { distance } else { Distance(0.0) };
+    let dist = if include_wire {
+        distance
+    } else {
+        Distance(0.0)
+    };
     let wire_cap = wire.driver_load(dist);
 
     match kind {
@@ -171,7 +175,9 @@ pub fn dedicated_wrapper_cost(
         ReuseKind::Outbound => {
             let driver = netlist.gate(tsv).inputs[0];
             let rd = library.timing(netlist.gate(driver).kind).drive_resistance;
-            let extra = library.timing(prebond3d_netlist::GateKind::Wrapper).input_cap;
+            let extra = library
+                .timing(prebond3d_netlist::GateKind::Wrapper)
+                .input_cap;
             TapCost {
                 extra_load: extra,
                 series_delay: Time(0.0),
@@ -212,15 +218,49 @@ mod tests {
         let (die, report, lib) = die_with_tsvs();
         let ff = die.flip_flops()[0];
         let tsv = die.inbound_tsvs()[0];
-        let near = reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(10.0), true);
-        let far = reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(800.0), true);
+        let near = reuse_cost(
+            &die,
+            &report,
+            &lib,
+            ReuseKind::Inbound,
+            ff,
+            tsv,
+            Distance(10.0),
+            true,
+        );
+        let far = reuse_cost(
+            &die,
+            &report,
+            &lib,
+            ReuseKind::Inbound,
+            ff,
+            tsv,
+            Distance(800.0),
+            true,
+        );
         assert!(far.predicted_slack < near.predicted_slack);
         assert!(far.extra_load > near.extra_load);
         // Capacitance-only pricing is blind to the distance.
-        let blind_near =
-            reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(10.0), false);
-        let blind_far =
-            reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(800.0), false);
+        let blind_near = reuse_cost(
+            &die,
+            &report,
+            &lib,
+            ReuseKind::Inbound,
+            ff,
+            tsv,
+            Distance(10.0),
+            false,
+        );
+        let blind_far = reuse_cost(
+            &die,
+            &report,
+            &lib,
+            ReuseKind::Inbound,
+            ff,
+            tsv,
+            Distance(800.0),
+            false,
+        );
         assert_eq!(blind_near, blind_far);
     }
 
@@ -229,7 +269,16 @@ mod tests {
         let (die, report, lib) = die_with_tsvs();
         let ff = die.flip_flops()[0];
         let tsv = die.outbound_tsvs()[0];
-        let cost = reuse_cost(&die, &report, &lib, ReuseKind::Outbound, ff, tsv, Distance(50.0), true);
+        let cost = reuse_cost(
+            &die,
+            &report,
+            &lib,
+            ReuseKind::Outbound,
+            ff,
+            tsv,
+            Distance(50.0),
+            true,
+        );
         let driver = die.gate(tsv).inputs[0];
         assert!(cost.predicted_load > report.load(driver));
         assert!(cost.series_delay.0 > 0.0);
@@ -241,7 +290,16 @@ mod tests {
         let (die, report, lib) = die_with_tsvs();
         let ff = die.flip_flops()[0];
         let tsv = die.inbound_tsvs()[0];
-        let cost = reuse_cost(&die, &report, &lib, ReuseKind::Inbound, ff, tsv, Distance(20.0), true);
+        let cost = reuse_cost(
+            &die,
+            &report,
+            &lib,
+            ReuseKind::Inbound,
+            ff,
+            tsv,
+            Distance(20.0),
+            true,
+        );
         assert!(cost.is_safe(Time(-1e9), Capacitance(1e9)));
         assert!(!cost.is_safe(cost.predicted_slack + Time(1.0), Capacitance(1e9)));
         assert!(!cost.is_safe(Time(-1e9), Capacitance(0.0)));

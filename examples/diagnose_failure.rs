@@ -57,8 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The tester observes this die's failing patterns.
         let mut observed = prebond3d::atpg::Signature::new(atpg.pattern_count());
         for (chunk_no, window) in atpg.patterns.chunks(64).enumerate() {
-            let masks =
-                fs.simulate_batch(netlist, &access, window, &[defect], &[true]);
+            let masks = fs.simulate_batch(netlist, &access, window, &[defect], &[true]);
             let mut m = masks[0];
             while m != 0 {
                 let bit = m.trailing_zeros() as usize;
@@ -67,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         if observed.fail_count() == 0 {
-            println!("{label}: defect {} escapes this test set", defect.describe(netlist));
+            println!(
+                "{label}: defect {} escapes this test set",
+                defect.describe(netlist)
+            );
             continue;
         }
         let candidates = dictionary.diagnose(&observed, 3);
@@ -77,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             defect.describe(netlist)
         );
         for (rank, (fault, dist)) in candidates.iter().enumerate() {
-            let marker = if *fault == defect { "  ← injected" } else { "" };
+            let marker = if *fault == defect {
+                "  ← injected"
+            } else {
+                ""
+            };
             println!(
                 "   #{} {} (distance {}){}",
                 rank + 1,

@@ -63,7 +63,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * wrapped.test_coverage(),
             result.reused_scan_ffs,
             result.additional_wrapper_cells,
-            if result.timing_violation { "VIOLATED" } else { "met" },
+            if result.timing_violation {
+                "VIOLATED"
+            } else {
+                "met"
+            },
         );
         total_reused += result.reused_scan_ffs;
         total_added += result.additional_wrapper_cells;

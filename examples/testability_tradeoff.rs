@@ -33,11 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for (cov_th, p_th) in [
-        (0.0, 0),      // overlap sharing off (Agrawal-style restriction)
-        (0.001, 2),    // very strict
-        (0.005, 10),   // the paper's setting
-        (0.02, 40),    // loose
-        (0.10, 200),   // anything goes
+        (0.0, 0),    // overlap sharing off (Agrawal-style restriction)
+        (0.001, 2),  // very strict
+        (0.005, 10), // the paper's setting
+        (0.02, 40),  // loose
+        (0.10, 200), // anything goes
     ] {
         let mut th = Thresholds::area_optimized(&library);
         th.cov_th = cov_th;
@@ -61,8 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if c.tsv_count() == 0 {
                     continue;
                 }
-                let members: Vec<_> =
-                    c.members.iter().copied().filter(|&m| Some(m) != c.ff).collect();
+                let members: Vec<_> = c
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| Some(m) != c.ff)
+                    .collect();
                 let (inbound, outbound) = match direction {
                     ReuseKind::Inbound => (members, vec![]),
                     ReuseKind::Outbound => (vec![], members),

@@ -14,8 +14,8 @@ use prebond3d::sta::analysis::analyze_with_statics;
 use prebond3d::sta::whatif::ReuseKind;
 use prebond3d::sta::StaConfig;
 use prebond3d::wcm::flow::calibrate_tight_period;
-use prebond3d::wcm::{clique, graph, MergePolicy, StructuralProbe, Thresholds, TimingModel};
 use prebond3d::wcm::flow::{run_flow, FlowConfig, Method};
+use prebond3d::wcm::{clique, graph, MergePolicy, StructuralProbe, Thresholds, TimingModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = itc99::circuit("b12").expect("known benchmark");
@@ -74,7 +74,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (label, config) in [
         ("area", FlowConfig::area_optimized(Method::Ours)),
         ("tight", FlowConfig::performance_optimized(Method::Ours)),
-        ("agrawal", FlowConfig::performance_optimized(Method::Agrawal)),
+        (
+            "agrawal",
+            FlowConfig::performance_optimized(Method::Agrawal),
+        ),
     ] {
         let r = run_flow(&die, &placement, &library, &config)?;
         // Post-insertion STA at the scenario clock.
@@ -87,10 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         println!(
             "flow[{label:>7}]: reused {:>3}, +{:>3} cells, wns {}, violation {}",
-            r.reused_scan_ffs,
-            r.additional_wrapper_cells,
-            post.wns,
-            r.timing_violation
+            r.reused_scan_ffs, r.additional_wrapper_cells, post.wns, r.timing_violation
         );
     }
     Ok(())

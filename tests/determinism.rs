@@ -34,10 +34,7 @@ fn substrates() -> Vec<(String, Netlist)> {
 }
 
 /// Run `f` at thread counts 1, 2 and 8 and assert all results equal.
-fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(
-    what: &str,
-    f: impl Fn() -> T,
-) {
+fn assert_thread_invariant<T: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> T) {
     let serial = with_threads(1, &f);
     for threads in [2usize, 8] {
         let parallel = with_threads(threads, &f);
@@ -90,20 +87,16 @@ fn sharing_graphs_cliques_and_wrapper_counts_are_thread_invariant() {
                     r.timing_violation,
                 )
             };
-            assert_thread_invariant(
-                &format!("{label} flow ({scenario:?})"),
-                || {
-                    let config = FlowConfig {
-                        method: Method::Ours,
-                        scenario,
-                        ordering: None,
-                        allow_overlap: Some(true),
-                    };
-                    let r = run_flow(&netlist, &placement, &lib, &config)
-                        .expect("flow runs");
-                    fingerprint(&r)
-                },
-            );
+            assert_thread_invariant(&format!("{label} flow ({scenario:?})"), || {
+                let config = FlowConfig {
+                    method: Method::Ours,
+                    scenario,
+                    ordering: None,
+                    allow_overlap: Some(true),
+                };
+                let r = run_flow(&netlist, &placement, &lib, &config).expect("flow runs");
+                fingerprint(&r)
+            });
         }
     }
 }

@@ -151,7 +151,10 @@ fn sta_invariants() {
             assert!(r1.load(id).0 >= 0.0, "case {case}");
             assert_eq!(r1.load(id), r2.load(id), "case {case}");
             // Arrival is clock-independent.
-            assert!((r1.arrival(id) - r2.arrival(id)).0.abs() < 1e-9, "case {case}");
+            assert!(
+                (r1.arrival(id) - r2.arrival(id)).0.abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
 }

@@ -100,8 +100,7 @@ fn report_files_match_the_golden_schemas() {
     let bench_path = run_path.with_file_name("BENCH_schema_probe.json");
 
     let run_schema = schema_of(&std::fs::read_to_string(&run_path).expect("run report"));
-    let bench_schema =
-        schema_of(&std::fs::read_to_string(&bench_path).expect("bench report"));
+    let bench_schema = schema_of(&std::fs::read_to_string(&bench_path).expect("bench report"));
 
     assert_matches_golden(
         &run_schema,

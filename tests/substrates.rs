@@ -14,7 +14,10 @@ use prebond3d::sta::analysis::analyze_with_statics;
 use prebond3d::sta::{k_worst_paths, slack_histogram, StaConfig};
 use prebond3d::wcm::flow::{run_flow, FlowConfig, Method};
 
-fn wrapped_flow() -> (prebond3d::netlist::Netlist, prebond3d::wcm::flow::FlowResult) {
+fn wrapped_flow() -> (
+    prebond3d::netlist::Netlist,
+    prebond3d::wcm::flow::FlowResult,
+) {
     let spec = itc99::circuit("b11").expect("known benchmark");
     let die = itc99::generate_die(&spec.dies[0]);
     let placement = place(&die, &PlaceConfig::default(), 1);
@@ -80,7 +83,14 @@ fn path_enumeration_ranks_wrapped_die_endpoints() {
         &config,
         &[r.testable.test_en],
     );
-    let paths = k_worst_paths(&r.testable.netlist, &r.placement, &lib, &config, &report, 10);
+    let paths = k_worst_paths(
+        &r.testable.netlist,
+        &r.placement,
+        &lib,
+        &config,
+        &report,
+        10,
+    );
     assert_eq!(paths.len(), 10);
     assert!((paths[0].slack - report.wns).0.abs() < 1e-9);
     let (edges, counts) =
@@ -97,10 +107,7 @@ fn dft_anchoring_is_the_only_colocation_source() {
     // The extended placement co-locates only inserted gates with anchors.
     let groups = colocated_groups(&r.placement);
     for group in &groups {
-        let inserted = group
-            .iter()
-            .filter(|&&g| g.index() >= die.len())
-            .count();
+        let inserted = group.iter().filter(|&&g| g.index() >= die.len()).count();
         assert!(
             inserted >= group.len() - 1,
             "each colocated group is one original gate plus inserted DFT"
