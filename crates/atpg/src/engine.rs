@@ -15,6 +15,7 @@
 //!    report.
 
 use prebond3d_obs as obs;
+use prebond3d_resilience::{degrade, Deadline};
 use prebond3d_rng::StdRng;
 
 use prebond3d_netlist::Netlist;
@@ -50,6 +51,7 @@ impl AtpgConfig {
             min_random_yield: 2,
             podem: PodemConfig {
                 backtrack_limit: 4000,
+                ..PodemConfig::default()
             },
             compact: true,
             seed: 0xA7_9C,
@@ -66,6 +68,7 @@ impl AtpgConfig {
                 min_random_yield: 8,
                 podem: PodemConfig {
                     backtrack_limit: 64,
+                    ..PodemConfig::default()
                 },
                 compact: true,
                 seed: 0xA7_9C,
@@ -82,6 +85,7 @@ impl AtpgConfig {
             min_random_yield: 1,
             podem: PodemConfig {
                 backtrack_limit: 150,
+                ..PodemConfig::default()
             },
             compact: true,
             seed: 0xA7_9C,
@@ -190,6 +194,13 @@ fn credit_patterns(batch: &[Pattern], masks: &[u64], alive: &mut [bool]) -> (Vec
 /// Run stuck-at ATPG.
 pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
     let _span = obs::span("atpg_stuck_at");
+    // Phase budget: one deadline covers the whole ATPG run (random phase,
+    // PODEM sweep, compaction); an already-armed PODEM deadline wins.
+    let deadline = Deadline::for_phase();
+    let mut podem_config = config.podem;
+    if !podem_config.deadline.is_armed() {
+        podem_config.deadline = deadline;
+    }
     let list = FaultList::collapsed(netlist);
     let mut alive = vec![true; list.len()];
     let mut fs = FaultSimulator::new(netlist);
@@ -199,6 +210,10 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
     // --- Random phase -----------------------------------------------------
     for _ in 0..config.max_random_batches {
         if !alive.iter().any(|&a| a) {
+            break;
+        }
+        if deadline.expired() {
+            degrade::record("atpg", "stop_random_phase", "phase budget expired");
             break;
         }
         let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
@@ -213,7 +228,7 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
 
     // --- Deterministic phase ----------------------------------------------
     let scoap = Scoap::compute(netlist, access);
-    let mut podem = Podem::new(netlist, access, &scoap, config.podem);
+    let mut podem = Podem::new(netlist, access, &scoap, podem_config);
     let mut untestable = 0usize;
     let mut aborted = 0usize;
     let mut pending: Vec<Pattern> = Vec::new();
@@ -234,6 +249,21 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
     for (f, fault) in list.faults.iter().enumerate() {
         if !alive[f] {
             continue;
+        }
+        if deadline.expired() {
+            // Budget gone: every remaining live fault is aborted-with-
+            // reason, in one pass, so the sweep still terminates promptly.
+            let remaining = alive[f..].iter().filter(|&&a| a).count();
+            for a in &mut alive[f..] {
+                *a = false;
+            }
+            aborted += remaining;
+            degrade::record(
+                "atpg",
+                "abort_faults",
+                format!("{remaining} faults aborted at phase budget"),
+            );
+            break;
         }
         // SCOAP pre-screen: saturated controllability of the excitation
         // value or saturated observability of the propagation root is a
@@ -274,7 +304,18 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
 
     // --- Compaction --------------------------------------------------------
     if config.compact {
-        patterns = reverse_order_compact(netlist, access, &list, &mut fs, patterns);
+        if deadline.expired() {
+            degrade::record(
+                "atpg",
+                "skip_compaction",
+                format!(
+                    "{} patterns kept uncompacted at phase budget",
+                    patterns.len()
+                ),
+            );
+        } else {
+            patterns = reverse_order_compact(netlist, access, &list, &mut fs, patterns);
+        }
     }
 
     // Final accounting: simulate the final set against the full universe.
@@ -345,6 +386,11 @@ fn count_detected(
 /// Run transition-fault ATPG (two-pattern tests, enhanced-scan style).
 pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
     let _span = obs::span("atpg_transition");
+    let deadline = Deadline::for_phase();
+    let mut podem_config = config.podem;
+    if !podem_config.deadline.is_armed() {
+        podem_config.deadline = deadline;
+    }
     let faults = transition::transition_universe(netlist);
     let mut alive = vec![true; faults.len()];
     let mut fs = FaultSimulator::new(netlist);
@@ -354,6 +400,10 @@ pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfi
     // --- Random phase: a random sequence; consecutive pairs test edges.
     for _ in 0..config.max_random_batches {
         if !alive.iter().any(|&a| a) {
+            break;
+        }
+        if deadline.expired() {
+            degrade::record("atpg", "stop_random_phase", "phase budget expired");
             break;
         }
         let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
@@ -380,13 +430,26 @@ pub fn run_transition(netlist: &Netlist, access: &TestAccess, config: &AtpgConfi
     // --- Deterministic: v1 justifies the initial value, v2 is the
     // stuck-at launch test.
     let scoap = Scoap::compute(netlist, access);
-    let mut podem = Podem::new(netlist, access, &scoap, config.podem);
+    let mut podem = Podem::new(netlist, access, &scoap, podem_config);
     let mut untestable = 0usize;
     let mut aborted = 0usize;
 
     for (f, fault) in faults.iter().enumerate() {
         if !alive[f] {
             continue;
+        }
+        if deadline.expired() {
+            let remaining = alive[f..].iter().filter(|&&a| a).count();
+            for a in &mut alive[f..] {
+                *a = false;
+            }
+            aborted += remaining;
+            degrade::record(
+                "atpg",
+                "abort_faults",
+                format!("{remaining} transition faults aborted at phase budget"),
+            );
+            break;
         }
         let launch = fault.launch_fault();
         if scoap_untestable(&scoap, netlist, launch) {

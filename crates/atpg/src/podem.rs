@@ -9,6 +9,7 @@
 
 use prebond3d_netlist::{GateId, GateKind, Netlist};
 use prebond3d_obs as obs;
+use prebond3d_resilience::Deadline;
 
 use crate::access::TestAccess;
 use crate::fault::{Fault, FaultSite};
@@ -20,12 +21,17 @@ use crate::scoap::{Scoap, INF};
 pub struct PodemConfig {
     /// Maximum backtracks before a fault is abandoned.
     pub backtrack_limit: usize,
+    /// Cooperative wall-clock deadline: checked once per implication pass,
+    /// so an expired budget aborts the fault within one pass of the limit.
+    /// [`Deadline::none`] (the default) never reads the clock.
+    pub deadline: Deadline,
 }
 
 impl Default for PodemConfig {
     fn default() -> Self {
         PodemConfig {
             backtrack_limit: 400,
+            deadline: Deadline::none(),
         }
     }
 }
@@ -100,6 +106,9 @@ impl<'a> Podem<'a> {
         }
         let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
         loop {
+            if self.config.deadline.expired() {
+                return PodemOutcome::Aborted;
+            }
             self.imply_good();
             match self.good[target.index()].to_bool() {
                 Some(v) if v == value => return PodemOutcome::Test(self.pi_values.clone()),
@@ -211,6 +220,9 @@ impl<'a> Podem<'a> {
         let mut decisions: Vec<(usize, bool, bool)> = Vec::new();
 
         loop {
+            if self.config.deadline.expired() {
+                return PodemOutcome::Aborted;
+            }
             self.imply(fault);
             if self.detected() {
                 return PodemOutcome::Test(self.pi_values.clone());

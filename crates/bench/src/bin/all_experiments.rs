@@ -1,40 +1,43 @@
 //! Run every table and figure in sequence (the full reproduction).
-use prebond3d_atpg::engine::AtpgConfig;
-use prebond3d_bench::report;
+use std::process::ExitCode;
 
-fn main() {
-    let atpg = AtpgConfig::thorough();
-    report::begin("all_experiments");
-    println!("== Table II ==");
-    print!(
-        "{}",
-        prebond3d_bench::table2::render(&prebond3d_bench::table2::run())
-    );
-    println!("\n== Table I ==");
-    print!(
-        "{}",
-        prebond3d_bench::table1::render(&prebond3d_bench::table1::run(&atpg))
-    );
-    println!("\n== Table III ==");
-    print!(
-        "{}",
-        prebond3d_bench::table3::render(&prebond3d_bench::table3::run())
-    );
-    println!("\n== Table IV ==");
-    print!(
-        "{}",
-        prebond3d_bench::table4::render(&prebond3d_bench::table4::run(&atpg))
-    );
-    println!("\n== Table V ==");
-    print!(
-        "{}",
-        prebond3d_bench::table5::render(&prebond3d_bench::table5::run(&atpg))
-    );
-    println!("\n== Fig. 7 ==");
-    print!(
-        "{}",
-        prebond3d_bench::fig7::render(&prebond3d_bench::fig7::run())
-    );
-    prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
-    report::finish();
+use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::driver;
+
+fn main() -> ExitCode {
+    driver::run("all_experiments", || {
+        let atpg = AtpgConfig::thorough();
+        println!("== Table II ==");
+        print!(
+            "{}",
+            prebond3d_bench::table2::render(&prebond3d_bench::table2::run())
+        );
+        println!("\n== Table I ==");
+        print!(
+            "{}",
+            prebond3d_bench::table1::render(&prebond3d_bench::table1::run(&atpg))
+        );
+        println!("\n== Table III ==");
+        print!(
+            "{}",
+            prebond3d_bench::table3::render(&prebond3d_bench::table3::run())
+        );
+        println!("\n== Table IV ==");
+        print!(
+            "{}",
+            prebond3d_bench::table4::render(&prebond3d_bench::table4::run(&atpg))
+        );
+        println!("\n== Table V ==");
+        print!(
+            "{}",
+            prebond3d_bench::table5::render(&prebond3d_bench::table5::run(&atpg))
+        );
+        println!("\n== Fig. 7 ==");
+        print!(
+            "{}",
+            prebond3d_bench::fig7::render(&prebond3d_bench::fig7::run())
+        );
+        prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
+        Ok(())
+    })
 }

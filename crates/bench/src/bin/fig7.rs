@@ -1,9 +1,12 @@
 //! Regenerate the paper's Fig. 7 (solution-space expansion).
-use prebond3d_bench::report;
+use std::process::ExitCode;
 
-fn main() {
-    report::begin("fig7");
-    let rows = prebond3d_bench::fig7::run();
-    print!("{}", prebond3d_bench::fig7::render(&rows));
-    report::finish();
+use prebond3d_bench::driver;
+
+fn main() -> ExitCode {
+    driver::run("fig7", || {
+        let rows = prebond3d_bench::fig7::run();
+        print!("{}", prebond3d_bench::fig7::render(&rows));
+        Ok(())
+    })
 }

@@ -14,14 +14,18 @@
 //! directory is schema-checked. Findings print human-readably; the full
 //! set is written to `results/lint_<exp>.json` (directory overridable via
 //! `PREBOND3D_REPORT_DIR`, experiment name via the first CLI argument,
-//! default `full`). Exit code 1 when any Error-severity finding survives.
+//! default `full`). Exit code 1 when any Error-severity finding survives,
+//! 3 when a die paniced while being audited and the rest carried on.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::process::ExitCode;
 
-use prebond3d_bench::{context, lintflow};
+use prebond3d_bench::{context, driver, lintflow};
 use prebond3d_dft::insert_scan;
 use prebond3d_lint::{Depth, LintContext, LintReport, Linter, Severity};
 use prebond3d_obs::json::Value;
+use prebond3d_resilience as resil;
 use prebond3d_wcm::flow::{FlowConfig, Method};
 use prebond3d_wcm::run_flow;
 
@@ -91,7 +95,7 @@ fn lint_reports_on_disk(dir: &PathBuf) -> Option<LintReport> {
     found.then(|| Linter::with_default_passes().run(&ctx))
 }
 
-fn main() {
+fn main() -> ExitCode {
     let experiment = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "full".to_string());
@@ -100,8 +104,19 @@ fn main() {
 
     let cases = context::load_circuits(&names);
     let mut reports: Vec<LintReport> = Vec::new();
+    let mut failed_dies = 0usize;
     for case in &cases {
-        reports.extend(lint_die(case));
+        match catch_unwind(AssertUnwindSafe(|| lint_die(case))) {
+            Ok(r) => reports.extend(r),
+            Err(p) => {
+                failed_dies += 1;
+                eprintln!(
+                    "{}: audit paniced: {}",
+                    case.label(),
+                    prebond3d_bench::report::panic_message(p.as_ref())
+                );
+            }
+        }
     }
     let dir = report_dir();
     if let Some(r) = lint_reports_on_disk(&dir) {
@@ -134,15 +149,17 @@ fn main() {
             Value::Arr(reports.iter().map(LintReport::to_json).collect()),
         ),
     ]);
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let path = dir.join(format!("lint_{experiment}.json"));
-        match std::fs::write(&path, format!("{doc}\n")) {
-            Ok(()) => eprintln!("lint report: {}", path.display()),
-            Err(e) => eprintln!("lint report: cannot write {}: {e}", path.display()),
-        }
+    let path = dir.join(format!("lint_{experiment}.json"));
+    match resil::io::atomic_write(&path, &format!("{doc}\n")) {
+        Ok(()) => eprintln!("lint report: {}", path.display()),
+        Err(e) => eprintln!("lint report: {e}"),
     }
 
     if errors > 0 {
-        std::process::exit(1);
+        ExitCode::from(1)
+    } else if failed_dies > 0 {
+        ExitCode::from(driver::EXIT_PARTIAL_FAILURE)
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,11 +1,14 @@
 //! Regenerate the paper's Table I (ordering study, b12).
-use prebond3d_atpg::engine::AtpgConfig;
-use prebond3d_bench::report;
+use std::process::ExitCode;
 
-fn main() {
-    report::begin("table1");
-    let rows = prebond3d_bench::table1::run(&AtpgConfig::thorough());
-    print!("{}", prebond3d_bench::table1::render(&rows));
-    prebond3d_bench::perf::record_fault_sim_speedup(&["b12"]);
-    report::finish();
+use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::driver;
+
+fn main() -> ExitCode {
+    driver::run("table1", || {
+        let rows = prebond3d_bench::table1::run(&AtpgConfig::thorough());
+        print!("{}", prebond3d_bench::table1::render(&rows));
+        prebond3d_bench::perf::record_fault_sim_speedup(&["b12"]);
+        Ok(())
+    })
 }

@@ -1,9 +1,12 @@
 //! Regenerate the paper's Table II (benchmark characteristics).
-use prebond3d_bench::report;
+use std::process::ExitCode;
 
-fn main() {
-    report::begin("table2");
-    let rows = prebond3d_bench::table2::run();
-    print!("{}", prebond3d_bench::table2::render(&rows));
-    report::finish();
+use prebond3d_bench::driver;
+
+fn main() -> ExitCode {
+    driver::run("table2", || {
+        let rows = prebond3d_bench::table2::run();
+        print!("{}", prebond3d_bench::table2::render(&rows));
+        Ok(())
+    })
 }

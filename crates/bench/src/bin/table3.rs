@@ -1,10 +1,13 @@
 //! Regenerate the paper's Table III.
-use prebond3d_bench::report;
+use std::process::ExitCode;
 
-fn main() {
-    report::begin("table3");
-    let rows = prebond3d_bench::table3::run();
-    print!("{}", prebond3d_bench::table3::render(&rows));
-    prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
-    report::finish();
+use prebond3d_bench::driver;
+
+fn main() -> ExitCode {
+    driver::run("table3", || {
+        let rows = prebond3d_bench::table3::run();
+        print!("{}", prebond3d_bench::table3::render(&rows));
+        prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
+        Ok(())
+    })
 }

@@ -1,11 +1,14 @@
 //! Regenerate the paper's Table IV (coverage/pattern comparison).
-use prebond3d_atpg::engine::AtpgConfig;
-use prebond3d_bench::report;
+use std::process::ExitCode;
 
-fn main() {
-    report::begin("table4");
-    let rows = prebond3d_bench::table4::run(&AtpgConfig::thorough());
-    print!("{}", prebond3d_bench::table4::render(&rows));
-    prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
-    report::finish();
+use prebond3d_atpg::engine::AtpgConfig;
+use prebond3d_bench::driver;
+
+fn main() -> ExitCode {
+    driver::run("table4", || {
+        let rows = prebond3d_bench::table4::run(&AtpgConfig::thorough());
+        print!("{}", prebond3d_bench::table4::render(&rows));
+        prebond3d_bench::perf::record_fault_sim_speedup(&prebond3d_bench::circuit_names());
+        Ok(())
+    })
 }

@@ -1,63 +1,70 @@
 //! Table V hardware columns only (no ATPG): reused FFs and additional
 //! wrapper cells with overlapped-cone sharing off/on, tight timing.
+use std::process::ExitCode;
+
 use prebond3d_bench::lintflow::checked_run_flow;
-use prebond3d_bench::{context, report};
+use prebond3d_bench::{context, driver, report};
 use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
-fn main() {
-    report::begin("table5_lite");
-    let lib = context::library();
-    println!(
-        "{:<12} | {:>7} {:>7} | {:>7} {:>7}",
-        "", "FF(off)", "cells", "FF(on)", "cells"
-    );
-    let (mut f0, mut c0, mut f1, mut c1) = (0usize, 0usize, 0usize, 0usize);
-    let mut dies = 0usize;
-    for name in context::circuit_names() {
-        for case in context::load_circuit(name) {
-            let row = report::die_scope(&case.label(), || {
-                let mut row = Vec::new();
-                for allow in [false, true] {
-                    let cfg = FlowConfig {
-                        method: Method::Ours,
-                        scenario: Scenario::Tight,
-                        ordering: None,
-                        allow_overlap: Some(allow),
-                    };
-                    let r =
-                        checked_run_flow(&case.label(), &case.netlist, &case.placement, &lib, &cfg)
-                            .unwrap();
-                    row.push((r.reused_scan_ffs, r.additional_wrapper_cells));
-                }
-                row
-            });
-            println!(
-                "{:<12} | {:>7} {:>7} | {:>7} {:>7}",
-                case.label(),
-                row[0].0,
-                row[0].1,
-                row[1].0,
-                row[1].1
-            );
-            f0 += row[0].0;
-            c0 += row[0].1;
-            f1 += row[1].0;
-            c1 += row[1].1;
-            dies += 1;
+fn main() -> ExitCode {
+    driver::run("table5_lite", || {
+        let lib = context::library();
+        println!(
+            "{:<12} | {:>7} {:>7} | {:>7} {:>7}",
+            "", "FF(off)", "cells", "FF(on)", "cells"
+        );
+        let (mut f0, mut c0, mut f1, mut c1) = (0usize, 0usize, 0usize, 0usize);
+        let mut dies = 0usize;
+        for name in context::circuit_names() {
+            for case in context::load_circuit(name) {
+                let row = report::die_scope(&case.label(), || {
+                    let mut row = Vec::new();
+                    for allow in [false, true] {
+                        let cfg = FlowConfig {
+                            method: Method::Ours,
+                            scenario: Scenario::Tight,
+                            ordering: None,
+                            allow_overlap: Some(allow),
+                        };
+                        let r = checked_run_flow(
+                            &case.label(),
+                            &case.netlist,
+                            &case.placement,
+                            &lib,
+                            &cfg,
+                        )?;
+                        row.push((r.reused_scan_ffs, r.additional_wrapper_cells));
+                    }
+                    Ok(row)
+                })?;
+                println!(
+                    "{:<12} | {:>7} {:>7} | {:>7} {:>7}",
+                    case.label(),
+                    row[0].0,
+                    row[0].1,
+                    row[1].0,
+                    row[1].1
+                );
+                f0 += row[0].0;
+                c0 += row[0].1;
+                f1 += row[1].0;
+                c1 += row[1].1;
+                dies += 1;
+            }
         }
-    }
-    let d = dies.max(1) as f64;
-    println!(
-        "Average      | {:>7.1} {:>7.1} | {:>7.1} {:>7.1}",
-        f0 as f64 / d,
-        c0 as f64 / d,
-        f1 as f64 / d,
-        c1 as f64 / d
-    );
-    println!(
-        "overlap effect: reused {:+.2}%, additional {:+.2}%; paper: +0.90% / -2.02%",
-        100.0 * (f1 as f64 - f0 as f64) / (f0 as f64).max(1.0),
-        100.0 * (c1 as f64 - c0 as f64) / (c0 as f64).max(1.0)
-    );
-    report::finish();
+        let d = dies.max(1) as f64;
+        println!(
+            "Average      | {:>7.1} {:>7.1} | {:>7.1} {:>7.1}",
+            f0 as f64 / d,
+            c0 as f64 / d,
+            f1 as f64 / d,
+            c1 as f64 / d
+        );
+        println!(
+            "overlap effect: reused {:+.2}%, additional {:+.2}%; paper: +0.90% / -2.02%",
+            100.0 * (f1 as f64 - f0 as f64) / (f0 as f64).max(1.0),
+            100.0 * (c1 as f64 - c0 as f64) / (c0 as f64).max(1.0)
+        );
+        Ok(())
+    })
 }

@@ -1,9 +1,10 @@
 //! Shared experiment context: die generation + placement, cached per run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use prebond3d_celllib::Library;
 use prebond3d_netlist::{itc99, Netlist};
 use prebond3d_place::{place, PlaceConfig, Placement};
-use prebond3d_pool as pool;
 
 /// One benchmark die ready for experiments.
 #[derive(Debug, Clone)]
@@ -90,7 +91,13 @@ pub fn try_circuit_names() -> Result<Vec<&'static str>, String> {
 /// distances, not the algorithms under test.
 pub fn load_circuit(name: &str) -> Vec<DieCase> {
     let spec = itc99::circuit(name).unwrap_or_else(|| panic!("unknown circuit `{name}`"));
-    pool::par_range_map(spec.dies.len(), |i| build_case(spec.name, i, &spec.dies[i]))
+    let units: Vec<(&'static str, usize, &itc99::DieSpec)> = spec
+        .dies
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (spec.name, i, d))
+        .collect();
+    build_cases(&units)
 }
 
 /// Generate and place all dies of every circuit in `names`, flattened to
@@ -106,7 +113,29 @@ pub fn load_circuits(names: &[&'static str]) -> Vec<DieCase> {
         .iter()
         .flat_map(|s| s.dies.iter().enumerate().map(|(i, d)| (s.name, i, d)))
         .collect();
-    pool::par_map_chunked(&units, 1, |&(name, i, d)| build_case(name, i, d))
+    build_cases(&units)
+}
+
+/// Build every `(circuit, die)` unit on the pool with per-unit panic
+/// isolation: a die whose generation or placement panics (a real bug, or
+/// an injected `netlist.load` chaos fault) is recorded as a failed unit
+/// and dropped from the sweep instead of aborting it.
+fn build_cases(units: &[(&'static str, usize, &itc99::DieSpec)]) -> Vec<DieCase> {
+    let built = crate::report::pool_with_poison_fallback(units, |&(name, i, d)| {
+        catch_unwind(AssertUnwindSafe(|| build_case(name, i, d)))
+            .map_err(|p| crate::report::panic_message(p.as_ref()))
+    });
+    built
+        .into_iter()
+        .zip(units)
+        .filter_map(|(res, &(name, i, _))| match res {
+            Ok(case) => Some(case),
+            Err(msg) => {
+                crate::report::record_failure(&format!("{name} Die{i} (load)"), &msg);
+                None
+            }
+        })
+        .collect()
 }
 
 fn build_case(circuit: &'static str, die: usize, die_spec: &itc99::DieSpec) -> DieCase {

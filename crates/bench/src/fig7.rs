@@ -6,6 +6,7 @@
 
 use std::fmt::Write as _;
 
+use prebond3d_obs::json::Value;
 use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
 use crate::context;
@@ -38,35 +39,48 @@ pub fn run() -> Vec<Row> {
     let mut rows = Vec::new();
     for name in context::circuit_names() {
         let cases = context::load_circuit(name);
-        let per_die = crate::report::par_die_scopes(&cases, crate::DieCase::label, |case| {
-            let mut w = 0usize;
-            let mut wo = 0usize;
-            for allow in [false, true] {
-                let config = FlowConfig {
-                    method: Method::Ours,
-                    scenario: Scenario::Tight,
-                    ordering: None,
-                    allow_overlap: Some(allow),
-                };
-                let r = crate::lintflow::checked_run_flow(
-                    &case.label(),
-                    &case.netlist,
-                    &case.placement,
-                    &lib,
-                    &config,
-                )
-                .expect("flow runs and lints clean");
-                let edges: usize = r.phases.iter().map(|p| p.edges).sum();
-                if allow {
-                    w += edges;
-                } else {
-                    wo += edges;
+        let per_die = crate::report::resilient_par_die_scopes(
+            "fig7",
+            &cases,
+            crate::DieCase::label,
+            |case| {
+                let mut w = 0usize;
+                let mut wo = 0usize;
+                for allow in [false, true] {
+                    let config = FlowConfig {
+                        method: Method::Ours,
+                        scenario: Scenario::Tight,
+                        ordering: None,
+                        allow_overlap: Some(allow),
+                    };
+                    let r = crate::lintflow::checked_run_flow(
+                        &case.label(),
+                        &case.netlist,
+                        &case.placement,
+                        &lib,
+                        &config,
+                    )
+                    .expect("flow runs and lints clean");
+                    let edges: usize = r.phases.iter().map(|p| p.edges).sum();
+                    if allow {
+                        w += edges;
+                    } else {
+                        wo += edges;
+                    }
                 }
-            }
-            (w, wo)
-        });
+                (w, wo)
+            },
+            |&(w, wo)| Value::obj([("with", w.into()), ("without", wo.into())]),
+            |v| {
+                Some((
+                    v.get("with")?.as_u64()? as usize,
+                    v.get("without")?.as_u64()? as usize,
+                ))
+            },
+        );
         let (with, without) = per_die
             .into_iter()
+            .flatten()
             .fold((0, 0), |(aw, awo), (w, wo)| (aw + w, awo + wo));
         rows.push(Row {
             circuit: name,

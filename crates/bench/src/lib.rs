@@ -11,6 +11,7 @@
 //! runs take minutes; `PREBOND3D_CIRCUITS=b11,b12` gives a quick pass.
 
 pub mod context;
+pub mod driver;
 pub mod fig7;
 pub mod lintflow;
 pub mod perf;

@@ -1,20 +1,25 @@
-//! Machine-readable run reports and the perf trajectory.
+//! Machine-readable run reports, checkpoint/resume and the perf
+//! trajectory.
 //!
-//! Every experiment binary wraps its work in [`begin`]/[`finish`]; the
-//! table modules bracket each die's work with [`die_scope`] (serial) or
-//! [`par_die_scopes`] (one pool worker per die). The result is one
+//! Every experiment binary wraps its work in [`begin`]/[`finish`] (via
+//! [`crate::driver::run`]); the table modules bracket each die's work
+//! with [`die_scope`] (serial), [`par_die_scopes`] (one pool worker per
+//! die) or [`resilient_par_die_scopes`] (the same, plus per-unit panic
+//! isolation and crash-safe checkpointing). The result is one
 //! `results/run_<experiment>.json` per invocation, holding per-die phase
-//! timings (the `flow/...` span tree) and the algorithm counters (graph
-//! edges, clique merges, PODEM backtracks, …) that the text tables do not
-//! show — plus one `BENCH_<experiment>.json` with the aggregated
-//! wall-time-per-phase breakdown, the thread count, and any serial-vs-
-//! parallel speedup measurements recorded via [`record_speedup`].
+//! timings (the `flow/...` span tree), the algorithm counters the text
+//! tables do not show, the chaos/degradation/failed-unit records from
+//! `prebond3d-resilience` — plus one `BENCH_<experiment>.json` with the
+//! aggregated wall-time-per-phase breakdown, the thread count, and any
+//! serial-vs-parallel speedup measurements recorded via
+//! [`record_speedup`]. Both files are written atomically (temp file +
+//! rename), so a `SIGKILL` mid-write never leaves a torn report.
 //!
 //! The collector forces `prebond3d-obs` recording on for the duration of
 //! the run, independent of the `PREBOND3D_OBS` sink — so reports are
 //! always written, while event streaming stays opt-in. When no collector
 //! is active (unit tests calling `table3::run()` directly), the scopes
-//! degrade to plain calls.
+//! degrade to plain calls and no checkpoint is touched.
 //!
 //! ## Parallel sections and determinism
 //!
@@ -24,9 +29,26 @@
 //! sections **in submission order**, so the report's section list is
 //! identical for any `PREBOND3D_THREADS`. Only the `ms` timings differ
 //! run to run; every counter and span count is exact (counters commute —
-//! each probe lands in exactly one section's registry).
+//! each probe lands in exactly one section's registry). With
+//! `PREBOND3D_STABLE_MS=1` the wall-clock fields are zeroed at [`finish`],
+//! making reports byte-identical across runs — the mode the
+//! kill-and-resume determinism suite runs under.
+//!
+//! ## Checkpoint/resume
+//!
+//! [`resilient_par_die_scopes`] persists one JSON line per completed unit
+//! to `results/checkpoint_<experiment>.json` (keyed by a config hash over
+//! the experiment name, the crate version and the circuit selection —
+//! deliberately *not* the thread count). With `PREBOND3D_RESUME=1`,
+//! [`begin`] loads the checkpoint and finished units are skipped: their
+//! stored report section and decoded result are replayed, so an
+//! interrupted sweep converges to the same final reports as an
+//! uninterrupted one. Without resume, [`begin`] deletes any stale
+//! checkpoint. A fully successful [`finish`] removes the checkpoint.
 
+use std::any::Any;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -34,6 +56,18 @@ use std::time::Instant;
 use prebond3d_obs as obs;
 use prebond3d_obs::json::Value;
 use prebond3d_pool as pool;
+use prebond3d_resilience as resil;
+
+/// Completed-unit map loaded from (and appended to) the checkpoint file.
+struct Checkpoint {
+    path: PathBuf,
+    /// Config hash in the header; a mismatch discards the file.
+    hash: u64,
+    /// `"<scope>/<label>" → {key, section, result}` entries.
+    done: BTreeMap<String, Value>,
+    /// Units actually skipped via resume so far.
+    skipped: u64,
+}
 
 struct Collector {
     experiment: String,
@@ -43,21 +77,75 @@ struct Collector {
     phase_ms: BTreeMap<String, (u64, f64)>,
     /// Speedup records from [`record_speedup`].
     speedups: Vec<Value>,
+    /// Failed-unit records from [`record_failure`].
+    failures: Vec<Value>,
+    checkpoint: Checkpoint,
     /// Keeps obs aggregation on until `finish`.
     _recording: obs::RecordingGuard,
 }
 
 static COLLECTOR: Mutex<Option<Collector>> = Mutex::new(None);
 
+/// Config hash for the checkpoint header: experiment name, crate version
+/// and circuit selection. The thread count is deliberately excluded so a
+/// sweep can be resumed at any `PREBOND3D_THREADS`.
+fn config_hash(experiment: &str) -> u64 {
+    let selection = crate::context::try_circuit_names().map_or_else(|e| e, |names| names.join(","));
+    let mut h = resil::fnv1a(experiment.as_bytes());
+    h = resil::fnv1a_more(h, b"\0");
+    h = resil::fnv1a_more(h, env!("CARGO_PKG_VERSION").as_bytes());
+    h = resil::fnv1a_more(h, b"\0");
+    resil::fnv1a_more(h, selection.as_bytes())
+}
+
 /// Start collecting a run report for `experiment`. Replaces any collector
-/// left over from an earlier, unfinished run.
+/// left over from an earlier, unfinished run. With `PREBOND3D_RESUME=1`
+/// the experiment's checkpoint (if any, and only if its config hash
+/// matches) is loaded so finished units can be skipped; otherwise any
+/// stale checkpoint is deleted and the sweep starts fresh.
 pub fn begin(experiment: &str) {
+    let path = report_dir().join(format!("checkpoint_{experiment}.json"));
+    let hash = config_hash(experiment);
+    let mut done = BTreeMap::new();
+    if resil::resume_enabled() {
+        for line in resil::io::load_checkpoint(&path, hash).unwrap_or_default() {
+            match obs::json::parse(&line) {
+                Ok(entry) => {
+                    if let Some(key) = entry.get("key").and_then(Value::as_str) {
+                        done.insert(key.to_string(), entry);
+                    }
+                }
+                // A corrupt interior line (e.g. a crash-terminated
+                // fragment) only costs re-running that one unit.
+                Err(e) => eprintln!(
+                    "resume: skipping unreadable checkpoint line in {}: {e}",
+                    path.display()
+                ),
+            }
+        }
+        if !done.is_empty() {
+            eprintln!(
+                "resume: {} finished unit(s) loaded from {}",
+                done.len(),
+                path.display()
+            );
+        }
+    } else {
+        let _ = std::fs::remove_file(&path);
+    }
     let collector = Collector {
         experiment: experiment.to_string(),
         started: Instant::now(),
         sections: Vec::new(),
         phase_ms: BTreeMap::new(),
         speedups: Vec::new(),
+        failures: Vec::new(),
+        checkpoint: Checkpoint {
+            path,
+            hash,
+            done,
+            skipped: 0,
+        },
         _recording: obs::record(),
     };
     *COLLECTOR.lock().unwrap() = Some(collector);
@@ -68,22 +156,59 @@ fn collector_active() -> bool {
     COLLECTOR.lock().unwrap().is_some()
 }
 
-/// Build the per-section JSON payload and fold its spans into the
-/// collector's phase aggregation.
-fn push_section(label: &str, elapsed_ms: f64, snap: &obs::Snapshot) {
+/// Build the JSON payload of one report section.
+fn section_value(label: &str, elapsed_ms: f64, snap: &obs::Snapshot) -> Value {
     let mut section = snap.to_json();
     if let Value::Obj(map) = &mut section {
         map.insert("label".to_string(), label.into());
         map.insert("ms".to_string(), elapsed_ms.into());
     }
+    section
+}
+
+/// Push a section payload and fold its spans into the collector's phase
+/// aggregation. Fresh and checkpoint-replayed sections go through this
+/// same path, so a resumed run aggregates exactly like an uninterrupted
+/// one.
+fn push_section_value(section: Value) {
     if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
-        for s in &snap.spans {
-            let e = c.phase_ms.entry(s.path.clone()).or_insert((0, 0.0));
-            e.0 += s.count;
-            e.1 += s.total_ms();
+        if let Some(Value::Arr(spans)) = section.get("spans") {
+            for s in spans {
+                let (Some(path), Some(count), Some(ms)) = (
+                    s.get("path").and_then(Value::as_str),
+                    s.get("count").and_then(Value::as_u64),
+                    s.get("ms").and_then(Value::as_f64),
+                ) else {
+                    continue;
+                };
+                let e = c.phase_ms.entry(path.to_string()).or_insert((0, 0.0));
+                e.0 += count;
+                e.1 += ms;
+            }
         }
         c.sections.push(section);
     }
+}
+
+/// Record a failed unit: it appears in the run report's `failures` array
+/// and drives the partial-failure exit code (see [`crate::driver`]).
+pub fn record_failure(label: &str, error: &str) {
+    eprintln!("unit failed: {label}: {error}");
+    if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
+        c.failures.push(Value::obj([
+            ("label", label.into()),
+            ("error", error.into()),
+        ]));
+    }
+}
+
+/// Render a panic payload (what `catch_unwind` returns) as a message.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 /// Run `f` as one report section (typically one die), capturing the obs
@@ -94,8 +219,39 @@ pub fn die_scope<T>(label: &str, f: impl FnOnce() -> T) -> T {
     }
     let t = Instant::now();
     let (out, snap) = obs::capture(f);
-    push_section(label, t.elapsed().as_secs_f64() * 1.0e3, &snap);
+    push_section_value(section_value(
+        label,
+        t.elapsed().as_secs_f64() * 1.0e3,
+        &snap,
+    ));
     out
+}
+
+/// Run `run` over `items` on the pool (chunk size 1). `run` must be
+/// panic-free (catch its unit's panics internally); if the pool itself is
+/// poisoned — e.g. a chaos panic injected in the worker loop proper —
+/// the poisoning is recorded as a degradation and every item is re-run
+/// serially, off the pool, so one poisoned worker never kills a sweep.
+pub(crate) fn pool_with_poison_fallback<C, R>(items: &[C], run: impl Fn(&C) -> R + Sync) -> Vec<R>
+where
+    C: Sync,
+    R: Send,
+{
+    match catch_unwind(AssertUnwindSafe(|| pool::par_map_chunked(items, 1, &run))) {
+        Ok(results) => results,
+        Err(p) => {
+            resil::degrade::record(
+                "pool",
+                "serial_fallback",
+                format!(
+                    "worker pool poisoned by `{}`; re-running {} unit(s) serially",
+                    panic_message(p.as_ref()),
+                    items.len()
+                ),
+            );
+            items.iter().map(run).collect()
+        }
+    }
 }
 
 /// Parallel [`die_scope`]: run `f` over `cases` on the pool, one section
@@ -103,7 +259,8 @@ pub fn die_scope<T>(label: &str, f: impl FnOnce() -> T) -> T {
 /// regardless of thread count — each worker captures its own probes
 /// thread-locally and the merge happens here, serially. With no active
 /// collector the cases still run on the pool; only the sections are
-/// skipped.
+/// skipped. A unit panic propagates; use [`resilient_par_die_scopes`]
+/// for isolation.
 pub fn par_die_scopes<C, T>(
     cases: &[C],
     label: impl Fn(&C) -> String + Sync,
@@ -129,11 +286,157 @@ where
         .zip(cases)
         .map(|((out, ms, snap), case)| {
             if active {
-                push_section(&label(case), ms, &snap);
+                push_section_value(section_value(&label(case), ms, &snap));
             }
             out
         })
         .collect()
+}
+
+/// [`par_die_scopes`] with per-unit panic isolation and crash-safe
+/// checkpointing. Each unit runs under `catch_unwind`; a panicking unit
+/// yields `None`, is recorded via [`record_failure`] and the rest of the
+/// sweep completes. Each *successful* unit is appended to the
+/// experiment's checkpoint as `{key, section, result}` (the result
+/// serialized by `encode`), and with `PREBOND3D_RESUME=1` previously
+/// finished units are skipped: their stored section is replayed into the
+/// report and their result revived via `decode`. `scope` namespaces the
+/// checkpoint keys, so several scopes (the `all_experiments` driver runs
+/// six) share one checkpoint file without colliding.
+///
+/// With no active collector this is just the panic-isolated variant — no
+/// checkpoint is read or written.
+pub fn resilient_par_die_scopes<C, T>(
+    scope: &str,
+    cases: &[C],
+    label: impl Fn(&C) -> String + Sync,
+    f: impl Fn(&C) -> T + Sync,
+    encode: impl Fn(&T) -> Value + Sync,
+    decode: impl Fn(&Value) -> Option<T>,
+) -> Vec<Option<T>>
+where
+    C: Sync,
+    T: Send,
+{
+    let active = collector_active();
+    // Resolve resume hits up front so only the misses hit the pool.
+    let mut cached: Vec<Option<(Value, T)>> = cases
+        .iter()
+        .map(|case| {
+            if !active {
+                return None;
+            }
+            let key = format!("{scope}/{}", label(case));
+            let entry = checkpoint_entry(&key)?;
+            let section = entry.get("section")?.clone();
+            let result = decode(entry.get("result")?)?;
+            Some((section, result))
+        })
+        .collect();
+    let todo: Vec<&C> = cases
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(case, _)| case)
+        .collect();
+    // Each unit appends its checkpoint entry *as it completes*, from the
+    // worker itself — a kill at any point during the sweep loses at most
+    // the units still in flight, which is the whole point of resuming.
+    let run_one = |case: &&C| {
+        let t = Instant::now();
+        let (res, snap) = if active {
+            obs::capture(|| catch_unwind(AssertUnwindSafe(|| f(case))))
+        } else {
+            (
+                catch_unwind(AssertUnwindSafe(|| f(case))),
+                obs::Snapshot::empty(),
+            )
+        };
+        let ms = t.elapsed().as_secs_f64() * 1.0e3;
+        match res.map_err(|p| panic_message(p.as_ref())) {
+            Ok(v) => {
+                let section = active.then(|| {
+                    let name = label(case);
+                    let section = section_value(&name, ms, &snap);
+                    let entry = Value::obj([
+                        ("key", format!("{scope}/{name}").as_str().into()),
+                        ("section", section.clone()),
+                        ("result", encode(&v)),
+                    ]);
+                    checkpoint_append(&entry);
+                    section
+                });
+                Ok((v, section))
+            }
+            Err(msg) => Err(msg),
+        }
+    };
+    let fresh = pool_with_poison_fallback(&todo, run_one);
+
+    // Merge in submission order: replayed hits and fresh results
+    // interleave back into `cases` order.
+    let mut fresh_iter = fresh.into_iter();
+    let mut out = Vec::with_capacity(cases.len());
+    for (case, hit) in cases.iter().zip(cached.iter_mut()) {
+        if let Some((section, result)) = hit.take() {
+            if active {
+                push_section_value(section);
+                note_skipped();
+            }
+            out.push(Some(result));
+            continue;
+        }
+        match fresh_iter.next().expect("one fresh result per miss") {
+            Ok((v, section)) => {
+                if let Some(section) = section {
+                    push_section_value(section);
+                }
+                out.push(Some(v));
+            }
+            Err(msg) => {
+                record_failure(&label(case), &msg);
+                out.push(None);
+            }
+        }
+    }
+    out
+}
+
+fn checkpoint_entry(key: &str) -> Option<Value> {
+    COLLECTOR
+        .lock()
+        .unwrap()
+        .as_ref()?
+        .checkpoint
+        .done
+        .get(key)
+        .cloned()
+}
+
+fn note_skipped() {
+    if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
+        c.checkpoint.skipped += 1;
+    }
+}
+
+/// Append one completed-unit entry to the checkpoint. Called from pool
+/// workers as units complete, so appends are serialized by a dedicated
+/// lock (the entry + newline go out in one write, but the
+/// read-then-append inside `append_checkpoint` must not interleave). A
+/// write failure is a degradation (the run continues; only resumability
+/// of this unit is lost), recorded so the chaos suite sees the injected
+/// fault reported.
+fn checkpoint_append(entry: &Value) {
+    static APPEND: Mutex<()> = Mutex::new(());
+    let (path, hash) = {
+        let guard = COLLECTOR.lock().unwrap();
+        let Some(c) = guard.as_ref() else { return };
+        (c.checkpoint.path.clone(), c.checkpoint.hash)
+    };
+    let _serialized = APPEND.lock().unwrap();
+    if let Err(e) = resil::io::append_checkpoint(&path, hash, &entry.to_string()) {
+        resil::degrade::record("checkpoint", "drop_entry", e.to_string());
+    }
 }
 
 /// Record one serial-vs-parallel wall-clock measurement (written to
@@ -170,31 +473,116 @@ fn report_dir() -> PathBuf {
     std::env::var("PREBOND3D_REPORT_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
 
-fn write_report(path: &PathBuf, doc: &Value) -> bool {
-    match std::fs::write(path, format!("{doc}\n")) {
+/// Atomic report write with a contextual error naming the file. Write
+/// errors are reported on stderr rather than aborting the experiment
+/// (the text output already happened).
+fn write_report(path: &std::path::Path, doc: &Value) -> bool {
+    match resil::atomic_write(path, &format!("{doc}\n")) {
         Ok(()) => {
             eprintln!("run report: {}", path.display());
             true
         }
         Err(e) => {
-            eprintln!("run report: cannot write {}: {e}", path.display());
+            eprintln!("run report: {e}");
             false
         }
     }
 }
 
+/// Zero every environment-dependent field in `doc` — wall clocks (`ms`,
+/// `elapsed_ms`, `serial_ms`, `parallel_ms`, the derived `speedup` ratio)
+/// and the `threads` count — the `PREBOND3D_STABLE_MS` normalization that
+/// makes reports byte-comparable across runs and thread counts.
+fn zero_ms(v: &mut Value) {
+    match v {
+        Value::Obj(map) => {
+            for (k, v) in map.iter_mut() {
+                let is_clock = matches!(
+                    k.as_str(),
+                    "ms" | "elapsed_ms" | "serial_ms" | "parallel_ms" | "speedup" | "threads"
+                );
+                if is_clock && matches!(v, Value::Num(_)) {
+                    *v = 0.0.into();
+                } else {
+                    zero_ms(v);
+                }
+            }
+        }
+        Value::Arr(items) => items.iter_mut().for_each(zero_ms),
+        _ => {}
+    }
+}
+
+/// What [`finish_summary`] hands back to the driver.
+#[derive(Debug)]
+pub struct Summary {
+    /// Path of `run_<exp>.json`, when it was written.
+    pub run_path: Option<PathBuf>,
+    /// Failed units recorded via [`record_failure`].
+    pub failures: usize,
+    /// Units skipped by checkpoint resume.
+    pub resume_skipped: u64,
+}
+
 /// Finish the report: write `results/run_<experiment>.json` and
 /// `results/BENCH_<experiment>.json` (directory overridable via
 /// `PREBOND3D_REPORT_DIR`) and return the run report's path. `None` when
-/// no collector is active; write errors are reported on stderr rather
-/// than aborting the experiment (the text output already happened).
+/// no collector is active. See [`finish_summary`] for the exit-code
+/// driving variant.
 pub fn finish() -> Option<PathBuf> {
-    let collector = COLLECTOR.lock().unwrap().take()?;
+    finish_summary().run_path
+}
+
+/// [`finish`], returning the failure/resume tallies the drivers map to
+/// exit codes. Also folds the drained chaos events and degradation
+/// records into the run report, applies the stable-ms normalization, and
+/// removes the checkpoint after a fully successful sweep.
+pub fn finish_summary() -> Summary {
+    let Some(collector) = COLLECTOR.lock().unwrap().take() else {
+        return Summary {
+            run_path: None,
+            failures: 0,
+            resume_skipped: 0,
+        };
+    };
     let elapsed_ms = collector.started.elapsed().as_secs_f64() * 1.0e3;
-    let run_doc = Value::obj([
+    let failures = collector.failures.len();
+    let resume_skipped = collector.checkpoint.skipped;
+
+    let degradations: Vec<Value> = resil::degrade::drain()
+        .into_iter()
+        .map(|d| {
+            Value::obj([
+                ("phase", d.phase.into()),
+                ("action", d.action.into()),
+                ("detail", d.detail.as_str().into()),
+            ])
+        })
+        .collect();
+    let chaos_events: Vec<Value> = resil::chaos::drain_events()
+        .into_iter()
+        .map(|e| {
+            Value::obj([
+                ("site", e.site.into()),
+                ("kind", e.kind.label().into()),
+                ("seq", e.seq.into()),
+            ])
+        })
+        .collect();
+    let mut chaos_fields = vec![("armed", Value::Bool(resil::chaos::armed()))];
+    if let Some((seed, rate)) = resil::chaos::config() {
+        chaos_fields.push(("seed", seed.into()));
+        chaos_fields.push(("rate", rate.into()));
+    }
+    chaos_fields.push(("events", Value::Arr(chaos_events)));
+
+    let mut run_doc = Value::obj([
         ("experiment", collector.experiment.as_str().into()),
         ("elapsed_ms", elapsed_ms.into()),
         ("sections", Value::Arr(collector.sections)),
+        ("failures", Value::Arr(collector.failures)),
+        ("degradations", Value::Arr(degradations)),
+        ("chaos", Value::obj(chaos_fields)),
     ]);
     let phases: Vec<Value> = collector
         .phase_ms
@@ -207,23 +595,35 @@ pub fn finish() -> Option<PathBuf> {
             ])
         })
         .collect();
-    let bench_doc = Value::obj([
+    let mut bench_doc = Value::obj([
         ("experiment", collector.experiment.as_str().into()),
         ("threads", pool::threads().into()),
         ("elapsed_ms", elapsed_ms.into()),
         ("phases", Value::Arr(phases)),
         ("speedup", Value::Arr(collector.speedups)),
     ]);
+    if resil::stable_ms() {
+        zero_ms(&mut run_doc);
+        zero_ms(&mut bench_doc);
+    }
 
     let dir = report_dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("run report: cannot create {}: {e}", dir.display());
-        return None;
-    }
     let bench_path = dir.join(format!("BENCH_{}.json", collector.experiment));
     write_report(&bench_path, &bench_doc);
     let run_path = dir.join(format!("run_{}.json", collector.experiment));
-    write_report(&run_path, &run_doc).then_some(run_path)
+    let run_path = write_report(&run_path, &run_doc).then_some(run_path);
+    if failures == 0 {
+        // The sweep is complete; a later fresh run must not resume it.
+        let _ = std::fs::remove_file(&collector.checkpoint.path);
+    }
+    if resume_skipped > 0 {
+        eprintln!("resume: skipped {resume_skipped} finished unit(s)");
+    }
+    Summary {
+        run_path,
+        failures,
+        resume_skipped,
+    }
 }
 
 #[cfg(test)]
@@ -234,6 +634,13 @@ mod tests {
     // binary that records; serialize access.
     static LOCK: Mutex<()> = Mutex::new(());
 
+    fn temp_report_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("prebond3d_report_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn inactive_scope_is_a_plain_call() {
         let _l = LOCK.lock().unwrap();
@@ -242,12 +649,25 @@ mod tests {
         assert_eq!(out, 42);
         let outs = par_die_scopes(&[1, 2, 3], |c| format!("c{c}"), |&c| c * 10);
         assert_eq!(outs, vec![10, 20, 30]);
+        // The resilient variant still isolates panics without a collector.
+        let outs = resilient_par_die_scopes(
+            "t",
+            &[1usize, 2, 3],
+            |c| format!("c{c}"),
+            |&c| {
+                assert!(c != 2, "unit 2 explodes");
+                c * 10
+            },
+            |v| (*v).into(),
+            |v| v.as_u64().map(|n| n as usize),
+        );
+        assert_eq!(outs, vec![Some(10), None, Some(30)]);
     }
 
     #[test]
     fn report_roundtrips_through_the_json_parser() {
         let _l = LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join("prebond3d_report_test");
+        let dir = temp_report_dir("rt");
         std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
 
         begin("unit");
@@ -279,12 +699,20 @@ mod tests {
         assert!(spans
             .iter()
             .any(|s| s.get("path").unwrap().as_str() == Some("unit_phase")));
+        // The resilience fields are always present.
+        assert!(doc.get("failures").unwrap().as_arr().unwrap().is_empty());
+        assert!(doc.get("degradations").is_some());
+        assert_eq!(
+            doc.get("chaos").unwrap().get("armed").unwrap().as_bool(),
+            Some(false)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn parallel_sections_keep_submission_order_and_exact_counters() {
         let _l = LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join("prebond3d_report_par_test");
+        let dir = temp_report_dir("par");
         std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
 
         let cases: Vec<u64> = (0..6).collect();
@@ -323,12 +751,13 @@ mod tests {
                 "each section holds exactly its own worker's counters"
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn bench_report_carries_phases_and_speedups() {
         let _l = LOCK.lock().unwrap();
-        let dir = std::env::temp_dir().join("prebond3d_report_bench_test");
+        let dir = temp_report_dir("bench");
         std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
 
         begin("unit_bench");
@@ -359,5 +788,172 @@ mod tests {
         assert_eq!(s.get("phase").unwrap().as_str(), Some("fault_simulation"));
         assert_eq!(s.get("speedup").unwrap().as_u64(), None); // 2.5 is not integral
         assert!((s.get("speedup").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_units_are_recorded_and_the_rest_survive() {
+        let _l = LOCK.lock().unwrap();
+        let dir = temp_report_dir("fail");
+        std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+
+        begin("unit_fail");
+        let outs = resilient_par_die_scopes(
+            "t",
+            &[1usize, 2, 3],
+            |c| format!("die{c}"),
+            |&c| {
+                assert!(c != 2, "unit die2 explodes");
+                c * 10
+            },
+            |v| (*v).into(),
+            |v| v.as_u64().map(|n| n as usize),
+        );
+        assert_eq!(outs, vec![Some(10), None, Some(30)]);
+        let summary = finish_summary();
+        std::env::remove_var("PREBOND3D_REPORT_DIR");
+        assert_eq!(summary.failures, 1);
+        let doc = prebond3d_obs::json::parse(
+            &std::fs::read_to_string(summary.run_path.expect("report written")).unwrap(),
+        )
+        .expect("valid JSON");
+        let failures = doc.get("failures").unwrap().as_arr().unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].get("label").unwrap().as_str(), Some("die2"));
+        assert!(failures[0]
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("explodes"));
+        // Successful units got sections; the failed one did not.
+        let sections = doc.get("sections").unwrap().as_arr().unwrap();
+        assert_eq!(sections.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_finished_units() {
+        let _l = LOCK.lock().unwrap();
+        let dir = temp_report_dir("ckpt");
+        std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+        resil::force_stable_ms(Some(true));
+
+        let encode = |v: &usize| Value::from(*v);
+        let decode = |v: &Value| v.as_u64().map(|n| n as usize);
+        let work = |&c: &usize| {
+            obs::count("unit.calls", 1);
+            c * 10
+        };
+
+        // First run: two of three units succeed, one fails — the
+        // checkpoint holds the two and survives `finish`.
+        begin("unit_resume");
+        let outs = resilient_par_die_scopes(
+            "t",
+            &[1usize, 2, 3],
+            |c| format!("die{c}"),
+            |c| {
+                assert!(*c != 3, "die3 fails on the first attempt");
+                work(c)
+            },
+            encode,
+            decode,
+        );
+        assert_eq!(outs, vec![Some(10), Some(20), None]);
+        let first = finish_summary();
+        assert_eq!(first.failures, 1);
+        let ckpt = dir.join("checkpoint_unit_resume.json");
+        assert!(ckpt.exists(), "failed sweep keeps its checkpoint");
+
+        // Resumed run: the two finished units are skipped, die3 runs.
+        resil::force_resume(Some(true));
+        begin("unit_resume");
+        let outs = resilient_par_die_scopes(
+            "t",
+            &[1usize, 2, 3],
+            |c| format!("die{c}"),
+            work,
+            encode,
+            decode,
+        );
+        assert_eq!(outs, vec![Some(10), Some(20), Some(30)]);
+        let second = finish_summary();
+        resil::force_resume(None);
+        assert_eq!(second.failures, 0);
+        assert_eq!(second.resume_skipped, 2);
+        assert!(!ckpt.exists(), "successful sweep removes its checkpoint");
+
+        // The resumed report equals a from-scratch run byte for byte.
+        let resumed = std::fs::read_to_string(second.run_path.expect("report")).unwrap();
+        begin("unit_resume");
+        let outs = resilient_par_die_scopes(
+            "t",
+            &[1usize, 2, 3],
+            |c| format!("die{c}"),
+            work,
+            encode,
+            decode,
+        );
+        assert_eq!(outs, vec![Some(10), Some(20), Some(30)]);
+        let fresh_summary = finish_summary();
+        let fresh = std::fs::read_to_string(fresh_summary.run_path.expect("report")).unwrap();
+        assert_eq!(
+            resumed, fresh,
+            "resumed and fresh reports are byte-identical"
+        );
+
+        resil::force_stable_ms(None);
+        std::env::remove_var("PREBOND3D_REPORT_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stable_ms_zeroes_every_clock_field() {
+        let _l = LOCK.lock().unwrap();
+        let dir = temp_report_dir("stable");
+        std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
+        resil::force_stable_ms(Some(true));
+
+        begin("unit_stable");
+        die_scope("die0", || {
+            let _s = obs::span("phase_a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        });
+        record_speedup("fault_simulation", "x", 2, 10.0, 5.0);
+        let run_path = finish().expect("report written");
+        resil::force_stable_ms(None);
+        std::env::remove_var("PREBOND3D_REPORT_DIR");
+
+        fn assert_zero(v: &Value) {
+            match v {
+                Value::Obj(map) => {
+                    for (k, v) in map {
+                        if matches!(
+                            k.as_str(),
+                            "ms" | "elapsed_ms"
+                                | "serial_ms"
+                                | "parallel_ms"
+                                | "speedup"
+                                | "threads"
+                        ) && matches!(v, Value::Num(_))
+                        {
+                            assert_eq!(v.as_f64(), Some(0.0), "field `{k}` must be zeroed");
+                        }
+                        assert_zero(v);
+                    }
+                }
+                Value::Arr(items) => items.iter().for_each(assert_zero),
+                _ => {}
+            }
+        }
+        for path in [
+            run_path.clone(),
+            run_path.with_file_name("BENCH_unit_stable.json"),
+        ] {
+            let doc = prebond3d_obs::json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            assert_zero(&doc);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -9,6 +9,7 @@ use std::fmt::Write as _;
 
 use prebond3d_atpg::engine::{run_stuck_at, AtpgConfig};
 use prebond3d_dft::prebond_access;
+use prebond3d_obs::json::Value;
 use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 use prebond3d_wcm::OrderingPolicy;
 
@@ -28,6 +29,39 @@ pub struct Row {
     pub from_inbound: (f64, usize),
     /// (fault coverage, additional wrapper cells) starting from outbound.
     pub from_outbound: (f64, usize),
+}
+
+impl Row {
+    /// Checkpoint codec: serialize for the resume log.
+    pub fn to_json(&self) -> Value {
+        let pair = |(cov, cells): (f64, usize)| {
+            Value::obj([("coverage", cov.into()), ("cells", cells.into())])
+        };
+        Value::obj([
+            ("label", self.label.as_str().into()),
+            ("inbound", self.inbound.into()),
+            ("outbound", self.outbound.into()),
+            ("from_inbound", pair(self.from_inbound)),
+            ("from_outbound", pair(self.from_outbound)),
+        ])
+    }
+
+    /// Checkpoint codec: revive a row from the resume log.
+    pub fn from_json(v: &Value) -> Option<Row> {
+        let pair = |v: &Value| {
+            Some((
+                v.get("coverage")?.as_f64()?,
+                v.get("cells")?.as_u64()? as usize,
+            ))
+        };
+        Some(Row {
+            label: v.get("label")?.as_str()?.to_string(),
+            inbound: v.get("inbound")?.as_u64()? as usize,
+            outbound: v.get("outbound")?.as_u64()? as usize,
+            from_inbound: pair(v.get("from_inbound")?)?,
+            from_outbound: pair(v.get("from_outbound")?)?,
+        })
+    }
 }
 
 /// Run the ordering study for one die.
@@ -57,10 +91,21 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
 }
 
 /// Run over the paper's Table I workload (b12, all four dies), one pool
-/// worker per die.
+/// worker per die — panic-isolated and checkpointed, so a failed die is
+/// reported and the rest of the table still renders.
 pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
     let cases = context::load_circuit("b12");
-    crate::report::par_die_scopes(&cases, DieCase::label, |case| run_die(case, atpg))
+    crate::report::resilient_par_die_scopes(
+        "table1",
+        &cases,
+        DieCase::label,
+        |case| run_die(case, atpg),
+        Row::to_json,
+        Row::from_json,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Render paper-style.

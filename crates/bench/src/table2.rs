@@ -6,6 +6,8 @@
 
 use std::fmt::Write as _;
 
+use prebond3d_obs::json::Value;
+
 use crate::context;
 
 /// One die row.
@@ -25,21 +27,58 @@ pub struct Row {
     pub outbound: usize,
 }
 
+impl Row {
+    /// Checkpoint codec: serialize for the resume log.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("label", self.label.as_str().into()),
+            ("scan_ffs", self.scan_ffs.into()),
+            ("gates", self.gates.into()),
+            ("tsvs", self.tsvs.into()),
+            ("inbound", self.inbound.into()),
+            ("outbound", self.outbound.into()),
+        ])
+    }
+
+    /// Checkpoint codec: revive a row from the resume log.
+    pub fn from_json(v: &Value) -> Option<Row> {
+        let n = |key: &str| v.get(key)?.as_u64().map(|x| x as usize);
+        Some(Row {
+            label: v.get("label")?.as_str()?.to_string(),
+            scan_ffs: n("scan_ffs")?,
+            gates: n("gates")?,
+            tsvs: n("tsvs")?,
+            inbound: n("inbound")?,
+            outbound: n("outbound")?,
+        })
+    }
+}
+
 /// Collect rows for the selected circuits (die generation + placement is
 /// the work here, parallelized inside [`context::load_circuits`]).
 pub fn run() -> Vec<Row> {
     let cases = context::load_circuits(&context::circuit_names());
-    crate::report::par_die_scopes(&cases, crate::DieCase::label, |case| {
-        let s = case.netlist.stats();
-        Row {
-            label: case.label(),
-            scan_ffs: s.scan_flip_flops,
-            gates: s.combinational_gates,
-            tsvs: s.tsvs(),
-            inbound: s.inbound_tsvs,
-            outbound: s.outbound_tsvs,
-        }
-    })
+    crate::report::resilient_par_die_scopes(
+        "table2",
+        &cases,
+        crate::DieCase::label,
+        |case| {
+            let s = case.netlist.stats();
+            Row {
+                label: case.label(),
+                scan_ffs: s.scan_flip_flops,
+                gates: s.combinational_gates,
+                tsvs: s.tsvs(),
+                inbound: s.inbound_tsvs,
+                outbound: s.outbound_tsvs,
+            }
+        },
+        Row::to_json,
+        Row::from_json,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Render paper-style.

@@ -4,6 +4,7 @@
 
 use std::fmt::Write as _;
 
+use prebond3d_obs::json::Value;
 use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
 use crate::context::{self, DieCase};
@@ -22,6 +23,53 @@ pub struct Row {
     pub agrawal_tight: (usize, usize, bool),
     /// (reused, additional, violation) for Ours, tight timing.
     pub ours_tight: (usize, usize, bool),
+}
+
+impl Row {
+    /// Checkpoint codec: serialize for the resume log.
+    pub fn to_json(&self) -> Value {
+        let area = |(reused, additional): (usize, usize)| {
+            Value::obj([("reused", reused.into()), ("additional", additional.into())])
+        };
+        let tight = |(reused, additional, violation): (usize, usize, bool)| {
+            Value::obj([
+                ("reused", reused.into()),
+                ("additional", additional.into()),
+                ("violation", violation.into()),
+            ])
+        };
+        Value::obj([
+            ("label", self.label.as_str().into()),
+            ("agrawal_area", area(self.agrawal_area)),
+            ("ours_area", area(self.ours_area)),
+            ("agrawal_tight", tight(self.agrawal_tight)),
+            ("ours_tight", tight(self.ours_tight)),
+        ])
+    }
+
+    /// Checkpoint codec: revive a row from the resume log.
+    pub fn from_json(v: &Value) -> Option<Row> {
+        let area = |v: &Value| {
+            Some((
+                v.get("reused")?.as_u64()? as usize,
+                v.get("additional")?.as_u64()? as usize,
+            ))
+        };
+        let tight = |v: &Value| {
+            Some((
+                v.get("reused")?.as_u64()? as usize,
+                v.get("additional")?.as_u64()? as usize,
+                v.get("violation")?.as_bool()?,
+            ))
+        };
+        Some(Row {
+            label: v.get("label")?.as_str()?.to_string(),
+            agrawal_area: area(v.get("agrawal_area")?)?,
+            ours_area: area(v.get("ours_area")?)?,
+            agrawal_tight: tight(v.get("agrawal_tight")?)?,
+            ours_tight: tight(v.get("ours_tight")?)?,
+        })
+    }
 }
 
 /// Run the Table III experiment for one die.
@@ -55,10 +103,21 @@ pub fn run_die(case: &DieCase) -> Row {
     }
 }
 
-/// Run over the selected benchmark set, one pool worker per die.
+/// Run over the selected benchmark set, one pool worker per die —
+/// panic-isolated and checkpointed.
 pub fn run() -> Vec<Row> {
     let cases = context::load_circuits(&context::circuit_names());
-    crate::report::par_die_scopes(&cases, DieCase::label, run_die)
+    crate::report::resilient_par_die_scopes(
+        "table3",
+        &cases,
+        DieCase::label,
+        run_die,
+        Row::to_json,
+        Row::from_json,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Aggregate means and violation counts, paper-style.

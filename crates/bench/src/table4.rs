@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 
 use prebond3d_atpg::engine::{run_stuck_at, run_transition, AtpgConfig};
 use prebond3d_dft::prebond_access;
+use prebond3d_obs::json::Value;
 use prebond3d_wcm::flow::{FlowConfig, Method};
 
 use crate::context::{self, DieCase};
@@ -22,6 +23,31 @@ pub struct Cell {
     pub transition: (f64, usize),
 }
 
+impl Cell {
+    fn to_json(self) -> Value {
+        let pair = |(cov, patterns): (f64, usize)| {
+            Value::obj([("coverage", cov.into()), ("patterns", patterns.into())])
+        };
+        Value::obj([
+            ("stuck_at", pair(self.stuck_at)),
+            ("transition", pair(self.transition)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<Cell> {
+        let pair = |v: &Value| {
+            Some((
+                v.get("coverage")?.as_f64()?,
+                v.get("patterns")?.as_u64()? as usize,
+            ))
+        };
+        Some(Cell {
+            stuck_at: pair(v.get("stuck_at")?)?,
+            transition: pair(v.get("transition")?)?,
+        })
+    }
+}
+
 /// One die row.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -31,6 +57,26 @@ pub struct Row {
     pub agrawal: Cell,
     /// Ours.
     pub ours: Cell,
+}
+
+impl Row {
+    /// Checkpoint codec: serialize for the resume log.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("label", self.label.as_str().into()),
+            ("agrawal", self.agrawal.to_json()),
+            ("ours", self.ours.to_json()),
+        ])
+    }
+
+    /// Checkpoint codec: revive a row from the resume log.
+    pub fn from_json(v: &Value) -> Option<Row> {
+        Some(Row {
+            label: v.get("label")?.as_str()?.to_string(),
+            agrawal: Cell::from_json(v.get("agrawal")?)?,
+            ours: Cell::from_json(v.get("ours")?)?,
+        })
+    }
 }
 
 fn measure(case: &DieCase, method: Method, atpg: &AtpgConfig) -> Cell {
@@ -69,10 +115,21 @@ pub fn run_die(case: &DieCase, atpg: &AtpgConfig) -> Row {
     }
 }
 
-/// Run over the selected circuits, one pool worker per die.
+/// Run over the selected circuits, one pool worker per die —
+/// panic-isolated and checkpointed.
 pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
     let cases = context::load_circuits(&context::circuit_names());
-    crate::report::par_die_scopes(&cases, DieCase::label, |case| run_die(case, atpg))
+    crate::report::resilient_par_die_scopes(
+        "table4",
+        &cases,
+        DieCase::label,
+        |case| run_die(case, atpg),
+        Row::to_json,
+        Row::from_json,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Render paper-style `(coverage, #patterns)` cells.

@@ -10,6 +10,7 @@ use std::fmt::Write as _;
 
 use prebond3d_atpg::engine::{run_stuck_at, run_transition, AtpgConfig};
 use prebond3d_dft::prebond_access;
+use prebond3d_obs::json::Value;
 use prebond3d_wcm::flow::{FlowConfig, Method, Scenario};
 
 use crate::context::{self, DieCase};
@@ -28,6 +29,35 @@ pub struct Cell {
     pub transition: (f64, usize),
 }
 
+impl Cell {
+    fn to_json(self) -> Value {
+        let pair = |(cov, patterns): (f64, usize)| {
+            Value::obj([("coverage", cov.into()), ("patterns", patterns.into())])
+        };
+        Value::obj([
+            ("reused", self.reused.into()),
+            ("additional", self.additional.into()),
+            ("stuck_at", pair(self.stuck_at)),
+            ("transition", pair(self.transition)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<Cell> {
+        let pair = |v: &Value| {
+            Some((
+                v.get("coverage")?.as_f64()?,
+                v.get("patterns")?.as_u64()? as usize,
+            ))
+        };
+        Some(Cell {
+            reused: v.get("reused")?.as_u64()? as usize,
+            additional: v.get("additional")?.as_u64()? as usize,
+            stuck_at: pair(v.get("stuck_at")?)?,
+            transition: pair(v.get("transition")?)?,
+        })
+    }
+}
+
 /// One die row.
 #[derive(Debug, Clone)]
 pub struct Row {
@@ -37,6 +67,26 @@ pub struct Row {
     pub no_overlap: Cell,
     /// Overlapped-cone sharing enabled.
     pub overlap: Cell,
+}
+
+impl Row {
+    /// Checkpoint codec: serialize for the resume log.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("label", self.label.as_str().into()),
+            ("no_overlap", self.no_overlap.to_json()),
+            ("overlap", self.overlap.to_json()),
+        ])
+    }
+
+    /// Checkpoint codec: revive a row from the resume log.
+    pub fn from_json(v: &Value) -> Option<Row> {
+        Some(Row {
+            label: v.get("label")?.as_str()?.to_string(),
+            no_overlap: Cell::from_json(v.get("no_overlap")?)?,
+            overlap: Cell::from_json(v.get("overlap")?)?,
+        })
+    }
 }
 
 fn measure(case: &DieCase, allow_overlap: bool, atpg: &AtpgConfig) -> Cell {
@@ -85,7 +135,17 @@ pub fn run(atpg: &AtpgConfig) -> Vec<Row> {
         .filter(|n| matches!(*n, "b20" | "b21" | "b22"))
         .collect();
     let cases = context::load_circuits(&names);
-    crate::report::par_die_scopes(&cases, DieCase::label, |case| run_die(case, atpg))
+    crate::report::resilient_par_die_scopes(
+        "table5",
+        &cases,
+        DieCase::label,
+        |case| run_die(case, atpg),
+        Row::to_json,
+        Row::from_json,
+    )
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Render paper-style.

@@ -84,6 +84,8 @@ fn kind_slot(kind: GateKind) -> usize {
 impl Library {
     /// A self-consistent 45 nm-class library (NanGate-like magnitudes).
     pub fn nangate45_like() -> Self {
+        // Chaos site: stands in for a corrupt Liberty file on load.
+        prebond3d_resilience::chaos::maybe_panic("liberty.load");
         let mut cells = vec![
             CellTiming {
                 intrinsic: Time(0.0),

@@ -242,8 +242,23 @@ pub fn partition(
 
     let mut merges = 0usize;
     let mut rejected = 0usize;
+    // Phase budget: each merge decision is independent of time, so the
+    // partition built so far is always valid — on expiry we simply stop
+    // merging and emit the current (coarser) partition.
+    let deadline = prebond3d_resilience::Deadline::for_phase();
 
     while let Some(Reverse((deg, n1))) = heap.pop() {
+        if deadline.expired() {
+            prebond3d_resilience::degrade::record(
+                "clique",
+                "stop_merging",
+                format!(
+                    "{merges} merges done, {} candidates dropped at phase budget",
+                    heap.len()
+                ),
+            );
+            break;
+        }
         if n1 >= alive.len() || !alive[n1] || neighbors[n1].len() != deg || deg == 0 {
             continue; // stale entry
         }

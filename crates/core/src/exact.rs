@@ -64,6 +64,8 @@ pub fn partition(graph: &SharingGraph, node_budget: usize) -> ExactPartition {
         explored: usize,
         budget: usize,
         words: usize,
+        deadline: prebond3d_resilience::Deadline,
+        timed_out: bool,
     }
 
     impl Search<'_> {
@@ -77,6 +79,22 @@ pub fn partition(graph: &SharingGraph, node_budget: usize) -> ExactPartition {
 
         fn recurse(&mut self, depth: usize) {
             if self.explored >= self.budget {
+                return;
+            }
+            // Phase budget: poll the clock every 512 nodes; on expiry,
+            // collapse the node budget so every open frame unwinds and the
+            // incumbent is returned with `optimal = false`.
+            if self.explored.is_multiple_of(512) && self.deadline.expired() {
+                prebond3d_resilience::degrade::record(
+                    "clique.exact",
+                    "best_so_far",
+                    format!(
+                        "search stopped after {} nodes at phase budget",
+                        self.explored
+                    ),
+                );
+                self.timed_out = true;
+                self.budget = self.explored;
                 return;
             }
             self.explored += 1;
@@ -120,10 +138,12 @@ pub fn partition(graph: &SharingGraph, node_budget: usize) -> ExactPartition {
         explored: 0,
         budget: node_budget,
         words,
+        deadline: prebond3d_resilience::Deadline::for_phase(),
+        timed_out: false,
     };
     search.recurse(0);
 
-    let optimal = search.explored < node_budget;
+    let optimal = search.explored < node_budget && !search.timed_out;
     let cliques = search.best.unwrap_or_else(|| {
         // Degenerate: budget exhausted before any leaf — singletons.
         (0..n).map(|i| vec![i]).collect()

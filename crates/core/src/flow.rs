@@ -29,6 +29,77 @@ use crate::testability::StructuralProbe;
 use crate::thresholds::Thresholds;
 use crate::timing_model::TimingModel;
 
+/// A typed flow failure.
+///
+/// Replaces the old `Box<dyn Error>` so drivers and the panic-isolation
+/// recovery in the bench harness can map causes to exit codes and report
+/// entries without matching on error strings.
+#[derive(Debug)]
+pub enum FlowError {
+    /// DFT insertion rejected the wrapper plan (a bug in the produced
+    /// plan, surfaced rather than panicked on). `stage` names the flow
+    /// step that applied the plan.
+    Dft {
+        /// Flow step (`baseline_dft`, `dft_insert`, `calibrate`).
+        stage: &'static str,
+        /// The underlying plan-validation message.
+        message: String,
+    },
+    /// The post-flow lint gate found Error-severity diagnostics
+    /// (constructed by the bench harness, not by `run_flow` itself).
+    LintGate {
+        /// The experiment cell label.
+        label: String,
+        /// The rendered lint report.
+        report: String,
+    },
+    /// A report or checkpoint write failed; the path names the file.
+    Io {
+        /// The file being written.
+        path: std::path::PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl FlowError {
+    /// The process exit code a driver should map this cause to. Distinct
+    /// from `0` (success), `2` (bad circuit selection) and `3` (partial
+    /// failure: some units failed but the sweep completed).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            FlowError::Dft { .. } => 4,
+            FlowError::LintGate { .. } => 1,
+            FlowError::Io { .. } => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Dft { stage, message } => {
+                write!(f, "DFT insertion failed during {stage}: {message}")
+            }
+            FlowError::LintGate { label, report } => {
+                write!(f, "lint gate failed after flow `{label}`:\n{report}")
+            }
+            FlowError::Io { path, source } => {
+                write!(f, "cannot write {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
 /// Which algorithm produces the wrapper plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Method {
@@ -147,9 +218,12 @@ pub fn calibrate_tight_period(
     die: &Netlist,
     placement: &Placement,
     library: &Library,
-) -> Result<Time, Box<dyn std::error::Error>> {
+) -> Result<Time, FlowError> {
     let plan = WrapPlan::all_dedicated(die);
-    let wrapped = testable::apply(die, &plan)?;
+    let wrapped = testable::apply(die, &plan).map_err(|e| FlowError::Dft {
+        stage: "calibrate",
+        message: e.to_string(),
+    })?;
     let p = wrapped.placement_for(placement);
     let relaxed = StaConfig::relaxed();
     let report = prebond3d_sta::analysis::analyze_with_statics(
@@ -174,7 +248,7 @@ pub fn run_flow(
     placement: &Placement,
     library: &Library,
     config: &FlowConfig,
-) -> Result<FlowResult, Box<dyn std::error::Error>> {
+) -> Result<FlowResult, FlowError> {
     let _flow_span = obs::span("flow");
 
     // --- Baseline hardware: the all-dedicated wrapped die ----------------
@@ -183,7 +257,11 @@ pub fn run_flow(
     // on it.
     let (dedicated, dedicated_placement) = {
         let _s = obs::span("baseline_dft");
-        let dedicated = testable::apply(die, &WrapPlan::all_dedicated(die))?;
+        let dedicated =
+            testable::apply(die, &WrapPlan::all_dedicated(die)).map_err(|e| FlowError::Dft {
+                stage: "baseline_dft",
+                message: e.to_string(),
+            })?;
         let dedicated_placement = dedicated.placement_for(placement);
         (dedicated, dedicated_placement)
     };
@@ -334,7 +412,10 @@ pub fn run_flow(
     obs::gauge("flow.additional_wrapper_cells", additional as u64);
     let (testable_die, testable_placement) = {
         let _s = obs::span("dft_insert");
-        let testable_die = testable::apply(die, &plan)?;
+        let testable_die = testable::apply(die, &plan).map_err(|e| FlowError::Dft {
+            stage: "dft_insert",
+            message: e.to_string(),
+        })?;
         let testable_placement = testable_die.placement_for(placement);
         (testable_die, testable_placement)
     };

@@ -56,7 +56,7 @@ pub mod thresholds;
 pub mod timing_model;
 
 pub use clique::{CliquePartition, MergePolicy};
-pub use flow::{run_flow, FlowConfig, FlowResult, Method};
+pub use flow::{run_flow, FlowConfig, FlowError, FlowResult, Method};
 pub use graph::{NodeKind, SharingGraph};
 pub use ordering::OrderingPolicy;
 pub use testability::{StructuralProbe, TestabilityCost, TestabilityProbe};

@@ -78,6 +78,29 @@ impl<'a> TimingModel<'a> {
         self
     }
 
+    /// Elmore wire flight with a finiteness guard (and the `timing.elmore`
+    /// chaos site). A non-finite delay — injected or a genuine model
+    /// blow-up — must not poison downstream comparisons with NaN: it
+    /// degrades to an infinite penalty, which conservatively rejects the
+    /// reuse under test, and the degradation is recorded.
+    fn elmore(&self, dist: Distance, load: Capacitance) -> Time {
+        let raw = self.library.wire().elmore_delay(dist, load).0;
+        let v = prebond3d_resilience::chaos::perturb("timing.elmore", raw);
+        if v.is_finite() {
+            Time(v)
+        } else {
+            prebond3d_resilience::degrade::record(
+                "timing",
+                "infinite_penalty",
+                format!(
+                    "non-finite Elmore delay at distance {:.1} µm treated as +inf",
+                    dist.0
+                ),
+            );
+            Time(f64::INFINITY)
+        }
+    }
+
     /// Baseline slack available at an inbound TSV's test-path launch: the
     /// dedicated wrapper cell's Q slack when known, else the raw TSV arc.
     pub fn inbound_anchor_slack(&self, tsv: GateId) -> Time {
@@ -130,7 +153,7 @@ impl<'a> TimingModel<'a> {
         let xor = self.library.timing(GateKind::Xor);
         let stage = xor.intrinsic + xor.drive_resistance * xor.input_cap;
         if self.include_wire {
-            stage + self.library.wire().elmore_delay(dist, xor.input_cap)
+            stage + self.elmore(dist, xor.input_cap)
         } else {
             stage
         }
@@ -223,7 +246,7 @@ impl<'a> TimingModel<'a> {
                 // Test-path launch: FF drive into its whole load plus the
                 // wire flight, versus the wrapper's drive into one mux pin.
                 let launch_penalty = (rd * new_load - rd_w * reuse.mux_input_cap
-                    + wire.elmore_delay(eff_dist, reuse.mux_input_cap))
+                    + self.elmore(eff_dist, reuse.mux_input_cap))
                 .max(Time(0.0));
                 self.inbound_anchor_slack(tsv) - launch_penalty >= th.s_th
             }
@@ -239,7 +262,7 @@ impl<'a> TimingModel<'a> {
                 // XOR + mux replace the dedicated wrapper's adjacent
                 // capture (exact cell delays, as signoff will see them).
                 let insertion = self.capture_insertion_delay();
-                let series = insertion + wire.elmore_delay(eff_dist, reuse.xor_input_cap);
+                let series = insertion + self.elmore(eff_dist, reuse.xor_input_cap);
                 // The flip-flop's functional D path gains the same
                 // hardware, plus its driver's extra pin loads.
                 let d_driver = self.netlist.gate(ff).inputs[0];
@@ -275,7 +298,7 @@ impl<'a> TimingModel<'a> {
                     return cap_ok;
                 }
                 let reuse = self.library.reuse();
-                let flight = self.library.wire().elmore_delay(dist, reuse.mux_input_cap);
+                let flight = self.elmore(dist, reuse.mux_input_cap);
                 cap_ok
                     && self.inbound_anchor_slack(t1) - flight >= th.s_th
                     && self.inbound_anchor_slack(t2) - flight >= th.s_th
@@ -285,7 +308,7 @@ impl<'a> TimingModel<'a> {
                 // absorb an XOR (+ wire for the distant one).
                 let reuse = self.library.reuse();
                 let wire_d = if self.include_wire {
-                    self.library.wire().elmore_delay(dist, reuse.xor_input_cap)
+                    self.elmore(dist, reuse.xor_input_cap)
                 } else {
                     Time(0.0)
                 };

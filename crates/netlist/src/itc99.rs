@@ -274,6 +274,9 @@ fn random_kind_balanced(rng: &mut StdRng, p: &[f64]) -> GateKind {
 /// (needs roughly `sources/2` gates); all Table II rows satisfy this.
 pub fn generate_die(spec: &DieSpec) -> Netlist {
     let _span = obs::span("generate_die");
+    // Chaos site: stands in for a corrupt benchmark file — the unit that
+    // hits it must fail in isolation, not take down the sweep.
+    prebond3d_resilience::chaos::maybe_panic("netlist.load");
     let mut rng = StdRng::seed_from_u64(spec.seed);
 
     let n_src = spec.primary_inputs + spec.inbound_tsvs + spec.scan_flip_flops;

@@ -338,15 +338,26 @@ impl Drop for Span {
                     );
                 }
                 Sink::Json(w) => {
-                    let ev = Value::obj([
-                        ("ev", "span".into()),
-                        ("path", path.as_str().into()),
-                        ("name", self.name.into()),
-                        ("depth", depth.into()),
-                        ("ns", (dur_ns as f64).into()),
-                    ]);
-                    let _ = writeln!(w, "{ev}");
-                    let _ = w.flush();
+                    // Chaos site: a trace-sink write error must never take
+                    // down the flow — the event is dropped and the run
+                    // report records the degradation.
+                    if let Some(e) = prebond3d_resilience::chaos::io_error("obs.sink") {
+                        prebond3d_resilience::degrade::record(
+                            "obs",
+                            "drop_trace_event",
+                            format!("trace sink write failed: {e}"),
+                        );
+                    } else {
+                        let ev = Value::obj([
+                            ("ev", "span".into()),
+                            ("path", path.as_str().into()),
+                            ("name", self.name.into()),
+                            ("depth", depth.into()),
+                            ("ns", (dur_ns as f64).into()),
+                        ]);
+                        let _ = writeln!(w, "{ev}");
+                        let _ = w.flush();
+                    }
                 }
             }
         }

@@ -49,8 +49,21 @@ pub fn refine(netlist: &Netlist, placement: &mut Placement, config: &PlaceConfig
     // out of the per-move hot path.
     let mut proposed = 0u64;
     let mut accepted = 0u64;
+    // Phase budget: the anneal is an anytime algorithm — every prefix of
+    // the move schedule leaves a valid placement, so on expiry we return
+    // best-so-far. Polled every 256 moves to keep the clock off the hot
+    // path (and entirely off it when no budget is armed).
+    let deadline = prebond3d_resilience::Deadline::for_phase();
 
-    for _ in 0..moves {
+    for m in 0..moves {
+        if m.is_multiple_of(256) && deadline.expired() {
+            prebond3d_resilience::degrade::record(
+                "anneal",
+                "best_so_far",
+                format!("stopped after {m}/{moves} moves at phase budget"),
+            );
+            break;
+        }
         let a = GateId(rng.gen_range(0..n as u32));
         let b = GateId(rng.gen_range(0..n as u32));
         if a == b {

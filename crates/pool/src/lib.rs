@@ -42,6 +42,8 @@
 
 use std::cell::Cell;
 use std::ops::Range;
+
+use prebond3d_resilience::chaos;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -136,6 +138,9 @@ where
         let mut state = init();
         return (0..nchunks)
             .map(|c| {
+                // Chaos site: a seeded injection run exercises the pool's
+                // poison-and-reraise path (and the serial path here).
+                chaos::maybe_panic("pool.worker");
                 let lo = c * chunk;
                 work(&mut state, lo..(lo + chunk).min(n))
             })
@@ -183,6 +188,7 @@ where
                         if c >= nchunks || poisoned.load(Ordering::Relaxed) {
                             break;
                         }
+                        chaos::maybe_panic("pool.worker");
                         let lo = c * chunk;
                         let r = work(&mut state, lo..(lo + chunk).min(n));
                         results.lock().unwrap().push((c, r));

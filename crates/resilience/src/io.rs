@@ -1,0 +1,213 @@
+//! Crash-safe I/O primitives: atomic report writes and tolerant
+//! line-oriented checkpoints.
+//!
+//! * [`atomic_write`] writes via a temp file in the target directory and
+//!   renames it into place, so a `SIGKILL` mid-write leaves either the old
+//!   report or the new one — never a torn file. Errors are contextual and
+//!   name the file being written.
+//! * Checkpoints are append-only files of newline-terminated JSON entries
+//!   under a one-line header naming the config hash. A torn final line
+//!   (missing its newline, i.e. a crash mid-append) is silently dropped on
+//!   load; a header/hash mismatch discards the whole checkpoint, so a
+//!   resumed run never mixes units from a different configuration.
+//!
+//! This crate is dependency-free, so entries are opaque lines here; the
+//! bench collector parses them as JSON on its side.
+//!
+//! Both write paths are chaos-instrumented at site `io.write`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use crate::chaos;
+
+/// Wrap `e` with the operation and the file it targeted, so a full disk or
+/// a missing `results/` dir is reported as more than "No such file".
+fn with_context(op: &str, path: &Path, e: std::io::Error) -> std::io::Error {
+    std::io::Error::new(e.kind(), format!("{op} {}: {e}", path.display()))
+}
+
+/// Atomically replace `path` with `contents` (temp file + rename in the
+/// same directory). The temp file name is derived from the target name, so
+/// concurrent writers of *different* reports never collide.
+///
+/// # Errors
+///
+/// Any underlying I/O error (including one injected at chaos site
+/// `io.write`), wrapped with the target path.
+pub fn atomic_write(path: &Path, contents: &str) -> std::io::Result<()> {
+    if let Some(e) = chaos::io_error("io.write") {
+        return Err(with_context("write", path, e));
+    }
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir).map_err(|e| with_context("create dir for", path, e))?;
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("report");
+    let tmp = path.with_file_name(format!(".{file_name}.tmp"));
+    let mut f = fs::File::create(&tmp).map_err(|e| with_context("create", &tmp, e))?;
+    f.write_all(contents.as_bytes())
+        .map_err(|e| with_context("write", &tmp, e))?;
+    f.sync_all().map_err(|e| with_context("sync", &tmp, e))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| with_context("rename into", path, e))
+}
+
+/// The one-line header that opens a checkpoint for config hash `hash`.
+fn header(hash: u64) -> String {
+    format!("checkpoint v1 config={hash:016x}")
+}
+
+/// Load the completed-unit entries of the checkpoint at `path` for config
+/// hash `hash`. Returns `None` when there is no usable checkpoint: the
+/// file is missing or unreadable, or its header names a different config
+/// (a stale checkpoint from another selection must not poison a resume).
+/// A torn final line — no trailing newline, i.e. the process died
+/// mid-append — is dropped, not an error.
+pub fn load_checkpoint(path: &Path, hash: u64) -> Option<Vec<String>> {
+    let text = fs::read_to_string(path).ok()?;
+    let complete = match text.rfind('\n') {
+        Some(last) => &text[..last],
+        None => return None, // not even a complete header line
+    };
+    let mut lines = complete.lines();
+    if lines.next() != Some(header(hash).as_str()) {
+        return None;
+    }
+    Some(lines.map(str::to_string).collect())
+}
+
+/// Append one completed-unit `entry` (a single line, no embedded newlines)
+/// to the checkpoint at `path`, creating it with the config header when
+/// absent. The entry and its newline go out in one `write_all`, so a crash
+/// leaves at worst a torn final line that [`load_checkpoint`] drops.
+///
+/// # Errors
+///
+/// Any underlying I/O error (including one injected at chaos site
+/// `io.write`), wrapped with the checkpoint path.
+pub fn append_checkpoint(path: &Path, hash: u64, entry: &str) -> std::io::Result<()> {
+    debug_assert!(!entry.contains('\n'), "checkpoint entries are single lines");
+    if let Some(e) = chaos::io_error("io.write") {
+        return Err(with_context("append to", path, e));
+    }
+    if let Some(dir) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::create_dir_all(dir).map_err(|e| with_context("create dir for", path, e))?;
+    }
+    let fresh = load_checkpoint(path, hash).is_none();
+    if fresh {
+        // Missing, headerless, or stale-config checkpoint: start over.
+        let mut f = fs::File::create(path).map_err(|e| with_context("create", path, e))?;
+        f.write_all(format!("{}\n{entry}\n", header(hash)).as_bytes())
+            .map_err(|e| with_context("write", path, e))?;
+        return f.sync_all().map_err(|e| with_context("sync", path, e));
+    }
+    // Terminate a torn final line (crash mid-append) so the new entry
+    // stays on its own line; the garbage fragment is skipped on parse.
+    let torn = fs::read_to_string(path).is_ok_and(|t| !t.is_empty() && !t.ends_with('\n'));
+    let mut f = fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| with_context("open", path, e))?;
+    let payload = if torn {
+        format!("\n{entry}\n")
+    } else {
+        format!("{entry}\n")
+    };
+    f.write_all(payload.as_bytes())
+        .map_err(|e| with_context("append to", path, e))?;
+    f.sync_all().map_err(|e| with_context("sync", path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("prebond3d-io-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = tmp_dir("atomic");
+        let path = dir.join("run_x.json");
+        atomic_write(&path, "{\"a\":1}").unwrap();
+        atomic_write(&path, "{\"a\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "{\"a\":2}");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files must not survive");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_errors_name_the_file() {
+        // A path that routes *through* a regular file fails for any user.
+        let dir = tmp_dir("ctx");
+        let blocker = dir.join("blocker");
+        fs::write(&blocker, "").unwrap();
+        let path = blocker.join("run_x.json");
+        let err = atomic_write(&path, "x").unwrap_err();
+        assert!(
+            err.to_string().contains("run_x.json"),
+            "error must name the target: {err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_drops_torn_tail() {
+        let dir = tmp_dir("ckpt");
+        let path = dir.join("checkpoint_t.json");
+        append_checkpoint(&path, 42, "{\"key\":\"a\"}").unwrap();
+        append_checkpoint(&path, 42, "{\"key\":\"b\"}").unwrap();
+        assert_eq!(
+            load_checkpoint(&path, 42).unwrap(),
+            vec!["{\"key\":\"a\"}".to_string(), "{\"key\":\"b\"}".to_string()]
+        );
+        // Simulate a crash mid-append: torn final line without newline.
+        let mut text = fs::read_to_string(&path).unwrap();
+        text.push_str("{\"key\":\"c\",\"trunc");
+        fs::write(&path, &text).unwrap();
+        assert_eq!(
+            load_checkpoint(&path, 42).unwrap().len(),
+            2,
+            "torn tail dropped"
+        );
+        // Appending after the crash terminates the torn fragment on its
+        // own (garbage) line; the new entry stays intact.
+        append_checkpoint(&path, 42, "{\"key\":\"d\"}").unwrap();
+        let entries = load_checkpoint(&path, 42).unwrap();
+        assert!(entries.contains(&"{\"key\":\"d\"}".to_string()));
+        assert!(entries.contains(&"{\"key\":\"a\"}".to_string()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_mismatch_discards_checkpoint() {
+        let dir = tmp_dir("hash");
+        let path = dir.join("checkpoint_t.json");
+        append_checkpoint(&path, 1, "{\"key\":\"a\"}").unwrap();
+        assert!(load_checkpoint(&path, 2).is_none(), "stale config rejected");
+        // Appending under the new hash restarts the file.
+        append_checkpoint(&path, 2, "{\"key\":\"b\"}").unwrap();
+        assert_eq!(load_checkpoint(&path, 2).unwrap().len(), 1);
+        assert!(load_checkpoint(&path, 1).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        assert!(load_checkpoint(Path::new("/no/such/checkpoint.json"), 0).is_none());
+    }
+}

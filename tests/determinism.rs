@@ -17,7 +17,9 @@ use prebond3d::celllib::Library;
 use prebond3d::netlist::{itc99, Netlist};
 use prebond3d::place::{place, PlaceConfig};
 use prebond3d::wcm::flow::{run_flow, FlowConfig, FlowResult, Method, Scenario};
+use prebond3d_bench::{report, table2};
 use prebond3d_pool::with_threads;
+use prebond3d_resilience as resil;
 use prebond3d_rng::StdRng;
 
 /// The deterministic substrates the suite sweeps: a small and a medium
@@ -128,4 +130,82 @@ fn full_flow_and_atpg_results_are_thread_invariant() {
             r.testable.netlist.len(),
         )
     });
+}
+
+/// Crash-safe checkpoint/resume (DESIGN.md §10): a sweep that is killed
+/// mid-run and resumed — even with a torn final checkpoint line and a
+/// different thread count — must converge to final reports byte-identical
+/// to an uninterrupted run. Wall-clock fields are zeroed via the
+/// `PREBOND3D_STABLE_MS` switch so the comparison is exact.
+#[test]
+fn killed_and_resumed_sweep_produces_byte_identical_reports() {
+    let base = std::env::temp_dir().join(format!("prebond3d-resume-{}", std::process::id()));
+    let dir_a = base.join("uninterrupted");
+    let dir_b = base.join("resumed");
+    std::fs::create_dir_all(&dir_a).expect("temp dirs");
+    std::fs::create_dir_all(&dir_b).expect("temp dirs");
+    std::env::set_var("PREBOND3D_CIRCUITS", "b11");
+    resil::force_stable_ms(Some(true));
+
+    let read = |dir: &std::path::Path, name: &str| {
+        std::fs::read_to_string(dir.join(name))
+            .unwrap_or_else(|e| panic!("{}/{name}: {e}", dir.display()))
+    };
+
+    // Reference: one uninterrupted run, serial.
+    std::env::set_var("PREBOND3D_REPORT_DIR", &dir_a);
+    with_threads(1, || {
+        report::begin("table2");
+        table2::run();
+        report::finish_summary()
+    });
+
+    // Crash scenario: run the sweep to build the checkpoint, then abandon
+    // the collector without `finish` (the process "died" before writing
+    // reports) and tear the checkpoint's final line mid-entry, as a kill
+    // during an append would.
+    std::env::set_var("PREBOND3D_REPORT_DIR", &dir_b);
+    with_threads(2, || {
+        report::begin("table2");
+        table2::run();
+    });
+    let ckpt = dir_b.join("checkpoint_table2.json");
+    let text = read(&dir_b, "checkpoint_table2.json");
+    assert!(
+        text.lines().count() > 2,
+        "checkpoint should hold several completed units"
+    );
+    std::fs::write(&ckpt, &text[..text.len() - 7]).expect("tear checkpoint");
+
+    // Resume at a different thread count; the torn unit re-runs, the rest
+    // replay from the checkpoint.
+    resil::force_resume(Some(true));
+    let summary = with_threads(4, || {
+        report::begin("table2");
+        table2::run();
+        report::finish_summary()
+    });
+    resil::force_resume(None);
+    assert!(
+        summary.resume_skipped > 0,
+        "resume should replay finished units from the checkpoint"
+    );
+    assert_eq!(summary.failures, 0, "resumed sweep should be clean");
+
+    for name in ["run_table2.json", "BENCH_table2.json"] {
+        assert_eq!(
+            read(&dir_a, name),
+            read(&dir_b, name),
+            "{name}: resumed run diverges from the uninterrupted run"
+        );
+    }
+    assert!(
+        !ckpt.exists(),
+        "checkpoint should be removed after a clean finish"
+    );
+
+    resil::force_stable_ms(None);
+    std::env::remove_var("PREBOND3D_REPORT_DIR");
+    std::env::remove_var("PREBOND3D_CIRCUITS");
+    let _ = std::fs::remove_dir_all(&base);
 }

@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 use prebond3d_bench::report;
 use prebond3d_obs as obs;
 use prebond3d_obs::json::{parse, Value};
+use prebond3d_resilience::{chaos, degrade};
 
 /// Reduce a JSON value to sorted `path: type` lines. The `counters` and
 /// `gauges` objects are keyed by dynamic metric names, so they collapse
@@ -84,7 +85,14 @@ fn report_files_match_the_golden_schemas() {
     std::fs::create_dir_all(&dir).expect("temp report dir");
     std::env::set_var("PREBOND3D_REPORT_DIR", &dir);
 
+    // Arm chaos at rate 0 (armed but never fires) and stage one synthetic
+    // event/degradation/failure so the goldens pin the element shapes of
+    // the resilience arrays, not just their presence.
+    chaos::install(Some((1, 0.0)));
     report::begin("schema_probe");
+    chaos::note("io.write", chaos::ChaosKind::Io);
+    degrade::record("podem", "abort_faults", "schema probe");
+    report::record_failure("synthetic Die9", "schema probe failure");
     for die in 0..2 {
         report::die_scope(&format!("synthetic Die{die}"), || {
             let _flow = obs::span("flow");
@@ -97,6 +105,7 @@ fn report_files_match_the_golden_schemas() {
     }
     report::record_speedup("fault_simulation", "synthetic Die1", 4, 10.0, 4.0);
     let run_path = report::finish().expect("reports written");
+    chaos::install(None);
     let bench_path = run_path.with_file_name("BENCH_schema_probe.json");
 
     let run_schema = schema_of(&std::fs::read_to_string(&run_path).expect("run report"));
