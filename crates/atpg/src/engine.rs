@@ -191,8 +191,21 @@ fn credit_patterns(batch: &[Pattern], masks: &[u64], alive: &mut [bool]) -> (Vec
     (kept, newly)
 }
 
-/// Run stuck-at ATPG.
+/// Run stuck-at ATPG over the full collapsed fault universe.
 pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig) -> AtpgResult {
+    let list = FaultList::collapsed(netlist);
+    run_stuck_at_on(netlist, access, config, &list)
+}
+
+/// Run stuck-at ATPG against an explicit fault list. The testability
+/// probes use this to target only the faults inside a candidate pair's
+/// logic cones instead of re-sweeping the whole die per probe.
+pub fn run_stuck_at_on(
+    netlist: &Netlist,
+    access: &TestAccess,
+    config: &AtpgConfig,
+    list: &FaultList,
+) -> AtpgResult {
     let _span = obs::span("atpg_stuck_at");
     // Phase budget: one deadline covers the whole ATPG run (random phase,
     // PODEM sweep, compaction); an already-armed PODEM deadline wins.
@@ -201,7 +214,6 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
     if !podem_config.deadline.is_armed() {
         podem_config.deadline = deadline;
     }
-    let list = FaultList::collapsed(netlist);
     let mut alive = vec![true; list.len()];
     let mut fs = FaultSimulator::new(netlist);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -219,7 +231,7 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
         let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
         obs::count("atpg.random_batches", 1);
         let masks = fs.simulate_batch_any(netlist, access, &batch, &list.faults, &alive);
-        let (kept, newly) = credit_patterns(&batch, &masks, &mut alive);
+        let (kept, newly) = credit_patterns(&batch, masks, &mut alive);
         patterns.extend(kept);
         if newly < config.min_random_yield {
             break;
@@ -241,7 +253,7 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
             return;
         }
         let masks = fs.simulate_batch_any(netlist, access, pending, &list.faults, alive);
-        let (kept, _) = credit_patterns(pending, &masks, alive);
+        let (kept, _) = credit_patterns(pending, masks, alive);
         patterns.extend(kept);
         pending.clear();
     };
@@ -314,12 +326,12 @@ pub fn run_stuck_at(netlist: &Netlist, access: &TestAccess, config: &AtpgConfig)
                 ),
             );
         } else {
-            patterns = reverse_order_compact(netlist, access, &list, &mut fs, patterns);
+            patterns = reverse_order_compact(netlist, access, list, &mut fs, patterns);
         }
     }
 
     // Final accounting: simulate the final set against the full universe.
-    let detected = count_detected(netlist, access, &list, &mut fs, &patterns);
+    let detected = count_detected(netlist, access, list, &mut fs, &patterns);
     AtpgResult {
         patterns,
         total_faults: list.len(),

@@ -52,12 +52,28 @@ struct BatchCtx<'a> {
 /// more than the cone resimulations themselves.
 const PAR_FAULT_THRESHOLD: usize = 64;
 
+/// Which patterns a fault's propagation may stop at. Resolved to a
+/// concrete need mask once per batch, outside the fault loop (the `used`
+/// mask it may expand to is a per-batch constant).
+#[derive(Clone, Copy)]
+enum NeedSpec<'a> {
+    /// Exact masks: never stop early (need = 0 for every fault).
+    Exact,
+    /// Stop at the first detection (need = the batch's `used` mask).
+    Any,
+    /// A per-fault need mask (transition accounting).
+    PerFault(&'a [u64]),
+}
+
 /// Reusable fault-simulation scratch state for one netlist.
 #[derive(Debug)]
 pub struct FaultSimulator {
     sim: Simulator,
     /// Overlay reused by the serial (single-thread) path.
     overlay: Overlay,
+    /// Detection-mask buffer reused across batches (one slot per fault);
+    /// batch entry points return a borrowed view of it.
+    masks: Vec<u64>,
 }
 
 impl FaultSimulator {
@@ -66,6 +82,7 @@ impl FaultSimulator {
         FaultSimulator {
             sim: Simulator::new(netlist),
             overlay: Overlay::new(netlist.len()),
+            masks: Vec::new(),
         }
     }
 
@@ -76,7 +93,9 @@ impl FaultSimulator {
 
     /// Simulate `patterns` (≤ 64) against each fault in `faults` where
     /// `alive[i]` is true. Returns one detection bitmask per fault: bit *p*
-    /// set ⇔ pattern *p* detects the fault.
+    /// set ⇔ pattern *p* detects the fault. The slice borrows the
+    /// simulator's persistent mask buffer (reused across batches); copy it
+    /// out (`.to_vec()`) if it must outlive the next batch.
     ///
     /// # Panics
     ///
@@ -89,8 +108,8 @@ impl FaultSimulator {
         patterns: &[Pattern],
         faults: &[Fault],
         alive: &[bool],
-    ) -> Vec<u64> {
-        self.simulate_batch_impl(netlist, access, patterns, faults, alive, false)
+    ) -> &[u64] {
+        self.batch_masks(netlist, access, patterns, faults, alive, NeedSpec::Exact)
     }
 
     /// [`Self::simulate_batch`] that stops each fault's propagation at the
@@ -107,26 +126,8 @@ impl FaultSimulator {
         patterns: &[Pattern],
         faults: &[Fault],
         alive: &[bool],
-    ) -> Vec<u64> {
-        self.simulate_batch_impl(netlist, access, patterns, faults, alive, true)
-    }
-
-    fn simulate_batch_impl(
-        &mut self,
-        netlist: &Netlist,
-        access: &TestAccess,
-        patterns: &[Pattern],
-        faults: &[Fault],
-        alive: &[bool],
-        early_exit: bool,
-    ) -> Vec<u64> {
-        self.batch_masks(netlist, access, patterns, faults, alive, |_, used| {
-            if early_exit {
-                used
-            } else {
-                0
-            }
-        })
+    ) -> &[u64] {
+        self.batch_masks(netlist, access, patterns, faults, alive, NeedSpec::Any)
     }
 
     /// The shared batch driver: one good-machine simulation, then one
@@ -146,8 +147,8 @@ impl FaultSimulator {
         patterns: &[Pattern],
         faults: &[Fault],
         alive: &[bool],
-        need_of: impl Fn(usize, u64) -> u64 + Sync,
-    ) -> Vec<u64> {
+        spec: NeedSpec<'_>,
+    ) -> &[u64] {
         assert_eq!(faults.len(), alive.len());
         prebond3d_obs::count("atpg.faultsim_batches", 1);
         let good = self.sim.run_batch(netlist, access, patterns);
@@ -155,6 +156,16 @@ impl FaultSimulator {
             u64::MAX
         } else {
             (1u64 << patterns.len()) - 1
+        };
+        // Resolve the need mask once, outside the fault loop.
+        let const_need = match spec {
+            NeedSpec::Exact => Some(0),
+            NeedSpec::Any => Some(used),
+            NeedSpec::PerFault(_) => None,
+        };
+        let need_at = |fi: usize| match spec {
+            NeedSpec::PerFault(need) => need[fi],
+            _ => const_need.unwrap_or(0),
         };
         let ctx = BatchCtx {
             sim: &self.sim,
@@ -164,39 +175,59 @@ impl FaultSimulator {
             used,
         };
         let threads = pool::threads();
+        let evals: u64;
         if threads <= 1 || faults.len() < PAR_FAULT_THRESHOLD {
-            let mut masks = vec![0u64; faults.len()];
+            self.masks.clear();
+            self.masks.resize(faults.len(), 0);
+            let mut tally = 0u64;
             for (fi, fault) in faults.iter().enumerate() {
                 if alive[fi] {
-                    masks[fi] = simulate_one(&ctx, &mut self.overlay, *fault, need_of(fi, used));
+                    let (mask, e) = simulate_one(&ctx, &mut self.overlay, *fault, need_at(fi));
+                    self.masks[fi] = mask;
+                    tally += e;
                 }
             }
-            return masks;
+            evals = tally;
+        } else {
+            prebond3d_obs::count("atpg.faultsim_parallel_batches", 1);
+            let ctx = &ctx;
+            let need_at = &need_at;
+            // ~8 chunks per worker for load balancing; ≥32 faults per chunk
+            // so the per-chunk merge stays negligible next to cone
+            // resimulation.
+            let chunk = faults.len().div_ceil(threads * 8).max(32);
+            let chunks = pool::par_chunks(
+                faults.len(),
+                chunk,
+                || Overlay::new(netlist.len()),
+                |overlay, range| {
+                    let mut tally = 0u64;
+                    let masks = range
+                        .map(|fi| {
+                            if alive[fi] {
+                                let (mask, e) = simulate_one(ctx, overlay, faults[fi], need_at(fi));
+                                tally += e;
+                                mask
+                            } else {
+                                0
+                            }
+                        })
+                        .collect::<Vec<u64>>();
+                    (masks, tally)
+                },
+            );
+            // Merge in chunk (= fault) order: masks and the eval tally are
+            // both bit-identical to the serial loop.
+            self.masks.clear();
+            let mut tally = 0u64;
+            for (chunk_masks, chunk_evals) in chunks {
+                self.masks.extend_from_slice(&chunk_masks);
+                tally += chunk_evals;
+            }
+            evals = tally;
         }
-        prebond3d_obs::count("atpg.faultsim_parallel_batches", 1);
-        let ctx = &ctx;
-        // ~8 chunks per worker for load balancing; ≥32 faults per chunk so
-        // the per-chunk merge stays negligible next to cone resimulation.
-        let chunk = faults.len().div_ceil(threads * 8).max(32);
-        pool::par_chunks(
-            faults.len(),
-            chunk,
-            || Overlay::new(netlist.len()),
-            |overlay, range| {
-                range
-                    .map(|fi| {
-                        if alive[fi] {
-                            simulate_one(ctx, overlay, faults[fi], need_of(fi, used))
-                        } else {
-                            0
-                        }
-                    })
-                    .collect::<Vec<u64>>()
-            },
-        )
-        .into_iter()
-        .flatten()
-        .collect()
+        prebond3d_obs::count("atpg.gate_evals", evals);
+        &self.masks
     }
 
     /// Per-fault *need-mask* variant: propagation of fault `f` stops as
@@ -212,16 +243,25 @@ impl FaultSimulator {
         faults: &[Fault],
         alive: &[bool],
         need: &[u64],
-    ) -> Vec<u64> {
+    ) -> &[u64] {
         assert_eq!(faults.len(), need.len());
-        self.batch_masks(netlist, access, patterns, faults, alive, |fi, _| need[fi])
+        self.batch_masks(
+            netlist,
+            access,
+            patterns,
+            faults,
+            alive,
+            NeedSpec::PerFault(need),
+        )
     }
 }
 
 /// Detection mask of a single fault against an already-simulated good
-/// machine. Pure with respect to `ctx` (all reads); only `overlay` is
-/// written — which is why one overlay per worker suffices.
-fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) -> u64 {
+/// machine, plus the number of rail evaluations performed (the
+/// deterministic work unit behind the `atpg.gate_evals` counter). Pure
+/// with respect to `ctx` (all reads); only `overlay` is written — which is
+/// why one overlay per worker suffices.
+fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) -> (u64, u64) {
     let BatchCtx {
         sim,
         netlist,
@@ -236,6 +276,7 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
         overlay.epoch = 1;
     }
     let stuck_word = if fault.stuck.value() { used } else { 0 };
+    let mut evals = 0u64;
 
     // Inject at the propagation root.
     let root = fault.site.propagation_root();
@@ -260,6 +301,7 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
                         good[i.index()]
                     };
                 }
+                evals += 1;
                 eval_rail(g.kind, &buf[..g.inputs.len()])
             }
         }
@@ -278,7 +320,7 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
     // detection downstream only if it resolves; we track full rail).
     let root_good = good[root.index()];
     if root_faulty == root_good {
-        return 0;
+        return (0, evals);
     }
     overlay.stamp[root.index()] = overlay.epoch;
     overlay.faulty[root.index()] = root_faulty;
@@ -306,7 +348,7 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
     // value as the captured value when the pin's gate is sequential or
     // a sink marker.
     if detect & need != 0 {
-        return detect;
+        return (detect, evals);
     }
     if let FaultSite::Input { gate, .. } = fault.site {
         let gk = netlist.gate(gate).kind;
@@ -350,6 +392,7 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
         for (slot, &i) in buf.iter_mut().zip(gate.inputs.iter()) {
             *slot = gv(overlay, i.index());
         }
+        evals += 1;
         let f = eval_rail(gate.kind, &buf[..gate.inputs.len()]);
         if f == good[id.index()] {
             continue; // reconverged: no event
@@ -359,12 +402,12 @@ fn simulate_one(ctx: &BatchCtx, overlay: &mut Overlay, fault: Fault, need: u64) 
         if access.is_observed(id) {
             check_observed(&mut detect, id.index(), f);
             if detect & need != 0 {
-                return detect;
+                return (detect, evals);
             }
         }
         push_fanouts(&mut heap, id);
     }
-    detect
+    (detect, evals)
 }
 
 #[cfg(test)]
@@ -499,6 +542,7 @@ mod tests {
             pool::with_threads(threads, || {
                 let mut fs = FaultSimulator::new(&die);
                 fs.simulate_batch(&die, &acc, &ps, &list.faults, &alive)
+                    .to_vec()
             })
         };
         let serial = masks_at(1);

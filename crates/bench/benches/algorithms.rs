@@ -150,6 +150,8 @@ fn bench_atpg(h: &Harness) {
     let alive = vec![true; list.len()];
     h.bench("atpg", "faultsim_64_patterns", || {
         fs.simulate_batch(&die, &access, &patterns, &list.faults, &alive)
+            .iter()
+            .fold(0u64, |acc, &m| acc ^ m)
     });
     h.bench("atpg", "stuck_at_atpg_fast", || {
         run_stuck_at(&die, &access, &AtpgConfig::fast())

@@ -1,0 +1,22 @@
+//! `prebond3d-perf` — the hot-path performance experiment.
+//!
+//! Runs the two perf probes on the selected circuits (all of them by
+//! default; narrow with `PREBOND3D_CIRCUITS`): the deterministic
+//! work-reduction probe (cache reference vs optimized, counted in
+//! gate-evals / cone word-ops / candidate rescores — machine-independent,
+//! CI regression-gates these) and the wall-clock fault-simulation speedup
+//! probe. Results land in `results/BENCH_perf.json` under `work` and
+//! `speedup`.
+
+use std::process::ExitCode;
+
+use prebond3d_bench::{driver, perf};
+
+fn main() -> ExitCode {
+    driver::run("perf", || {
+        let names = prebond3d_bench::circuit_names();
+        perf::record_work_reductions(&names);
+        perf::record_fault_sim_speedup(&names);
+        Ok(())
+    })
+}

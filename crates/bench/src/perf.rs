@@ -1,4 +1,4 @@
-//! Serial-vs-parallel wall-clock probes for `BENCH_<exp>.json`.
+//! Wall-clock and deterministic-work probes for `BENCH_<exp>.json`.
 //!
 //! [`record_fault_sim_speedup`] measures the hottest phase of the flow —
 //! PPSFP fault simulation — on the largest selected substrate, once with
@@ -8,6 +8,15 @@
 //! are whatever the host machine gives: on a single-core container the
 //! "parallel" run is oversubscribed and the speedup hovers around 1x;
 //! the ≥1.5x target is only observable on multi-core hardware.
+//!
+//! [`record_work_reductions`] measures the hot-path caches (DESIGN.md
+//! §11) in machine-independent units: it runs the probe/cone workload of
+//! the largest selected substrate once with `PREBOND3D_NO_CACHE`
+//! semantics forced on (the pre-optimization algorithm) and once with
+//! the caches enabled, and records the deterministic work counters
+//! (`atpg.gate_evals`, cone word-ops, `probe.cache_*`) via
+//! [`crate::report::record_work`]. Unlike the wall-clock speedups these
+//! survive `PREBOND3D_STABLE_MS`, so CI regression-gates them.
 
 use std::time::Instant;
 
@@ -15,11 +24,35 @@ use prebond3d_atpg::fault::FaultList;
 use prebond3d_atpg::faultsim::FaultSimulator;
 use prebond3d_atpg::sim::Pattern;
 use prebond3d_atpg::TestAccess;
-use prebond3d_netlist::itc99;
+use prebond3d_celllib::Library;
+use prebond3d_netlist::cone::ConeSet;
+use prebond3d_netlist::{itc99, tuning, GateId};
+use prebond3d_obs as obs;
+use prebond3d_place::{place, PlaceConfig};
 use prebond3d_pool as pool;
 use prebond3d_rng::StdRng;
+use prebond3d_sta::whatif::ReuseKind;
+use prebond3d_sta::{analyze, StaConfig};
+use prebond3d_wcm::testability::{AtpgProbe, TestabilityProbe};
+use prebond3d_wcm::{clique, graph, MergePolicy, StructuralProbe, Thresholds, TimingModel};
 
 use crate::report;
+
+/// The largest selected substrate: most gates decides, dies within a
+/// circuit too.
+fn largest_substrate(circuits: &[&str]) -> Option<(String, itc99::DieSpec)> {
+    circuits
+        .iter()
+        .filter_map(|name| itc99::circuit(name))
+        .flat_map(|spec| {
+            spec.dies
+                .into_iter()
+                .enumerate()
+                .map(move |(i, d)| (spec.name, i, d))
+        })
+        .max_by_key(|(_, _, d)| d.gates + d.scan_flip_flops)
+        .map(|(circuit, die_idx, d)| (format!("{circuit} Die{die_idx}"), d))
+}
 
 /// Measure one 64-pattern all-faults-alive batch on the largest die of
 /// the largest circuit in `circuits`, serial vs parallel, and record the
@@ -43,21 +76,9 @@ pub fn record_fault_sim_speedup(circuits: &[&str]) {
 }
 
 fn probe(circuits: &[&str]) {
-    // Largest substrate: most gates decides, dies within a circuit too.
-    let largest = circuits
-        .iter()
-        .filter_map(|name| itc99::circuit(name))
-        .flat_map(|spec| {
-            spec.dies
-                .into_iter()
-                .enumerate()
-                .map(move |(i, d)| (spec.name, i, d))
-        })
-        .max_by_key(|(_, _, d)| d.gates + d.scan_flip_flops);
-    let Some((circuit, die_idx, die_spec)) = largest else {
+    let Some((substrate, die_spec)) = largest_substrate(circuits) else {
         return;
     };
-    let substrate = format!("{circuit} Die{die_idx}");
     let netlist = itc99::generate_die(&die_spec);
     let access = TestAccess::full_scan(&netlist);
     let faults = FaultList::collapsed(&netlist);
@@ -77,9 +98,11 @@ fn probe(circuits: &[&str]) {
         pool::with_threads(threads, || {
             let mut fs = FaultSimulator::new(&netlist);
             let t = Instant::now();
-            let mut masks = Vec::new();
+            let mut masks: Vec<u64> = Vec::new();
             for _ in 0..REPS {
-                masks = fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive);
+                masks = fs
+                    .simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive)
+                    .to_vec();
             }
             (t.elapsed().as_secs_f64() * 1.0e3, masks)
         })
@@ -100,4 +123,206 @@ fn probe(circuits: &[&str]) {
         serial_ms,
         parallel_ms,
     );
+}
+
+/// One reference-vs-optimized run of the ATPG probe workload, in
+/// deterministic work units (no clocks involved).
+struct WorkSample {
+    gate_evals: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Measure the deterministic work counters of the hot paths (DESIGN.md
+/// §11) on the largest selected substrate, once with the caches forced
+/// off (the pre-optimization reference algorithm) and once with them on,
+/// and record each counter via [`report::record_work`]. Like the
+/// wall-clock probe this is optional measurement: a panic records a
+/// degradation instead of failing the experiment, and the no-cache
+/// override is always restored.
+pub fn record_work_reductions(circuits: &[&str]) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let result = catch_unwind(AssertUnwindSafe(|| work_probe(circuits)));
+    tuning::force_no_cache(None);
+    if let Err(p) = result {
+        prebond3d_resilience::degrade::record(
+            "perf",
+            "skip_work_probe",
+            format!(
+                "work-reduction probe abandoned: {}",
+                report::panic_message(p.as_ref())
+            ),
+        );
+    }
+}
+
+/// Reference-mode ATPG probing runs full-universe ATPG four times per
+/// pair — the pre-optimization cost this probe exists to expose. That is
+/// minutes-to-hours on the b18/b22 dies, so the ATPG portion measures the
+/// largest substrate at or below this node count (the cone/clique portion
+/// still runs on the overall largest).
+const ATPG_PROBE_MAX_NODES: usize = 2_000;
+
+/// The largest selected substrate whose die is small enough for the
+/// reference-mode (uncached, full-universe) ATPG probe.
+fn atpg_probe_substrate(circuits: &[&str]) -> Option<(String, itc99::DieSpec)> {
+    circuits
+        .iter()
+        .filter_map(|name| itc99::circuit(name))
+        .flat_map(|spec| {
+            spec.dies
+                .into_iter()
+                .enumerate()
+                .map(move |(i, d)| (spec.name, i, d))
+        })
+        .filter(|(_, _, d)| d.gates + d.scan_flip_flops <= ATPG_PROBE_MAX_NODES)
+        .max_by_key(|(_, _, d)| d.gates + d.scan_flip_flops)
+        .map(|(circuit, die_idx, d)| (format!("{circuit} Die{die_idx}"), d))
+}
+
+fn work_probe(circuits: &[&str]) {
+    let Some((substrate, die_spec)) = largest_substrate(circuits) else {
+        return;
+    };
+
+    // --- Cone/clique workload on the largest substrate -------------------
+    // One sharing-graph build + clique partition per mode: the build's
+    // all-pairs cone scan tallies `graph.cone_word_ops`, the partition's
+    // merge loop `clique.candidate_rescores`. `obs::capture` gives an
+    // isolated registry, so the counters read are exactly this workload's.
+    let netlist = itc99::generate_die(&die_spec);
+    let placement = place(&netlist, &PlaceConfig::default(), 1);
+    let library = Library::default();
+    let sta = analyze(&netlist, &placement, &library, &StaConfig::relaxed());
+    let model = TimingModel::new(&netlist, &placement, &library, &sta, &sta, true);
+    let thresholds = Thresholds::area_optimized(&library);
+    let ffs = netlist.flip_flops();
+    let tsvs = netlist.inbound_tsvs();
+
+    let cone_clique_mode = |no_cache: bool| -> (u64, u64) {
+        tuning::force_no_cache(Some(no_cache));
+        let (_, snap) = obs::capture(|| {
+            let g = graph::build(
+                &model,
+                &thresholds,
+                &StructuralProbe::default(),
+                &ffs,
+                &tsvs,
+                ReuseKind::Inbound,
+            );
+            let _partition = clique::partition(&g, &model, &thresholds, MergePolicy::Accurate);
+        });
+        tuning::force_no_cache(None);
+        (
+            snap.counter("graph.cone_word_ops"),
+            snap.counter("clique.candidate_rescores"),
+        )
+    };
+    let (ref_word_ops, ref_rescores) = cone_clique_mode(true);
+    let (opt_word_ops, opt_rescores) = cone_clique_mode(false);
+
+    // --- ATPG probe workload on a reference-tractable substrate ----------
+    let atpg = atpg_probe_substrate(circuits).map(|(atpg_substrate, atpg_spec)| {
+        // Reuse the already-generated die when the caps coincide.
+        let atpg_netlist = if atpg_substrate == substrate {
+            None
+        } else {
+            Some(itc99::generate_die(&atpg_spec))
+        };
+        let atpg_netlist = atpg_netlist.as_ref().unwrap_or(&netlist);
+        let ffs = atpg_netlist.flip_flops();
+        let tsvs = atpg_netlist.inbound_tsvs();
+        let mut roots: Vec<GateId> = ffs.clone();
+        roots.extend(tsvs.iter().copied());
+
+        // Up to three overlapping (flip-flop, TSV) pairs, selected once
+        // outside the measured runs so both modes price the same pairs.
+        let selection = ConeSet::compute(atpg_netlist, &roots);
+        let mut pairs: Vec<(GateId, GateId)> = Vec::new();
+        'outer: for &t in &tsvs {
+            for &f in &ffs {
+                if selection.cones_overlap(f, t) {
+                    pairs.push((f, t));
+                    if pairs.len() == 3 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // Two passes over the pairs: the second is where memoization pays.
+        let atpg_mode = |no_cache: bool| -> WorkSample {
+            tuning::force_no_cache(Some(no_cache));
+            let (_, snap) = obs::capture(|| {
+                let cones = ConeSet::compute(atpg_netlist, &roots);
+                let probe = AtpgProbe::default();
+                for _pass in 0..2 {
+                    for &(a, b) in &pairs {
+                        let _ = probe.sharing_cost(atpg_netlist, &cones, a, b);
+                    }
+                }
+            });
+            tuning::force_no_cache(None);
+            WorkSample {
+                gate_evals: snap.counter("atpg.gate_evals"),
+                cache_hits: snap.counter("probe.cache_hits"),
+                cache_misses: snap.counter("probe.cache_misses"),
+            }
+        };
+        let reference = atpg_mode(true);
+        let optimized = atpg_mode(false);
+        (atpg_substrate, reference, optimized)
+    });
+    if atpg.is_none() {
+        eprintln!(
+            "perf: no selected substrate has <= {ATPG_PROBE_MAX_NODES} nodes; \
+             ATPG work probe skipped (cone/clique counters still recorded)"
+        );
+    }
+
+    if let Some((atpg_substrate, reference, optimized)) = &atpg {
+        report::record_work(
+            "atpg.gate_evals",
+            atpg_substrate,
+            reference.gate_evals,
+            optimized.gate_evals,
+        );
+        report::record_work(
+            "probe.cache_hits",
+            atpg_substrate,
+            reference.cache_hits,
+            optimized.cache_hits,
+        );
+        report::record_work(
+            "probe.cache_misses",
+            atpg_substrate,
+            reference.cache_misses,
+            optimized.cache_misses,
+        );
+    }
+    report::record_work(
+        "graph.cone_word_ops",
+        &substrate,
+        ref_word_ops,
+        opt_word_ops,
+    );
+    report::record_work(
+        "clique.candidate_rescores",
+        &substrate,
+        ref_rescores,
+        opt_rescores,
+    );
+
+    // Re-emit the optimized-mode counters into the run report (the
+    // captures above kept them out of the experiment's collector), so
+    // `run_perf.json` carries the cache hit/miss counters in a section.
+    report::die_scope(&format!("{substrate} work probe"), || {
+        obs::count("graph.cone_word_ops", opt_word_ops);
+        obs::count("clique.candidate_rescores", opt_rescores);
+        if let Some((_, _, optimized)) = &atpg {
+            obs::count("atpg.gate_evals", optimized.gate_evals);
+            obs::count("probe.cache_hits", optimized.cache_hits);
+            obs::count("probe.cache_misses", optimized.cache_misses);
+        }
+    });
 }

@@ -77,6 +77,8 @@ struct Collector {
     phase_ms: BTreeMap<String, (u64, f64)>,
     /// Speedup records from [`record_speedup`].
     speedups: Vec<Value>,
+    /// Deterministic work-counter records from [`record_work`].
+    work: Vec<Value>,
     /// Failed-unit records from [`record_failure`].
     failures: Vec<Value>,
     checkpoint: Checkpoint,
@@ -139,6 +141,7 @@ pub fn begin(experiment: &str) {
         sections: Vec::new(),
         phase_ms: BTreeMap::new(),
         speedups: Vec::new(),
+        work: Vec::new(),
         failures: Vec::new(),
         checkpoint: Checkpoint {
             path,
@@ -469,6 +472,35 @@ pub fn record_speedup(
     }
 }
 
+/// Record one deterministic work-counter measurement (written to the
+/// `work` array of `BENCH_<experiment>.json`). `reference` is the count
+/// with the hot-path caches disabled (`PREBOND3D_NO_CACHE=1` semantics,
+/// i.e. the pre-optimization algorithm), `optimized` the count with them
+/// on. Work counters are machine-independent, so — unlike the wall-clock
+/// speedups — they are **not** zeroed under `PREBOND3D_STABLE_MS` and can
+/// be regression-gated in CI. A no-op when no collector is active.
+pub fn record_work(counter: &str, substrate: &str, reference: u64, optimized: u64) {
+    let reduction = if reference > 0 {
+        1.0 - optimized as f64 / reference as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "perf: {counter} on {substrate}: {reference} reference vs {optimized} optimized \
+         ({:.1}% less work)",
+        reduction * 100.0
+    );
+    if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
+        c.work.push(Value::obj([
+            ("counter", counter.into()),
+            ("substrate", substrate.into()),
+            ("reference", reference.into()),
+            ("optimized", optimized.into()),
+            ("reduction", reduction.into()),
+        ]));
+    }
+}
+
 fn report_dir() -> PathBuf {
     std::env::var("PREBOND3D_REPORT_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
@@ -601,6 +633,7 @@ pub fn finish_summary() -> Summary {
         ("elapsed_ms", elapsed_ms.into()),
         ("phases", Value::Arr(phases)),
         ("speedup", Value::Arr(collector.speedups)),
+        ("work", Value::Arr(collector.work)),
     ]);
     if resil::stable_ms() {
         zero_ms(&mut run_doc);
@@ -768,6 +801,7 @@ mod tests {
             let _s = obs::span("phase_a");
         });
         record_speedup("fault_simulation", "b12_die0", 4, 100.0, 40.0);
+        record_work("atpg.gate_evals", "b12_die0", 1000, 400);
         let run_path = finish().expect("report written");
         std::env::remove_var("PREBOND3D_REPORT_DIR");
 
@@ -788,6 +822,13 @@ mod tests {
         assert_eq!(s.get("phase").unwrap().as_str(), Some("fault_simulation"));
         assert_eq!(s.get("speedup").unwrap().as_u64(), None); // 2.5 is not integral
         assert!((s.get("speedup").unwrap().as_f64().unwrap() - 2.5).abs() < 1e-9);
+        let work = doc.get("work").unwrap().as_arr().unwrap();
+        assert_eq!(work.len(), 1);
+        let w = &work[0];
+        assert_eq!(w.get("counter").unwrap().as_str(), Some("atpg.gate_evals"));
+        assert_eq!(w.get("reference").unwrap().as_u64(), Some(1000));
+        assert_eq!(w.get("optimized").unwrap().as_u64(), Some(400));
+        assert!((w.get("reduction").unwrap().as_f64().unwrap() - 0.6).abs() < 1e-9);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -74,11 +74,14 @@ pub struct Library {
     pub setup: Time,
 }
 
+/// `GateKind::ALL` lists the kinds in declaration order, so the enum
+/// discriminant *is* the slot — O(1) where a `position` scan over ALL
+/// would put an 18-element linear search inside every STA arrival/required
+/// update and every what-if query. `kind_order_matches_discriminants`
+/// below pins the invariant.
+#[inline]
 fn kind_slot(kind: GateKind) -> usize {
-    GateKind::ALL
-        .iter()
-        .position(|&k| k == kind)
-        .expect("every kind is in ALL")
+    kind as usize
 }
 
 impl Library {
@@ -202,6 +205,14 @@ impl Default for Library {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kind_order_matches_discriminants() {
+        // `kind_slot` relies on `ALL` being in declaration order.
+        for (i, &kind) in GateKind::ALL.iter().enumerate() {
+            assert_eq!(kind as usize, i, "{kind} out of discriminant order");
+        }
+    }
 
     #[test]
     fn every_kind_has_parameters() {

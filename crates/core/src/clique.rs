@@ -20,7 +20,7 @@
 //!   ends up violating timing in Table III.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use prebond3d_celllib::{Capacitance, Distance, Time};
 use prebond3d_netlist::{GateId, GateKind};
@@ -115,6 +115,40 @@ struct State {
     /// Q-side slack of the reused flip-flop (its functional fanout paths
     /// absorb the drive-delay growth); `INFINITY` when no FF.
     q_slack: Time,
+}
+
+/// Remove `x` from the sorted list `v`; no-op when absent.
+fn remove_sorted(v: &mut Vec<usize>, x: usize) {
+    if let Ok(p) = v.binary_search(&x) {
+        v.remove(p);
+    }
+}
+
+/// Candidate score of node `j` — (carries a flip-flop, degree) — through
+/// the generation-stamped cache. A cached value is valid while no merge
+/// or rejection has touched `j`'s neighborhood since it was computed;
+/// with the cache off every read recomputes. Either way the answer is a
+/// pure function of the current state, so the modes are byte-identical.
+#[allow(clippy::too_many_arguments)]
+fn candidate_score(
+    j: usize,
+    cache_on: bool,
+    generation: u64,
+    states: &[State],
+    neighbors: &[Vec<usize>],
+    touch_gen: &[u64],
+    score_gen: &mut [u64],
+    score_val: &mut [(bool, usize)],
+    rescores: &mut u64,
+) -> (bool, usize) {
+    if cache_on && score_gen[j] >= touch_gen[j] {
+        return score_val[j];
+    }
+    *rescores += 1;
+    let s = (states[j].ff.is_some(), neighbors[j].len());
+    score_val[j] = s;
+    score_gen[j] = generation;
+    s
 }
 
 /// Combine two clique states across a wire of length `dist`.
@@ -230,8 +264,11 @@ pub fn partition(
         }
     });
 
-    let mut neighbors: Vec<BTreeSet<usize>> = (0..n)
-        .map(|i| graph.neighbors(i).iter().copied().collect())
+    // Sorted neighbor vectors (CSR rows are already ascending): binary
+    // search for removal, two-pointer walks for intersection — no
+    // per-node tree allocations.
+    let mut neighbors: Vec<Vec<usize>> = (0..n)
+        .map(|i| graph.neighbors(i).iter().map(|&j| j as usize).collect())
         .collect();
     let mut alive: Vec<bool> = vec![true; n];
     // (degree, node) min-heap with lazy invalidation.
@@ -239,6 +276,19 @@ pub fn partition(
         .filter(|&i| !neighbors[i].is_empty())
         .map(|i| Reverse((neighbors[i].len(), i)))
         .collect();
+
+    // Incremental candidate scoring (DESIGN.md §11): a node's selection
+    // score — (carries a flip-flop, current degree) — is cached under a
+    // generation stamp and recomputed only after a merge or rejection
+    // touched that node's neighborhood, instead of on every read the way
+    // the `PREBOND3D_NO_CACHE=1` reference mode does. Recomputes are
+    // tallied as `clique.candidate_rescores`.
+    let score_cache_on = prebond3d_netlist::tuning::cache_enabled();
+    let mut generation: u64 = 1;
+    let mut touch_gen: Vec<u64> = vec![1; n];
+    let mut score_gen: Vec<u64> = vec![0; n];
+    let mut score_val: Vec<(bool, usize)> = vec![(false, 0); n];
+    let mut rescores = 0u64;
 
     let mut merges = 0usize;
     let mut rejected = 0usize;
@@ -268,15 +318,31 @@ pub fn partition(
         // flip-flop cliques first converts would-be dedicated cells into
         // reuse.
         let n1_has_ff = states[n1].ff.is_some();
-        let n2 = match neighbors[n1]
-            .iter()
-            .copied()
-            .filter(|&j| alive[j])
-            .min_by_key(|&j| {
-                let brings_ff = !n1_has_ff && states[j].ff.is_some();
-                (usize::from(!brings_ff), neighbors[j].len(), j)
-            }) {
-            Some(j) => j,
+        let mut best: Option<((usize, usize, usize), usize)> = None;
+        for idx in 0..neighbors[n1].len() {
+            let j = neighbors[n1][idx];
+            if !alive[j] {
+                continue;
+            }
+            let (has_ff, deg) = candidate_score(
+                j,
+                score_cache_on,
+                generation,
+                &states,
+                &neighbors,
+                &touch_gen,
+                &mut score_gen,
+                &mut score_val,
+                &mut rescores,
+            );
+            let brings_ff = !n1_has_ff && has_ff;
+            let key = (usize::from(!brings_ff), deg, j);
+            if best.is_none_or(|(k, _)| key < k) {
+                best = Some((key, j));
+            }
+        }
+        let n2 = match best {
+            Some((_, j)) => j,
             None => continue,
         };
 
@@ -322,8 +388,11 @@ pub fn partition(
 
         if !feasible {
             rejected += 1;
-            neighbors[n1].remove(&n2);
-            neighbors[n2].remove(&n1);
+            generation += 1;
+            remove_sorted(&mut neighbors[n1], n2);
+            remove_sorted(&mut neighbors[n2], n1);
+            touch_gen[n1] = generation;
+            touch_gen[n2] = generation;
             if !neighbors[n1].is_empty() {
                 heap.push(Reverse((neighbors[n1].len(), n1)));
             }
@@ -335,29 +404,48 @@ pub fn partition(
 
         // --- Merge ---------------------------------------------------------
         merges += 1;
-        let common: BTreeSet<usize> = neighbors[n1]
-            .intersection(&neighbors[n2])
-            .copied()
-            .filter(|&j| alive[j])
-            .collect();
+        generation += 1;
+        // Common live neighbors by a two-pointer walk over the sorted rows.
+        let (row1, row2) = (&neighbors[n1], &neighbors[n2]);
+        let mut common: Vec<usize> = Vec::with_capacity(row1.len().min(row2.len()));
+        let (mut p, mut q) = (0usize, 0usize);
+        while p < row1.len() && q < row2.len() {
+            match row1[p].cmp(&row2[q]) {
+                std::cmp::Ordering::Less => p += 1,
+                std::cmp::Ordering::Greater => q += 1,
+                std::cmp::Ordering::Equal => {
+                    if alive[row1[p]] {
+                        common.push(row1[p]);
+                    }
+                    p += 1;
+                    q += 1;
+                }
+            }
+        }
         let new_id = states.len();
         states.push(merged);
         alive.push(true);
         neighbors.push(common.clone());
+        touch_gen.push(generation);
+        score_gen.push(0);
+        score_val.push((false, 0));
         for &c in &common {
-            neighbors[c].insert(new_id);
+            // `new_id` exceeds every existing index, so push keeps the
+            // row sorted.
+            neighbors[c].push(new_id);
+            touch_gen[c] = generation;
         }
         // Retire n1, n2.
         for &old in &[n1, n2] {
             alive[old] = false;
-            let olds: Vec<usize> = neighbors[old].iter().copied().collect();
+            let olds = std::mem::take(&mut neighbors[old]);
             for j in olds {
-                neighbors[j].remove(&old);
+                remove_sorted(&mut neighbors[j], old);
+                touch_gen[j] = generation;
                 if alive[j] && !neighbors[j].is_empty() {
                     heap.push(Reverse((neighbors[j].len(), j)));
                 }
             }
-            neighbors[old].clear();
         }
         if !neighbors[new_id].is_empty() {
             heap.push(Reverse((neighbors[new_id].len(), new_id)));
@@ -382,6 +470,7 @@ pub fn partition(
     obs::count("clique.merge_attempts", (merges + rejected) as u64);
     obs::count("clique.merges", merges as u64);
     obs::count("clique.rejected", rejected as u64);
+    obs::count("clique.candidate_rescores", rescores);
 
     CliquePartition {
         cliques,

@@ -44,6 +44,7 @@ pub fn partition(graph: &SharingGraph, node_budget: usize) -> ExactPartition {
     let mut adj = vec![vec![0u64; words]; n];
     for (i, row) in adj.iter_mut().enumerate() {
         for &j in graph.neighbors(i) {
+            let j = j as usize;
             row[j / 64] |= 1 << (j % 64);
         }
     }
@@ -51,7 +52,7 @@ pub fn partition(graph: &SharingGraph, node_budget: usize) -> ExactPartition {
     // Order nodes by descending degree: constrained nodes first shrink the
     // search tree.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by_key(|&i| std::cmp::Reverse(graph.neighbors(i).len()));
+    order.sort_by_key(|&i| std::cmp::Reverse(graph.degree(i)));
 
     struct Search<'a> {
         adj: &'a [Vec<u64>],
@@ -209,7 +210,7 @@ mod tests {
             // All pairs adjacent.
             for (a, &x) in clique.iter().enumerate() {
                 for &y in clique.iter().skip(a + 1) {
-                    if !graph.neighbors(x).contains(&y) {
+                    if !graph.neighbors(x).contains(&(y as u32)) {
                         return false;
                     }
                 }

@@ -14,7 +14,7 @@
 //! No scan-flip-flop pair is ever connected (a clique may use at most one
 //! reused cell), which the clique construction then preserves for free.
 
-use prebond3d_netlist::{cone::ConeSet, GateId, Netlist};
+use prebond3d_netlist::{cone::ConeSet, Csr, GateId, Netlist};
 use prebond3d_obs as obs;
 use prebond3d_pool as pool;
 use prebond3d_sta::whatif::ReuseKind;
@@ -41,8 +41,9 @@ pub struct SharingGraph {
     pub nodes: Vec<GateId>,
     /// Node roles, parallel to `nodes`.
     pub kinds: Vec<NodeKind>,
-    /// Adjacency lists over local node indices.
-    adj: Vec<Vec<usize>>,
+    /// CSR adjacency over local node indices (DESIGN.md §11): one flat
+    /// edge arena instead of one heap allocation per node.
+    adj: Csr,
     /// Total undirected edges.
     pub edge_count: usize,
     /// Edges admitted through the overlapped-cone testability branch.
@@ -53,9 +54,24 @@ pub struct SharingGraph {
 }
 
 impl SharingGraph {
-    /// Neighbors of local node `i`.
-    pub fn neighbors(&self, i: usize) -> &[usize] {
-        &self.adj[i]
+    /// Neighbors of local node `i`, sorted ascending — a borrowed slice
+    /// of the CSR edge arena, so iterating never clones a row.
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        self.adj.neighbors(i)
+    }
+
+    /// Degree of local node `i` in O(1).
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj.degree(i)
+    }
+
+    /// Iterate every undirected edge once, as `(i, j)` with `i < j`, in
+    /// ascending node order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj
+            .arcs()
+            .filter(|&(i, j)| i < j)
+            .map(|(i, j)| (i as usize, j as usize))
     }
 
     /// Number of nodes.
@@ -175,21 +191,25 @@ pub fn build(
     let rows = pool::par_range_map(n, scan_row);
 
     // Submission-order replay: deterministic merge of the parallel scan.
-    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Both arc directions are pushed in ascending (i, j) order, which the
+    // stable CSR fill turns into ascending neighbor slices — the same row
+    // contents the old per-row `Vec` pushes produced.
+    let mut arcs: Vec<(u32, u32)> = Vec::new();
     let mut edge_count = 0usize;
     let mut overlap_edges = 0usize;
     let mut pairs_considered = 0usize;
     for (i, (pairs, admitted)) in rows.into_iter().enumerate() {
         pairs_considered += pairs;
         for (j, overlapped) in admitted {
-            adj[i].push(j);
-            adj[j].push(i);
+            arcs.push((i as u32, j as u32));
+            arcs.push((j as u32, i as u32));
             edge_count += 1;
             if overlapped {
                 overlap_edges += 1;
             }
         }
     }
+    let adj = Csr::from_arcs(n, &arcs);
 
     // One emission per build keeps the probes out of the O(n²) inner loop.
     obs::count("graph.nodes", n as u64);
@@ -197,6 +217,7 @@ pub fn build(
     obs::count("graph.edges", edge_count as u64);
     obs::count("graph.overlap_edges", overlap_edges as u64);
     obs::count("graph.ineligible_tsvs", ineligible.len() as u64);
+    obs::count("graph.cone_word_ops", cones.word_ops());
 
     SharingGraph {
         direction,
@@ -269,12 +290,18 @@ mod tests {
         for i in 0..g.len() {
             for &j in g.neighbors(i) {
                 assert!(
-                    g.kinds[i] == NodeKind::Tsv || g.kinds[j] == NodeKind::Tsv,
+                    g.kinds[i] == NodeKind::Tsv || g.kinds[j as usize] == NodeKind::Tsv,
                     "FF–FF edge found"
                 );
             }
+            assert_eq!(g.degree(i), g.neighbors(i).len());
+            assert!(g.neighbors(i).is_sorted(), "CSR rows stay sorted");
         }
         assert!(g.edge_count > 0, "area mode should admit edges");
+        // The edge iterator visits each undirected edge exactly once.
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count);
+        assert!(edges.iter().all(|&(i, j)| i < j));
     }
 
     #[test]

@@ -15,9 +15,16 @@
 //!   cones, and diff coverage/pattern counts. Expensive; used by tests and
 //!   the calibration ablation to validate the structural estimate.
 
-use prebond3d_atpg::engine::{run_stuck_at, AtpgConfig};
-use prebond3d_dft::{prebond_access, testable, WrapAssignment, WrapPlan, WrapperSource};
-use prebond3d_netlist::{cone::ConeSet, GateId, GateKind, Netlist};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use prebond3d_atpg::engine::{run_stuck_at, run_stuck_at_on, AtpgConfig};
+use prebond3d_atpg::{FaultList, TestAccess};
+use prebond3d_dft::{
+    prebond_access, testable, TestableDie, WrapAssignment, WrapPlan, WrapperSource,
+};
+use prebond3d_netlist::{cone::ConeSet, BitSet, GateId, GateKind, Netlist};
+use prebond3d_obs as obs;
 
 /// Predicted/measured impact of letting two nodes share a wrapper cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,14 +102,8 @@ impl TestabilityProbe for StructuralProbe {
         a: GateId,
         b: GateId,
     ) -> TestabilityCost {
-        let fanin_overlap = cones
-            .fanin(a)
-            .zip(cones.fanin(b))
-            .map_or(0, |(x, y)| x.intersection_count(y));
-        let fanout_overlap = cones
-            .fanout(a)
-            .zip(cones.fanout(b))
-            .map_or(0, |(x, y)| x.intersection_count(y));
+        let fanin_overlap = cones.try_fanin_overlap_count(a, b).unwrap_or(0);
+        let fanout_overlap = cones.try_fanout_overlap_count(a, b).unwrap_or(0);
         let overlap = (fanin_overlap + fanout_overlap) as f64;
         TestabilityCost {
             coverage_loss: self.loss_per_gate * overlap / netlist.len().max(1) as f64,
@@ -116,21 +117,90 @@ impl TestabilityProbe for StructuralProbe {
 ///
 /// Only (scan-FF, TSV) and (TSV, TSV) pairs are meaningful; other node
 /// pairs return [`TestabilityCost::FREE`].
-#[derive(Debug, Clone, Copy)]
+///
+/// Unless `PREBOND3D_NO_CACHE=1` is set, three hot-path optimizations are
+/// active (see DESIGN.md §11):
+///
+/// * every `(pair, shared)` measurement is memoized under a deterministic
+///   cone-signature key (`probe.cache_hits` / `probe.cache_misses`),
+/// * the canonical dedicated-wrapper die (identical for every probed pair)
+///   is built, collapsed, and access-modeled once per netlist,
+/// * each ATPG run is restricted to the faults whose propagation root lies
+///   inside the pair's union cone (or in the wrapper logic itself) —
+///   faults outside the union cone behave identically in the shared and
+///   dedicated configurations, so they cancel out of the reported deltas.
+///   Coverage is still normalized by the full collapsed universe.
+#[derive(Debug)]
 pub struct AtpgProbe {
     /// ATPG effort for each probe run.
     pub config: AtpgConfig,
+    /// Memoized `(pair, shared)`-cone-signature → (coverage, patterns).
+    cache: Mutex<HashMap<u64, (f64, usize)>>,
+    /// Per-netlist canonical dedicated-wrapper context.
+    dedicated: Mutex<Option<DedicatedCtx>>,
+}
+
+/// The dedicated-wrapper baseline shared by every probed pair of one
+/// netlist: the wrapped die, its test access, and its full collapsed fault
+/// universe are computed once and reused.
+#[derive(Debug)]
+struct DedicatedCtx {
+    sig: u64,
+    die: TestableDie,
+    access: TestAccess,
+    full: FaultList,
 }
 
 impl Default for AtpgProbe {
     fn default() -> Self {
-        AtpgProbe {
-            config: AtpgConfig::fast(),
-        }
+        AtpgProbe::with_config(AtpgConfig::fast())
+    }
+}
+
+/// FNV-1a over a byte slice, folded into `h`.
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Signature of a netlist for cache keying: name + length.
+fn netlist_sig(netlist: &Netlist) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv1a(&mut h, netlist.name().as_bytes());
+    fnv1a(&mut h, &(netlist.len() as u64).to_le_bytes());
+    h
+}
+
+/// Faults of `full` whose propagation root lies inside `union` or inside
+/// the wrapper logic appended past `original_len`.
+fn restrict_to_cone(full: &FaultList, union: &BitSet, original_len: usize) -> FaultList {
+    FaultList {
+        faults: full
+            .faults
+            .iter()
+            .copied()
+            .filter(|f| {
+                let r = f.site.propagation_root().index();
+                r >= original_len || union.contains(r)
+            })
+            .collect(),
     }
 }
 
 impl AtpgProbe {
+    /// Probe with explicit ATPG effort and cold caches.
+    pub fn with_config(config: AtpgConfig) -> Self {
+        AtpgProbe {
+            config,
+            cache: Mutex::new(HashMap::new()),
+            dedicated: Mutex::new(None),
+        }
+    }
+
     /// Wrap plan that covers every TSV dedicated, except the probed nodes,
     /// which share one cell (reusing `ff` when one of them is a scan FF).
     fn plan_for(&self, netlist: &Netlist, a: GateId, b: GateId, shared: bool) -> WrapPlan {
@@ -197,12 +267,101 @@ impl AtpgProbe {
         plan
     }
 
-    fn measure(&self, netlist: &Netlist, a: GateId, b: GateId, shared: bool) -> (f64, usize) {
+    /// Canonical dedicated plan: every TSV wrapped dedicated, in netlist
+    /// order. Pair-independent by construction, which is what lets one
+    /// dedicated baseline serve every probed pair.
+    fn dedicated_plan(netlist: &Netlist) -> WrapPlan {
+        let mut plan = WrapPlan::default();
+        for t in netlist.inbound_tsvs() {
+            plan.assignments.push(WrapAssignment {
+                source: WrapperSource::Dedicated,
+                inbound: vec![t],
+                outbound: vec![],
+            });
+        }
+        for t in netlist.outbound_tsvs() {
+            plan.assignments.push(WrapAssignment {
+                source: WrapperSource::Dedicated,
+                inbound: vec![],
+                outbound: vec![t],
+            });
+        }
+        plan
+    }
+
+    /// The pre-memoization reference measurement: build the wrapped die and
+    /// run ATPG over its full collapsed universe. This is the exact
+    /// `PREBOND3D_NO_CACHE=1` semantics.
+    fn measure_full(&self, netlist: &Netlist, a: GateId, b: GateId, shared: bool) -> (f64, usize) {
         let plan = self.plan_for(netlist, a, b, shared);
         let die = testable::apply(netlist, &plan).expect("probe plan is valid");
         let access = prebond_access(&die);
         let result = run_stuck_at(&die.netlist, &access, &self.config);
         (result.coverage(), result.pattern_count())
+    }
+
+    /// Memoized, cone-restricted measurement. `union` is the union of both
+    /// nodes' fan-in and fan-out cones over the original netlist.
+    fn measure_cached(
+        &self,
+        netlist: &Netlist,
+        union: &BitSet,
+        a: GateId,
+        b: GateId,
+        shared: bool,
+    ) -> (f64, usize) {
+        let mut key = netlist_sig(netlist);
+        fnv1a(&mut key, &[shared as u8]);
+        if shared {
+            // The shared plan wires the wrapper to these exact nodes; the
+            // dedicated plan is pair-independent, so its key is not.
+            fnv1a(&mut key, &a.0.to_le_bytes());
+            fnv1a(&mut key, &b.0.to_le_bytes());
+        }
+        for &w in union.words() {
+            fnv1a(&mut key, &w.to_le_bytes());
+        }
+        if let Some(&hit) = self.cache.lock().unwrap().get(&key) {
+            obs::count("probe.cache_hits", 1);
+            return hit;
+        }
+        obs::count("probe.cache_misses", 1);
+        let measured = if shared {
+            let plan = self.plan_for(netlist, a, b, true);
+            let die = testable::apply(netlist, &plan).expect("probe plan is valid");
+            let access = prebond_access(&die);
+            let full = FaultList::collapsed(&die.netlist);
+            let restricted = restrict_to_cone(&full, union, netlist.len());
+            let r = run_stuck_at_on(&die.netlist, &access, &self.config, &restricted);
+            (
+                r.detected as f64 / full.len().max(1) as f64,
+                r.pattern_count(),
+            )
+        } else {
+            let sig = netlist_sig(netlist);
+            let mut ded = self.dedicated.lock().unwrap();
+            if ded.as_ref().map(|c| c.sig) != Some(sig) {
+                let plan = Self::dedicated_plan(netlist);
+                let die = testable::apply(netlist, &plan).expect("dedicated plan is valid");
+                let access = prebond_access(&die);
+                let full = FaultList::collapsed(&die.netlist);
+                *ded = Some(DedicatedCtx {
+                    sig,
+                    die,
+                    access,
+                    full,
+                });
+            }
+            let ctx = ded.as_ref().expect("just ensured");
+            let restricted = restrict_to_cone(&ctx.full, union, netlist.len());
+            let r = run_stuck_at_on(&ctx.die.netlist, &ctx.access, &self.config, &restricted);
+            (
+                r.detected as f64 / ctx.full.len().max(1) as f64,
+                r.pattern_count(),
+            )
+        };
+        self.cache.lock().unwrap().insert(key, measured);
+        measured
     }
 }
 
@@ -210,12 +369,42 @@ impl TestabilityProbe for AtpgProbe {
     fn sharing_cost(
         &self,
         netlist: &Netlist,
-        _cones: &ConeSet,
+        cones: &ConeSet,
         a: GateId,
         b: GateId,
     ) -> TestabilityCost {
-        let (cov_shared, pat_shared) = self.measure(netlist, a, b, true);
-        let (cov_sep, pat_sep) = self.measure(netlist, a, b, false);
+        let cached = prebond3d_netlist::tuning::cache_enabled();
+        let union = if cached {
+            match (
+                cones.fanin(a),
+                cones.fanout(a),
+                cones.fanin(b),
+                cones.fanout(b),
+            ) {
+                (Some(fia), Some(foa), Some(fib), Some(fob)) => {
+                    let mut u = fia.clone();
+                    u.union_with(foa);
+                    u.union_with(fib);
+                    u.union_with(fob);
+                    Some(u)
+                }
+                _ => None, // node not a cone root: no restriction possible
+            }
+        } else {
+            None
+        };
+        let (cov_shared, pat_shared, cov_sep, pat_sep) = match &union {
+            Some(u) => {
+                let (cs, ps) = self.measure_cached(netlist, u, a, b, true);
+                let (cd, pd) = self.measure_cached(netlist, u, a, b, false);
+                (cs, ps, cd, pd)
+            }
+            None => {
+                let (cs, ps) = self.measure_full(netlist, a, b, true);
+                let (cd, pd) = self.measure_full(netlist, a, b, false);
+                (cs, ps, cd, pd)
+            }
+        };
         TestabilityCost {
             coverage_loss: (cov_sep - cov_shared).max(0.0),
             extra_patterns: pat_shared.saturating_sub(pat_sep),

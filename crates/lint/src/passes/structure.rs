@@ -158,13 +158,15 @@ pub fn lint_gates(artifact: &str, gates: &[&Gate], out: &mut Vec<Diagnostic>) {
 }
 
 /// Kahn's algorithm over combinational edges, as in `Netlist::from_gates`,
-/// but reporting every gate stuck on a cycle.
+/// but reporting every gate stuck on a cycle. Fanouts live in a CSR
+/// (offsets + one flat edge array) instead of a `Vec` per gate — one
+/// allocation instead of `gates.len()`.
 fn check_loops(e: &mut Emitter<'_>, gates: &[&Gate]) {
-    let mut fanouts: Vec<Vec<usize>> = vec![Vec::new(); gates.len()];
+    let mut arcs: Vec<(u32, u32)> = Vec::new();
     let mut indeg = vec![0usize; gates.len()];
     for (i, gate) in gates.iter().enumerate() {
         for &input in &gate.inputs {
-            fanouts[input.index()].push(i);
+            arcs.push((input.index() as u32, i as u32));
         }
         indeg[i] = if gate.kind.is_sequential() || gate.kind.arity() == 0 {
             0
@@ -172,6 +174,7 @@ fn check_loops(e: &mut Emitter<'_>, gates: &[&Gate]) {
             gate.inputs.len()
         };
     }
+    let fanouts = prebond3d_netlist::Csr::from_arcs(gates.len(), &arcs);
     let mut queue: Vec<usize> = indeg
         .iter()
         .enumerate()
@@ -179,7 +182,8 @@ fn check_loops(e: &mut Emitter<'_>, gates: &[&Gate]) {
         .map(|(i, _)| i)
         .collect();
     while let Some(i) = queue.pop() {
-        for &j in &fanouts[i] {
+        for &j in fanouts.neighbors(i) {
+            let j = j as usize;
             if gates[j].kind.is_sequential() {
                 continue;
             }

@@ -98,6 +98,50 @@ impl BitSet {
             .sum()
     }
 
+    /// The backing words, 64 indices per word, lowest indices first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Indices of the first and last non-zero backing word (inclusive), or
+    /// `None` for an empty set. Intersection-style queries only need to
+    /// walk the overlap of both operands' spans — the word-level fast path
+    /// the cone cache builds on.
+    pub fn nonzero_word_span(&self) -> Option<(usize, usize)> {
+        let first = self.words.iter().position(|&w| w != 0)?;
+        let last = self.words.iter().rposition(|&w| w != 0)?;
+        Some((first, last))
+    }
+
+    /// [`Self::intersects`] restricted to the word range `lo..=hi`
+    /// (clipped to both operands). Equivalent to the full scan whenever
+    /// `lo..=hi` covers the non-zero span of either operand.
+    pub fn intersects_clipped(&self, other: &BitSet, lo: usize, hi: usize) -> bool {
+        let end = (hi + 1).min(self.words.len()).min(other.words.len());
+        if lo >= end {
+            return false;
+        }
+        self.words[lo..end]
+            .iter()
+            .zip(other.words[lo..end].iter())
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// [`Self::intersection_count`] restricted to the word range
+    /// `lo..=hi` (clipped to both operands). Equivalent to the full scan
+    /// whenever `lo..=hi` covers the non-zero span of either operand.
+    pub fn intersection_count_clipped(&self, other: &BitSet, lo: usize, hi: usize) -> usize {
+        let end = (hi + 1).min(self.words.len()).min(other.words.len());
+        if lo >= end {
+            return 0;
+        }
+        self.words[lo..end]
+            .iter()
+            .zip(other.words[lo..end].iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// In-place union with `other`.
     ///
     /// # Panics
@@ -217,6 +261,29 @@ mod tests {
         assert_eq!(s.count(), 3);
         assert!(s.contains(9));
         assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn word_span_and_clipped_ops_match_full_scans() {
+        let mut a = BitSet::new(512);
+        let mut b = BitSet::new(512);
+        assert_eq!(a.nonzero_word_span(), None);
+        for i in [70usize, 131, 200] {
+            a.insert(i);
+        }
+        for i in [131usize, 300] {
+            b.insert(i);
+        }
+        assert_eq!(a.nonzero_word_span(), Some((1, 3)));
+        assert_eq!(b.nonzero_word_span(), Some((2, 4)));
+        // Clipping to the span overlap reproduces the full answers.
+        assert!(a.intersects_clipped(&b, 2, 3));
+        assert_eq!(a.intersection_count_clipped(&b, 2, 3), 1);
+        assert_eq!(a.intersection_count(&b), 1);
+        // A range past the data finds nothing; an inverted range is empty.
+        assert!(!a.intersects_clipped(&b, 5, 7));
+        assert_eq!(a.intersection_count_clipped(&b, 5, 3), 0);
+        assert_eq!(a.words().len(), 8);
     }
 
     #[test]

@@ -67,17 +67,54 @@ pub fn fanout_cone(netlist: &Netlist, root: GateId) -> BitSet {
 ///
 /// Graph construction queries overlap between every (scan-FF, TSV) and
 /// (TSV, TSV) pair; caching the cones turns the quadratic pair loop into
-/// pure bitset intersections.
-#[derive(Debug, Clone)]
+/// pure bitset intersections. On top of the raw cones the set caches each
+/// cone's non-zero word span and population at compute time, so overlap
+/// queries only walk the words where both cones can have bits (DESIGN.md
+/// §11) — with `PREBOND3D_NO_CACHE=1` the spans are ignored and every
+/// query walks the full word width, the reference mode the equivalence
+/// sweep and the bench perf probe compare against. Every word actually
+/// examined is tallied in a relaxed atomic, readable via
+/// [`Self::word_ops`]; the tally is exact at any thread count because it
+/// only ever accumulates.
+#[derive(Debug)]
 pub struct ConeSet {
     roots: Vec<GateId>,
     fanin: Vec<BitSet>,
     fanout: Vec<BitSet>,
+    /// Non-zero word span (inclusive) per cone; never `None` in practice
+    /// since every cone contains its root, but stored clipped-empty-safe.
+    fanin_span: Vec<(usize, usize)>,
+    fanout_span: Vec<(usize, usize)>,
+    fanin_pop: Vec<usize>,
+    fanout_pop: Vec<usize>,
     index_of: std::collections::HashMap<GateId, usize>,
+    /// Captured from [`crate::tuning::cache_enabled`] at compute time.
+    use_spans: bool,
+    word_ops: std::sync::atomic::AtomicU64,
+}
+
+impl Clone for ConeSet {
+    fn clone(&self) -> Self {
+        ConeSet {
+            roots: self.roots.clone(),
+            fanin: self.fanin.clone(),
+            fanout: self.fanout.clone(),
+            fanin_span: self.fanin_span.clone(),
+            fanout_span: self.fanout_span.clone(),
+            fanin_pop: self.fanin_pop.clone(),
+            fanout_pop: self.fanout_pop.clone(),
+            index_of: self.index_of.clone(),
+            use_spans: self.use_spans,
+            word_ops: std::sync::atomic::AtomicU64::new(
+                self.word_ops.load(std::sync::atomic::Ordering::Relaxed),
+            ),
+        }
+    }
 }
 
 impl ConeSet {
-    /// Compute both cones for each root in `roots`.
+    /// Compute both cones (plus their spans and populations) for each
+    /// root in `roots`.
     pub fn compute(netlist: &Netlist, roots: &[GateId]) -> Self {
         let mut index_of = std::collections::HashMap::with_capacity(roots.len());
         let mut fanin = Vec::with_capacity(roots.len());
@@ -87,11 +124,18 @@ impl ConeSet {
             fanin.push(fanin_cone(netlist, root));
             fanout.push(fanout_cone(netlist, root));
         }
+        let span_of = |set: &BitSet| set.nonzero_word_span().unwrap_or((1, 0));
         ConeSet {
+            fanin_span: fanin.iter().map(span_of).collect(),
+            fanout_span: fanout.iter().map(span_of).collect(),
+            fanin_pop: fanin.iter().map(BitSet::count).collect(),
+            fanout_pop: fanout.iter().map(BitSet::count).collect(),
             roots: roots.to_vec(),
             fanin,
             fanout,
             index_of,
+            use_spans: crate::tuning::cache_enabled(),
+            word_ops: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -110,16 +154,96 @@ impl ConeSet {
         self.index_of.get(&root).map(|&i| &self.fanout[i])
     }
 
+    /// Cached population of `root`'s fan-in cone.
+    pub fn fanin_population(&self, root: GateId) -> Option<usize> {
+        self.index_of.get(&root).map(|&i| self.fanin_pop[i])
+    }
+
+    /// Cached population of `root`'s fan-out cone.
+    pub fn fanout_population(&self, root: GateId) -> Option<usize> {
+        self.index_of.get(&root).map(|&i| self.fanout_pop[i])
+    }
+
+    /// Bitset words examined by overlap queries so far — the
+    /// deterministic work counter behind `graph.cone_word_ops`.
+    pub fn word_ops(&self) -> u64 {
+        self.word_ops.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Span-clipped overlap test over one cone family. In span mode only
+    /// the words inside both cones' non-zero spans are walked (zero when
+    /// the spans are disjoint); in the no-cache reference mode the full
+    /// common word width is walked. Both paths return identical answers.
+    fn overlap(&self, cones: &[BitSet], spans: &[(usize, usize)], i: usize, j: usize) -> bool {
+        use std::sync::atomic::Ordering::Relaxed;
+        let (a, b) = (&cones[i], &cones[j]);
+        if !self.use_spans {
+            let walked = a.words().len().min(b.words().len());
+            self.word_ops.fetch_add(walked as u64, Relaxed);
+            return a.intersects(b);
+        }
+        let lo = spans[i].0.max(spans[j].0);
+        let hi = spans[i].1.min(spans[j].1);
+        if lo > hi {
+            return false;
+        }
+        let walked = (hi + 1).min(a.words().len()).min(b.words().len()) - lo;
+        self.word_ops.fetch_add(walked as u64, Relaxed);
+        a.intersects_clipped(b, lo, hi)
+    }
+
+    /// Span-clipped intersection count over one cone family; same walking
+    /// discipline as [`Self::overlap`].
+    fn overlap_count(
+        &self,
+        cones: &[BitSet],
+        spans: &[(usize, usize)],
+        i: usize,
+        j: usize,
+    ) -> usize {
+        use std::sync::atomic::Ordering::Relaxed;
+        let (a, b) = (&cones[i], &cones[j]);
+        if !self.use_spans {
+            let walked = a.words().len().min(b.words().len());
+            self.word_ops.fetch_add(walked as u64, Relaxed);
+            return a.intersection_count(b);
+        }
+        let lo = spans[i].0.max(spans[j].0);
+        let hi = spans[i].1.min(spans[j].1);
+        if lo > hi {
+            return 0;
+        }
+        let walked = (hi + 1).min(a.words().len()).min(b.words().len()) - lo;
+        self.word_ops.fetch_add(walked as u64, Relaxed);
+        a.intersection_count_clipped(b, lo, hi)
+    }
+
     /// `true` when the fan-in cones of `a` and `b` share any gate, or
     /// `None` if either root was not in the computed set.
     pub fn try_fanin_overlaps(&self, a: GateId, b: GateId) -> Option<bool> {
-        Some(self.fanin(a)?.intersects(self.fanin(b)?))
+        let (&i, &j) = (self.index_of.get(&a)?, self.index_of.get(&b)?);
+        Some(self.overlap(&self.fanin, &self.fanin_span, i, j))
     }
 
     /// `true` when the fan-out cones of `a` and `b` share any gate, or
     /// `None` if either root was not in the computed set.
     pub fn try_fanout_overlaps(&self, a: GateId, b: GateId) -> Option<bool> {
-        Some(self.fanout(a)?.intersects(self.fanout(b)?))
+        let (&i, &j) = (self.index_of.get(&a)?, self.index_of.get(&b)?);
+        Some(self.overlap(&self.fanout, &self.fanout_span, i, j))
+    }
+
+    /// Number of gates shared by the fan-in cones of `a` and `b`, or
+    /// `None` if either root was not in the computed set.
+    pub fn try_fanin_overlap_count(&self, a: GateId, b: GateId) -> Option<usize> {
+        let (&i, &j) = (self.index_of.get(&a)?, self.index_of.get(&b)?);
+        Some(self.overlap_count(&self.fanin, &self.fanin_span, i, j))
+    }
+
+    /// Number of gates shared by the fan-out cones of `a` and `b`, or
+    /// `None` if either root was not in the computed set.
+    pub fn try_fanout_overlap_count(&self, a: GateId, b: GateId) -> Option<usize> {
+        let (&i, &j) = (self.index_of.get(&a)?, self.index_of.get(&b)?);
+        Some(self.overlap_count(&self.fanout, &self.fanout_span, i, j))
     }
 
     /// The paper's "overlapped fan-in or fan-out cones" predicate
@@ -251,6 +375,39 @@ mod tests {
         assert_eq!(cones.try_fanout_overlaps(a, g2), None);
         assert_eq!(cones.try_cones_overlap(a, a), None);
         assert_eq!(cones.try_cones_overlap(g1, g2), Some(false));
+    }
+
+    #[test]
+    fn span_mode_and_reference_mode_agree_and_count_work() {
+        let _l = crate::tuning::TEST_LOCK.lock().unwrap();
+        let (n, g1, g2, _) = two_trees();
+        crate::tuning::force_no_cache(Some(false));
+        let fast = ConeSet::compute(&n, &[g1, g2]);
+        crate::tuning::force_no_cache(Some(true));
+        let slow = ConeSet::compute(&n, &[g1, g2]);
+        crate::tuning::force_no_cache(None);
+
+        assert_eq!(
+            fast.try_cones_overlap(g1, g2),
+            slow.try_cones_overlap(g1, g2)
+        );
+        assert_eq!(
+            fast.try_fanin_overlap_count(g1, g2),
+            slow.try_fanin_overlap_count(g1, g2)
+        );
+        assert_eq!(
+            fast.try_fanout_overlap_count(g1, g2),
+            slow.try_fanout_overlap_count(g1, g2)
+        );
+        // The reference mode walks at least as many words.
+        assert!(fast.word_ops() <= slow.word_ops());
+        assert!(slow.word_ops() > 0);
+        // Populations are cached at compute time.
+        assert_eq!(fast.fanin_population(g1), Some(3)); // a, b, g1
+        assert_eq!(fast.fanin_population(g1), slow.fanin_population(g1));
+        assert_eq!(fast.fanout_population(g2), slow.fanout_population(g2));
+        // Cloning carries the tally forward.
+        assert_eq!(fast.clone().word_ops(), fast.word_ops());
     }
 
     #[test]

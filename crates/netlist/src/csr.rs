@@ -1,0 +1,128 @@
+//! Compressed sparse row (CSR) adjacency.
+//!
+//! The sharing graph's neighbor lists used to live in a `Vec<Vec<usize>>`
+//! — one heap allocation per node and eight bytes per edge endpoint. The
+//! CSR layout packs every neighbor list into one flat `u32` arena indexed
+//! by a per-node offset table: two allocations total, half the bytes per
+//! endpoint, and neighbor iteration is a contiguous slice scan. Node
+//! counts are bounded by gate counts (well under `u32::MAX`), so `u32`
+//! indices are safe.
+
+/// Immutable compressed-sparse-row adjacency over `0..len()` nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Csr {
+    /// `offsets[i]..offsets[i + 1]` indexes node `i`'s slice of `edges`.
+    offsets: Vec<u32>,
+    /// Flat neighbor arena.
+    edges: Vec<u32>,
+}
+
+impl Csr {
+    /// Build from a directed arc list. Each `(src, dst)` arc appends `dst`
+    /// to `src`'s neighbor slice; arcs sharing a source keep their relative
+    /// order (the fill is a stable counting sort), so callers that push
+    /// arcs in sorted order get sorted neighbor slices for free. For an
+    /// undirected graph, push both `(a, b)` and `(b, a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any arc endpoint is `>= nodes`.
+    pub fn from_arcs(nodes: usize, arcs: &[(u32, u32)]) -> Self {
+        let mut offsets = vec![0u32; nodes + 1];
+        for &(src, dst) in arcs {
+            assert!(
+                (src as usize) < nodes && (dst as usize) < nodes,
+                "csr arc ({src}, {dst}) out of range {nodes}"
+            );
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut edges = vec![0u32; arcs.len()];
+        let mut cursor: Vec<u32> = offsets[..nodes].to_vec();
+        for &(src, dst) in arcs {
+            let c = &mut cursor[src as usize];
+            edges[*c as usize] = dst;
+            *c += 1;
+        }
+        Csr { offsets, edges }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// `true` when the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of stored arcs (twice the edge count for an
+    /// undirected graph built with both arc directions).
+    pub fn arc_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbor slice of node `i` — a borrowed view into the flat arena,
+    /// so callers never clone a row to iterate it.
+    #[inline]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Out-degree of node `i` in O(1).
+    #[inline]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Iterate every stored `(src, dst)` arc in node order.
+    pub fn arcs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.len()).flat_map(move |i| self.neighbors(i).iter().map(move |&dst| (i as u32, dst)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_from_arcs_preserving_order() {
+        let arcs = [(0u32, 2u32), (0, 1), (2, 0), (1, 0)];
+        let g = Csr::from_arcs(3, &arcs);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.arc_count(), 4);
+        // Per-source order is preserved: node 0 pushed 2 before 1.
+        assert_eq!(g.neighbors(0), &[2, 1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[0]);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn empty_and_isolated_nodes() {
+        let g = Csr::from_arcs(0, &[]);
+        assert!(g.is_empty());
+        let g = Csr::from_arcs(4, &[(1, 3), (3, 1)]);
+        assert_eq!(g.neighbors(0), &[] as &[u32]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.degree(3), 1);
+    }
+
+    #[test]
+    fn arc_iterator_visits_everything_in_node_order() {
+        let arcs = [(2u32, 0u32), (0, 1), (0, 2), (1, 0)];
+        let g = Csr::from_arcs(3, &arcs);
+        let got: Vec<(u32, u32)> = g.arcs().collect();
+        assert_eq!(got, vec![(0, 1), (0, 2), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_arc_panics() {
+        let _ = Csr::from_arcs(2, &[(0, 5)]);
+    }
+}

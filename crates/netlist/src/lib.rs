@@ -35,6 +35,7 @@
 pub mod bitset;
 pub mod builder;
 pub mod cone;
+pub mod csr;
 pub mod edit;
 pub mod error;
 pub mod format;
@@ -43,11 +44,13 @@ pub mod itc99;
 pub mod netlist;
 pub mod stats;
 pub mod traverse;
+pub mod tuning;
 pub mod verilog;
 
 pub use bitset::BitSet;
 pub use builder::NetlistBuilder;
 pub use cone::{fanin_cone, fanout_cone, ConeSet};
+pub use csr::Csr;
 pub use error::NetlistError;
 pub use gate::{Gate, GateId, GateKind};
 pub use netlist::Netlist;

@@ -121,11 +121,18 @@ pub fn analyze_with_statics(
     let wire = library.wire();
 
     // --- Loads ----------------------------------------------------------
+    // Pin caps are prefetched per node so the per-arc loop below (arcs
+    // outnumber nodes) is a flat vector read instead of a gate + library
+    // lookup per fanout edge.
+    let pin_cap: Vec<Capacitance> = netlist
+        .iter()
+        .map(|(_, gate)| library.timing(gate.kind).input_cap)
+        .collect();
     let mut load = vec![Capacitance::ZERO; n];
     for (id, _) in netlist.iter() {
         let mut total = Capacitance::ZERO;
         for &fo in netlist.fanout(id) {
-            total += library.timing(netlist.gate(fo).kind).input_cap;
+            total += pin_cap[fo.index()];
             // Long segments are buffered by the implementation flow, so
             // the driver sees at most one buffer interval of wire cap.
             total += wire.driver_load(placement.distance(id, fo));

@@ -62,6 +62,7 @@ fn fault_coverage_maps_are_identical_across_thread_counts() {
         assert_thread_invariant(&format!("{label} detection masks"), || {
             let mut fs = FaultSimulator::new(&netlist);
             fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive)
+                .to_vec()
         });
     }
 }

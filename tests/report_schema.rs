@@ -104,6 +104,7 @@ fn report_files_match_the_golden_schemas() {
         });
     }
     report::record_speedup("fault_simulation", "synthetic Die1", 4, 10.0, 4.0);
+    report::record_work("atpg.gate_evals", "synthetic Die1", 1000, 400);
     let run_path = report::finish().expect("reports written");
     chaos::install(None);
     let bench_path = run_path.with_file_name("BENCH_schema_probe.json");
