@@ -151,6 +151,10 @@ impl FaultSimulator {
     ) -> &[u64] {
         assert_eq!(faults.len(), alive.len());
         prebond3d_obs::count("atpg.faultsim_batches", 1);
+        // One histogram sample per batch call: the sample *count* is the
+        // batch count (thread-invariant); only the latency values are
+        // wall-clock and get zeroed under PREBOND3D_STABLE_MS.
+        let batch_t0 = prebond3d_obs::is_active().then(std::time::Instant::now);
         let good = self.sim.run_batch(netlist, access, patterns);
         let used: u64 = if patterns.len() == 64 {
             u64::MAX
@@ -227,6 +231,9 @@ impl FaultSimulator {
             evals = tally;
         }
         prebond3d_obs::count("atpg.gate_evals", evals);
+        if let Some(t0) = batch_t0 {
+            prebond3d_obs::hist("atpg.faultsim_batch_ns", t0.elapsed().as_nanos() as u64);
+        }
         &self.masks
     }
 

@@ -1,0 +1,62 @@
+//! `obs-diff` — compare two run/BENCH reports and gate regressions.
+//!
+//! Usage: `obs-diff [--threshold <pct>] <baseline.json> <current.json>`
+//!
+//! Exit codes: 0 clean, 1 at least one gated regression, 2 usage or
+//! parse error.
+
+use prebond3d_bench::obsdiff;
+use prebond3d_obs::json::Value;
+
+fn usage() -> ! {
+    eprintln!("usage: obs-diff [--threshold <pct>] <baseline.json> <current.json>");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Value {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("obs-diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match prebond3d_obs::json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("obs-diff: {path} is not valid report JSON: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut threshold = 20.0f64;
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    usage();
+                };
+                threshold = v;
+            }
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => paths.push(arg),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+
+    let base = load(&paths[0]);
+    let current = load(&paths[1]);
+    let report = obsdiff::diff(&base, &current, threshold);
+    print!("{}", obsdiff::render(&report));
+    if report.regressed() {
+        eprintln!("obs-diff: regression against {}", paths[0]);
+        std::process::exit(1);
+    }
+}

@@ -75,6 +75,13 @@ struct Collector {
     sections: Vec<Value>,
     /// `span path → (completions, total ms)` aggregated across sections.
     phase_ms: BTreeMap<String, (u64, f64)>,
+    /// `span path → histogram of per-section wall times (ns)` — one sample
+    /// per section containing the span, so the sample *counts* are
+    /// thread-invariant while the values are wall-clock (and zeroed under
+    /// stable-ms). Checkpoint-replayed sections feed this identically.
+    phase_hists: BTreeMap<String, obs::hist::Hist>,
+    /// Peak of the per-section-boundary RSS samples, in kB.
+    rss_kb: obs::hist::Hist,
     /// Speedup records from [`record_speedup`].
     speedups: Vec<Value>,
     /// Deterministic work-counter records from [`record_work`].
@@ -140,6 +147,8 @@ pub fn begin(experiment: &str) {
         started: Instant::now(),
         sections: Vec::new(),
         phase_ms: BTreeMap::new(),
+        phase_hists: BTreeMap::new(),
+        rss_kb: obs::hist::Hist::new(),
         speedups: Vec::new(),
         work: Vec::new(),
         failures: Vec::new(),
@@ -187,7 +196,19 @@ fn push_section_value(section: Value) {
                 let e = c.phase_ms.entry(path.to_string()).or_insert((0, 0.0));
                 e.0 += count;
                 e.1 += ms;
+                // One latency sample per section: the per-die wall-time
+                // distribution of this phase.
+                c.phase_hists
+                    .entry(path.to_string())
+                    .or_default()
+                    .record((ms.max(0.0) * 1.0e6) as u64);
             }
+        }
+        // RSS sampled at the section boundary (the "phase boundary" of a
+        // sweep); the count is the section count, the values wall-clock-ish
+        // (allocator-dependent) and zeroed under stable-ms.
+        if let Some(kb) = obs::mem::rss_now_kb() {
+            c.rss_kb.record(kb);
         }
         c.sections.push(section);
     }
@@ -196,12 +217,21 @@ fn push_section_value(section: Value) {
 /// Record a failed unit: it appears in the run report's `failures` array
 /// and drives the partial-failure exit code (see [`crate::driver`]).
 pub fn record_failure(label: &str, error: &str) {
+    record_failure_with(label, error, None);
+}
+
+/// [`record_failure`] carrying the unit's partial obs capture — the
+/// spans/counters/hists it recorded up to the panic — so a post-mortem
+/// has telemetry instead of just a message. `resilient_par_die_scopes`
+/// drains each panicking unit's capture through here.
+pub fn record_failure_with(label: &str, error: &str, partial: Option<Value>) {
     eprintln!("unit failed: {label}: {error}");
     if let Some(c) = COLLECTOR.lock().unwrap().as_mut() {
-        c.failures.push(Value::obj([
-            ("label", label.into()),
-            ("error", error.into()),
-        ]));
+        let mut fields = vec![("label", Value::from(label)), ("error", error.into())];
+        if let Some(partial) = partial {
+            fields.push(("partial", partial));
+        }
+        c.failures.push(Value::obj(fields));
     }
 }
 
@@ -356,7 +386,7 @@ where
             )
         };
         let ms = t.elapsed().as_secs_f64() * 1.0e3;
-        match res.map_err(|p| panic_message(p.as_ref())) {
+        match res {
             Ok(v) => {
                 let section = active.then(|| {
                     let name = label(case);
@@ -371,7 +401,14 @@ where
                 });
                 Ok((v, section))
             }
-            Err(msg) => Err(msg),
+            Err(p) => {
+                // The capture survived the unwind (span guards record on
+                // drop), so the panicking unit's partial telemetry rides
+                // along into its `failures[]` entry.
+                let partial =
+                    (active && !snap.is_empty()).then(|| section_value(&label(case), ms, &snap));
+                Err((panic_message(p.as_ref()), partial))
+            }
         }
     };
     let fresh = pool_with_poison_fallback(&todo, run_one);
@@ -396,8 +433,8 @@ where
                 }
                 out.push(Some(v));
             }
-            Err(msg) => {
-                record_failure(&label(case), &msg);
+            Err((msg, partial)) => {
+                record_failure_with(&label(case), &msg, partial);
                 out.push(None);
             }
         }
@@ -522,17 +559,34 @@ fn write_report(path: &std::path::Path, doc: &Value) -> bool {
 }
 
 /// Zero every environment-dependent field in `doc` — wall clocks (`ms`,
-/// `elapsed_ms`, `serial_ms`, `parallel_ms`, the derived `speedup` ratio)
-/// and the `threads` count — the `PREBOND3D_STABLE_MS` normalization that
-/// makes reports byte-comparable across runs and thread counts.
+/// `elapsed_ms`, `serial_ms`, `parallel_ms`, the derived `speedup` ratio),
+/// the `threads` count, any `*_ns` latency field, the memory-telemetry
+/// fields, and the *value* summary of every histogram object (`sum`,
+/// `max`, quantiles — the sample `count` is deterministic and survives) —
+/// the `PREBOND3D_STABLE_MS` normalization that makes reports
+/// byte-comparable across runs and thread counts.
 fn zero_ms(v: &mut Value) {
     match v {
         Value::Obj(map) => {
+            // A histogram summary (obs::hist::Hist::to_json) is the one
+            // object shape whose `max`/`sum` are wall-clock-bearing.
+            let is_hist = ["count", "p50", "p95", "p99"]
+                .iter()
+                .all(|k| map.contains_key(*k));
             for (k, v) in map.iter_mut() {
                 let is_clock = matches!(
                     k.as_str(),
-                    "ms" | "elapsed_ms" | "serial_ms" | "parallel_ms" | "speedup" | "threads"
-                );
+                    "ms" | "elapsed_ms"
+                        | "serial_ms"
+                        | "parallel_ms"
+                        | "speedup"
+                        | "threads"
+                        | "alloc_bytes_total"
+                        | "alloc_bytes_peak"
+                        | "rss_now_kb"
+                        | "rss_peak_kb"
+                ) || k.ends_with("_ns")
+                    || (is_hist && matches!(k.as_str(), "sum" | "max" | "p50" | "p95" | "p99"));
                 if is_clock && matches!(v, Value::Num(_)) {
                     *v = 0.0.into();
                 } else {
@@ -608,10 +662,40 @@ pub fn finish_summary() -> Summary {
     }
     chaos_fields.push(("events", Value::Arr(chaos_events)));
 
+    // Memory telemetry: allocator counters when the obs-alloc feature is
+    // on, kernel RSS where /proc exists, plus the per-section RSS samples.
+    // All nondeterministic, so every field is zeroed under stable-ms.
+    let mut mem_fields: Vec<(&'static str, Value)> = Vec::new();
+    if let Some((total, _current, peak)) = obs::alloc_stats() {
+        mem_fields.push(("alloc_bytes_total", total.into()));
+        mem_fields.push(("alloc_bytes_peak", peak.into()));
+    }
+    if let Some(kb) = obs::mem::rss_now_kb() {
+        mem_fields.push(("rss_now_kb", kb.into()));
+    }
+    if let Some(kb) = obs::mem::rss_peak_kb() {
+        mem_fields.push(("rss_peak_kb", kb.into()));
+    }
+    mem_fields.push(("rss_sampled_kb", collector.rss_kb.to_json()));
+    let mem = Value::obj(mem_fields);
+
+    // Per-phase wall-time distributions: `path → hist summary`, one
+    // sample per section. Sample counts are thread-invariant; values are
+    // wall-clock and zeroed under stable-ms like every hist.
+    let hists = Value::Obj(
+        collector
+            .phase_hists
+            .iter()
+            .map(|(path, h)| (path.clone(), h.to_json()))
+            .collect(),
+    );
+
     let mut run_doc = Value::obj([
         ("experiment", collector.experiment.as_str().into()),
         ("elapsed_ms", elapsed_ms.into()),
         ("sections", Value::Arr(collector.sections)),
+        ("hists", hists),
+        ("mem", mem.clone()),
         ("failures", Value::Arr(collector.failures)),
         ("degradations", Value::Arr(degradations)),
         ("chaos", Value::obj(chaos_fields)),
@@ -620,18 +704,34 @@ pub fn finish_summary() -> Summary {
         .phase_ms
         .iter()
         .map(|(path, &(count, ms))| {
+            let h = collector.phase_hists.get(path);
             Value::obj([
                 ("path", path.as_str().into()),
                 ("count", count.into()),
                 ("ms", ms.into()),
+                ("p50_ns", h.map_or(0, |h| h.quantile(0.50)).into()),
+                ("p95_ns", h.map_or(0, |h| h.quantile(0.95)).into()),
+                ("p99_ns", h.map_or(0, |h| h.quantile(0.99)).into()),
+                ("max_ns", h.map_or(0, obs::hist::Hist::max).into()),
             ])
         })
         .collect();
+    // Worker idle-gap telemetry from the pool. Chunk counts depend on the
+    // thread configuration, so under stable-ms the whole histogram —
+    // including its count — is replaced by an empty one.
+    let chunk_wait = pool::drain_chunk_wait();
+    let chunk_wait = if resil::stable_ms() {
+        obs::hist::Hist::new()
+    } else {
+        chunk_wait
+    };
     let mut bench_doc = Value::obj([
         ("experiment", collector.experiment.as_str().into()),
         ("threads", pool::threads().into()),
         ("elapsed_ms", elapsed_ms.into()),
         ("phases", Value::Arr(phases)),
+        ("pool", Value::obj([("chunk_wait", chunk_wait.to_json())])),
+        ("mem", mem),
         ("speedup", Value::Arr(collector.speedups)),
         ("work", Value::Arr(collector.work)),
     ]);
@@ -639,6 +739,10 @@ pub fn finish_summary() -> Summary {
         zero_ms(&mut run_doc);
         zero_ms(&mut bench_doc);
     }
+    // A traced run flushes its timeline alongside the reports, so a
+    // normally-completed experiment leaves a complete trace file without
+    // relying on the panic hook.
+    obs::trace::flush();
 
     let dir = report_dir();
     let bench_path = dir.join(format!("BENCH_{}.json", collector.experiment));

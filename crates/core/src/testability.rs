@@ -323,9 +323,15 @@ impl AtpgProbe {
         }
         if let Some(&hit) = self.cache.lock().unwrap().get(&key) {
             obs::count("probe.cache_hits", 1);
+            // Hit/miss stream as a 0/1 histogram: the summary's p50/p95
+            // read directly as "mostly hits" vs "mostly misses", and the
+            // sample values are deterministic (exempt from stable-ms
+            // zeroing, unlike `_ns` hists).
+            obs::hist("probe.cache_stream", 1);
             return hit;
         }
         obs::count("probe.cache_misses", 1);
+        obs::hist("probe.cache_stream", 0);
         let measured = if shared {
             let plan = self.plan_for(netlist, a, b, true);
             let die = testable::apply(netlist, &plan).expect("probe plan is valid");
@@ -373,6 +379,9 @@ impl TestabilityProbe for AtpgProbe {
         a: GateId,
         b: GateId,
     ) -> TestabilityCost {
+        // One latency sample per pair probed: the count is the number of
+        // probe calls (thread-invariant), the values wall-clock.
+        let probe_t0 = obs::is_active().then(std::time::Instant::now);
         let cached = prebond3d_netlist::tuning::cache_enabled();
         let union = if cached {
             match (
@@ -405,6 +414,9 @@ impl TestabilityProbe for AtpgProbe {
                 (cs, ps, cd, pd)
             }
         };
+        if let Some(t0) = probe_t0 {
+            obs::hist("probe.latency_ns", t0.elapsed().as_nanos() as u64);
+        }
         TestabilityCost {
             coverage_loss: (cov_sep - cov_shared).max(0.0),
             extra_patterns: pat_shared.saturating_sub(pat_sep),

@@ -128,6 +128,8 @@ pub const MISSION_MISMATCH: Code = Code(3501);
 pub const REPORT_UNPARSABLE: Code = Code(3601);
 /// A run/BENCH report drifted from its golden schema.
 pub const REPORT_SCHEMA_DRIFT: Code = Code(3602);
+/// A run/BENCH report omits the expected telemetry blocks (hists/mem).
+pub const REPORT_MISSING_TELEMETRY: Code = Code(3603);
 
 /// One registry row: code, short name, default severity, description.
 pub type RegistryRow = (Code, &'static str, Severity, &'static str);
@@ -283,6 +285,12 @@ pub const REGISTRY: &[RegistryRow] = &[
         "report-schema-drift",
         Severity::Error,
         "report drifted from its golden schema",
+    ),
+    (
+        REPORT_MISSING_TELEMETRY,
+        "report-missing-telemetry",
+        Severity::Warn,
+        "report omits the expected telemetry blocks (hists/mem)",
     ),
 ];
 

@@ -17,9 +17,12 @@ use std::collections::BTreeSet;
 use std::sync::OnceLock;
 
 use crate::context::LintContext;
-use crate::diagnostic::{Code, Diagnostic, Location, REPORT_SCHEMA_DRIFT, REPORT_UNPARSABLE};
+use crate::diagnostic::{
+    Code, Diagnostic, Location, REPORT_MISSING_TELEMETRY, REPORT_SCHEMA_DRIFT, REPORT_UNPARSABLE,
+};
 use crate::schema;
 use crate::Pass;
+use prebond3d_obs::json::Value;
 
 /// Cap on drift findings per report, to keep a wholesale corruption from
 /// flooding the output.
@@ -70,7 +73,11 @@ impl Pass for ReportSchemaPass {
     }
 
     fn codes(&self) -> &'static [Code] {
-        &[REPORT_UNPARSABLE, REPORT_SCHEMA_DRIFT]
+        &[
+            REPORT_UNPARSABLE,
+            REPORT_SCHEMA_DRIFT,
+            REPORT_MISSING_TELEMETRY,
+        ]
     }
 
     fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
@@ -111,7 +118,36 @@ impl Pass for ReportSchemaPass {
                     format!("... and {} more drifting shapes", drift.len() - MAX_DRIFT),
                 ));
             }
+            check_telemetry_blocks(label, &value, &ctx.artifact, out);
         }
+    }
+}
+
+/// Reports grown after the telemetry round carry `hists` + `mem` (run
+/// reports) resp. `mem` + `pool` (bench reports). A report omitting them
+/// is probably produced by a stale binary — worth a warning, not a
+/// failure, since lite fixtures legitimately skip optional blocks.
+fn check_telemetry_blocks(label: &str, value: &Value, artifact: &str, out: &mut Vec<Diagnostic>) {
+    let base = label.rsplit('/').next().unwrap_or(label);
+    let expected: &[&str] = if base.starts_with("BENCH_") {
+        &["mem", "pool"]
+    } else {
+        &["hists", "mem"]
+    };
+    let missing: Vec<&str> = expected
+        .iter()
+        .copied()
+        .filter(|key| !matches!(value.get(key), Some(Value::Obj(_))))
+        .collect();
+    if !missing.is_empty() {
+        out.push(
+            Diagnostic::new(
+                REPORT_MISSING_TELEMETRY,
+                Location::item(artifact, label.to_string()),
+                format!("report omits telemetry block(s): {}", missing.join(", ")),
+            )
+            .with_help("regenerate the report with a current bench binary"),
+        );
     }
 }
 
@@ -120,16 +156,25 @@ mod tests {
     use super::*;
     use crate::{LintContext, Linter};
 
-    /// Minimal run report that satisfies the golden schema.
+    /// Minimal run report that satisfies the golden schema, telemetry
+    /// blocks included.
     fn valid_run_report() -> String {
         r#"{
             "elapsed_ms": 12.0,
             "experiment": "smoke",
+            "hists": {"flow": {"count": 1, "sum": 9, "max": 9,
+                               "p50": 9, "p95": 9, "p99": 9}},
+            "mem": {"alloc_bytes_total": 100, "alloc_bytes_peak": 50,
+                    "rss_now_kb": 10, "rss_peak_kb": 12,
+                    "rss_sampled_kb": {"count": 1, "sum": 10, "max": 10,
+                                       "p50": 10, "p95": 10, "p99": 10}},
             "sections": [{
                 "label": "flow",
                 "ms": 11.0,
                 "counters": {"gates": 10},
                 "gauges": {"wns": 4},
+                "hists": {"probe.latency_ns": {"count": 2, "sum": 7, "max": 4,
+                                               "p50": 4, "p95": 4, "p99": 4}},
                 "spans": [{"name": "sta", "path": "flow/sta",
                            "count": 1, "depth": 1, "ms": 3.0}]
             }]
@@ -144,6 +189,23 @@ mod tests {
     #[test]
     fn valid_report_is_clean() {
         let report = lint("run_smoke.json", valid_run_report());
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(
+            report.with_code(REPORT_MISSING_TELEMETRY).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn missing_telemetry_blocks_warn_without_failing() {
+        // A pre-telemetry report: parseable, schema-clean, but without
+        // hists/mem blocks.
+        let text = r#"{"elapsed_ms": 1.0, "experiment": "old", "sections": []}"#.to_string();
+        let report = lint("run_old.json", text);
+        let warns = report.with_code(REPORT_MISSING_TELEMETRY);
+        assert_eq!(warns.len(), 1, "{}", report.render());
+        assert!(warns[0].message.contains("hists, mem"));
         assert!(!report.has_errors(), "{}", report.render());
     }
 

@@ -50,12 +50,31 @@ fn walk(path: &str, v: &Value, out: &mut BTreeSet<String>) {
                 }
                 return;
             }
+            // Histogram maps are keyed by dynamic metric/phase names; a
+            // value that is not a full histogram summary is drift.
+            if path.ends_with(".hists") {
+                out.insert(format!("{path}: map<hist>"));
+                for (k, v) in map {
+                    if !is_hist_summary(v) {
+                        walk(&format!("{path}.{k}"), v, out);
+                    }
+                }
+                return;
+            }
             out.insert(format!("{path}: object"));
             for (k, v) in map {
                 walk(&format!("{path}.{k}"), v, out);
             }
         }
     }
+}
+
+/// Is `v` a histogram summary object (`count`/`sum`/`max`/`p50`/`p95`/
+/// `p99`, all numeric)?
+fn is_hist_summary(v: &Value) -> bool {
+    ["count", "sum", "max", "p50", "p95", "p99"]
+        .iter()
+        .all(|field| matches!(v.get(field), Some(Value::Num(_))))
 }
 
 /// Parse a golden schema file (one `path: type` line per row) into a set.
@@ -101,6 +120,21 @@ mod tests {
         .map(str::to_string)
         .collect();
         assert_eq!(lines, expect);
+    }
+
+    #[test]
+    fn hist_maps_collapse_and_malformed_entries_surface() {
+        let doc = parse(
+            r#"{"hists":{"flow":{"count":1,"sum":2,"max":2,"p50":2,"p95":2,"p99":2},
+                         "bad":{"count":1}}}"#,
+        )
+        .unwrap();
+        let lines = schema_lines(&doc);
+        assert!(lines.contains("$.hists: map<hist>"));
+        // The well-formed entry stays collapsed...
+        assert!(!lines.iter().any(|l| l.starts_with("$.hists.flow")));
+        // ...the malformed one surfaces as drift lines.
+        assert!(lines.contains("$.hists.bad: object"));
     }
 
     #[test]

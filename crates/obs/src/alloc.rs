@@ -1,0 +1,120 @@
+//! Counting global allocator (the `obs-alloc` feature, on by default).
+//!
+//! Wraps the system allocator with three relaxed atomics — bytes ever
+//! allocated, bytes currently live, and the high-water mark of live bytes
+//! — so every binary linking `prebond3d-obs` gets `alloc.bytes_total` /
+//! `alloc.bytes_peak` telemetry for free. The bench report layer samples
+//! [`bytes_total`]/[`bytes_peak`] at phase boundaries; ROADMAP open item 2
+//! (1M-gate scale tiers) needs exactly this curve.
+//!
+//! Overhead is two/three relaxed RMW ops per allocation on top of the
+//! system allocator — noise next to the allocation itself. Builds that
+//! want the untouched system allocator use `--no-default-features`.
+//!
+//! This is the one module in the workspace that needs `unsafe`
+//! ([`GlobalAlloc`] is an unsafe trait): the crate lowers the workspace's
+//! `unsafe_code = "forbid"` to `deny` so this file alone can opt out.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static CURRENT: AtomicU64 = AtomicU64::new(0);
+static PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// The counting wrapper over [`System`]. Installed as the
+/// `#[global_allocator]` when the `obs-alloc` feature is on.
+pub struct CountingAlloc;
+
+#[inline]
+fn note_alloc(size: u64) {
+    TOTAL.fetch_add(size, Ordering::Relaxed);
+    let live = CURRENT.fetch_add(size, Ordering::Relaxed) + size;
+    PEAK.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn note_dealloc(size: u64) {
+    // Saturating rather than wrapping: a foreign dealloc (impossible for a
+    // from-birth global allocator, but cheap to guard) must not wrap the
+    // live count to ~2^64 and wreck the peak.
+    let mut live = CURRENT.load(Ordering::Relaxed);
+    loop {
+        let next = live.saturating_sub(size);
+        match CURRENT.compare_exchange_weak(live, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(v) => live = v,
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc_zeroed(layout);
+        if !p.is_null() {
+            note_alloc(layout.size() as u64);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        note_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            note_dealloc(layout.size() as u64);
+            note_alloc(new_size as u64);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Bytes ever allocated by this process (monotonic).
+pub fn bytes_total() -> u64 {
+    TOTAL.load(Ordering::Relaxed)
+}
+
+/// Bytes currently live (allocated minus freed).
+pub fn bytes_current() -> u64 {
+    CURRENT.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes.
+pub fn bytes_peak() -> u64 {
+    PEAK.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_counters_see_a_heap_allocation() {
+        let before_total = bytes_total();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let after_total = bytes_total();
+        assert!(
+            after_total - before_total >= 1 << 16,
+            "a 64 KiB allocation must advance bytes_total by at least its size"
+        );
+        assert!(bytes_peak() >= 1 << 16);
+        drop(v);
+        // `current` decreases on free; `total` never does.
+        assert!(bytes_total() >= after_total);
+    }
+}

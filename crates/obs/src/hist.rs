@@ -1,0 +1,236 @@
+//! Log-bucketed latency/value histograms with deterministic merge.
+//!
+//! A [`Hist`] is a fixed-size array of power-of-two buckets: value `v`
+//! lands in bucket `⌈log2(v+1)⌉` (bucket 0 holds only zeros, bucket `i`
+//! holds `2^(i-1) ..= 2^i - 1`). No allocation ever happens after
+//! construction, recording is one shift + one add, and merging two
+//! histograms is element-wise addition — associative and commutative, so
+//! per-worker histograms folded in *any* order produce identical bucket
+//! counts. That is the same contract the pool's chunk-ordered counter
+//! merge relies on (DESIGN.md §8): a histogram of a deterministic value
+//! stream is byte-identical at any `PREBOND3D_THREADS`.
+//!
+//! Quantiles are bucket-resolution estimates: [`Hist::quantile`] walks the
+//! cumulative counts and reports the upper bound of the bucket containing
+//! the requested rank (clamped to the exact observed maximum), so p50/p95/
+//! p99 are within a factor of 2 of the true value — plenty for spotting a
+//! latency-distribution regression, and free of any per-sample storage.
+//!
+//! By convention, histogram *names* ending in `_ns` hold wall-clock
+//! nanoseconds: their value fields (sum/max/quantiles) are zeroed under
+//! `PREBOND3D_STABLE_MS` by the report layer, while their sample `count`
+//! — which only depends on how many events happened, not when — survives
+//! and is regression-comparable.
+
+use crate::json::Value;
+
+/// Number of power-of-two buckets. Bucket 63 absorbs everything from
+/// `2^62` up, which at nanosecond resolution is ~146 years — effectively
+/// unbounded for any value this workspace records.
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size power-of-two-bucket histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// The bucket index for value `v`: 0 for 0, else `64 - leading_zeros(v)`
+/// capped at the last bucket (so bucket `i ≥ 1` spans `2^(i-1)..2^i`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0` for bucket 0).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Hist {
+    /// An empty histogram (`const`, so statics can hold one directly).
+    pub const fn new() -> Hist {
+        Hist {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Merge `other` into `self` (element-wise bucket addition). The
+    /// operation is associative and commutative, so any merge order over
+    /// a fixed multiset of samples yields identical state.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (exact, 128-bit).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The raw bucket counts (index = [`bucket_of`]).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Is the histogram empty?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the bucket
+    /// containing the `q`-th ranked sample (q in `[0, 1]`), clamped to the
+    /// exact maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serialize as the report-layer JSON object: sample `count` plus the
+    /// value summary (`sum`, `max`, `p50`, `p95`, `p99`). Bucket arrays
+    /// stay in-process; the report only carries the summary.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            ("count", self.count.into()),
+            ("sum", (self.sum.min(u128::from(u64::MAX)) as u64).into()),
+            ("max", self.max.into()),
+            ("p50", self.quantile(0.50).into()),
+            ("p95", self.quantile(0.95).into()),
+            ("p99", self.quantile(0.99).into()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let samples: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(2654435761) >> 32)
+            .collect();
+        let mut whole = Hist::new();
+        for &s in &samples {
+            whole.record(s);
+        }
+        // Split three ways, merge in two different orders.
+        let mut parts: Vec<Hist> = (0..3).map(|_| Hist::new()).collect();
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % 3].record(s);
+        }
+        let mut ab_c = parts[0].clone();
+        ab_c.merge(&parts[1]);
+        ab_c.merge(&parts[2]);
+        let mut c_ba = parts[2].clone();
+        c_ba.merge(&parts[1]);
+        c_ba.merge(&parts[0]);
+        assert_eq!(ab_c, c_ba);
+        assert_eq!(ab_c, whole);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Hist::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.max(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median 500; the containing bucket [512, 1023] reports 1023.
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 1000, "p100 clamps to the exact max");
+        assert_eq!(h.quantile(0.0), h.quantile(1e-9));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = Hist::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.max(), 0);
+        assert!(h.is_empty());
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn json_carries_the_summary() {
+        let mut h = Hist::new();
+        h.record(10);
+        h.record(1000);
+        let j = h.to_json();
+        assert_eq!(j.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("sum").unwrap().as_u64(), Some(1010));
+        assert_eq!(j.get("max").unwrap().as_u64(), Some(1000));
+        assert!(j.get("p50").unwrap().as_u64().unwrap() >= 10);
+    }
+}

@@ -55,7 +55,12 @@
 //! run's counters exactly, because counters only ever add and each probe
 //! lands in exactly one registry — merge order cannot change a sum.
 
+#[cfg(feature = "obs-alloc")]
+pub mod alloc;
+pub mod hist;
 pub mod json;
+pub mod mem;
+pub mod trace;
 
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
@@ -136,6 +141,7 @@ struct Registry {
     span_index: HashMap<String, usize>,
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, hist::Hist>,
 }
 
 impl Registry {
@@ -171,6 +177,11 @@ impl Registry {
                 .gauges
                 .iter()
                 .map(|(&k, &v)| (k.to_string(), v))
+                .collect(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(&k, v)| (k.to_string(), v.clone()))
                 .collect(),
         }
     }
@@ -276,10 +287,11 @@ pub struct Span {
     name: &'static str,
 }
 
-/// Open a span. Near-free when observability is off.
+/// Open a span. Near-free when observability is off (and the event
+/// timeline is disarmed).
 #[inline]
 pub fn span(name: &'static str) -> Span {
-    if !is_active() {
+    if !is_active() && !trace::armed() {
         return Span { start: None, name };
     }
     STACK.with(|s| s.borrow_mut().push(name));
@@ -309,6 +321,21 @@ impl Drop for Span {
             stack.pop();
             (path, depth)
         });
+        if trace::armed() {
+            trace::complete(
+                "span",
+                self.name,
+                start,
+                dur_ns,
+                Some(("path", path.as_str().into())),
+            );
+        }
+        // Aggregation (and sink streaming below) only under an active
+        // probe config; a trace-only run records the timeline and nothing
+        // else.
+        if !is_active() {
+            return;
+        }
         let st = state();
         let captured = LOCAL.with(|l| {
             if let Some(reg) = l.borrow_mut().as_mut() {
@@ -384,6 +411,29 @@ pub fn count(name: &'static str, delta: u64) {
     }
 }
 
+/// Record one sample into the log-bucketed histogram `name`
+/// (see [`hist::Hist`]). By convention, names ending in `_ns` hold
+/// wall-clock nanoseconds and have their value fields zeroed in reports
+/// under `PREBOND3D_STABLE_MS`.
+#[inline]
+pub fn hist(name: &'static str, value: u64) {
+    if !is_active() {
+        return;
+    }
+    let captured = LOCAL.with(|l| {
+        if let Some(reg) = l.borrow_mut().as_mut() {
+            reg.hists.entry(name).or_default().record(value);
+            true
+        } else {
+            false
+        }
+    });
+    if !captured {
+        let mut reg = state().registry.lock().unwrap();
+        reg.hists.entry(name).or_default().record(value);
+    }
+}
+
 /// Record the latest value of gauge `name`.
 #[inline]
 pub fn gauge(name: &'static str, value: u64) {
@@ -413,6 +463,8 @@ pub struct Snapshot {
     pub counters: Vec<(String, u64)>,
     /// Gauges, sorted by name.
     pub gauges: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub hists: Vec<(String, hist::Hist)>,
 }
 
 impl Snapshot {
@@ -422,6 +474,7 @@ impl Snapshot {
             spans: Vec::new(),
             counters: Vec::new(),
             gauges: Vec::new(),
+            hists: Vec::new(),
         }
     }
 
@@ -443,9 +496,17 @@ impl Snapshot {
         self.spans.iter().find(|s| s.path == path)
     }
 
+    /// Histogram by name, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&hist::Hist> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
     /// `true` when nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.spans.is_empty() && self.counters.is_empty() && self.gauges.is_empty()
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.hists.is_empty()
     }
 
     /// Serialize as a JSON object (the run-report per-die payload).
@@ -475,10 +536,17 @@ impl Snapshot {
                 .map(|(k, v)| (k.clone(), Value::from(*v)))
                 .collect(),
         );
+        let hists = Value::Obj(
+            self.hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.to_json()))
+                .collect(),
+        );
         Value::obj([
             ("spans", Value::Arr(spans)),
             ("counters", counters),
             ("gauges", gauges),
+            ("hists", hists),
         ])
     }
 }
@@ -486,6 +554,24 @@ impl Snapshot {
 /// Copy out the aggregate registry.
 pub fn snapshot() -> Snapshot {
     state().registry.lock().unwrap().to_snapshot()
+}
+
+/// Heap telemetry from the counting allocator as
+/// `(bytes_total, bytes_current, bytes_peak)`, or `None` when the
+/// `obs-alloc` feature is off. Callers need no feature gate of their own.
+pub fn alloc_stats() -> Option<(u64, u64, u64)> {
+    #[cfg(feature = "obs-alloc")]
+    {
+        Some((
+            alloc::bytes_total(),
+            alloc::bytes_current(),
+            alloc::bytes_peak(),
+        ))
+    }
+    #[cfg(not(feature = "obs-alloc"))]
+    {
+        None
+    }
 }
 
 /// Run `f` with a fresh **thread-local** registry capturing every probe

@@ -1,0 +1,61 @@
+//! Process-level memory telemetry from the kernel's point of view.
+//!
+//! The counting allocator ([`crate::alloc`]) sees heap traffic; this
+//! module reads `/proc/self/status` for the resident-set numbers the OS
+//! actually charges the process — `VmRSS` (current) and `VmHWM` (the
+//! kernel-maintained high-water mark, which needs no sampling loop to be
+//! exact). The bench report layer samples [`rss_now_kb`] at phase
+//! boundaries and stamps [`rss_peak_kb`] into the final `mem` block.
+//!
+//! On non-Linux targets (or a hardened `/proc`) every probe returns
+//! `None` and the report simply omits the RSS fields — telemetry is never
+//! a portability liability.
+
+/// Parse the first integer of a `Key: value kB` line in
+/// `/proc/self/status`.
+#[cfg(target_os = "linux")]
+fn status_kb(key: &str) -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.strip_prefix(':')?;
+            return rest.split_whitespace().next()?.parse().ok();
+        }
+    }
+    None
+}
+
+#[cfg(not(target_os = "linux"))]
+fn status_kb(_key: &str) -> Option<u64> {
+    None
+}
+
+/// Current resident set size in kilobytes (`VmRSS`), if available.
+pub fn rss_now_kb() -> Option<u64> {
+    status_kb("VmRSS")
+}
+
+/// Peak resident set size in kilobytes (`VmHWM`) — the kernel's own
+/// high-water mark for this process, if available.
+pub fn rss_peak_kb() -> Option<u64> {
+    status_kb("VmHWM")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_probes_are_sane_where_available() {
+        // On Linux CI both must resolve and the peak bounds the current
+        // value; elsewhere both are None and that is the contract.
+        match (rss_now_kb(), rss_peak_kb()) {
+            (Some(now), Some(peak)) => {
+                assert!(now > 0);
+                assert!(peak >= now / 2, "peak {peak} kB vs now {now} kB");
+            }
+            (None, None) => {}
+            other => panic!("partially available RSS probes: {other:?}"),
+        }
+    }
+}

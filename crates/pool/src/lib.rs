@@ -43,14 +43,39 @@
 use std::cell::Cell;
 use std::ops::Range;
 
+use prebond3d_obs::hist::Hist;
+use prebond3d_obs::trace;
 use prebond3d_resilience::chaos;
 use std::panic::resume_unwind;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Re-export of [`std::thread::scope`] so callers spawning bespoke
 /// structured threads share one import point with the pool.
 pub use std::thread::scope;
+
+/// Process-global histogram of worker *idle gaps*: the nanoseconds between
+/// a worker finishing one chunk (or entering the claim loop) and starting
+/// the next — claim contention plus result-merge lock time.
+///
+/// Deliberately **outside** the obs registry: chunk counts depend on the
+/// thread configuration (`auto_chunk` scales with [`threads`]), so folding
+/// this into per-die capture snapshots would break the "byte-identical at
+/// any thread count" report contract. The perf harness drains it into the
+/// BENCH report's `pool` block instead, where the whole block is zeroed
+/// under `PREBOND3D_STABLE_MS`.
+static CHUNK_WAIT: Mutex<Hist> = Mutex::new(Hist::new());
+
+/// Snapshot-and-reset the global chunk-wait histogram (perf harness).
+pub fn drain_chunk_wait() -> Hist {
+    std::mem::take(&mut *CHUNK_WAIT.lock().unwrap())
+}
+
+/// Copy of the global chunk-wait histogram without resetting (tests).
+pub fn chunk_wait_snapshot() -> Hist {
+    CHUNK_WAIT.lock().unwrap().clone()
+}
 
 static CONFIGURED: OnceLock<usize> = OnceLock::new();
 
@@ -142,7 +167,20 @@ where
                 // poison-and-reraise path (and the serial path here).
                 chaos::maybe_panic("pool.worker");
                 let lo = c * chunk;
-                work(&mut state, lo..(lo + chunk).min(n))
+                if trace::armed() {
+                    let t0 = Instant::now();
+                    let r = work(&mut state, lo..(lo + chunk).min(n));
+                    trace::complete(
+                        "pool",
+                        "chunk",
+                        t0,
+                        t0.elapsed().as_nanos(),
+                        Some(("chunk", c.into())),
+                    );
+                    r
+                } else {
+                    work(&mut state, lo..(lo + chunk).min(n))
+                }
             })
             .collect();
     }
@@ -177,21 +215,55 @@ where
             }
         }
 
+        // One relaxed load up front: arming tracing mid-region would skew
+        // a timeline anyway, and per-chunk telemetry must cost nothing
+        // when the recorder is off.
+        let traced = trace::armed();
+        let measured = traced || prebond3d_obs::is_active();
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let next = &next;
+                let poisoned = &poisoned;
+                let results = &results;
+                let init = &init;
+                let work = &work;
+                s.spawn(move || {
                     let _mark = WorkerMark::enter();
-                    let _poison = PoisonOnPanic(&poisoned);
+                    let _poison = PoisonOnPanic(poisoned);
+                    if traced {
+                        // Name the track before the first claim, so every
+                        // spawned worker appears in the timeline even when
+                        // one fast worker drains all the chunks.
+                        trace::set_thread_name(&format!("pool worker {w}"));
+                    }
                     let mut state = init();
+                    let mut idle_from = measured.then(Instant::now);
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= nchunks || poisoned.load(Ordering::Relaxed) {
                             break;
                         }
                         chaos::maybe_panic("pool.worker");
+                        if let Some(idle) = idle_from {
+                            let wait_ns = idle.elapsed().as_nanos() as u64;
+                            CHUNK_WAIT.lock().unwrap().record(wait_ns);
+                        }
                         let lo = c * chunk;
+                        let t0 = traced.then(Instant::now);
                         let r = work(&mut state, lo..(lo + chunk).min(n));
+                        if let Some(t0) = t0 {
+                            trace::complete(
+                                "pool",
+                                "chunk",
+                                t0,
+                                t0.elapsed().as_nanos(),
+                                Some(("chunk", c.into())),
+                            );
+                        }
                         results.lock().unwrap().push((c, r));
+                        if measured {
+                            idle_from = Some(Instant::now());
+                        }
                     }
                 })
             })

@@ -174,6 +174,7 @@ fn record(site: &'static str, kind: ChaosKind, seq: u64) {
         .lock()
         .unwrap()
         .push(ChaosEvent { site, kind, seq });
+    crate::hooks::emit("chaos", site, kind.label());
 }
 
 /// Record an event without rolling — the schema probe uses this so the

@@ -26,10 +26,12 @@ static REGISTRY: Mutex<Vec<Degradation>> = Mutex::new(Vec::new());
 
 /// Record one degradation.
 pub fn record(phase: &'static str, action: &'static str, detail: impl Into<String>) {
+    let detail = detail.into();
+    crate::hooks::emit("degrade", phase, &format!("{action}: {detail}"));
     REGISTRY.lock().unwrap().push(Degradation {
         phase,
         action,
-        detail: detail.into(),
+        detail,
     });
 }
 

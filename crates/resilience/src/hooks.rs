@@ -1,0 +1,67 @@
+//! Upward-facing telemetry hooks.
+//!
+//! This crate sits at the bottom of the workspace (DESIGN.md §10) and must
+//! not depend on `prebond3d-obs`, yet chaos firings, degradations and
+//! checkpoint writes belong on the observability timeline. The seam is a
+//! single installable function pointer: the obs layer registers
+//! [`set_trace_hook`] when event tracing is armed, and the resilience
+//! modules call [`emit`] at each noteworthy moment. With no hook installed
+//! (the default, and the common case) an emit is one relaxed atomic load.
+//!
+//! A plain `fn` pointer — not a boxed closure — keeps this allocation-free
+//! and `unsafe`-free: the pointer is stashed behind a mutex with an atomic
+//! armed flag for the fast path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// A telemetry sink for resilience events: `(kind, name, detail)`, e.g.
+/// `("chaos", "pool.worker", "panic")` or `("checkpoint", "append",
+/// "results/run_x.json.ckpt")`.
+pub type TraceHook = fn(kind: &'static str, name: &str, detail: &str);
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static HOOK: Mutex<Option<TraceHook>> = Mutex::new(None);
+
+/// Install (or with `None` remove) the process-global trace hook.
+pub fn set_trace_hook(hook: Option<TraceHook>) {
+    *HOOK.lock().unwrap() = hook;
+    ARMED.store(hook.is_some(), Ordering::Release);
+}
+
+/// Forward an event to the installed hook, if any. Near-free when no hook
+/// is installed; events are rare (faults, degradations, checkpoints), so
+/// the armed-path mutex is uncontended in practice.
+pub fn emit(kind: &'static str, name: &str, detail: &str) {
+    if !ARMED.load(Ordering::Acquire) {
+        return;
+    }
+    let hook = *HOOK.lock().unwrap();
+    if let Some(f) = hook {
+        f(kind, name, detail);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    static SEEN: AtomicU64 = AtomicU64::new(0);
+
+    fn test_hook(_kind: &'static str, _name: &str, _detail: &str) {
+        SEEN.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn emit_reaches_the_installed_hook_and_only_then() {
+        emit("chaos", "nothing", "installed");
+        assert_eq!(SEEN.load(Ordering::Relaxed), 0);
+        set_trace_hook(Some(test_hook));
+        emit("chaos", "site", "detail");
+        emit("degrade", "phase", "action");
+        set_trace_hook(None);
+        emit("chaos", "after", "removal");
+        assert_eq!(SEEN.load(Ordering::Relaxed), 2);
+    }
+}

@@ -104,7 +104,9 @@ pub fn append_checkpoint(path: &Path, hash: u64, entry: &str) -> std::io::Result
         let mut f = fs::File::create(path).map_err(|e| with_context("create", path, e))?;
         f.write_all(format!("{}\n{entry}\n", header(hash)).as_bytes())
             .map_err(|e| with_context("write", path, e))?;
-        return f.sync_all().map_err(|e| with_context("sync", path, e));
+        f.sync_all().map_err(|e| with_context("sync", path, e))?;
+        crate::hooks::emit("checkpoint", "append", &path.display().to_string());
+        return Ok(());
     }
     // Terminate a torn final line (crash mid-append) so the new entry
     // stays on its own line; the garbage fragment is skipped on parse.
@@ -120,7 +122,9 @@ pub fn append_checkpoint(path: &Path, hash: u64, entry: &str) -> std::io::Result
     };
     f.write_all(payload.as_bytes())
         .map_err(|e| with_context("append to", path, e))?;
-    f.sync_all().map_err(|e| with_context("sync", path, e))
+    f.sync_all().map_err(|e| with_context("sync", path, e))?;
+    crate::hooks::emit("checkpoint", "append", &path.display().to_string());
+    Ok(())
 }
 
 #[cfg(test)]

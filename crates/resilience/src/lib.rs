@@ -24,6 +24,7 @@
 pub mod budget;
 pub mod chaos;
 pub mod degrade;
+pub mod hooks;
 pub mod io;
 
 pub use budget::Deadline;

@@ -119,6 +119,10 @@ fn schema_lines(path: &str, v: &Value, out: &mut BTreeSet<String>) {
                 out.insert(format!("{path}: map<number>"));
                 return;
             }
+            if path.ends_with(".hists") {
+                out.insert(format!("{path}: map<hist>"));
+                return;
+            }
             out.insert(format!("{path}: object"));
             for (k, v) in map {
                 schema_lines(&format!("{path}.{k}"), v, out);

@@ -51,6 +51,21 @@ fn schema_lines(path: &str, v: &Value, out: &mut BTreeSet<String>) {
                 }
                 return;
             }
+            // Histogram maps are keyed by dynamic metric/phase names; they
+            // collapse to one `map<hist>` entry, asserting every value is
+            // a full histogram summary object.
+            if path.ends_with(".hists") {
+                out.insert(format!("{path}: map<hist>"));
+                for (k, v) in map {
+                    for field in ["count", "sum", "max", "p50", "p95", "p99"] {
+                        assert!(
+                            matches!(v.get(field), Some(Value::Num(_))),
+                            "{path}.{k}.{field} must be a numeric hist field, got {v:?}"
+                        );
+                    }
+                }
+                return;
+            }
             out.insert(format!("{path}: object"));
             for (k, v) in map {
                 schema_lines(&format!("{path}.{k}"), v, out);
@@ -99,10 +114,27 @@ fn report_files_match_the_golden_schemas() {
             {
                 let _inner = obs::span("graph_build");
                 obs::count("graph.edges", 3 + die as u64);
+                obs::hist("probe.latency_ns", 1500 + die as u64);
             }
             obs::gauge("flow.reused_scan_ffs", die as u64);
         });
     }
+    // One panicking unit with telemetry already recorded: its partial
+    // capture must land in `failures[].partial` with section shape.
+    report::resilient_par_die_scopes(
+        "schema_panic",
+        &[0u32],
+        |case| format!("synthetic Panic{case}"),
+        |_| {
+            {
+                let _span = obs::span("doomed_phase");
+                obs::count("graph.edges", 1);
+            }
+            panic!("schema probe partial failure");
+        },
+        |_: &u32| Value::Null,
+        |_| Some(0u32),
+    );
     report::record_speedup("fault_simulation", "synthetic Die1", 4, 10.0, 4.0);
     report::record_work("atpg.gate_evals", "synthetic Die1", 1000, 400);
     let run_path = report::finish().expect("reports written");
