@@ -153,6 +153,13 @@ impl FaultList {
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
     }
+
+    /// Approximate heap footprint in bytes (capacity, not length: a list
+    /// built by filtering retains its allocation). Used by cache
+    /// byte-budget accounting in layers that keep fault universes warm.
+    pub fn approx_bytes(&self) -> usize {
+        self.faults.capacity() * std::mem::size_of::<Fault>()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,507 @@
+//! The serving load generator behind `prebond3d-loadgen`.
+//!
+//! Replays a **seeded multi-client job mix** against a `prebond3d-serve`
+//! daemon and writes `results/BENCH_serve.json` — the serving twin of
+//! `BENCH_perf.json`, obs-diff-gated in CI (`serve.cache_misses` is in
+//! [`crate::obsdiff::GATED_COUNTERS`]).
+//!
+//! The run has two deliberate phases:
+//!
+//! 1. **Priming** — one sequential client submits one job per distinct
+//!    substrate in the mix. Against a cold daemon this produces exactly
+//!    one `serve.cache_misses` per substrate (all methods share a
+//!    substrate's warm entry), making the gated counter deterministic
+//!    and race-free. The first priming job is the *measured-probe* job
+//!    (`probe: atpg` on the smallest substrate): it pays the full ATPG
+//!    pricing of every overlapping pair, which is what fills the probe
+//!    memo the warm cache keeps alive. Its server-side duration is the
+//!    *cold* latency sample.
+//! 2. **Mix** — `clients` concurrent connections each replay
+//!    `jobs_per_client` jobs drawn from the seeded mix. Every lookup
+//!    hits the warm cache. Mix jobs with the **same spec** as the cold
+//!    measured-probe job (each client's first job is one, by
+//!    construction) feed the *warm* histogram — a matched comparison,
+//!    where the only difference is the cache state. Latencies are the
+//!    server-side per-job `ms` from the `done` frame, so mix queueing
+//!    does not pollute the comparison.
+//!
+//! The loadgen asserts the serving contract, not just liveness: every
+//! job must come back code 0, the hit delta must be positive, and the
+//! warm p50 must beat the cold p50 (a warm measured-probe job skips
+//! generate+place *and* re-pricing the pairs its substrate's memo
+//! already holds). It therefore **requires a cold daemon** — point it
+//! at a warmed-up one and the cold histogram is empty, which is an
+//! error, not a silently-vacuous pass.
+//!
+//! Latency histogram *values* are wall-clock and zeroed under
+//! `PREBOND3D_STABLE_MS` like every other clock in the reports; the
+//! sample **counts** are deterministic (`#substrates` cold,
+//! `clients * jobs_per_client` warm) and survive, so obs-diff can still
+//! align them.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+use prebond3d_obs as obs;
+use prebond3d_obs::json::Value;
+use prebond3d_pool as pool;
+use prebond3d_resilience as resil;
+use prebond3d_rng::StdRng;
+use prebond3d_serve::{Bind, Server, ServerConfig};
+
+use crate::report;
+
+/// The fixed substrate set of the mix: small dies so a full replay stays
+/// in CI seconds, two circuits so eviction keying is exercised across
+/// generation inputs.
+const SUBSTRATES: [(&str, usize); 3] = [("b11", 0), ("b11", 1), ("b12", 0)];
+/// Methods sampled by the mix; all four share one substrate entry.
+const METHODS: [&str; 3] = ["ours", "agrawal", "li"];
+
+/// Loadgen configuration (see the binary's `--help`).
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target an external daemon (`host:port`); `None` spawns one
+    /// in-process.
+    pub addr: Option<String>,
+    /// Concurrent mix connections.
+    pub clients: usize,
+    /// Jobs each mix client replays.
+    pub jobs_per_client: usize,
+    /// Mix seed; same seed, same job sequence.
+    pub seed: u64,
+    /// Send the `shutdown` op when done (always done for an in-process
+    /// daemon; opt-in for an external one).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: None,
+            clients: 3,
+            jobs_per_client: 6,
+            seed: 0x10AD_5EED,
+            shutdown: false,
+        }
+    }
+}
+
+/// What [`run`] hands the binary for its summary line.
+#[derive(Debug)]
+pub struct LoadgenSummary {
+    /// Jobs replayed (priming + mix).
+    pub jobs: u64,
+    /// `serve.cache_hits` delta over the run.
+    pub hits: u64,
+    /// `serve.cache_misses` delta over the run.
+    pub misses: u64,
+    /// Cold (miss) p50 latency, milliseconds.
+    pub cold_p50_ms: f64,
+    /// Warm (hit) p50 latency, milliseconds.
+    pub warm_p50_ms: f64,
+    /// Where `BENCH_serve.json` was written.
+    pub report_path: std::path::PathBuf,
+}
+
+/// One client connection speaking the newline-delimited JSON protocol.
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+/// One completed job as observed from the client side.
+struct JobResult {
+    code: u64,
+    cache: String,
+    /// Server-side job duration (the `done` frame's `ms`), nanoseconds.
+    server_ns: u64,
+    /// Did this job run the measured-probe spec the histograms compare?
+    measured: bool,
+    /// `(path, count, ms)` rows from the job's `phase` frames.
+    phases: Vec<(String, u64, f64)>,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Result<Client, String> {
+        let writer = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(reader),
+        })
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| format!("send: {e}"))?;
+        self.writer.flush().map_err(|e| format!("flush: {e}"))
+    }
+
+    fn read_frame(&mut self) -> Result<Value, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".into());
+        }
+        obs::json::parse(line.trim())
+            .map_err(|e| format!("unparsable frame `{}`: {e}", line.trim()))
+    }
+
+    /// One request, one response frame.
+    fn request(&mut self, line: &str) -> Result<Value, String> {
+        self.send(line)?;
+        self.read_frame()
+    }
+
+    /// Submit one job and consume its frame stream through `done`.
+    /// `measured` tags the job for the cold/warm latency histograms.
+    fn submit(&mut self, line: &str, measured: bool) -> Result<JobResult, String> {
+        self.send(line)?;
+        let first = self.read_frame()?;
+        if first.get("ev").and_then(Value::as_str) != Some("accepted") {
+            return Err(format!("expected accepted, got {first}"));
+        }
+        let mut phases = Vec::new();
+        loop {
+            let frame = self.read_frame()?;
+            match frame.get("ev").and_then(Value::as_str) {
+                Some("phase") => {
+                    if let (Some(path), Some(count), Some(ms)) = (
+                        frame.get("path").and_then(Value::as_str),
+                        frame.get("count").and_then(Value::as_u64),
+                        frame.get("ms").and_then(Value::as_f64),
+                    ) {
+                        phases.push((path.to_string(), count, ms));
+                    }
+                }
+                Some("done") => {
+                    let server_ms = frame.get("ms").and_then(Value::as_f64).unwrap_or(0.0);
+                    return Ok(JobResult {
+                        code: frame.get("code").and_then(Value::as_u64).unwrap_or(4),
+                        cache: frame
+                            .get("cache")
+                            .and_then(Value::as_str)
+                            .unwrap_or("?")
+                            .to_string(),
+                        server_ns: (server_ms.max(0.0) * 1.0e6) as u64,
+                        measured,
+                        phases,
+                    });
+                }
+                _ => return Err(format!("unexpected frame {frame}")),
+            }
+        }
+    }
+}
+
+/// The substrate/method/probe of the measured-probe jobs the cold/warm
+/// histograms compare: the ATPG probe on the smallest substrate, so the
+/// cold job's full pair pricing stays in CI seconds.
+const MEASURED: (usize, usize, &str) = (0, 0, "atpg");
+
+/// The submit line for one mix draw.
+fn job_line(id: &str, substrate: usize, method: usize, probe: &str) -> String {
+    let (circuit, die) = SUBSTRATES[substrate];
+    format!(
+        r#"{{"op":"submit","id":"{id}","circuit":"{circuit}","die":{die},"method":"{}","probe":"{probe}"}}"#,
+        METHODS[method]
+    )
+}
+
+/// Numeric field of a stats sub-block, defaulting to 0.
+fn stat(frame: &Value, block: &str, key: &str) -> u64 {
+    frame
+        .get(block)
+        .and_then(|b| b.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+/// Run the load, write `BENCH_serve.json`, and check the serving
+/// contract.
+///
+/// # Errors
+///
+/// Connection/protocol failures, a non-zero job code, a hit delta of
+/// zero, an empty cold histogram (the daemon was not cold), or a warm
+/// p50 that does not beat the cold p50.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
+    let started = Instant::now();
+    // An in-process daemon when no --addr: fixed worker count so the mix
+    // concurrency (and thus queueing) is environment-independent.
+    let server = match &config.addr {
+        Some(_) => None,
+        None => Some(
+            Server::start(ServerConfig {
+                bind: Bind::Tcp("127.0.0.1:0".to_string()),
+                workers: 4,
+                cache_bytes: prebond3d_serve::cache::DEFAULT_BUDGET_BYTES,
+            })
+            .map_err(|e| format!("spawn daemon: {e}"))?,
+        ),
+    };
+    let addr = match (&config.addr, &server) {
+        (Some(a), _) => a.clone(),
+        (None, Some(s)) => s.addr().expect("tcp daemon has an addr").to_string(),
+        (None, None) => unreachable!(),
+    };
+
+    let mut control = Client::connect(&addr)?;
+    let before = control.request(r#"{"op":"stats"}"#)?;
+
+    // --- Phase 1: sequential priming, one job per distinct substrate ---
+    let mut cold = obs::hist::Hist::new();
+    let mut warm = obs::hist::Hist::new();
+    let mut phase_agg: std::collections::BTreeMap<String, (u64, f64)> =
+        std::collections::BTreeMap::new();
+    let mut phase_hists: std::collections::BTreeMap<String, obs::hist::Hist> =
+        std::collections::BTreeMap::new();
+    let mut bad_jobs: Vec<String> = Vec::new();
+    let mut fold = |r: &JobResult| {
+        if r.measured {
+            if r.cache == "hit" {
+                warm.record(r.server_ns);
+            } else {
+                cold.record(r.server_ns);
+            }
+        }
+        for (path, count, ms) in &r.phases {
+            let e = phase_agg.entry(path.clone()).or_insert((0, 0.0));
+            e.0 += count;
+            e.1 += ms;
+            phase_hists
+                .entry(path.clone())
+                .or_default()
+                .record((ms.max(0.0) * 1.0e6) as u64);
+        }
+    };
+    // The measured-probe job goes first while its substrate is still
+    // cold, then one cheap structural job per remaining substrate.
+    let (m_sub, m_method, m_probe) = MEASURED;
+    let prime: Vec<(String, bool)> =
+        std::iter::once((job_line("prime-measured", m_sub, m_method, m_probe), true))
+            .chain(
+                SUBSTRATES
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != m_sub)
+                    .map(|(i, _)| (job_line(&format!("prime-{i}"), i, 0, "structural"), false)),
+            )
+            .collect();
+    for (line, measured) in &prime {
+        let r = control.submit(line, *measured)?;
+        if r.code != 0 {
+            bad_jobs.push(format!("priming job exited {}", r.code));
+        }
+        fold(&r);
+    }
+
+    // --- Phase 2: seeded multi-client mix -------------------------------
+    let results: Vec<Result<Vec<JobResult>, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.clients)
+            .map(|c| {
+                let addr = addr.clone();
+                let jobs = config.jobs_per_client;
+                let seed = config.seed;
+                scope.spawn(move || -> Result<Vec<JobResult>, String> {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
+                    let mut client = Client::connect(&addr)?;
+                    let mut out = Vec::with_capacity(jobs);
+                    let (m_sub, m_method, m_probe) = MEASURED;
+                    for j in 0..jobs {
+                        // Each client's first job replays the measured
+                        // spec warm, guaranteeing warm samples; the rest
+                        // draw from the seeded mix (the measured spec
+                        // can recur — still a matched warm sample).
+                        let (substrate, method, probe) = if j == 0 {
+                            (m_sub, m_method, m_probe)
+                        } else {
+                            let substrate = rng.gen_range(0..SUBSTRATES.len());
+                            let method = rng.gen_range(0..METHODS.len());
+                            let probe = if substrate == m_sub && rng.gen_bool(0.4) {
+                                m_probe
+                            } else {
+                                "structural"
+                            };
+                            (substrate, method, probe)
+                        };
+                        let measured = (substrate, method, probe) == (m_sub, m_method, m_probe);
+                        let line = job_line(&format!("c{c}-j{j}"), substrate, method, probe);
+                        out.push(client.submit(&line, measured)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("client panicked".into())))
+            .collect()
+    });
+    for r in results {
+        for job in r? {
+            if job.code != 0 {
+                bad_jobs.push(format!("mix job exited {}", job.code));
+            }
+            fold(&job);
+        }
+    }
+
+    let after = control.request(r#"{"op":"stats"}"#)?;
+    if config.shutdown || server.is_some() {
+        let bye = control.request(r#"{"op":"shutdown"}"#)?;
+        if bye.get("ev").and_then(Value::as_str) != Some("bye") {
+            return Err(format!("expected bye, got {bye}"));
+        }
+    }
+    if let Some(server) = server {
+        server.join();
+    }
+
+    // --- Deltas, report, contract ---------------------------------------
+    let delta = |block: &str, key: &str| stat(&after, block, key) - stat(&before, block, key);
+    let total_jobs = prime.len() as u64 + (config.clients * config.jobs_per_client) as u64;
+    let hits = delta("cache", "hits");
+    let misses = delta("cache", "misses");
+    let evictions = delta("cache", "evictions");
+
+    let work_row = |counter: &str, reference: u64, optimized: u64| {
+        let reduction = if reference > 0 {
+            1.0 - optimized as f64 / reference as f64
+        } else {
+            0.0
+        };
+        Value::obj([
+            ("counter", counter.into()),
+            ("substrate", "job mix".into()),
+            ("reference", reference.into()),
+            ("optimized", optimized.into()),
+            ("reduction", reduction.into()),
+        ])
+    };
+    let phases: Vec<Value> = phase_agg
+        .iter()
+        .map(|(path, &(count, ms))| {
+            let h = phase_hists.get(path);
+            Value::obj([
+                ("path", path.as_str().into()),
+                ("count", count.into()),
+                ("ms", ms.into()),
+                ("p50_ns", h.map_or(0, |h| h.quantile(0.50)).into()),
+                ("p95_ns", h.map_or(0, |h| h.quantile(0.95)).into()),
+                ("p99_ns", h.map_or(0, |h| h.quantile(0.99)).into()),
+                ("max_ns", h.map_or(0, obs::hist::Hist::max).into()),
+            ])
+        })
+        .collect();
+    let mut mem_fields: Vec<(&'static str, Value)> = Vec::new();
+    if let Some(kb) = obs::mem::rss_now_kb() {
+        mem_fields.push(("rss_now_kb", kb.into()));
+    }
+    if let Some(kb) = obs::mem::rss_peak_kb() {
+        mem_fields.push(("rss_peak_kb", kb.into()));
+    }
+    let mut doc = Value::obj([
+        ("experiment", "serve".into()),
+        ("threads", pool::threads().into()),
+        (
+            "elapsed_ms",
+            (started.elapsed().as_secs_f64() * 1.0e3).into(),
+        ),
+        ("clients", config.clients.into()),
+        ("jobs_per_client", config.jobs_per_client.into()),
+        ("seed", config.seed.into()),
+        ("phases", Value::Arr(phases)),
+        (
+            "hists",
+            Value::obj([
+                ("serve.latency_cold_ns", cold.to_json()),
+                ("serve.latency_warm_ns", warm.to_json()),
+            ]),
+        ),
+        (
+            "jobs",
+            Value::obj([
+                ("submitted", delta("jobs", "submitted").into()),
+                ("done", delta("jobs", "done").into()),
+                ("failed", delta("jobs", "failed").into()),
+                ("protocol_errors", delta("jobs", "protocol_errors").into()),
+            ]),
+        ),
+        (
+            "cache",
+            Value::obj([
+                ("hits", hits.into()),
+                ("misses", misses.into()),
+                ("evictions", evictions.into()),
+                ("entries", stat(&after, "cache", "entries").into()),
+                ("budget", stat(&after, "cache", "budget").into()),
+            ]),
+        ),
+        ("mem", Value::obj(mem_fields)),
+        (
+            "work",
+            Value::Arr(vec![
+                work_row("serve.cache_misses", total_jobs, misses),
+                work_row("serve.cache_hits", 0, hits),
+                work_row("serve.cache_evictions", 0, evictions),
+            ]),
+        ),
+    ]);
+    // The contract checks read the *measured* values; the stable-ms
+    // normalization only applies to what lands on disk.
+    let cold_p50_ms = cold.quantile(0.50) as f64 / 1.0e6;
+    let warm_p50_ms = warm.quantile(0.50) as f64 / 1.0e6;
+    if resil::stable_ms() {
+        report::zero_ms(&mut doc);
+    }
+    let report_path = report::report_dir().join("BENCH_serve.json");
+    resil::atomic_write(&report_path, &format!("{doc}\n")).map_err(|e| e.to_string())?;
+
+    if !bad_jobs.is_empty() {
+        return Err(format!(
+            "{} job(s) failed: {}",
+            bad_jobs.len(),
+            bad_jobs.join("; ")
+        ));
+    }
+    if delta("jobs", "submitted") != total_jobs
+        || delta("jobs", "done") + delta("jobs", "failed") != total_jobs
+    {
+        return Err(format!(
+            "job accounting off: submitted {} done {} failed {} expected {total_jobs}",
+            delta("jobs", "submitted"),
+            delta("jobs", "done"),
+            delta("jobs", "failed"),
+        ));
+    }
+    if hits == 0 {
+        return Err("serve.cache_hits did not grow — the warm cache never hit".into());
+    }
+    if cold.is_empty() {
+        return Err(
+            "no cold (miss) jobs observed — the daemon was already warm; \
+             restart it for a cold measurement"
+                .into(),
+        );
+    }
+    if warm_p50_ms >= cold_p50_ms {
+        return Err(format!(
+            "warm p50 {warm_p50_ms:.2} ms does not beat cold p50 {cold_p50_ms:.2} ms"
+        ));
+    }
+    Ok(LoadgenSummary {
+        jobs: total_jobs,
+        hits,
+        misses,
+        cold_p50_ms,
+        warm_p50_ms,
+        report_path,
+    })
+}

@@ -26,11 +26,15 @@
 use prebond3d_obs::json::Value;
 
 /// Deterministic work counters whose growth fails the gate. Matches the
-/// set the perf experiment records via `report::record_work`.
-pub const GATED_COUNTERS: [&str; 3] = [
+/// set the perf experiment records via `report::record_work` plus the
+/// serving loadgen's miss counter (`BENCH_serve.json`): a cold rebuild
+/// that should have been a warm hit is a regression, while hit/eviction
+/// rows stay informational (more hits is *better*).
+pub const GATED_COUNTERS: [&str; 4] = [
     "atpg.gate_evals",
     "graph.cone_word_ops",
     "clique.candidate_rescores",
+    "serve.cache_misses",
 ];
 
 /// One aligned comparison row.

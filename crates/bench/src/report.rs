@@ -538,7 +538,7 @@ pub fn record_work(counter: &str, substrate: &str, reference: u64, optimized: u6
     }
 }
 
-fn report_dir() -> PathBuf {
+pub(crate) fn report_dir() -> PathBuf {
     std::env::var("PREBOND3D_REPORT_DIR").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
 }
 
@@ -565,7 +565,7 @@ fn write_report(path: &std::path::Path, doc: &Value) -> bool {
 /// `max`, quantiles — the sample `count` is deterministic and survives) —
 /// the `PREBOND3D_STABLE_MS` normalization that makes reports
 /// byte-comparable across runs and thread counts.
-fn zero_ms(v: &mut Value) {
+pub(crate) fn zero_ms(v: &mut Value) {
     match v {
         Value::Obj(map) => {
             // A histogram summary (obs::hist::Hist::to_json) is the one

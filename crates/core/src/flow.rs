@@ -249,6 +249,26 @@ pub fn run_flow(
     library: &Library,
     config: &FlowConfig,
 ) -> Result<FlowResult, FlowError> {
+    run_flow_with_probe(die, placement, library, config, &StructuralProbe::default())
+}
+
+/// [`run_flow`] with an explicit testability probe.
+///
+/// The default flow prices cone sharing with the structural estimator; a
+/// caller that keeps a warm [`crate::testability::AtpgProbe`] across runs
+/// (the serve daemon) injects it here so its memo tables survive and pay
+/// off on repeat jobs.
+///
+/// # Errors
+///
+/// Same contract as [`run_flow`].
+pub fn run_flow_with_probe(
+    die: &Netlist,
+    placement: &Placement,
+    library: &Library,
+    config: &FlowConfig,
+    probe: &dyn crate::testability::TestabilityProbe,
+) -> Result<FlowResult, FlowError> {
     let _flow_span = obs::span("flow");
 
     // --- Baseline hardware: the all-dedicated wrapped die ----------------
@@ -373,7 +393,8 @@ pub fn run_flow(
         Method::Naive => (WrapPlan::all_dedicated(die), Vec::new()),
         Method::Li => (baseline::li::plan(&model, &thresholds), Vec::new()),
         Method::Ours | Method::Agrawal => {
-            let (plan, phases) = clique_flow(die, &model, &thresholds, merge_policy, ordering);
+            let (plan, phases) =
+                clique_flow(die, &model, &thresholds, merge_policy, ordering, probe);
             // Overlapped-cone expansion is an *offer*, not a commitment:
             // the greedy partitioner is not monotone in edge count (extra
             // edges can also deplete flip-flops early and starve the
@@ -381,7 +402,8 @@ pub fn run_flow(
             // the globally better plan.
             if thresholds.allows_overlap() && phases.iter().any(|p| p.overlap_edges > 0) {
                 let strict = thresholds.without_overlap();
-                let (plan2, phases2) = clique_flow(die, &model, &strict, merge_policy, ordering);
+                let (plan2, phases2) =
+                    clique_flow(die, &model, &strict, merge_policy, ordering, probe);
                 let better = (
                     plan2.additional_wrapper_cells(),
                     std::cmp::Reverse(plan2.reused_scan_ffs()),
@@ -450,8 +472,8 @@ fn clique_flow(
     thresholds: &Thresholds,
     merge_policy: MergePolicy,
     ordering: OrderingPolicy,
+    probe: &dyn crate::testability::TestabilityProbe,
 ) -> (WrapPlan, Vec<PhaseStats>) {
-    let probe = StructuralProbe::default();
     let mut available: Vec<GateId> = die.flip_flops();
     let mut plan = WrapPlan::default();
     let mut phases = Vec::with_capacity(2);
@@ -461,7 +483,7 @@ fn clique_flow(
             ReuseKind::Inbound => die.inbound_tsvs(),
             ReuseKind::Outbound => die.outbound_tsvs(),
         };
-        let g = graph::build(model, thresholds, &probe, &available, &tsvs, direction);
+        let g = graph::build(model, thresholds, probe, &available, &tsvs, direction);
         let partition = clique::partition(&g, model, thresholds, merge_policy);
         phases.push(PhaseStats {
             direction,

@@ -151,6 +151,15 @@ struct DedicatedCtx {
     full: FaultList,
 }
 
+impl DedicatedCtx {
+    /// Coarse heap estimate: the wrapped netlist dominates (gates, fanout
+    /// adjacency, name index), followed by the collapsed fault universe.
+    fn approx_bytes(&self) -> usize {
+        const PER_GATE: usize = 160;
+        self.die.netlist.len() * PER_GATE + self.full.approx_bytes()
+    }
+}
+
 impl Default for AtpgProbe {
     fn default() -> Self {
         AtpgProbe::with_config(AtpgConfig::fast())
@@ -165,14 +174,15 @@ fn fnv1a(h: &mut u64, bytes: &[u8]) {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-
-/// Signature of a netlist for cache keying: name + length.
+/// Signature of a netlist for cache keying.
+///
+/// Delegates to [`Netlist::signature`], a *content* hash over gate kinds
+/// and wiring. The first cut here hashed only name + length, which let a
+/// mutated netlist with a colliding module name silently hit stale memo
+/// entries — fatal once probes outlive a single batch run (the serve
+/// daemon keeps warm probes across requests).
 fn netlist_sig(netlist: &Netlist) -> u64 {
-    let mut h = FNV_OFFSET;
-    fnv1a(&mut h, netlist.name().as_bytes());
-    fnv1a(&mut h, &(netlist.len() as u64).to_le_bytes());
-    h
+    netlist.signature()
 }
 
 /// Faults of `full` whose propagation root lies inside `union` or inside
@@ -199,6 +209,29 @@ impl AtpgProbe {
             cache: Mutex::new(HashMap::new()),
             dedicated: Mutex::new(None),
         }
+    }
+
+    /// Number of memoized `(pair, shared)` measurements.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Approximate heap footprint of the warm state (memo table plus the
+    /// dedicated-baseline context), in bytes. Intentionally coarse — the
+    /// serve LRU uses it for byte-budget eviction, where a consistent
+    /// estimate matters more than an exact one.
+    pub fn approx_bytes(&self) -> usize {
+        // One memo entry: u64 key + (f64, usize) value + hash-table slot
+        // overhead.
+        const MEMO_ENTRY: usize = 48;
+        let memo = self.cache.lock().unwrap().len() * MEMO_ENTRY;
+        let ded = self
+            .dedicated
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, DedicatedCtx::approx_bytes);
+        memo + ded
     }
 
     /// Wrap plan that covers every TSV dedicated, except the probed nodes,
@@ -503,6 +536,61 @@ mod tests {
             cost.coverage_loss < 0.5,
             "sharing one pair cannot halve coverage"
         );
+    }
+
+    /// The cache-lifetime fix: two netlists with the *same* name and gate
+    /// count but different wiring must key distinct memo entries. The old
+    /// name+length signature collided here, so the second die's probes
+    /// would have returned the first die's measurements.
+    #[test]
+    fn mutated_netlist_with_colliding_name_misses_cache() {
+        let die_a = small_die();
+        // Same name, same shape parameters, different seed: structurally
+        // different logic behind an identical identity-by-name.
+        let spec_b = itc99::DieSpec {
+            name: "die".into(),
+            scan_flip_flops: 10,
+            gates: 140,
+            inbound_tsvs: 6,
+            outbound_tsvs: 6,
+            primary_inputs: 4,
+            primary_outputs: 3,
+            seed: 6,
+        };
+        let die_b = itc99::generate_die(&spec_b);
+        assert_eq!(die_a.name(), die_b.name());
+        assert_eq!(die_a.len(), die_b.len());
+        assert_ne!(die_a.signature(), die_b.signature());
+
+        let probe = AtpgProbe::default();
+        let cones_a = {
+            let mut roots = die_a.flip_flops();
+            roots.extend(die_a.inbound_tsvs());
+            ConeSet::compute(&die_a, &roots)
+        };
+        let ff = die_a.flip_flops()[0];
+        let t = die_a.inbound_tsvs()[0];
+        probe.sharing_cost(&die_a, &cones_a, ff, t);
+        let after_a = probe.cache_len();
+        assert!(after_a > 0, "first die must populate the memo table");
+        // Re-probing the same pair on the same die adds no entries (hit)…
+        probe.sharing_cost(&die_a, &cones_a, ff, t);
+        assert_eq!(probe.cache_len(), after_a);
+        // …but the mutated die must MISS and grow the table, even for the
+        // same (ff, tsv) ids and an identical module name.
+        let cones_b = {
+            let mut roots = die_b.flip_flops();
+            roots.extend(die_b.inbound_tsvs());
+            ConeSet::compute(&die_b, &roots)
+        };
+        let ff_b = die_b.flip_flops()[0];
+        let t_b = die_b.inbound_tsvs()[0];
+        probe.sharing_cost(&die_b, &cones_b, ff_b, t_b);
+        assert!(
+            probe.cache_len() > after_a,
+            "colliding-name netlist must not hit the first die's entries"
+        );
+        assert!(probe.approx_bytes() > 0);
     }
 
     /// Calibration check: the structural probe must be *conservative*

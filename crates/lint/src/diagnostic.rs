@@ -16,6 +16,7 @@
 //! | P340x  | `timing-model`  | timing-model/threshold sanity, slack      |
 //! | P350x  | `mission-equiv` | mission-mode co-simulation                |
 //! | P360x  | `report-schema` | run/BENCH report JSON schema              |
+//! | P370x  | `report-schema` | serving report (`BENCH_serve`) consistency |
 
 use std::fmt;
 
@@ -130,6 +131,14 @@ pub const REPORT_UNPARSABLE: Code = Code(3601);
 pub const REPORT_SCHEMA_DRIFT: Code = Code(3602);
 /// A run/BENCH report omits the expected telemetry blocks (hists/mem).
 pub const REPORT_MISSING_TELEMETRY: Code = Code(3603);
+
+// --- report-schema, serving reports (P370x) ------------------------------
+/// A serving report's job accounting does not balance
+/// (`jobs.submitted != jobs.done + jobs.failed`).
+pub const SERVE_JOBS_UNACCOUNTED: Code = Code(3701);
+/// A serving report recorded zero warm-cache hits — the run never
+/// exercised the cross-request cache it exists to measure.
+pub const SERVE_CACHE_COLD: Code = Code(3702);
 
 /// One registry row: code, short name, default severity, description.
 pub type RegistryRow = (Code, &'static str, Severity, &'static str);
@@ -291,6 +300,18 @@ pub const REGISTRY: &[RegistryRow] = &[
         "report-missing-telemetry",
         Severity::Warn,
         "report omits the expected telemetry blocks (hists/mem)",
+    ),
+    (
+        SERVE_JOBS_UNACCOUNTED,
+        "serve-jobs-unaccounted",
+        Severity::Error,
+        "serving report's submitted jobs do not balance done + failed",
+    ),
+    (
+        SERVE_CACHE_COLD,
+        "serve-cache-cold",
+        Severity::Warn,
+        "serving report recorded zero warm-cache hits",
     ),
 ];
 

@@ -217,6 +217,37 @@ impl Netlist {
         NetlistStats::of(self)
     }
 
+    /// Content signature: FNV-1a over the name plus every gate's kind and
+    /// input wiring, in id order.
+    ///
+    /// Two netlists share a signature only when they are structurally
+    /// identical (same name, same gates in the same order, same wiring) —
+    /// gate *instance names* are deliberately excluded, so a pure rename
+    /// of internal nodes keeps the signature (and any caches keyed on it)
+    /// valid. This is the invalidation key for everything that memoizes
+    /// work per netlist (`AtpgProbe`, the serve warm cache): a mutated
+    /// netlist that keeps a colliding module name must still miss.
+    pub fn signature(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.gates.len() as u64).to_le_bytes());
+        for gate in &self.gates {
+            eat(&[gate.kind as u8]);
+            for &input in &gate.inputs {
+                eat(&input.0.to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Consume the netlist back into its gate list (e.g. to edit and
     /// re-validate through [`Self::from_gates`]).
     pub fn into_gates(self) -> Vec<Gate> {
@@ -248,6 +279,32 @@ mod tests {
         assert_eq!(n.inputs().len(), 2);
         assert_eq!(n.outputs().len(), 1);
         assert!(n.find("nope").is_none());
+    }
+
+    #[test]
+    fn signature_tracks_content_not_just_name_and_len() {
+        let n = tiny();
+        assert_eq!(n.signature(), tiny().signature(), "deterministic");
+        // Same module name, same gate count, different wiring: the b input
+        // feeds an OR instead of an AND. Name+len keying would collide.
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.gate(GateKind::Or, &[a, c], "g");
+        b.output(g, "o");
+        let mutated = b.finish().unwrap();
+        assert_eq!(n.len(), mutated.len());
+        assert_eq!(n.name(), mutated.name());
+        assert_ne!(n.signature(), mutated.signature());
+        // Renaming internal instances keeps the signature: the structure
+        // (kinds + wiring) is unchanged.
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("x");
+        let c = b.input("y");
+        let g = b.gate(GateKind::And, &[a, c], "z");
+        b.output(g, "w");
+        let renamed = b.finish().unwrap();
+        assert_eq!(n.signature(), renamed.signature());
     }
 
     #[test]

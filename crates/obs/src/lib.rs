@@ -67,7 +67,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fs::OpenOptions;
 use std::io::{BufWriter, Write as _};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -191,6 +191,11 @@ struct State {
     sink: Mutex<Sink>,
     sink_active: AtomicBool,
     recording: AtomicBool,
+    /// Number of live [`capture_recorded`] scopes (across all threads);
+    /// probes are active while it is non-zero. A counter rather than a
+    /// bool so concurrent request-scoped captures in a long-lived server
+    /// cannot turn recording off under each other.
+    forced: AtomicU64,
     registry: Mutex<Registry>,
 }
 
@@ -209,6 +214,7 @@ fn state() -> &'static State {
             sink: Mutex::new(Sink::Off),
             sink_active: AtomicBool::new(false),
             recording: AtomicBool::new(false),
+            forced: AtomicU64::new(0),
             registry: Mutex::new(Registry::default()),
         };
         let cfg = std::env::var("PREBOND3D_OBS")
@@ -249,7 +255,9 @@ pub fn configure(cfg: SinkConfig) {
 #[inline]
 pub fn is_active() -> bool {
     let st = state();
-    st.sink_active.load(Ordering::Relaxed) || st.recording.load(Ordering::Relaxed)
+    st.sink_active.load(Ordering::Relaxed)
+        || st.recording.load(Ordering::Relaxed)
+        || st.forced.load(Ordering::Relaxed) > 0
 }
 
 /// Force aggregation on/off independently of the sink. Returns the
@@ -610,6 +618,27 @@ pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
     let out = f();
     let snap = restore.finish().to_snapshot();
     (out, snap)
+}
+
+/// [`capture`] with probes forced live for the closure's duration — the
+/// request-scoped variant for long-lived servers: each job's flow records
+/// into its own thread-local registry regardless of sink choice, and the
+/// returned [`Snapshot`] is the job's telemetry payload.
+///
+/// Unlike [`record`] (a global bool whose guard restores the *previous*
+/// value, which is racy across concurrent scopes), this uses a depth
+/// counter, so any number of jobs may capture concurrently without turning
+/// each other's probes off.
+pub fn capture_recorded<T>(f: impl FnOnce() -> T) -> (T, Snapshot) {
+    struct Forced;
+    impl Drop for Forced {
+        fn drop(&mut self) {
+            state().forced.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+    state().forced.fetch_add(1, Ordering::Relaxed);
+    let _forced = Forced;
+    capture(f)
 }
 
 /// Clear the aggregate registry (the harness calls this between dies).

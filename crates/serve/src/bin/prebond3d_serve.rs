@@ -1,0 +1,97 @@
+//! The `prebond3d-serve` daemon entrypoint.
+//!
+//! ```text
+//! prebond3d-serve [--listen ADDR] [--unix PATH] [--workers N]
+//!                 [--cache-bytes N] [--port-file PATH]
+//! ```
+//!
+//! Binds (TCP by default, `127.0.0.1:0`), prints `listening on <addr>`,
+//! and serves until a client sends the `shutdown` op. `--port-file`
+//! writes the bound TCP port to a file so harnesses can discover an
+//! ephemeral port without scraping stdout.
+
+use std::process::ExitCode;
+
+use prebond3d_serve::{Bind, Server, ServerConfig};
+
+struct Args {
+    config: ServerConfig,
+    port_file: Option<std::path::PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: prebond3d-serve [--listen ADDR] [--unix PATH] [--workers N] \
+     [--cache-bytes N] [--port-file PATH]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = ServerConfig::default();
+    let mut port_file = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--listen" => config.bind = Bind::Tcp(value("--listen")?),
+            "--unix" => {
+                #[cfg(unix)]
+                {
+                    config.bind = Bind::Unix(value("--unix")?.into());
+                }
+                #[cfg(not(unix))]
+                return Err("--unix is not supported on this platform".into());
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--cache-bytes" => {
+                config.cache_bytes = value("--cache-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--port-file" => port_file = Some(value("--port-file")?.into()),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument `{other}`\n{}", usage())),
+        }
+    }
+    Ok(Args { config, port_file })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let bind = args.config.bind.clone();
+    let server = match Server::start(args.config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match (server.addr(), &bind) {
+        (Some(addr), _) => {
+            println!("listening on {addr}");
+            if let Some(path) = &args.port_file {
+                if let Err(e) = std::fs::write(path, format!("{}\n", addr.port())) {
+                    eprintln!("port file {}: {e}", path.display());
+                }
+            }
+        }
+        #[cfg(unix)]
+        (None, Bind::Unix(path)) => println!("listening on {}", path.display()),
+        (None, _) => println!("listening"),
+    }
+    server.join();
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,491 @@
+//! # prebond3d-serve
+//!
+//! WCM-as-a-service: a std-only daemon that accepts wrapper-cell
+//! minimization jobs over a newline-delimited JSON protocol (TCP or unix
+//! socket), runs them with per-job panic isolation and exit codes on a
+//! persistent executor pool, and keeps substrates + `AtpgProbe` memo
+//! tables **warm across requests** behind a byte-budgeted LRU
+//! ([`cache::WarmCache`]). See DESIGN.md §13 for the protocol grammar,
+//! cache keying/eviction and the job lifecycle.
+//!
+//! ```no_run
+//! let server = prebond3d_serve::Server::start(prebond3d_serve::ServerConfig::default())
+//!     .expect("bind");
+//! println!("listening on {}", server.addr().unwrap());
+//! server.join();
+//! ```
+//!
+//! One connection runs one job at a time (frames of a job are never
+//! interleaved with another job's on the same socket); concurrency comes
+//! from concurrent connections, bounded by the executor worker count.
+
+pub mod cache;
+pub mod jobs;
+pub mod proto;
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use prebond3d_obs::json::Value;
+
+use cache::WarmCache;
+use proto::{JobSpec, Request, MAX_LINE};
+
+/// Where the daemon listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bind {
+    /// TCP on an address like `127.0.0.1:0` (port 0 = ephemeral).
+    Tcp(String),
+    /// A unix-domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub bind: Bind,
+    /// Executor workers (concurrent jobs). Defaults to the pool's thread
+    /// resolution, floored at 2 so one slow job cannot starve the queue.
+    pub workers: usize,
+    /// Warm-cache byte budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            bind: Bind::Tcp("127.0.0.1:0".to_string()),
+            workers: default_workers(),
+            cache_bytes: WarmCache::budget_from_env(),
+        }
+    }
+}
+
+/// `PREBOND3D_SERVE_WORKERS`, else the pool thread count, floored at 2.
+pub fn default_workers() -> usize {
+    std::env::var("PREBOND3D_SERVE_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| prebond3d_pool::threads().max(2))
+}
+
+/// Monotonic job accounting, exported by the `stats` op.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Jobs accepted off the wire.
+    pub submitted: AtomicU64,
+    /// Jobs that reached a `done` frame with code 0.
+    pub done_ok: AtomicU64,
+    /// Jobs that reached a `done` frame with a non-zero code.
+    pub done_failed: AtomicU64,
+    /// Protocol errors answered (malformed frames, oversized lines).
+    pub protocol_errors: AtomicU64,
+}
+
+struct QueuedJob {
+    spec: JobSpec,
+    events: mpsc::Sender<Value>,
+}
+
+/// How to poke the blocking accept loop awake after shutdown.
+#[derive(Debug, Clone)]
+enum WakeAddr {
+    Tcp(SocketAddr),
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+struct Shared {
+    running: AtomicBool,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    cond: Condvar,
+    cache: WarmCache,
+    stats: ServerStats,
+    wake: Mutex<Option<WakeAddr>>,
+}
+
+impl Shared {
+    fn enqueue(&self, job: QueuedJob) {
+        self.queue.lock().unwrap().push_back(job);
+        self.cond.notify_one();
+    }
+
+    /// Pop the next job; blocks until one arrives or shutdown drains the
+    /// queue empty.
+    fn dequeue(&self) -> Option<QueuedJob> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(job) = q.pop_front() {
+                return Some(job);
+            }
+            if !self.running.load(Ordering::SeqCst) {
+                return None;
+            }
+            q = self.cond.wait(q).unwrap();
+        }
+    }
+
+    fn stats_frame(&self) -> Value {
+        let c = self.cache.stats();
+        Value::obj([
+            ("ok", true.into()),
+            ("ev", "stats".into()),
+            (
+                "jobs",
+                Value::obj([
+                    (
+                        "submitted",
+                        self.stats.submitted.load(Ordering::Relaxed).into(),
+                    ),
+                    ("done", self.stats.done_ok.load(Ordering::Relaxed).into()),
+                    (
+                        "failed",
+                        self.stats.done_failed.load(Ordering::Relaxed).into(),
+                    ),
+                    (
+                        "protocol_errors",
+                        self.stats.protocol_errors.load(Ordering::Relaxed).into(),
+                    ),
+                ]),
+            ),
+            (
+                "cache",
+                Value::obj([
+                    ("hits", c.hits.into()),
+                    ("misses", c.misses.into()),
+                    ("evictions", c.evictions.into()),
+                    ("entries", c.entries.into()),
+                    ("bytes", (c.bytes as u64).into()),
+                    ("budget", (c.budget as u64).into()),
+                ]),
+            ),
+            (
+                "mem",
+                Value::obj([
+                    (
+                        "rss_now_kb",
+                        prebond3d_obs::mem::rss_now_kb().unwrap_or(0).into(),
+                    ),
+                    (
+                        "rss_peak_kb",
+                        prebond3d_obs::mem::rss_peak_kb().unwrap_or(0).into(),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+/// A running daemon. Dropping the handle does **not** stop it; call
+/// [`Server::shutdown`] (or send the `shutdown` op) then [`Server::join`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: Option<SocketAddr>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start accepting. Worker threads and the accept thread are
+    /// spawned before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Binding the listener failed.
+    pub fn start(config: ServerConfig) -> std::io::Result<Server> {
+        let (listener, addr) = match &config.bind {
+            Bind::Tcp(spec) => {
+                let l = TcpListener::bind(spec)?;
+                let addr = l.local_addr()?;
+                (Listener::Tcp(l), Some(addr))
+            }
+            #[cfg(unix)]
+            Bind::Unix(path) => {
+                // A stale socket file from a previous run refuses the bind.
+                let _ = std::fs::remove_file(path);
+                (
+                    Listener::Unix(std::os::unix::net::UnixListener::bind(path)?),
+                    None,
+                )
+            }
+        };
+        let wake = match (&config.bind, addr) {
+            (Bind::Tcp(_), Some(a)) => Some(WakeAddr::Tcp(a)),
+            #[cfg(unix)]
+            (Bind::Unix(path), _) => Some(WakeAddr::Unix(path.clone())),
+            _ => None,
+        };
+        let shared = Arc::new(Shared {
+            running: AtomicBool::new(true),
+            queue: Mutex::new(VecDeque::new()),
+            cond: Condvar::new(),
+            cache: WarmCache::new(config.cache_bytes),
+            stats: ServerStats::default(),
+            wake: Mutex::new(wake),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawn acceptor")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound TCP address (None for unix sockets).
+    pub fn addr(&self) -> Option<SocketAddr> {
+        self.addr
+    }
+
+    /// Warm-cache statistics.
+    pub fn cache_stats(&self) -> cache::CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Job accounting: `(submitted, done_ok, done_failed)`.
+    pub fn job_stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.stats.submitted.load(Ordering::Relaxed),
+            self.shared.stats.done_ok.load(Ordering::Relaxed),
+            self.shared.stats.done_failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stop accepting, let queued jobs drain, and wake everything up.
+    /// Idempotent; also triggered by the `shutdown` op.
+    pub fn shutdown(&self) {
+        request_shutdown(&self.shared);
+    }
+
+    /// Wait for the accept loop and every worker to exit. Call after
+    /// [`Server::shutdown`] (or after a client sent the `shutdown` op).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn request_shutdown(shared: &Shared) {
+    shared.running.store(false, Ordering::SeqCst);
+    shared.cond.notify_all();
+    // Unblock the accept loop with a throwaway connection; take() makes
+    // repeated shutdowns poke at most once.
+    let wake = shared.wake.lock().unwrap().take();
+    match wake {
+        Some(WakeAddr::Tcp(addr)) => {
+            let _ = TcpStream::connect(addr);
+        }
+        #[cfg(unix)]
+        Some(WakeAddr::Unix(path)) => {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
+        None => {}
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.dequeue() {
+        let outcome = jobs::run_job(&job.spec, &shared.cache);
+        if outcome.code == 0 {
+            shared.stats.done_ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.stats.done_failed.fetch_add(1, Ordering::Relaxed);
+        }
+        // A gone client (mid-job disconnect) just drops the frames.
+        for frame in outcome.phases {
+            let _ = job.events.send(frame);
+        }
+        let _ = job.events.send(outcome.done);
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>) {
+    loop {
+        let stream: Box<dyn Conn> = match listener {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Box::new(s),
+                Err(_) => continue,
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Box::new(s),
+                Err(_) => continue,
+            },
+        };
+        if !shared.running.load(Ordering::SeqCst) {
+            // The wake-up connection (or any late client) is refused.
+            return;
+        }
+        let shared = Arc::clone(shared);
+        let _ = std::thread::Builder::new()
+            .name("serve-conn".to_string())
+            .spawn(move || handle_conn(stream, &shared));
+    }
+}
+
+/// The two stream types behind one object: both are `Read + Write` and
+/// cloneable into an independently owned reader half.
+trait Conn: Read + Write + Send {
+    fn reader(&self) -> std::io::Result<Box<dyn Read + Send>>;
+}
+
+impl Conn for TcpStream {
+    fn reader(&self) -> std::io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for std::os::unix::net::UnixStream {
+    fn reader(&self) -> std::io::Result<Box<dyn Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+/// Read one `\n`-terminated line, bounded by [`MAX_LINE`].
+///
+/// Returns `Ok(None)` on EOF, `Err(())` when the line exceeded the bound
+/// (the tail is consumed and discarded so the stream stays framed).
+fn read_line_bounded(
+    reader: &mut BufReader<Box<dyn Read + Send>>,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<Result<Option<usize>, ()>> {
+    buf.clear();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE as u64 + 1)
+        .read_until(b'\n', buf)?;
+    if n == 0 {
+        return Ok(Ok(None));
+    }
+    if n > MAX_LINE {
+        // Discard the rest of the oversized line.
+        loop {
+            let mut skip = Vec::with_capacity(4096);
+            let m = reader.by_ref().take(4096).read_until(b'\n', &mut skip)?;
+            if m == 0 || skip.last() == Some(&b'\n') {
+                break;
+            }
+        }
+        return Ok(Err(()));
+    }
+    Ok(Ok(Some(n)))
+}
+
+fn write_frame(w: &mut dyn Write, frame: &Value) -> std::io::Result<()> {
+    writeln!(w, "{frame}")?;
+    w.flush()
+}
+
+fn handle_conn(mut stream: Box<dyn Conn>, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.reader() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    loop {
+        match read_line_bounded(&mut reader, &mut buf) {
+            Err(_) | Ok(Ok(None)) => return, // disconnect / EOF
+            Ok(Err(())) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let e = proto::error(None, &format!("line exceeds {MAX_LINE} bytes"));
+                if write_frame(&mut stream, &e).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Ok(Ok(Some(_))) => {}
+        }
+        let line = String::from_utf8_lossy(&buf);
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let request = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(msg) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if write_frame(&mut stream, &proto::error(None, &msg)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match request {
+            Request::Ping => {
+                if write_frame(&mut stream, &proto::pong()).is_err() {
+                    return;
+                }
+            }
+            Request::Stats => {
+                if write_frame(&mut stream, &shared.stats_frame()).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_frame(&mut stream, &proto::bye());
+                request_shutdown(shared);
+                return;
+            }
+            Request::Submit(spec) => {
+                shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                let accepted = proto::accepted(&spec.id);
+                let client_gone = write_frame(&mut stream, &accepted).is_err();
+                let (tx, rx) = mpsc::channel();
+                shared.enqueue(QueuedJob {
+                    spec: *spec,
+                    events: tx,
+                });
+                // Forward frames until the terminal `done`. On a dead
+                // client keep draining so the job is fully consumed, then
+                // close.
+                let mut dead = client_gone;
+                for frame in rx {
+                    let is_done = frame.get("ev").and_then(Value::as_str) == Some("done");
+                    if !dead && write_frame(&mut stream, &frame).is_err() {
+                        dead = true;
+                    }
+                    if is_done {
+                        break;
+                    }
+                }
+                if dead {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The wire protocol: newline-delimited JSON frames (DESIGN.md §13).
+//!
+//! Every request is one JSON object on one line; every response is one
+//! JSON object on one line. Responses always carry `"ok"` (did the server
+//! accept/complete the operation) and `"ev"` (the event kind), so clients
+//! can dispatch without guessing. A submit fans out into an `accepted`
+//! frame, zero or more `phase` frames (per-flow-phase telemetry sourced
+//! from the job's `obs` capture), and exactly one terminal `done` frame.
+//!
+//! Parsing is strict about shape but tolerant about extras: unknown keys
+//! are ignored (forward compatibility), unknown *ops* and malformed values
+//! are protocol errors the connection survives.
+
+use prebond3d_obs::json::Value;
+use prebond3d_wcm::flow::{Method, Scenario};
+
+/// Longest accepted request line, in bytes. A frame exceeding this is
+/// answered with an error and discarded without buffering it whole.
+pub const MAX_LINE: usize = 1 << 20;
+
+/// Which testability probe prices cone sharing for a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// The fast structural estimator (default).
+    Structural,
+    /// The measured ATPG probe — served from the warm cache so its memo
+    /// tables survive across requests.
+    Atpg,
+}
+
+/// Where the job's netlist comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobSource {
+    /// A generated ITC'99-style benchmark die: `("b11", 0)`.
+    Generated {
+        /// Benchmark name.
+        circuit: String,
+        /// Die index within the benchmark's stack.
+        die: usize,
+    },
+    /// An inline netlist in the workspace text format
+    /// (`prebond3d_netlist::format`).
+    Inline {
+        /// The netlist text.
+        text: String,
+    },
+}
+
+/// One wrapper-cell-minimization job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Client-chosen id, echoed on every frame of this job.
+    pub id: String,
+    /// The netlist to wrap.
+    pub source: JobSource,
+    /// The algorithm.
+    pub method: Method,
+    /// The timing scenario.
+    pub scenario: Scenario,
+    /// The testability probe.
+    pub probe: ProbeKind,
+    /// Include the full wrapper plan text in the `done` frame.
+    pub return_plan: bool,
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Server/cache statistics.
+    Stats,
+    /// Stop accepting connections and drain the queue.
+    Shutdown,
+    /// Run one job.
+    Submit(Box<JobSpec>),
+}
+
+fn str_field(obj: &Value, key: &str) -> Option<String> {
+    obj.get(key).and_then(Value::as_str).map(str::to_string)
+}
+
+/// Parse one request line.
+///
+/// # Errors
+///
+/// A human-readable message naming what was wrong; the server echoes it in
+/// an `error` frame and keeps the connection open.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = prebond3d_obs::json::parse(line).map_err(|e| format!("parse: {e}"))?;
+    let Some(op) = doc.get("op").and_then(Value::as_str) else {
+        return Err("missing string field `op`".into());
+    };
+    match op {
+        "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        "submit" => {
+            let id = str_field(&doc, "id").unwrap_or_else(|| "job".into());
+            let source = match (str_field(&doc, "netlist"), str_field(&doc, "circuit")) {
+                (Some(text), _) => JobSource::Inline { text },
+                (None, Some(circuit)) => JobSource::Generated {
+                    circuit,
+                    die: doc.get("die").and_then(Value::as_u64).unwrap_or(0) as usize,
+                },
+                (None, None) => {
+                    return Err("submit needs either `circuit` or `netlist`".into());
+                }
+            };
+            let method = match str_field(&doc, "method").as_deref() {
+                None | Some("ours") => Method::Ours,
+                Some("agrawal") => Method::Agrawal,
+                Some("li") => Method::Li,
+                Some("naive") => Method::Naive,
+                Some(m) => return Err(format!("unknown method `{m}`")),
+            };
+            let scenario = match str_field(&doc, "scenario").as_deref() {
+                None | Some("area") => Scenario::Area,
+                Some("tight") => Scenario::Tight,
+                Some(s) => return Err(format!("unknown scenario `{s}`")),
+            };
+            let probe = match str_field(&doc, "probe").as_deref() {
+                None | Some("structural") => ProbeKind::Structural,
+                Some("atpg") => ProbeKind::Atpg,
+                Some(p) => return Err(format!("unknown probe `{p}`")),
+            };
+            let return_plan = doc
+                .get("return_plan")
+                .and_then(Value::as_bool)
+                .unwrap_or(false);
+            Ok(Request::Submit(Box::new(JobSpec {
+                id,
+                source,
+                method,
+                scenario,
+                probe,
+                return_plan,
+            })))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+/// Method label used in report payloads (lowercase wire form).
+pub fn method_wire(m: Method) -> &'static str {
+    match m {
+        Method::Ours => "ours",
+        Method::Agrawal => "agrawal",
+        Method::Li => "li",
+        Method::Naive => "naive",
+    }
+}
+
+/// Scenario label used in report payloads.
+pub fn scenario_wire(s: Scenario) -> &'static str {
+    match s {
+        Scenario::Area => "area",
+        Scenario::Tight => "tight",
+    }
+}
+
+/// `{"ok":true,"ev":"pong"}`.
+pub fn pong() -> Value {
+    Value::obj([("ok", true.into()), ("ev", "pong".into())])
+}
+
+/// `{"ok":true,"ev":"bye"}` — acknowledges a shutdown.
+pub fn bye() -> Value {
+    Value::obj([("ok", true.into()), ("ev", "bye".into())])
+}
+
+/// `{"ok":true,"ev":"accepted","id":...}`.
+pub fn accepted(id: &str) -> Value {
+    Value::obj([
+        ("ok", true.into()),
+        ("ev", "accepted".into()),
+        ("id", id.into()),
+    ])
+}
+
+/// A protocol error frame. `id` is echoed when the frame belonged to an
+/// identifiable job.
+pub fn error(id: Option<&str>, message: &str) -> Value {
+    let mut fields = vec![
+        ("ok", false.into()),
+        ("ev", "error".into()),
+        ("error", message.into()),
+    ];
+    if let Some(id) = id {
+        fields.push(("id", id.into()));
+    }
+    Value::obj(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_op_family() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        let r = parse_request(r#"{"op":"submit","id":"j1","circuit":"b11","die":2}"#).unwrap();
+        match r {
+            Request::Submit(spec) => {
+                assert_eq!(spec.id, "j1");
+                assert_eq!(
+                    spec.source,
+                    JobSource::Generated {
+                        circuit: "b11".into(),
+                        die: 2
+                    }
+                );
+                assert_eq!(spec.method, Method::Ours);
+                assert_eq!(spec.probe, ProbeKind::Structural);
+                assert!(!spec.return_plan);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_netlist_wins_over_circuit() {
+        let r = parse_request(
+            r#"{"op":"submit","netlist":"circuit x\n","circuit":"b11","probe":"atpg"}"#,
+        )
+        .unwrap();
+        match r {
+            Request::Submit(spec) => {
+                assert!(matches!(spec.source, JobSource::Inline { .. }));
+                assert_eq!(spec.probe, ProbeKind::Atpg);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_frames_with_messages() {
+        assert!(parse_request("{").unwrap_err().starts_with("parse:"));
+        assert!(parse_request(r#"{"no":"op"}"#).unwrap_err().contains("op"));
+        assert!(parse_request(r#"{"op":"dance"}"#)
+            .unwrap_err()
+            .contains("dance"));
+        assert!(parse_request(r#"{"op":"submit"}"#)
+            .unwrap_err()
+            .contains("circuit"));
+        assert!(
+            parse_request(r#"{"op":"submit","circuit":"b11","method":"x"}"#)
+                .unwrap_err()
+                .contains("method")
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared client helper for the serving test suites: a minimal
+//! newline-delimited JSON client over TCP, plus an in-process daemon
+//! starter. Kept deliberately independent of `prebond3d_serve`'s own
+//! framing code so the tests exercise the wire format, not the crate's
+//! internal helpers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use prebond3d_obs::json::Value;
+use prebond3d_serve::{Bind, Server, ServerConfig};
+
+/// Start an in-process daemon on an ephemeral port.
+pub fn start_server(workers: usize) -> (Server, String) {
+    let server = Server::start(ServerConfig {
+        bind: Bind::Tcp("127.0.0.1:0".to_string()),
+        workers,
+        cache_bytes: prebond3d_serve::cache::DEFAULT_BUDGET_BYTES,
+    })
+    .expect("bind ephemeral daemon");
+    let addr = server.addr().expect("tcp addr").to_string();
+    (server, addr)
+}
+
+/// One protocol connection.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: &str) -> Client {
+        let writer = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone"));
+        Client { writer, reader }
+    }
+
+    /// Send raw bytes without a trailing newline (half-frame tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("send");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Send one line (newline appended).
+    pub fn send_line(&mut self, line: &str) {
+        self.send_raw(line.as_bytes());
+        self.send_raw(b"\n");
+    }
+
+    /// Read one response frame.
+    pub fn read_frame(&mut self) -> Value {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read");
+        assert!(n > 0, "daemon closed the connection");
+        prebond3d_obs::json::parse(line.trim())
+            .unwrap_or_else(|e| panic!("unparsable frame `{}`: {e}", line.trim()))
+    }
+
+    /// One request, one response.
+    pub fn request(&mut self, line: &str) -> Value {
+        self.send_line(line);
+        self.read_frame()
+    }
+
+    /// Submit a job and consume frames through `done`; returns the
+    /// terminal `done` frame.
+    pub fn submit(&mut self, line: &str) -> Value {
+        self.send_line(line);
+        let first = self.read_frame();
+        assert_eq!(
+            first.get("ev").and_then(Value::as_str),
+            Some("accepted"),
+            "expected accepted, got {first}"
+        );
+        loop {
+            let frame = self.read_frame();
+            match frame.get("ev").and_then(Value::as_str) {
+                Some("phase") => continue,
+                Some("done") => return frame,
+                other => panic!("unexpected frame kind {other:?}: {frame}"),
+            }
+        }
+    }
+}
+
+/// String field of a frame.
+pub fn field<'f>(frame: &'f Value, key: &str) -> &'f str {
+    frame
+        .get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("frame lacks string `{key}`: {frame}"))
+}
+
+/// `jobs` sub-block counter of a `stats` frame.
+pub fn job_stat(stats: &Value, key: &str) -> u64 {
+    stats
+        .get("jobs")
+        .and_then(|j| j.get(key))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("stats lacks jobs.{key}: {stats}"))
+}
+
+/// Cleanly stop a server.
+pub fn stop(server: Server) {
+    server.shutdown();
+    server.join();
+}
