@@ -142,7 +142,11 @@ impl AtpgResult {
 /// needed value at its driver is unreachable) or cannot be observed (no
 /// path from the propagation root to any observation point). Both SCOAP
 /// saturations are sound proofs under the access model.
-fn scoap_untestable(scoap: &Scoap, netlist: &Netlist, fault: crate::fault::Fault) -> bool {
+pub(crate) fn scoap_untestable(
+    scoap: &Scoap,
+    netlist: &Netlist,
+    fault: crate::fault::Fault,
+) -> bool {
     use crate::scoap::INF;
     let driver = fault.site.driver(netlist);
     let cc = if fault.stuck.excitation() {
@@ -214,7 +218,29 @@ pub fn run_stuck_at_on(
     if !podem_config.deadline.is_armed() {
         podem_config.deadline = deadline;
     }
+    let scoap = Scoap::compute(netlist, access);
     let mut alive = vec![true; list.len()];
+    let mut untestable = 0usize;
+    // --- Static pruning (DESIGN.md §14) ------------------------------------
+    // Faults that are both dataflow-undetectable and SCOAP-saturated are
+    // retired before any simulation: the unpruned run would classify each
+    // of them untestable via the SCOAP pre-screen below without consuming
+    // RNG or emitting patterns, so every downstream artifact stays
+    // byte-identical while the per-fault cone resimulations disappear.
+    // `PREBOND3D_NO_CACHE=1` disables pruning and is the reference oracle.
+    if prebond3d_netlist::tuning::cache_enabled() {
+        let analysis = crate::prune::PruneAnalysis::new(netlist, access);
+        let mask = crate::prune::prune_mask(&analysis, &scoap, netlist, access, &list.faults);
+        let mut pruned = 0u64;
+        for (a, m) in alive.iter_mut().zip(&mask) {
+            if *m {
+                *a = false;
+                pruned += 1;
+            }
+        }
+        untestable += pruned as usize;
+        obs::count("atpg.faults_pruned", pruned);
+    }
     let mut fs = FaultSimulator::new(netlist);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut patterns: Vec<Pattern> = Vec::new();
@@ -239,9 +265,7 @@ pub fn run_stuck_at_on(
     }
 
     // --- Deterministic phase ----------------------------------------------
-    let scoap = Scoap::compute(netlist, access);
     let mut podem = Podem::new(netlist, access, &scoap, podem_config);
-    let mut untestable = 0usize;
     let mut aborted = 0usize;
     let mut pending: Vec<Pattern> = Vec::new();
 
@@ -650,6 +674,37 @@ mod tests {
         let a = run_stuck_at(&die, &access, &AtpgConfig::fast());
         let b = run_stuck_at(&die, &access, &AtpgConfig::fast());
         assert_eq!(a, b);
+    }
+
+    /// The pruning byte-identity contract: a die riddled with floating
+    /// TSVs (many statically-untestable faults) must produce the exact
+    /// same `AtpgResult` with pruning on and off — same patterns, same
+    /// coverage, same untestable split.
+    #[test]
+    fn pruned_run_is_byte_identical_to_reference() {
+        use prebond3d_netlist::tuning;
+        let spec = itc99::DieSpec {
+            name: "prune_die".into(),
+            scan_flip_flops: 12,
+            gates: 180,
+            inbound_tsvs: 10,
+            outbound_tsvs: 10,
+            primary_inputs: 4,
+            primary_outputs: 4,
+            seed: 17,
+        };
+        let die = itc99::generate_die(&spec);
+        let access = TestAccess::full_scan(&die);
+        tuning::force_no_cache(Some(true));
+        let reference = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        tuning::force_no_cache(Some(false));
+        let pruned = run_stuck_at(&die, &access, &AtpgConfig::fast());
+        tuning::force_no_cache(None);
+        assert_eq!(reference, pruned);
+        assert!(
+            pruned.untestable > 0,
+            "the floating-TSV die must have untestable faults"
+        );
     }
 
     #[test]

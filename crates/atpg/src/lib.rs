@@ -19,6 +19,9 @@
 //!   restricted to each fault's fanout cone,
 //! * [`podem`] — PODEM deterministic test generation with X-path checking
 //!   and backtrack limits,
+//! * [`prune`] — static untestable-fault pruning from the
+//!   `prebond3d-dataflow` certificates (skips cone resimulations while
+//!   keeping every result byte-identical to the unpruned reference),
 //! * [`transition`] — transition-fault (slow-to-rise/fall) testing with
 //!   two-pattern tests built on the stuck-at engine,
 //! * [`engine`] — the orchestrator: random-pattern phase, deterministic
@@ -50,6 +53,7 @@ pub mod fault;
 pub mod faultsim;
 pub mod logic;
 pub mod podem;
+pub mod prune;
 pub mod scoap;
 pub mod sim;
 pub mod transition;

@@ -14,8 +14,10 @@
 //! directory is schema-checked. Findings print human-readably; the full
 //! set is written to `results/lint_<exp>.json` (directory overridable via
 //! `PREBOND3D_REPORT_DIR`, experiment name via the first CLI argument,
-//! default `full`). Exit code 1 when any Error-severity finding survives,
-//! 3 when a die paniced while being audited and the rest carried on.
+//! default `full`). `--sarif <path>` additionally writes the findings as
+//! a SARIF 2.1.0 document for code-review/CI ingestion. Exit code 1 when
+//! any Error-severity finding survives, 3 when a die paniced while being
+//! audited and the rest carried on.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -96,9 +98,22 @@ fn lint_reports_on_disk(dir: &PathBuf) -> Option<LintReport> {
 }
 
 fn main() -> ExitCode {
-    let experiment = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "full".to_string());
+    let mut experiment = "full".to_string();
+    let mut sarif_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--sarif" {
+            match args.next() {
+                Some(path) => sarif_path = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("prebond3d-lint: --sarif requires a path");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            experiment = arg;
+        }
+    }
     let names = context::circuit_names();
     eprintln!("prebond3d-lint: auditing {}", names.join(", "));
 
@@ -153,6 +168,13 @@ fn main() -> ExitCode {
     match resil::io::atomic_write(&path, &format!("{doc}\n")) {
         Ok(()) => eprintln!("lint report: {}", path.display()),
         Err(e) => eprintln!("lint report: {e}"),
+    }
+    if let Some(path) = &sarif_path {
+        let sarif = prebond3d_lint::sarif::to_sarif(&reports);
+        match resil::io::atomic_write(path, &format!("{sarif}\n")) {
+            Ok(()) => eprintln!("sarif report: {}", path.display()),
+            Err(e) => eprintln!("sarif report: {e}"),
+        }
     }
 
     if errors > 0 {

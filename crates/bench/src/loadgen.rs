@@ -24,6 +24,13 @@
 //!    where the only difference is the cache state. Latencies are the
 //!    server-side per-job `ms` from the `done` frame, so mix queueing
 //!    does not pollute the comparison.
+//! 3. **Saturation sweep** — for each client count in
+//!    [`SWEEP_CLIENTS`], a burst of warm structural jobs measures
+//!    end-to-end throughput; the per-count `jobs_per_sec` rows land in
+//!    the report's `saturation` array, showing where the daemon's
+//!    worker pool saturates. Throughput is wall-clock and therefore
+//!    zeroed under `PREBOND3D_STABLE_MS` (the row structure and job
+//!    counts stay deterministic).
 //!
 //! The loadgen asserts the serving contract, not just liveness: every
 //! job must come back code 0, the hit delta must be positive, and the
@@ -205,6 +212,11 @@ impl Client {
 /// cold job's full pair pricing stays in CI seconds.
 const MEASURED: (usize, usize, &str) = (0, 0, "atpg");
 
+/// Client counts exercised by the saturation sweep (phase 3).
+const SWEEP_CLIENTS: [usize; 4] = [1, 2, 4, 8];
+/// Warm structural jobs each sweep client replays per round.
+const SWEEP_JOBS: usize = 3;
+
 /// The submit line for one mix draw.
 fn job_line(id: &str, substrate: usize, method: usize, probe: &str) -> String {
     let (circuit, die) = SUBSTRATES[substrate];
@@ -353,6 +365,69 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         }
     }
 
+    // --- Phase 3: saturation sweep --------------------------------------
+    // Bursts of warm structural jobs at increasing client counts; the
+    // jobs/sec row per count shows where the worker pool saturates.
+    // Everything here is a cache hit, so throughput measures dispatch +
+    // queueing, not flow compute.
+    let mut saturation: Vec<Value> = Vec::new();
+    let mut sweep_total = 0u64;
+    for clients in SWEEP_CLIENTS {
+        let round_start = Instant::now();
+        let round: Vec<Result<Vec<JobResult>, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|c| {
+                    let addr = addr.clone();
+                    scope.spawn(move || -> Result<Vec<JobResult>, String> {
+                        let mut client = Client::connect(&addr)?;
+                        let mut out = Vec::with_capacity(SWEEP_JOBS);
+                        for j in 0..SWEEP_JOBS {
+                            let substrate = (c + j) % SUBSTRATES.len();
+                            let line = job_line(
+                                &format!("s{clients}-c{c}-j{j}"),
+                                substrate,
+                                0,
+                                "structural",
+                            );
+                            out.push(client.submit(&line, false)?);
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|_| Err("sweep client panicked".into()))
+                })
+                .collect()
+        });
+        let elapsed = round_start.elapsed().as_secs_f64();
+        let mut done = 0u64;
+        for r in round {
+            for job in r? {
+                if job.code != 0 {
+                    bad_jobs.push(format!("sweep job exited {}", job.code));
+                }
+                done += 1;
+                fold(&job);
+            }
+        }
+        sweep_total += done;
+        let jobs_per_sec = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        saturation.push(Value::obj([
+            ("clients", clients.into()),
+            ("jobs", done.into()),
+            ("elapsed_ms", (elapsed * 1.0e3).into()),
+            ("jobs_per_sec", jobs_per_sec.into()),
+        ]));
+    }
+
     let after = control.request(r#"{"op":"stats"}"#)?;
     if config.shutdown || server.is_some() {
         let bye = control.request(r#"{"op":"shutdown"}"#)?;
@@ -366,7 +441,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
 
     // --- Deltas, report, contract ---------------------------------------
     let delta = |block: &str, key: &str| stat(&after, block, key) - stat(&before, block, key);
-    let total_jobs = prime.len() as u64 + (config.clients * config.jobs_per_client) as u64;
+    let total_jobs =
+        prime.len() as u64 + (config.clients * config.jobs_per_client) as u64 + sweep_total;
     let hits = delta("cache", "hits");
     let misses = delta("cache", "misses");
     let evictions = delta("cache", "evictions");
@@ -418,6 +494,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         ("jobs_per_client", config.jobs_per_client.into()),
         ("seed", config.seed.into()),
         ("phases", Value::Arr(phases)),
+        ("saturation", Value::Arr(saturation)),
         (
             "hists",
             Value::obj([

@@ -10,7 +10,10 @@
 //!   work-counter measurements. Rows whose counter is in
 //!   [`GATED_COUNTERS`] are **gated**: a current `optimized` value more
 //!   than `threshold_pct` percent above the baseline, or a gated row
-//!   missing from the current report, is a regression. Cache hit/miss
+//!   missing from the current report, is a regression. Rows in
+//!   [`FLOOR_GATED_COUNTERS`] gate the other direction: the counter
+//!   measures work *avoided* (statically pruned faults), so a shrink
+//!   beyond the threshold means the analysis went blind. Cache hit/miss
 //!   rows stay informational (more hits is *better*).
 //! * `phases[]` rows by span path — `count` and `ms` plus the latency
 //!   quantiles, informational (wall clocks are machine-dependent, and
@@ -36,6 +39,12 @@ pub const GATED_COUNTERS: [&str; 4] = [
     "clique.candidate_rescores",
     "serve.cache_misses",
 ];
+
+/// Deterministic counters whose *shrink* fails the gate: they measure
+/// work statically avoided (dataflow-pruned faults), so a drop below
+/// the baseline by more than the threshold means the static analysis
+/// stopped seeing what it used to prune.
+pub const FLOOR_GATED_COUNTERS: [&str; 1] = ["atpg.faults_pruned"];
 
 /// One aligned comparison row.
 #[derive(Debug, Clone)]
@@ -220,11 +229,13 @@ pub fn diff(base: &Value, current: &Value, threshold_pct: f64) -> DiffReport {
     for (counter, substrate, b) in base_work {
         let key = (counter.clone(), substrate.clone());
         seen.insert(key.clone());
-        let gated = GATED_COUNTERS.contains(&counter.as_str());
+        let floor = FLOOR_GATED_COUNTERS.contains(&counter.as_str());
+        let gated = floor || GATED_COUNTERS.contains(&counter.as_str());
         let current_v = cur_work.get(&key).copied();
         let regressed = gated
             && match current_v {
                 None => true, // a gated measurement vanished
+                Some(c) if floor => c < b * (1.0 - threshold_pct / 100.0),
                 Some(c) => c > b * (1.0 + threshold_pct / 100.0),
             };
         rows.push(DiffRow {
@@ -422,6 +433,42 @@ mod tests {
             }
         }
         assert!(!diff(&base, &no_cache, 20.0).regressed());
+    }
+
+    #[test]
+    fn floor_gated_shrink_regresses_but_growth_does_not() {
+        let doc = |pruned: u64| {
+            Value::obj([
+                ("experiment", "perf".into()),
+                (
+                    "work",
+                    Value::Arr(vec![Value::obj([
+                        ("counter", "atpg.faults_pruned".into()),
+                        ("substrate", "b12_die0".into()),
+                        ("reference", 0u64.into()),
+                        ("optimized", pruned.into()),
+                        ("reduction", 0.0.into()),
+                    ])]),
+                ),
+            ])
+        };
+        let base = doc(100);
+        // -25% < the -20% floor: the pruning went blind.
+        let report = diff(&base, &doc(75), 20.0);
+        assert!(report.regressed());
+        let row = report
+            .rows
+            .iter()
+            .find(|r| r.key.contains("atpg.faults_pruned"))
+            .unwrap();
+        assert!(row.gated && row.regressed);
+        // Pruning *more* is an improvement, not a regression.
+        assert!(!diff(&base, &doc(150), 20.0).regressed());
+        // A small shrink within the threshold passes.
+        assert!(!diff(&base, &doc(90), 20.0).regressed());
+        // Losing the measurement entirely regresses.
+        let empty = Value::obj([("experiment", "perf".into()), ("work", Value::Arr(vec![]))]);
+        assert!(diff(&base, &empty, 20.0).regressed());
     }
 
     #[test]

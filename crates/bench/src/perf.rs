@@ -14,16 +14,18 @@
 //! the largest selected substrate once with `PREBOND3D_NO_CACHE`
 //! semantics forced on (the pre-optimization algorithm) and once with
 //! the caches enabled, and records the deterministic work counters
-//! (`atpg.gate_evals`, cone word-ops, `probe.cache_*`) via
+//! (`atpg.gate_evals`, `atpg.faults_pruned`, cone word-ops,
+//! `probe.cache_*`) via
 //! [`crate::report::record_work`]. Unlike the wall-clock speedups these
 //! survive `PREBOND3D_STABLE_MS`, so CI regression-gates them.
 
 use std::time::Instant;
 
+use prebond3d_atpg::engine::run_stuck_at;
 use prebond3d_atpg::fault::FaultList;
 use prebond3d_atpg::faultsim::FaultSimulator;
 use prebond3d_atpg::sim::Pattern;
-use prebond3d_atpg::TestAccess;
+use prebond3d_atpg::{AtpgConfig, TestAccess};
 use prebond3d_celllib::Library;
 use prebond3d_netlist::cone::ConeSet;
 use prebond3d_netlist::{itc99, tuning, GateId};
@@ -131,6 +133,7 @@ struct WorkSample {
     gate_evals: u64,
     cache_hits: u64,
     cache_misses: u64,
+    faults_pruned: u64,
 }
 
 /// Measure the deterministic work counters of the hot paths (DESIGN.md
@@ -250,10 +253,15 @@ fn work_probe(circuits: &[&str]) {
             }
         }
 
-        // Two passes over the pairs: the second is where memoization pays.
-        let atpg_mode = |no_cache: bool| -> WorkSample {
+        // Two passes over the pairs (the second is where memoization
+        // pays), then one full-universe ATPG run on the bare die: the
+        // floating TSVs leave X cones whose faults the dataflow pruning
+        // (DESIGN.md §14) retires before any simulation. Reference mode
+        // (`no_cache`) disables pruning, so the `atpg.gate_evals` delta
+        // includes the retired faults' cone resimulations.
+        let atpg_mode = |no_cache: bool| -> (WorkSample, prebond3d_atpg::AtpgResult) {
             tuning::force_no_cache(Some(no_cache));
-            let (_, snap) = obs::capture(|| {
+            let (result, snap) = obs::capture(|| {
                 let cones = ConeSet::compute(atpg_netlist, &roots);
                 let probe = AtpgProbe::default();
                 for _pass in 0..2 {
@@ -261,16 +269,24 @@ fn work_probe(circuits: &[&str]) {
                         let _ = probe.sharing_cost(atpg_netlist, &cones, a, b);
                     }
                 }
+                let access = TestAccess::full_scan(atpg_netlist);
+                run_stuck_at(atpg_netlist, &access, &AtpgConfig::fast())
             });
             tuning::force_no_cache(None);
-            WorkSample {
+            let sample = WorkSample {
                 gate_evals: snap.counter("atpg.gate_evals"),
                 cache_hits: snap.counter("probe.cache_hits"),
                 cache_misses: snap.counter("probe.cache_misses"),
-            }
+                faults_pruned: snap.counter("atpg.faults_pruned"),
+            };
+            (sample, result)
         };
-        let reference = atpg_mode(true);
-        let optimized = atpg_mode(false);
+        let (reference, ref_result) = atpg_mode(true);
+        let (optimized, opt_result) = atpg_mode(false);
+        assert_eq!(
+            ref_result, opt_result,
+            "pruned ATPG must be byte-identical to the unpruned reference"
+        );
         (atpg_substrate, reference, optimized)
     });
     if atpg.is_none() {
@@ -299,6 +315,15 @@ fn work_probe(circuits: &[&str]) {
             reference.cache_misses,
             optimized.cache_misses,
         );
+        // Reference mode never prunes, so the row reads 0 → N: obs-diff
+        // floor-gates the optimized count (a shrink means the static
+        // analysis stopped seeing the X cones).
+        report::record_work(
+            "atpg.faults_pruned",
+            atpg_substrate,
+            reference.faults_pruned,
+            optimized.faults_pruned,
+        );
     }
     report::record_work(
         "graph.cone_word_ops",
@@ -323,6 +348,7 @@ fn work_probe(circuits: &[&str]) {
             obs::count("atpg.gate_evals", optimized.gate_evals);
             obs::count("probe.cache_hits", optimized.cache_hits);
             obs::count("probe.cache_misses", optimized.cache_misses);
+            obs::count("atpg.faults_pruned", optimized.faults_pruned);
         }
     });
 }

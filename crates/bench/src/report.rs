@@ -580,6 +580,7 @@ pub(crate) fn zero_ms(v: &mut Value) {
                         | "serial_ms"
                         | "parallel_ms"
                         | "speedup"
+                        | "jobs_per_sec"
                         | "threads"
                         | "alloc_bytes_total"
                         | "alloc_bytes_peak"

@@ -1,0 +1,256 @@
+//! Ternary constant propagation: per-net value sets under a test-access
+//! source model.
+//!
+//! A [`SourceModel`] fixes the abstract value of every *source* net
+//! (primary inputs, constants, flip-flop outputs, TSV endpoints); the
+//! fixpoint then derives the value set of every combinational net. The two
+//! stock models mirror the simulator's pre-bond access semantics:
+//!
+//! * [`SourceModel::pre_bond`] — scan-accessible sources (`Input`,
+//!   `ScanDff`, `Wrapper`) take `{0,1}`; floating TSVs and unscanned
+//!   flip-flops take `{X}`; constants take their singleton.
+//! * [`SourceModel::assume_wrapped`] — like `pre_bond`, but inbound TSVs
+//!   are `{0,1}` (they *will* receive a wrapper cell), which is the right
+//!   view for judging whether a wrapper boundary is testable at all.
+//!
+//! Custom models ([`SourceModel::with_source`]) let the ATPG layer mirror
+//! its exact `TestAccess` — including pinned nodes — so the derived facts
+//! are sound for the very patterns the engine simulates.
+
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+
+use crate::lattice::{eval_set, ValueSet};
+use crate::solver::{solve, Fixpoint, Framework};
+
+/// Per-source abstract values; combinational nets are ignored.
+#[derive(Debug, Clone)]
+pub struct SourceModel {
+    sets: Vec<ValueSet>,
+}
+
+fn base_model(netlist: &Netlist, tsv_in: ValueSet) -> Vec<ValueSet> {
+    netlist
+        .iter()
+        .map(|(_, gate)| match gate.kind {
+            GateKind::Const0 => ValueSet::ZERO,
+            GateKind::Const1 => ValueSet::ONE,
+            GateKind::Input | GateKind::ScanDff | GateKind::Wrapper => ValueSet::BOOL,
+            GateKind::TsvIn => tsv_in,
+            GateKind::Dff => ValueSet::X,
+            // Combinational nets: derived by the fixpoint, not the model.
+            _ => ValueSet::EMPTY,
+        })
+        .collect()
+}
+
+impl SourceModel {
+    /// Pre-bond full-scan access: floating TSVs are uncontrollable.
+    pub fn pre_bond(netlist: &Netlist) -> SourceModel {
+        SourceModel {
+            sets: base_model(netlist, ValueSet::X),
+        }
+    }
+
+    /// Pre-bond access assuming every inbound TSV gets a wrapper cell.
+    pub fn assume_wrapped(netlist: &Netlist) -> SourceModel {
+        SourceModel {
+            sets: base_model(netlist, ValueSet::BOOL),
+        }
+    }
+
+    /// Override one source's abstract value (pinned test-enable nets,
+    /// custom access models). Constants cannot be overridden — the
+    /// simulator reasserts them on every evaluation — and overrides of
+    /// combinational nets are ignored for the same reason.
+    pub fn with_source(mut self, id: GateId, set: ValueSet) -> SourceModel {
+        self.set_source(id, set);
+        self
+    }
+
+    /// In-place variant of [`Self::with_source`].
+    pub fn set_source(&mut self, id: GateId, set: ValueSet) {
+        self.sets[id.index()] = set;
+    }
+
+    /// The modeled value of a source net.
+    pub fn source(&self, id: GateId) -> ValueSet {
+        self.sets[id.index()]
+    }
+}
+
+struct ConstProp<'a> {
+    netlist: &'a Netlist,
+    model: &'a SourceModel,
+}
+
+impl Framework for ConstProp<'_> {
+    type Fact = ValueSet;
+
+    fn len(&self) -> usize {
+        self.netlist.len()
+    }
+
+    fn initial(&self, node: u32) -> ValueSet {
+        self.model.sets[node as usize]
+    }
+
+    fn transfer(&self, node: u32, facts: &[ValueSet]) -> ValueSet {
+        let id = GateId(node);
+        let gate = self.netlist.gate(id);
+        match gate.kind {
+            // Constants always win, matching the simulator's evaluation
+            // order (they are reasserted inside the topological sweep).
+            GateKind::Const0 => ValueSet::ZERO,
+            GateKind::Const1 => ValueSet::ONE,
+            kind if kind.is_combinational() => {
+                let mut inputs = [ValueSet::EMPTY; 3];
+                for (slot, &i) in inputs.iter_mut().zip(gate.inputs.iter()) {
+                    *slot = facts[i.index()];
+                }
+                eval_set(kind, &inputs[..gate.inputs.len()])
+            }
+            // Sources and sequential Q pins hold their modeled value; the
+            // D-pin side never feeds back within a test frame.
+            _ => self.model.sets[node as usize],
+        }
+    }
+
+    fn dependents(&self, node: u32, out: &mut Vec<u32>) {
+        for &fo in self.netlist.fanout(GateId(node)) {
+            out.push(fo.0);
+        }
+    }
+}
+
+/// The solved value set per net, with iteration statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constants {
+    /// Value set per gate output, indexed by `GateId`.
+    pub sets: Vec<ValueSet>,
+    /// Rounds the fixpoint took (deterministic).
+    pub rounds: u32,
+    /// Transfer evaluations performed (deterministic).
+    pub evals: u64,
+}
+
+impl Constants {
+    /// Run the fixpoint under `model`.
+    pub fn compute(netlist: &Netlist, model: &SourceModel) -> Constants {
+        let Fixpoint {
+            facts,
+            rounds,
+            evals,
+        } = solve(&ConstProp { netlist, model });
+        Constants {
+            sets: facts,
+            rounds,
+            evals,
+        }
+    }
+
+    /// The value set of one net.
+    pub fn set(&self, id: GateId) -> ValueSet {
+        self.sets[id.index()]
+    }
+
+    /// `Some(v)` when the net provably carries constant `v`.
+    pub fn is_constant(&self, id: GateId) -> Option<bool> {
+        self.sets[id.index()].is_constant()
+    }
+
+    /// The net is X on every pattern.
+    pub fn is_x_only(&self, id: GateId) -> bool {
+        self.sets[id.index()].is_x_only()
+    }
+
+    /// Derived-constant nets: combinational gates whose output is provably
+    /// constant (explicit `Const0`/`Const1` cells are by definition
+    /// constant and excluded). These are the dead gates of the netlist —
+    /// their logic can never toggle under the modeled access.
+    pub fn derived_constants(&self, netlist: &Netlist) -> Vec<(GateId, bool)> {
+        netlist
+            .iter()
+            .filter(|(_, g)| {
+                g.kind.is_combinational() && !matches!(g.kind, GateKind::Output | GateKind::TsvOut)
+            })
+            .filter_map(|(id, _)| self.is_constant(id).map(|v| (id, v)))
+            .collect()
+    }
+
+    /// Nets that are X on every pattern: the cones pre-bond test cannot
+    /// control. Source nets modeled as X (the roots) are included.
+    pub fn x_only_nets(&self, netlist: &Netlist) -> Vec<GateId> {
+        netlist.ids().filter(|&id| self.is_x_only(id)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    #[test]
+    fn constants_propagate_through_logic() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c0 = b.gate(GateKind::Const0, &[], "c0");
+        let g = b.gate(GateKind::And, &[a, c0], "g"); // a & 0 = 0
+        let h = b.gate(GateKind::Not, &[g], "h"); // ¬0 = 1
+        b.output(h, "o");
+        let n = b.finish().unwrap();
+        let consts = Constants::compute(&n, &SourceModel::pre_bond(&n));
+        assert_eq!(consts.is_constant(g), Some(false));
+        assert_eq!(consts.is_constant(h), Some(true));
+        assert_eq!(consts.is_constant(a), None);
+        let dead = consts.derived_constants(&n);
+        assert_eq!(dead, vec![(g, false), (h, true)]);
+    }
+
+    #[test]
+    fn x_cones_grow_from_floating_tsvs_and_plain_dffs() {
+        let mut b = NetlistBuilder::new("t");
+        let ti = b.tsv_in("ti");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Xor, &[ti, a], "g"); // X ^ a = X
+        let h = b.gate(GateKind::And, &[g, a], "h"); // X & {0,1} = {0,X}
+        b.output(h, "o");
+        let n = b.finish().unwrap();
+        let consts = Constants::compute(&n, &SourceModel::pre_bond(&n));
+        assert!(consts.is_x_only(g));
+        assert!(!consts.is_x_only(h));
+        assert!(consts.set(h).contains_x());
+        assert!(consts.set(h).contains(false));
+        assert!(!consts.set(h).contains(true));
+        assert_eq!(consts.x_only_nets(&n), vec![ti, g]);
+    }
+
+    #[test]
+    fn assume_wrapped_recovers_tsv_cones() {
+        let mut b = NetlistBuilder::new("t");
+        let ti = b.tsv_in("ti");
+        let g = b.gate(GateKind::Not, &[ti], "g");
+        b.tsv_out(g, "to");
+        let n = b.finish().unwrap();
+        let pre = Constants::compute(&n, &SourceModel::pre_bond(&n));
+        assert!(pre.is_x_only(g));
+        let wrapped = Constants::compute(&n, &SourceModel::assume_wrapped(&n));
+        assert_eq!(wrapped.set(g), ValueSet::BOOL);
+    }
+
+    #[test]
+    fn pinned_sources_narrow_the_model() {
+        let mut b = NetlistBuilder::new("t");
+        let en = b.input("en");
+        let a = b.input("a");
+        let g = b.gate(GateKind::And, &[en, a], "g");
+        b.output(g, "o");
+        let n = b.finish().unwrap();
+        let model = SourceModel::pre_bond(&n).with_source(en, ValueSet::ONE);
+        let consts = Constants::compute(&n, &model);
+        // en pinned to 1 → g ≡ a.
+        assert_eq!(consts.set(g), ValueSet::BOOL);
+        let model0 = SourceModel::pre_bond(&n).with_source(en, ValueSet::ZERO);
+        let consts0 = Constants::compute(&n, &model0);
+        assert_eq!(consts0.is_constant(g), Some(false));
+    }
+}

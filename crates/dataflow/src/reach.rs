@@ -1,0 +1,89 @@
+//! Structural observability reachability.
+//!
+//! `observable[n]` answers: *can a value difference at net `n` reach an
+//! observation point within one test frame?* — following exactly the
+//! fault simulator's event propagation rule: a difference crosses from a
+//! net into a fanout gate only when that gate is combinational and not a
+//! frame-boundary marker (`Output`/`TsvOut`); observation happens at the
+//! listed observed nets themselves (sink *drivers*, in the access model's
+//! convention).
+//!
+//! `observable[n] = observed[n] ∨ ∃ fanout g: propagating(g) ∧ observable[g]`
+//!
+//! A `false` here is a structural proof that no pattern can ever turn a
+//! fault effect at `n` into a miscompare — one of the two untestability
+//! certificates the ATPG pruner uses.
+
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+
+/// Does a difference propagate *through* a gate of this kind? Mirrors the
+/// fault simulator's frame-boundary rule: sequential kinds capture (their
+/// D pin is the observation point, not a through-path) and `Output` /
+/// `TsvOut` terminate the frame.
+pub fn propagates(kind: GateKind) -> bool {
+    kind.is_combinational() && !matches!(kind, GateKind::Output | GateKind::TsvOut)
+}
+
+/// Backward reachability from `observed` nets over propagating gates.
+/// `observed` is indexed by `GateId`; the result is too. Deterministic by
+/// construction (pure set computation).
+pub fn observable(netlist: &Netlist, observed: &[bool]) -> Vec<bool> {
+    assert_eq!(observed.len(), netlist.len());
+    let mut reach = observed.to_vec();
+    // Seed with every observed net, then walk fan-in: a net n becomes
+    // observable when some propagating fanout gate of n is observable.
+    let mut stack: Vec<GateId> = netlist.ids().filter(|&id| reach[id.index()]).collect();
+    while let Some(id) = stack.pop() {
+        // A difference enters `id`'s inputs only if `id` evaluates, i.e.
+        // `id` is a propagating gate. (Observed source nets are ends of
+        // the walk: nothing upstream of a 0-arity gate.)
+        if !propagates(netlist.gate(id).kind) {
+            continue;
+        }
+        for &input in &netlist.gate(id).inputs {
+            if !reach[input.index()] {
+                reach[input.index()] = true;
+                stack.push(input);
+            }
+        }
+    }
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    #[test]
+    fn cone_feeding_only_a_tsv_out_is_unobservable() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, &[a], "g");
+        b.tsv_out(g, "to");
+        let h = b.gate(GateKind::Buf, &[a], "h");
+        b.output(h, "o");
+        let n = b.finish().unwrap();
+        // Observed set: drivers of Output sinks only (pre-bond, no wrap).
+        let mut observed = vec![false; n.len()];
+        observed[h.index()] = true;
+        let reach = observable(&n, &observed);
+        assert!(reach[h.index()]);
+        assert!(reach[a.index()], "a reaches o through h");
+        assert!(!reach[g.index()], "g only feeds the floating TSV");
+    }
+
+    #[test]
+    fn propagation_stops_at_frame_boundaries() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let o = b.output(a, "o");
+        let n = b.finish().unwrap();
+        // Observing the *Output marker itself* (not its driver) must not
+        // leak upstream: Output is a frame boundary, not a through-path.
+        let mut observed = vec![false; n.len()];
+        observed[o.index()] = true;
+        let reach = observable(&n, &observed);
+        assert!(!reach[a.index()]);
+    }
+}

@@ -1,0 +1,304 @@
+//! SCOAP-style testability scoring on the dataflow framework.
+//!
+//! Classic Goldstein controllability/observability measures, computed as
+//! two monotone fixpoints over the netlist graph (a forward min-cost pass
+//! for `CC0`/`CC1`, a backward min-cost pass for `CO`) under the pre-bond
+//! full-scan access view: primary inputs, scan flip-flops and wrapper
+//! cells are controllable; sink *drivers* of outputs, scan flip-flops and
+//! wrapper cells are observed; floating TSVs and unscanned flip-flops
+//! saturate.
+//!
+//! The transfer functions mirror the ATPG crate's `Scoap` exactly, so the
+//! lint-facing scores agree with what PODEM uses for backtrace guidance —
+//! the alignment is locked down by a cross-check test in `prebond3d-atpg`.
+
+use prebond3d_netlist::{GateId, GateKind, Netlist};
+
+use crate::solver::{solve, Framework};
+
+/// Saturating "unreachable" cost (identical to the ATPG crate's value).
+pub const INF: u32 = u32::MAX / 4;
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INF)
+}
+
+/// The pre-bond access view used by the scoring passes.
+#[derive(Debug, Clone)]
+pub struct AccessView {
+    /// Scan-accessible (controllable) source nets.
+    pub controllable: Vec<bool>,
+    /// Observed nets (sink drivers).
+    pub observed: Vec<bool>,
+}
+
+impl AccessView {
+    /// Full-scan pre-bond access: `Input`/`ScanDff`/`Wrapper` control;
+    /// drivers of `Output`/`ScanDff`/`Wrapper` observe.
+    pub fn pre_bond(netlist: &Netlist) -> AccessView {
+        let n = netlist.len();
+        let mut controllable = vec![false; n];
+        let mut observed = vec![false; n];
+        for (id, gate) in netlist.iter() {
+            match gate.kind {
+                GateKind::Input | GateKind::ScanDff | GateKind::Wrapper => {
+                    controllable[id.index()] = true;
+                }
+                _ => {}
+            }
+            if matches!(
+                gate.kind,
+                GateKind::Output | GateKind::ScanDff | GateKind::Wrapper
+            ) {
+                observed[gate.inputs[0].index()] = true;
+            }
+        }
+        AccessView {
+            controllable,
+            observed,
+        }
+    }
+}
+
+/// Forward controllability framework. Fact = `(cc0, cc1)`, ordered by
+/// pointwise ≤ with the *reversed* lattice (costs only decrease).
+struct Controllability<'a> {
+    netlist: &'a Netlist,
+    access: &'a AccessView,
+}
+
+impl Framework for Controllability<'_> {
+    type Fact = (u32, u32);
+
+    fn len(&self) -> usize {
+        self.netlist.len()
+    }
+
+    fn initial(&self, node: u32) -> (u32, u32) {
+        let id = GateId(node);
+        let gate = self.netlist.gate(id);
+        if gate.kind.is_source() {
+            match gate.kind {
+                GateKind::Const0 => (0, INF),
+                GateKind::Const1 => (INF, 0),
+                _ if self.access.controllable[id.index()] => (1, 1),
+                _ => (INF, INF),
+            }
+        } else {
+            (INF, INF)
+        }
+    }
+
+    fn transfer(&self, node: u32, facts: &[(u32, u32)]) -> (u32, u32) {
+        let id = GateId(node);
+        let gate = self.netlist.gate(id);
+        if gate.kind.is_source() {
+            return self.initial(node);
+        }
+        let in0: Vec<u32> = gate.inputs.iter().map(|x| facts[x.index()].0).collect();
+        let in1: Vec<u32> = gate.inputs.iter().map(|x| facts[x.index()].1).collect();
+        let (c0, c1) = match gate.kind {
+            GateKind::Buf | GateKind::Output | GateKind::TsvOut => (in0[0], in1[0]),
+            GateKind::Not => (in1[0], in0[0]),
+            GateKind::And => (in0.iter().copied().min().unwrap(), sat_add(in1[0], in1[1])),
+            GateKind::Nand => (sat_add(in1[0], in1[1]), in0.iter().copied().min().unwrap()),
+            GateKind::Or => (sat_add(in0[0], in0[1]), in1.iter().copied().min().unwrap()),
+            GateKind::Nor => (in1.iter().copied().min().unwrap(), sat_add(in0[0], in0[1])),
+            GateKind::Xor => (
+                sat_add(in0[0], in0[1]).min(sat_add(in1[0], in1[1])),
+                sat_add(in0[0], in1[1]).min(sat_add(in1[0], in0[1])),
+            ),
+            GateKind::Xnor => (
+                sat_add(in0[0], in1[1]).min(sat_add(in1[0], in0[1])),
+                sat_add(in0[0], in0[1]).min(sat_add(in1[0], in1[1])),
+            ),
+            GateKind::Mux2 => {
+                let c0 = sat_add(in0[2], in0[0]).min(sat_add(in1[2], in0[1]));
+                let c1 = sat_add(in0[2], in1[0]).min(sat_add(in1[2], in1[1]));
+                (c0, c1)
+            }
+            _ => (INF, INF),
+        };
+        (sat_add(c0, 1), sat_add(c1, 1))
+    }
+
+    fn dependents(&self, node: u32, out: &mut Vec<u32>) {
+        for &fo in self.netlist.fanout(GateId(node)) {
+            out.push(fo.0);
+        }
+    }
+}
+
+/// Backward observability framework. Fact = `co`, costs only decrease.
+struct Observability<'a> {
+    netlist: &'a Netlist,
+    access: &'a AccessView,
+    cc: &'a [(u32, u32)],
+}
+
+impl Observability<'_> {
+    /// Cost of observing input pin `pin` of `gate` through it.
+    fn side_cost(&self, gate: &prebond3d_netlist::Gate, pin: usize) -> u32 {
+        let cc0 = |id: GateId| self.cc[id.index()].0;
+        let cc1 = |id: GateId| self.cc[id.index()].1;
+        match gate.kind {
+            GateKind::Buf
+            | GateKind::Not
+            | GateKind::Output
+            | GateKind::TsvOut
+            | GateKind::Wrapper
+            | GateKind::Dff
+            | GateKind::ScanDff => 0,
+            GateKind::And | GateKind::Nand => cc1(gate.inputs[1 - pin]),
+            GateKind::Or | GateKind::Nor => cc0(gate.inputs[1 - pin]),
+            GateKind::Xor | GateKind::Xnor => {
+                let other = gate.inputs[1 - pin];
+                cc0(other).min(cc1(other))
+            }
+            GateKind::Mux2 => match pin {
+                0 => cc0(gate.inputs[2]),
+                1 => cc1(gate.inputs[2]),
+                _ => sat_add(
+                    cc0(gate.inputs[0]).min(cc1(gate.inputs[0])),
+                    cc0(gate.inputs[1]).min(cc1(gate.inputs[1])),
+                ),
+            },
+            _ => INF,
+        }
+    }
+}
+
+impl Framework for Observability<'_> {
+    type Fact = u32;
+
+    fn len(&self) -> usize {
+        self.netlist.len()
+    }
+
+    fn initial(&self, node: u32) -> u32 {
+        if self.access.observed[node as usize] {
+            0
+        } else {
+            INF
+        }
+    }
+
+    fn transfer(&self, node: u32, facts: &[u32]) -> u32 {
+        let id = GateId(node);
+        let mut best = self.initial(node);
+        for &fo in self.netlist.fanout(id) {
+            let gate = self.netlist.gate(fo);
+            // Capturing into an unobservable (unscanned) flip-flop
+            // observes nothing within the test frame.
+            if gate.kind.is_sequential() && !self.access.controllable[fo.index()] {
+                continue;
+            }
+            let base = if gate.kind.is_sequential() {
+                0
+            } else {
+                facts[fo.index()]
+            };
+            for (pin, &input) in gate.inputs.iter().enumerate() {
+                if input != id {
+                    continue;
+                }
+                let cost = sat_add(sat_add(base, self.side_cost(gate, pin)), 1);
+                best = best.min(cost);
+            }
+        }
+        best
+    }
+
+    fn dependents(&self, node: u32, out: &mut Vec<u32>) {
+        // Backward: when co[node] changes, its *inputs* must recompute.
+        for &input in &self.netlist.gate(GateId(node)).inputs {
+            out.push(input.0);
+        }
+    }
+}
+
+/// SCOAP-style measures for every net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scores {
+    /// Cost to force each net to 0.
+    pub cc0: Vec<u32>,
+    /// Cost to force each net to 1.
+    pub cc1: Vec<u32>,
+    /// Cost to observe each net.
+    pub co: Vec<u32>,
+}
+
+impl Scores {
+    /// Compute all three measures under `access`.
+    pub fn compute(netlist: &Netlist, access: &AccessView) -> Scores {
+        let cc = solve(&Controllability { netlist, access }).facts;
+        let co = solve(&Observability {
+            netlist,
+            access,
+            cc: &cc,
+        })
+        .facts;
+        let (cc0, cc1) = cc.into_iter().unzip();
+        Scores { cc0, cc1, co }
+    }
+
+    /// Combined difficulty of detecting a stuck-at fault at `id`.
+    pub fn detect_cost(&self, id: GateId, stuck_at_one: bool) -> u32 {
+        let cc = if stuck_at_one {
+            self.cc0[id.index()]
+        } else {
+            self.cc1[id.index()]
+        };
+        sat_add(cc, self.co[id.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    #[test]
+    fn and_gate_measures_match_goldstein() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c = b.input("b");
+        let g = b.gate(GateKind::And, &[a, c], "g");
+        b.output(g, "o");
+        let n = b.finish().unwrap();
+        let s = Scores::compute(&n, &AccessView::pre_bond(&n));
+        assert_eq!(s.cc0[g.index()], 2);
+        assert_eq!(s.cc1[g.index()], 3);
+        assert_eq!(s.co[g.index()], 0);
+        assert_eq!(s.co[a.index()], 2);
+    }
+
+    #[test]
+    fn floating_tsv_saturates_both_directions() {
+        let mut b = NetlistBuilder::new("t");
+        let ti = b.tsv_in("ti");
+        let a = b.input("a");
+        let g = b.gate(GateKind::And, &[ti, a], "g");
+        b.output(g, "o");
+        let h = b.gate(GateKind::Not, &[a], "h");
+        b.tsv_out(h, "to");
+        let n = b.finish().unwrap();
+        let s = Scores::compute(&n, &AccessView::pre_bond(&n));
+        assert!(s.cc1[g.index()] >= INF, "needs ti=1");
+        assert!(s.cc0[g.index()] < INF, "a=0 suffices");
+        assert!(s.co[h.index()] >= INF, "only sink is an unwrapped TSV");
+        assert!(s.detect_cost(h, true) >= INF);
+    }
+
+    #[test]
+    fn scan_capture_observes_directly() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, &[a], "g");
+        b.scan_dff(g, "q");
+        let n = b.finish().unwrap();
+        let s = Scores::compute(&n, &AccessView::pre_bond(&n));
+        assert_eq!(s.co[g.index()], 0);
+        assert!(s.detect_cost(g, false) < INF);
+    }
+}

@@ -1,0 +1,165 @@
+//! The monotone-framework worklist solver.
+//!
+//! ## Determinism contract
+//!
+//! The solver iterates in **rounds**. Every round evaluates the transfer
+//! function of each frontier node against a frozen snapshot of the
+//! previous round's facts (Jacobi iteration), then applies all updates in
+//! ascending node order and seeds the next frontier with the sorted,
+//! deduplicated dependents of the nodes that changed. Because transfer
+//! evaluation within a round only reads the snapshot, the per-round
+//! results are independent of how the frontier is split across threads —
+//! [`prebond3d_pool::par_map`]'s submission-order merge then makes the
+//! whole fixpoint **byte-identical at any `PREBOND3D_THREADS`**, including
+//! the round and evaluation counts reported on the result.
+//!
+//! ## Termination
+//!
+//! Transfer functions must be monotone with respect to the fact lattice
+//! and the lattice must have finite height. A node is re-evaluated only
+//! when one of the facts it reads changed, so each node runs at most
+//! `1 + height × indegree` times.
+
+use prebond3d_obs as obs;
+use prebond3d_pool as pool;
+
+/// One dataflow problem: facts, initial assignment, transfer, dependency
+/// edges. Nodes are dense `u32` indices (`0..len`), matching `GateId`.
+pub trait Framework: Sync {
+    /// The lattice element stored per node.
+    type Fact: Clone + PartialEq + Send + Sync;
+
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Whether the framework is empty (no nodes).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The initial fact of `node` (bottom, or an injected source fact).
+    fn initial(&self, node: u32) -> Self::Fact;
+
+    /// Recompute `node`'s fact from the current assignment. Must be
+    /// monotone: growing any read fact may only grow the result.
+    fn transfer(&self, node: u32, facts: &[Self::Fact]) -> Self::Fact;
+
+    /// Append the nodes whose transfer reads `node`'s fact.
+    fn dependents(&self, node: u32, out: &mut Vec<u32>);
+}
+
+/// A solved fixpoint, with the deterministic iteration statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fixpoint<F> {
+    /// The stable fact per node.
+    pub facts: Vec<F>,
+    /// Number of rounds until stabilization.
+    pub rounds: u32,
+    /// Total transfer evaluations across all rounds.
+    pub evals: u64,
+}
+
+/// Run the worklist solver to fixpoint.
+pub fn solve<A: Framework>(problem: &A) -> Fixpoint<A::Fact> {
+    let n = problem.len();
+    let mut facts: Vec<A::Fact> = (0..n as u32).map(|i| problem.initial(i)).collect();
+    let mut frontier: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0u32;
+    let mut evals = 0u64;
+    let mut deps = Vec::new();
+    while !frontier.is_empty() {
+        rounds += 1;
+        evals += frontier.len() as u64;
+        // Jacobi evaluation against the frozen snapshot; the pool merges
+        // chunk results in index order, so any thread count produces the
+        // same outputs vector.
+        let outputs: Vec<A::Fact> =
+            pool::par_map(&frontier, |&node| problem.transfer(node, &facts));
+        let mut next: Vec<u32> = Vec::new();
+        for (node, out) in frontier.iter().zip(outputs) {
+            let slot = &mut facts[*node as usize];
+            if *slot != out {
+                *slot = out;
+                deps.clear();
+                problem.dependents(*node, &mut deps);
+                next.extend_from_slice(&deps);
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        frontier = next;
+    }
+    obs::count("dataflow.rounds", u64::from(rounds));
+    obs::count("dataflow.evals", evals);
+    Fixpoint {
+        facts,
+        rounds,
+        evals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Longest-path length over a tiny DAG, as a max-lattice framework.
+    struct Longest {
+        preds: Vec<Vec<u32>>,
+        succs: Vec<Vec<u32>>,
+    }
+
+    impl Framework for Longest {
+        type Fact = u32;
+        fn len(&self) -> usize {
+            self.preds.len()
+        }
+        fn initial(&self, _node: u32) -> u32 {
+            0
+        }
+        fn transfer(&self, node: u32, facts: &[u32]) -> u32 {
+            self.preds[node as usize]
+                .iter()
+                .map(|&p| facts[p as usize] + 1)
+                .max()
+                .unwrap_or(0)
+        }
+        fn dependents(&self, node: u32, out: &mut Vec<u32>) {
+            out.extend_from_slice(&self.succs[node as usize]);
+        }
+    }
+
+    fn chain_with_shortcut() -> Longest {
+        // 0 → 1 → 2 → 3, plus 0 → 3.
+        Longest {
+            preds: vec![vec![], vec![0], vec![1], vec![2, 0]],
+            succs: vec![vec![1, 3], vec![2], vec![3], vec![]],
+        }
+    }
+
+    #[test]
+    fn reaches_the_expected_fixpoint() {
+        let fx = solve(&chain_with_shortcut());
+        assert_eq!(fx.facts, vec![0, 1, 2, 3]);
+        assert!(fx.rounds >= 3, "deep node needs multiple rounds");
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let p = chain_with_shortcut();
+        let base = prebond3d_pool::with_threads(1, || solve(&p));
+        for t in [2, 4, 8] {
+            let got = prebond3d_pool::with_threads(t, || solve(&p));
+            assert_eq!(got, base, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_problem_terminates() {
+        let fx = solve(&Longest {
+            preds: vec![],
+            succs: vec![],
+        });
+        assert!(fx.facts.is_empty());
+        assert_eq!(fx.rounds, 0);
+    }
+}

@@ -17,6 +17,7 @@
 //! | P350x  | `mission-equiv` | mission-mode co-simulation                |
 //! | P360x  | `report-schema` | run/BENCH report JSON schema              |
 //! | P370x  | `report-schema` | serving report (`BENCH_serve`) consistency |
+//! | P380x  | `dataflow`      | fixpoint constant/X propagation, static testability |
 
 use std::fmt;
 
@@ -139,6 +140,20 @@ pub const SERVE_JOBS_UNACCOUNTED: Code = Code(3701);
 /// A serving report recorded zero warm-cache hits — the run never
 /// exercised the cross-request cache it exists to measure.
 pub const SERVE_CACHE_COLD: Code = Code(3702);
+
+// --- dataflow (P380x) -----------------------------------------------------
+/// A combinational net the value-set fixpoint proves constant.
+pub const DATAFLOW_CONST_NET: Code = Code(3801);
+/// A gate whose output cannot reach any capture point even fully wrapped.
+pub const DATAFLOW_DEAD_GATE: Code = Code(3802);
+/// An unscanned state element rooting an X-only cone no wrapper recovers.
+pub const DATAFLOW_X_CONE: Code = Code(3803);
+/// Summary: stuck-at faults provably untestable pre-bond (Deep only).
+pub const DATAFLOW_UNTESTABLE_FAULTS: Code = Code(3804);
+/// A TSV boundary net statically untestable however the die is wrapped.
+pub const DATAFLOW_UNTESTABLE_BOUNDARY: Code = Code(3805);
+/// Summary: nets with saturated SCOAP detect cost pre-bond (Deep only).
+pub const DATAFLOW_HARD_TO_TEST: Code = Code(3806);
 
 /// One registry row: code, short name, default severity, description.
 pub type RegistryRow = (Code, &'static str, Severity, &'static str);
@@ -312,6 +327,42 @@ pub const REGISTRY: &[RegistryRow] = &[
         "serve-cache-cold",
         Severity::Warn,
         "serving report recorded zero warm-cache hits",
+    ),
+    (
+        DATAFLOW_CONST_NET,
+        "dataflow-const-net",
+        Severity::Warn,
+        "combinational net provably constant on every pattern",
+    ),
+    (
+        DATAFLOW_DEAD_GATE,
+        "dataflow-dead-gate",
+        Severity::Warn,
+        "gate output cannot reach any capture point even fully wrapped",
+    ),
+    (
+        DATAFLOW_X_CONE,
+        "dataflow-x-cone",
+        Severity::Warn,
+        "unscanned state roots an uncontrollable X-only cone",
+    ),
+    (
+        DATAFLOW_UNTESTABLE_FAULTS,
+        "dataflow-untestable-faults",
+        Severity::Info,
+        "stuck-at faults provably untestable pre-bond",
+    ),
+    (
+        DATAFLOW_UNTESTABLE_BOUNDARY,
+        "dataflow-untestable-boundary",
+        Severity::Error,
+        "TSV boundary statically untestable however wrapped",
+    ),
+    (
+        DATAFLOW_HARD_TO_TEST,
+        "dataflow-hard-to-test",
+        Severity::Info,
+        "nets with saturated SCOAP detect cost pre-bond",
     ),
 ];
 

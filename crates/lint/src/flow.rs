@@ -127,7 +127,7 @@ mod tests {
         let result = run_flow(&die, &placement, &library, &config).unwrap();
         let report = lint_flow("lintflow", &die, &result, &library, &config, Depth::Deep);
         assert!(!report.has_errors(), "{}", report.render());
-        assert_eq!(report.passes_run.len(), 7);
+        assert_eq!(report.passes_run.len(), 8);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | pass            | codes        | checks                                      |
 //! |-----------------|--------------|---------------------------------------------|
 //! | `structure`     | P3001–P3007  | arity, names, wiring, loops, dead logic      |
+//! | `dataflow`      | P3801–P3806  | fixpoint constants, X-cones, static testability |
 //! | `wrapper-mux`   | P3101–P3103  | inserted wrapper-mux transparency            |
 //! | `scan-chain`    | P3201–P3203  | chain connectivity and single-pass ordering  |
 //! | `tsv-coverage`  | P3301–P3305  | every pre-bond crossing wrapped or justified |
@@ -44,6 +45,7 @@ pub mod context;
 pub mod diagnostic;
 pub mod flow;
 pub mod passes;
+pub mod sarif;
 pub mod schema;
 
 use std::collections::BTreeSet;
@@ -71,6 +73,7 @@ pub trait Pass {
 pub struct Linter {
     passes: Vec<Box<dyn Pass>>,
     allow: BTreeSet<u16>,
+    allow_ranges: Vec<(u16, u16)>,
 }
 
 impl Linter {
@@ -79,6 +82,7 @@ impl Linter {
         Linter {
             passes: Vec::new(),
             allow: BTreeSet::new(),
+            allow_ranges: Vec::new(),
         }
     }
 
@@ -86,6 +90,7 @@ impl Linter {
     pub fn with_default_passes() -> Self {
         let mut l = Linter::new();
         l.register(Box::new(passes::structure::StructurePass));
+        l.register(Box::new(passes::dataflow::DataflowPass));
         l.register(Box::new(passes::wrapper::WrapperMuxPass));
         l.register(Box::new(passes::scan::ScanChainPass));
         l.register(Box::new(passes::coverage::TsvCoveragePass));
@@ -107,6 +112,38 @@ impl Linter {
         self
     }
 
+    /// Suppress an entire code category, written with trailing `x`
+    /// wildcards: `"P38xx"` allows every dataflow code, `"P330x"` the
+    /// whole TSV-coverage block.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `pattern` is not `P` followed by four characters —
+    /// leading digits then at least one trailing `x` — because a
+    /// malformed category is a programming error at the call site, not
+    /// an input-data condition.
+    #[must_use]
+    pub fn allow_category(mut self, pattern: &str) -> Self {
+        let body = pattern.strip_prefix('P').unwrap_or(pattern);
+        let wild = body
+            .chars()
+            .rev()
+            .take_while(|c| matches!(c, 'x' | 'X'))
+            .count();
+        let digits = &body[..body.len() - wild];
+        assert!(
+            body.len() == 4
+                && wild >= 1
+                && !digits.is_empty()
+                && digits.bytes().all(|b| b.is_ascii_digit()),
+            "malformed code category `{pattern}` (want e.g. `P38xx`)"
+        );
+        let span = 10u16.pow(wild as u32);
+        let base: u16 = digits.parse::<u16>().unwrap() * span;
+        self.allow_ranges.push((base, base + (span - 1)));
+        self
+    }
+
     /// The registered passes.
     pub fn passes(&self) -> &[Box<dyn Pass>] {
         &self.passes
@@ -121,9 +158,15 @@ impl Linter {
             pass.run(ctx, &mut all);
             passes_run.push(pass.name());
         }
-        let (kept, suppressed): (Vec<_>, Vec<_>) = all
-            .into_iter()
-            .partition(|d| !self.allow.contains(&d.code.0));
+        let allowed = |code: u16| {
+            self.allow.contains(&code)
+                || self
+                    .allow_ranges
+                    .iter()
+                    .any(|&(lo, hi)| (lo..=hi).contains(&code))
+        };
+        let (kept, suppressed): (Vec<_>, Vec<_>) =
+            all.into_iter().partition(|d| !allowed(d.code.0));
         let mut diagnostics = kept;
         // Most severe first, then by code and location, for stable output.
         diagnostics.sort_by(|a, b| {
@@ -253,7 +296,7 @@ mod tests {
         let report = Linter::with_default_passes().run(&LintContext::new("empty"));
         assert!(report.diagnostics.is_empty());
         assert!(!report.has_errors());
-        assert_eq!(report.passes_run.len(), 7);
+        assert_eq!(report.passes_run.len(), 8);
     }
 
     #[test]
@@ -289,6 +332,59 @@ mod tests {
             .run(&LintContext::new("x"));
         assert!(!relaxed.has_errors());
         assert_eq!(relaxed.suppressed, 1);
+    }
+
+    #[test]
+    fn category_allow_list_suppresses_the_whole_band() {
+        struct Emit;
+        impl Pass for Emit {
+            fn name(&self) -> &'static str {
+                "emit"
+            }
+            fn description(&self) -> &'static str {
+                "test pass"
+            }
+            fn codes(&self) -> &'static [Code] {
+                &[
+                    diagnostic::TSV_UNWRAPPED,
+                    diagnostic::DATAFLOW_UNTESTABLE_BOUNDARY,
+                ]
+            }
+            fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+                for code in self.codes() {
+                    out.push(Diagnostic::new(
+                        *code,
+                        Location::artifact(&ctx.artifact),
+                        "synthetic",
+                    ));
+                }
+            }
+        }
+        let mut linter = Linter::new();
+        linter.register(Box::new(Emit));
+        // P33xx suppresses the coverage finding but not the dataflow one.
+        let report = linter.allow_category("P33xx").run(&LintContext::new("x"));
+        assert_eq!(report.suppressed, 1);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(
+            report.diagnostics[0].code,
+            diagnostic::DATAFLOW_UNTESTABLE_BOUNDARY
+        );
+        // P380x catches the dataflow band too.
+        let mut linter = Linter::new();
+        linter.register(Box::new(Emit));
+        let report = linter
+            .allow_category("P33xx")
+            .allow_category("P380x")
+            .run(&LintContext::new("x"));
+        assert_eq!(report.suppressed, 2);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "malformed code category")]
+    fn malformed_category_panics() {
+        let _ = Linter::new().allow_category("P3x8x");
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Dataflow pass: fixpoint-derived testability findings (DESIGN.md §14).
+//!
+//! Everything this pass reports comes from the `prebond3d-dataflow`
+//! analyses, so its findings are byte-identical at any
+//! `PREBOND3D_THREADS`:
+//!
+//! * **P3801** — a combinational net the value-set fixpoint proves
+//!   constant: dead logic that no pattern can ever exercise;
+//! * **P3802** — a gate whose output cannot reach any capture point
+//!   (output, scan flip-flop, wrapper cell or wrapped TSV) even with the
+//!   full wrapper boundary inserted;
+//! * **P3803** — an unscanned flip-flop rooting an X-only cone: nets that
+//!   stay uncontrollable no matter which wrapper cells are inserted;
+//! * **P3804** (Deep) — a summary of the collapsed stuck-at faults the
+//!   dataflow certificates prove untestable pre-bond — exactly the set
+//!   the ATPG engine prunes before simulating anything;
+//! * **P3805** — a statically-untestable wrapper boundary
+//!   ([`prebond3d_dataflow::boundary::check`]); this is the same
+//!   predicate the serve daemon uses as its submit-time admission gate;
+//! * **P3806** (Deep) — a summary of SCOAP-saturated nets: the
+//!   testability the pre-bond access model cannot buy at any cost.
+//!
+//! The pass prefers the pre-DFT die ([`LintContext::original`]) because
+//! the findings are about what wrapper insertion can and cannot repair;
+//! it falls back to the validated netlist when no original is attached.
+
+use prebond3d_atpg::{FaultList, TestAccess};
+use prebond3d_dataflow::scoring::INF;
+use prebond3d_dataflow::{boundary, reach, AccessView, Constants, Scores, SourceModel};
+use prebond3d_netlist::{GateKind, Netlist};
+
+use crate::context::{Depth, LintContext};
+use crate::diagnostic::{
+    Code, Diagnostic, Location, DATAFLOW_CONST_NET, DATAFLOW_DEAD_GATE, DATAFLOW_HARD_TO_TEST,
+    DATAFLOW_UNTESTABLE_BOUNDARY, DATAFLOW_UNTESTABLE_FAULTS, DATAFLOW_X_CONE,
+};
+use crate::Pass;
+
+/// The dataflow pass.
+pub struct DataflowPass;
+
+impl Pass for DataflowPass {
+    fn name(&self) -> &'static str {
+        "dataflow"
+    }
+
+    fn description(&self) -> &'static str {
+        "fixpoint constant/X propagation and static testability"
+    }
+
+    fn codes(&self) -> &'static [Code] {
+        &[
+            DATAFLOW_CONST_NET,
+            DATAFLOW_DEAD_GATE,
+            DATAFLOW_X_CONE,
+            DATAFLOW_UNTESTABLE_FAULTS,
+            DATAFLOW_UNTESTABLE_BOUNDARY,
+            DATAFLOW_HARD_TO_TEST,
+        ]
+    }
+
+    fn run(&self, ctx: &LintContext<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(netlist) = ctx.original.or(ctx.netlist) else {
+            return;
+        };
+        let artifact = ctx.artifact.as_str();
+        // The wrapped view judges what wrapper insertion can still repair:
+        // anything dead under it is dead under *every* wrapper plan.
+        let wrapped = Constants::compute(netlist, &SourceModel::assume_wrapped(netlist));
+        check_const_nets(artifact, netlist, &wrapped, out);
+        check_dead_gates(artifact, netlist, out);
+        check_x_cones(artifact, netlist, &wrapped, out);
+        check_boundary(artifact, netlist, out);
+        if ctx.depth == Depth::Deep {
+            summarize_untestable_faults(artifact, netlist, out);
+            summarize_hard_to_test(artifact, netlist, out);
+        }
+    }
+}
+
+/// P3801: derived-constant combinational nets.
+fn check_const_nets(
+    artifact: &str,
+    netlist: &Netlist,
+    wrapped: &Constants,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (id, value) in wrapped.derived_constants(netlist) {
+        out.push(
+            Diagnostic::new(
+                DATAFLOW_CONST_NET,
+                Location::item(artifact, &netlist.gate(id).name),
+                format!("net is provably constant {} on every pattern", u8::from(value)),
+            )
+            .with_help("constant logic can never be exercised; stuck-at faults matching the constant are untestable"),
+        );
+    }
+}
+
+/// The capture points of a fully-wrapped die: drivers of outputs, scan
+/// flip-flops, wrapper cells and (to-be-wrapped) outbound TSVs. Mirrors
+/// [`boundary::check`]'s observability side.
+fn wrapped_observability(netlist: &Netlist) -> Vec<bool> {
+    let mut observed = vec![false; netlist.len()];
+    for (_, gate) in netlist.iter() {
+        if matches!(
+            gate.kind,
+            GateKind::Output | GateKind::ScanDff | GateKind::Wrapper | GateKind::TsvOut
+        ) {
+            observed[gate.inputs[0].index()] = true;
+        }
+    }
+    reach::observable(netlist, &observed)
+}
+
+/// P3802: gates unobservable at any capture point even fully wrapped.
+fn check_dead_gates(artifact: &str, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let observable = wrapped_observability(netlist);
+    for (id, gate) in netlist.iter() {
+        if gate.kind.is_combinational()
+            && !matches!(gate.kind, GateKind::Output | GateKind::TsvOut)
+            && !observable[id.index()]
+        {
+            out.push(
+                Diagnostic::new(
+                    DATAFLOW_DEAD_GATE,
+                    Location::item(artifact, &gate.name),
+                    "gate output cannot reach any capture point even fully wrapped",
+                )
+                .with_help("every fault on this gate is unobservable pre-bond"),
+            );
+        }
+    }
+}
+
+/// P3803: X-only cones rooted at unscanned flip-flops.
+fn check_x_cones(
+    artifact: &str,
+    netlist: &Netlist,
+    wrapped: &Constants,
+    out: &mut Vec<Diagnostic>,
+) {
+    let x_only: Vec<bool> = netlist.ids().map(|id| wrapped.is_x_only(id)).collect();
+    for (id, gate) in netlist.iter() {
+        if gate.kind != GateKind::Dff || !x_only[id.index()] {
+            continue;
+        }
+        // Size of the X-only cone reachable from this root.
+        let mut seen = vec![false; netlist.len()];
+        let mut stack = vec![id];
+        let mut cone = 0usize;
+        seen[id.index()] = true;
+        while let Some(n) = stack.pop() {
+            cone += 1;
+            for &fo in netlist.fanout(n) {
+                if x_only[fo.index()] && !seen[fo.index()] {
+                    seen[fo.index()] = true;
+                    stack.push(fo);
+                }
+            }
+        }
+        out.push(
+            Diagnostic::new(
+                DATAFLOW_X_CONE,
+                Location::item(artifact, &gate.name),
+                format!(
+                    "unscanned flip-flop roots an X-only cone of {cone} net(s) \
+                     that no wrapper configuration can control"
+                ),
+            )
+            .with_help("convert to a scan flip-flop to recover pre-bond controllability"),
+        );
+    }
+}
+
+/// P3805: statically-untestable wrapper boundaries (the serve gate).
+fn check_boundary(artifact: &str, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    for issue in boundary::check(netlist) {
+        out.push(
+            Diagnostic::new(
+                DATAFLOW_UNTESTABLE_BOUNDARY,
+                Location::item(artifact, &netlist.gate(issue.tsv()).name),
+                issue.describe(netlist),
+            )
+            .with_help(
+                "no wrapper-cell configuration can exercise this boundary; \
+                 fix the netlist before spending ATPG budget on it",
+            ),
+        );
+    }
+}
+
+/// P3804 (Deep): how many collapsed stuck-at faults the dataflow
+/// certificates already prove untestable pre-bond.
+fn summarize_untestable_faults(artifact: &str, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let access = TestAccess::full_scan(netlist);
+    let analysis = prebond3d_atpg::prune::PruneAnalysis::new(netlist, &access);
+    let list = FaultList::collapsed(netlist);
+    let untestable = list
+        .faults
+        .iter()
+        .filter(|&&f| analysis.undetectable(netlist, &access, f))
+        .count();
+    if untestable > 0 {
+        out.push(
+            Diagnostic::new(
+                DATAFLOW_UNTESTABLE_FAULTS,
+                Location::artifact(artifact),
+                format!(
+                    "{untestable} of {} collapsed stuck-at faults are provably untestable pre-bond",
+                    list.faults.len()
+                ),
+            )
+            .with_help(
+                "the ATPG engine prunes these statically; wrapper insertion is the only recovery",
+            ),
+        );
+    }
+}
+
+/// P3806 (Deep): SCOAP saturation summary under the pre-bond access view.
+fn summarize_hard_to_test(artifact: &str, netlist: &Netlist, out: &mut Vec<Diagnostic>) {
+    let scores = Scores::compute(netlist, &AccessView::pre_bond(netlist));
+    let mut saturated = 0usize;
+    let mut worst = 0u32;
+    for (id, gate) in netlist.iter() {
+        if !gate.kind.is_combinational() || matches!(gate.kind, GateKind::Output | GateKind::TsvOut)
+        {
+            continue;
+        }
+        let cost = scores
+            .detect_cost(id, false)
+            .max(scores.detect_cost(id, true));
+        if cost >= INF {
+            saturated += 1;
+        } else {
+            worst = worst.max(cost);
+        }
+    }
+    if saturated > 0 {
+        out.push(
+            Diagnostic::new(
+                DATAFLOW_HARD_TO_TEST,
+                Location::artifact(artifact),
+                format!(
+                    "{saturated} net(s) have saturated SCOAP detect cost pre-bond \
+                     (worst finite cost {worst})"
+                ),
+            )
+            .with_help("saturated nets depend on floating TSVs or unscanned state"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prebond3d_netlist::NetlistBuilder;
+
+    fn run_pass(netlist: &Netlist, depth: Depth) -> Vec<Diagnostic> {
+        let ctx = LintContext::new("t")
+            .with_netlist(netlist)
+            .with_depth(depth);
+        let mut out = Vec::new();
+        DataflowPass.run(&ctx, &mut out);
+        out
+    }
+
+    fn codes_of(out: &[Diagnostic]) -> Vec<Code> {
+        out.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn const_net_and_boundary_are_flagged() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let c1 = b.gate(GateKind::Const1, &[], "c1");
+        let g = b.gate(GateKind::Or, &[a, c1], "g"); // a | 1 ≡ 1
+        b.tsv_out(g, "to");
+        b.output(a, "o");
+        let n = b.finish().unwrap();
+        let out = run_pass(&n, Depth::Quick);
+        let codes = codes_of(&out);
+        assert!(codes.contains(&DATAFLOW_CONST_NET), "{out:?}");
+        assert!(codes.contains(&DATAFLOW_UNTESTABLE_BOUNDARY), "{out:?}");
+    }
+
+    #[test]
+    fn dead_gate_and_x_cone_are_flagged() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        // g feeds only an unscanned flip-flop: unobservable pre-bond.
+        let g = b.gate(GateKind::Not, &[a], "g");
+        let q = b.dff(g, "q");
+        // The unscanned flip-flop roots an X-only cone of two nets.
+        let h = b.gate(GateKind::Buf, &[q], "h");
+        let k = b.gate(GateKind::And, &[h, a], "k");
+        b.output(k, "o");
+        let n = b.finish().unwrap();
+        let out = run_pass(&n, Depth::Quick);
+        let dead: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == DATAFLOW_DEAD_GATE)
+            .collect();
+        assert_eq!(dead.len(), 1, "{out:?}");
+        assert_eq!(dead[0].location.item.as_deref(), Some("g"));
+        let cones: Vec<_> = out.iter().filter(|d| d.code == DATAFLOW_X_CONE).collect();
+        assert_eq!(cones.len(), 1, "{out:?}");
+        assert!(
+            cones[0].message.contains("2 net(s)"),
+            "{}",
+            cones[0].message
+        );
+    }
+
+    #[test]
+    fn deep_depth_adds_the_summaries() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.input("a");
+        let ti = b.tsv_in("ti");
+        let g = b.gate(GateKind::And, &[ti, a], "g");
+        b.output(g, "o");
+        let n = b.finish().unwrap();
+        assert!(codes_of(&run_pass(&n, Depth::Quick)).is_empty());
+        let deep = run_pass(&n, Depth::Deep);
+        let codes = codes_of(&deep);
+        assert!(codes.contains(&DATAFLOW_UNTESTABLE_FAULTS), "{deep:?}");
+        assert!(codes.contains(&DATAFLOW_HARD_TO_TEST), "{deep:?}");
+    }
+
+    #[test]
+    fn healthy_die_is_clean_at_quick_depth() {
+        let die = prebond3d_netlist::itc99::generate_flat("ok", 200, 16, 6, 6, 5);
+        assert!(codes_of(&run_pass(&die, Depth::Quick)).is_empty());
+    }
+}

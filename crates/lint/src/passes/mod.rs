@@ -1,6 +1,7 @@
 //! The built-in lint passes.
 
 pub mod coverage;
+pub mod dataflow;
 pub mod mission;
 pub mod report;
 pub mod scan;

@@ -1,0 +1,196 @@
+//! Minimal SARIF 2.1.0 export of lint reports.
+//!
+//! [SARIF] (Static Analysis Results Interchange Format) is the exchange
+//! schema code-review UIs and CI annotation services ingest. This module
+//! emits the minimal valid subset: one `run` with a `tool.driver` whose
+//! `rules` array mirrors the [`REGISTRY`], and one `result` per
+//! diagnostic carrying the rule id, the mapped level
+//! (`Info`→`note`, `Warn`→`warning`, `Error`→`error`), the message, and
+//! the artifact/item location.
+//!
+//! Output is deterministic: rules are in registry order and results in
+//! report order (the linter already sorts most-severe-first).
+//!
+//! [SARIF]: https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html
+
+use prebond3d_obs::json::Value;
+
+use crate::diagnostic::{Diagnostic, Severity, REGISTRY};
+use crate::LintReport;
+
+/// The SARIF `level` for a severity.
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Info => "note",
+        Severity::Warn => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// One SARIF `reportingDescriptor` per registry row.
+fn rules() -> Value {
+    Value::Arr(
+        REGISTRY
+            .iter()
+            .map(|&(code, name, severity, desc)| {
+                Value::obj([
+                    ("id", code.to_string().into()),
+                    ("name", name.into()),
+                    ("shortDescription", Value::obj([("text", desc.into())])),
+                    (
+                        "defaultConfiguration",
+                        Value::obj([("level", level(severity).into())]),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// One SARIF `result` per diagnostic.
+fn result(d: &Diagnostic) -> Value {
+    let mut location = vec![(
+        "physicalLocation",
+        Value::obj([(
+            "artifactLocation",
+            Value::obj([("uri", d.location.artifact.as_str().into())]),
+        )]),
+    )];
+    if let Some(item) = &d.location.item {
+        location.push((
+            "logicalLocations",
+            Value::Arr(vec![Value::obj([("name", item.as_str().into())])]),
+        ));
+    }
+    let mut message = d.message.clone();
+    if let Some(help) = &d.help {
+        message.push_str(" — ");
+        message.push_str(help);
+    }
+    Value::obj([
+        ("ruleId", d.code.to_string().into()),
+        ("level", level(d.severity).into()),
+        ("message", Value::obj([("text", message.as_str().into())])),
+        ("locations", Value::Arr(vec![Value::obj(location)])),
+    ])
+}
+
+/// Serialize `reports` as one SARIF 2.1.0 document with a single run.
+pub fn to_sarif(reports: &[LintReport]) -> Value {
+    let results: Vec<Value> = reports
+        .iter()
+        .flat_map(|r| r.diagnostics.iter().map(result))
+        .collect();
+    Value::obj([
+        (
+            "$schema",
+            "https://json.schemastore.org/sarif-2.1.0.json".into(),
+        ),
+        ("version", "2.1.0".into()),
+        (
+            "runs",
+            Value::Arr(vec![Value::obj([
+                (
+                    "tool",
+                    Value::obj([(
+                        "driver",
+                        Value::obj([
+                            ("name", "prebond3d-lint".into()),
+                            ("informationUri", "https://example.invalid/prebond3d".into()),
+                            ("rules", rules()),
+                        ]),
+                    )]),
+                ),
+                ("results", Value::Arr(results)),
+            ])]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostic::{Location, SCAN_MISSING_CELL, TSV_SHARED_OVERLAP};
+
+    fn sample() -> LintReport {
+        LintReport {
+            artifact: "die".into(),
+            diagnostics: vec![
+                Diagnostic::new(SCAN_MISSING_CELL, Location::item("die", "q3"), "missing"),
+                Diagnostic::new(TSV_SHARED_OVERLAP, Location::artifact("die"), "shared")
+                    .with_help("justified"),
+            ],
+            suppressed: 0,
+            passes_run: vec!["scan-chain"],
+        }
+    }
+
+    #[test]
+    fn document_shape_is_sarif_2_1_0() {
+        let doc = to_sarif(&[sample()]);
+        assert_eq!(doc.get("version").unwrap().as_str(), Some("2.1.0"));
+        let runs = doc.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 1);
+        let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(driver.get("name").unwrap().as_str(), Some("prebond3d-lint"));
+        // Every registry row becomes a rule.
+        let rules = driver.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), REGISTRY.len());
+        assert!(rules
+            .iter()
+            .any(|r| r.get("id").unwrap().as_str() == Some("P3805")));
+    }
+
+    #[test]
+    fn results_carry_rule_level_message_and_location() {
+        let doc = to_sarif(&[sample()]);
+        let results = doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ruleId").unwrap().as_str(), Some("P3201"));
+        assert_eq!(results[0].get("level").unwrap().as_str(), Some("error"));
+        let loc = &results[0].get("locations").unwrap().as_arr().unwrap()[0];
+        assert_eq!(
+            loc.get("physicalLocation")
+                .unwrap()
+                .get("artifactLocation")
+                .unwrap()
+                .get("uri")
+                .unwrap()
+                .as_str(),
+            Some("die")
+        );
+        assert_eq!(
+            loc.get("logicalLocations").unwrap().as_arr().unwrap()[0]
+                .get("name")
+                .unwrap()
+                .as_str(),
+            Some("q3")
+        );
+        // Info maps to note, and help text is folded into the message.
+        assert_eq!(results[1].get("level").unwrap().as_str(), Some("note"));
+        assert_eq!(
+            results[1]
+                .get("message")
+                .unwrap()
+                .get("text")
+                .unwrap()
+                .as_str(),
+            Some("shared — justified")
+        );
+    }
+
+    #[test]
+    fn empty_reports_produce_an_empty_results_array() {
+        let doc = to_sarif(&[]);
+        let results = doc.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert!(results.is_empty());
+    }
+}

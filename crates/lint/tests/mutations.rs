@@ -6,8 +6,9 @@
 use prebond3d_celllib::{Library, Time};
 use prebond3d_dft::insert_scan;
 use prebond3d_lint::diagnostic::{
-    COMBINATIONAL_LOOP, MISSION_MISMATCH, NEGATIVE_POST_SLACK, REPORT_UNPARSABLE,
-    SCAN_MISSING_CELL, TSV_UNWRAPPED, WRAPPER_FANOUT_LEAK,
+    COMBINATIONAL_LOOP, DATAFLOW_CONST_NET, DATAFLOW_UNTESTABLE_BOUNDARY, DATAFLOW_X_CONE,
+    MISSION_MISMATCH, NEGATIVE_POST_SLACK, REPORT_UNPARSABLE, SCAN_MISSING_CELL, TSV_UNWRAPPED,
+    WRAPPER_FANOUT_LEAK,
 };
 use prebond3d_lint::flow::lint_flow;
 use prebond3d_lint::{Depth, LintContext, Linter};
@@ -55,7 +56,7 @@ fn clean_flow_has_zero_errors() {
     let (result, library, config) = flow(&n);
     let report = lint_flow("clean", &n, &result, &library, &config, Depth::Deep);
     assert!(!report.has_errors(), "{}", report.render());
-    assert_eq!(report.passes_run.len(), 7, "all default passes must run");
+    assert_eq!(report.passes_run.len(), 8, "all default passes must run");
 }
 
 /// structure: a raw gate list with a combinational cycle trips P3005.
@@ -87,6 +88,81 @@ fn mutation_trips_structure_pass() {
         "expected P3005, got:\n{}",
         report.render()
     );
+}
+
+/// dataflow: tying a seeded AND input to a fresh constant makes its output
+/// provably constant and trips P3801.
+#[test]
+fn mutation_trips_dataflow_pass() {
+    let n = die();
+    let mutated = rebuild(&n, |gates, rng| {
+        let c0 = prebond3d_netlist::GateId(gates.len() as u32);
+        gates.push(Gate::new("mut_c0", GateKind::Const0, vec![]));
+        let ands: Vec<usize> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::And)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!ands.is_empty(), "die has no AND gates to constify");
+        let v = ands[rng.gen_range(0..ands.len())];
+        gates[v].inputs[0] = c0;
+    });
+    let report = Linter::with_default_passes().run(&LintContext::new("mut").with_netlist(&mutated));
+    assert!(
+        !report.with_code(DATAFLOW_CONST_NET).is_empty(),
+        "expected P3801, got:\n{}",
+        report.render()
+    );
+}
+
+/// dataflow: de-scanning a seeded flip-flop roots an X-only cone no
+/// wrapper configuration can control and trips P3803.
+#[test]
+fn mutation_trips_dataflow_x_cone() {
+    let n = die();
+    let mutated = rebuild(&n, |gates, rng| {
+        let scans: Vec<usize> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::ScanDff)
+            .map(|(i, _)| i)
+            .collect();
+        let v = scans[rng.gen_range(0..scans.len())];
+        gates[v].kind = GateKind::Dff;
+    });
+    let report = Linter::with_default_passes().run(&LintContext::new("mut").with_netlist(&mutated));
+    assert!(
+        !report.with_code(DATAFLOW_X_CONE).is_empty(),
+        "expected P3803, got:\n{}",
+        report.render()
+    );
+}
+
+/// dataflow: an outbound TSV rewired to a constant driver is a statically
+/// untestable boundary — P3805, an Error (the serve admission gate).
+#[test]
+fn mutation_trips_dataflow_boundary_gate() {
+    let n = die();
+    let mutated = rebuild(&n, |gates, rng| {
+        let c1 = prebond3d_netlist::GateId(gates.len() as u32);
+        gates.push(Gate::new("mut_c1", GateKind::Const1, vec![]));
+        let tsvs: Vec<usize> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.kind == GateKind::TsvOut)
+            .map(|(i, _)| i)
+            .collect();
+        let v = tsvs[rng.gen_range(0..tsvs.len())];
+        gates[v].inputs[0] = c1;
+    });
+    let report = Linter::with_default_passes().run(&LintContext::new("mut").with_netlist(&mutated));
+    assert!(
+        !report.with_code(DATAFLOW_UNTESTABLE_BOUNDARY).is_empty(),
+        "expected P3805, got:\n{}",
+        report.render()
+    );
+    assert!(report.has_errors(), "P3805 must be Error severity");
 }
 
 /// wrapper-mux: a consumer reading the raw TSV around its mux trips P3101.

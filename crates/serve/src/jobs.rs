@@ -7,7 +7,7 @@
 //! | code | meaning |
 //! |------|---------|
 //! | 0    | success |
-//! | 1    | lint gate (reserved; the daemon runs no lint gate today) |
+//! | 1    | rejected by the static admission gate: the die's wrapper boundary is statically untestable (`prebond3d_dataflow::boundary::check`), so the flow never runs |
 //! | 2    | bad job spec: unknown circuit/die, unparsable inline netlist |
 //! | 3    | degraded: the flow completed but recorded degradations (e.g. a `PREBOND3D_BUDGET_MS` phase deadline expired) |
 //! | 4    | fatal: flow error or escaped panic, isolated to this job |
@@ -37,7 +37,7 @@ use crate::proto::{method_wire, scenario_wire, JobSource, JobSpec, ProbeKind};
 /// The terminal verdict of one job, plus its event frames.
 #[derive(Debug)]
 pub struct JobOutcome {
-    /// Per-job exit code (0/2/3/4; see the module table).
+    /// Per-job exit code (0–4; see the module table).
     pub code: i32,
     /// `hit` / `miss` / `bypass` (cache disabled via `PREBOND3D_NO_CACHE`).
     pub cache_tag: &'static str,
@@ -59,6 +59,8 @@ struct JobSuccess {
 enum JobFail {
     /// Bad job spec → code 2.
     Bad(String),
+    /// Statically-untestable wrapper boundary → code 1 (admission gate).
+    Rejected(String),
     /// Flow error → its own exit code (1 or 4).
     Flow(prebond3d_wcm::flow::FlowError),
 }
@@ -216,6 +218,19 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
         if tuning::cache_enabled() {
             cached_key.set(Some(key));
         }
+        // --- Static admission gate (DESIGN.md §14) ----------------------
+        // A statically-untestable wrapper boundary means every ATPG cycle
+        // spent on this die is wasted and the resulting coverage tables
+        // silently skewed: refuse the submission before the flow runs.
+        let issues = prebond3d_dataflow::boundary::check(&entry.netlist);
+        if !issues.is_empty() {
+            obs::count("serve.rejected", 1);
+            let detail: Vec<String> = issues.iter().map(|i| i.describe(&entry.netlist)).collect();
+            return Err(JobFail::Rejected(format!(
+                "boundary statically untestable: {}",
+                detail.join("; ")
+            )));
+        }
         let library = Library::nangate45_like();
         let config = flow_config(spec);
         let structural = StructuralProbe::default();
@@ -252,6 +267,7 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
             (code, Some(report_json(spec, &success)), None)
         }
         Ok(Err(JobFail::Bad(msg))) => (2, None, Some(msg)),
+        Ok(Err(JobFail::Rejected(msg))) => (1, None, Some(msg)),
         Ok(Err(JobFail::Flow(e))) => (e.exit_code(), None, Some(e.to_string())),
         Err(panic) => {
             let msg = panic
@@ -345,6 +361,26 @@ mod tests {
             &cache,
         );
         assert_eq!(out.code, 2);
+    }
+
+    #[test]
+    fn statically_untestable_boundary_is_rejected_with_code_1() {
+        let cache = WarmCache::new(1 << 20);
+        // The outbound TSV is driven by a provable constant: no wrapper
+        // configuration can exercise the boundary, so the gate refuses
+        // the job before the flow runs.
+        let line = r#"{"op":"submit","id":"r","netlist":"circuit bad\na = input()\nc1 = const1()\ng = or(a, c1)\nto = tsv_out(g)\no = output(a)\n"}"#;
+        let out = run_job(&spec(line), &cache);
+        assert_eq!(out.code, 1, "{:?}", out.done.get("error"));
+        let error = out.done.get("error").and_then(Value::as_str).unwrap();
+        assert!(error.contains("boundary statically untestable"), "{error}");
+        assert!(error.contains("provably constant"), "{error}");
+        assert!(out.done.get("report").is_none());
+        // The rejection happened before any flow span opened.
+        assert!(!out
+            .phases
+            .iter()
+            .any(|p| p.get("path").and_then(Value::as_str) == Some("flow")));
     }
 
     #[test]

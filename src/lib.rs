@@ -13,6 +13,8 @@
 //! * [`sta`] — static timing analysis (the PrimeTime substitute),
 //! * [`atpg`] — test generation and fault simulation (the commercial-ATPG
 //!   substitute),
+//! * [`dataflow`] — fixpoint static analysis (ternary constant/X
+//!   propagation, SCOAP testability, untestable-boundary checks),
 //! * [`dft`] — scan insertion and wrapper-cell hardware,
 //! * [`wcm`] — the paper's contribution: timing-aware wrapper-cell
 //!   minimization via clique partitioning, plus all prior-art baselines.
@@ -44,6 +46,7 @@
 
 pub use prebond3d_atpg as atpg;
 pub use prebond3d_celllib as celllib;
+pub use prebond3d_dataflow as dataflow;
 pub use prebond3d_dft as dft;
 pub use prebond3d_netlist as netlist;
 pub use prebond3d_partition as partition;
