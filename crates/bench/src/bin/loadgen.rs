@@ -3,23 +3,26 @@
 //!
 //! Usage:
 //! `prebond3d-loadgen [--addr HOST:PORT] [--clients N] [--jobs N]
-//!  [--seed N] [--shutdown]`
+//!  [--seed N] [--shutdown] [--daemon-bin PATH]`
 //!
 //! Without `--addr` an in-process daemon is spawned (and shut down) for
 //! the run. The daemon must be cold: the priming pass is what produces
 //! the gated `serve.cache_misses` measurement and the cold latency
-//! histogram.
+//! histogram. With `--daemon-bin` pointing at a `prebond3d-serve`
+//! binary, the external kill-and-recover phase also runs: the loadgen
+//! spawns the daemon with `--journal`, SIGKILLs it mid-mix, restarts
+//! it, and asserts every accepted job drains exactly once.
 //!
 //! Exit codes: 0 contract held, 1 contract violated (a job failed, no
-//! cache hits, or warm p50 did not beat cold p50), 2 usage/connection
-//! error.
+//! cache hits, warm p50 did not beat cold p50, or the
+//! backpressure/recovery contract broke), 2 usage/connection error.
 
 use prebond3d_bench::loadgen::{self, LoadgenConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: prebond3d-loadgen [--addr HOST:PORT] [--clients N] [--jobs N] \
-         [--seed N] [--shutdown]"
+         [--seed N] [--shutdown] [--daemon-bin PATH]"
     );
     std::process::exit(2);
 }
@@ -49,6 +52,9 @@ fn main() {
                 Err(_) => usage(),
             },
             "--shutdown" => config.shutdown = true,
+            "--daemon-bin" => {
+                config.daemon_bin = Some(std::path::PathBuf::from(value("--daemon-bin")));
+            }
             _ => usage(),
         }
     }
@@ -56,12 +62,15 @@ fn main() {
         Ok(s) => {
             println!(
                 "loadgen: {} jobs, {} hits / {} misses, cold p50 {:.2} ms, \
-                 warm p50 {:.2} ms -> {}",
+                 warm p50 {:.2} ms, {} shed, {} recovered ({} after kill) -> {}",
                 s.jobs,
                 s.hits,
                 s.misses,
                 s.cold_p50_ms,
                 s.warm_p50_ms,
+                s.shed,
+                s.recovered,
+                s.kill_recovered,
                 s.report_path.display()
             );
         }

@@ -41,10 +41,16 @@ pub const GATED_COUNTERS: [&str; 4] = [
 ];
 
 /// Deterministic counters whose *shrink* fails the gate: they measure
-/// work statically avoided (dataflow-pruned faults), so a drop below
-/// the baseline by more than the threshold means the static analysis
-/// stopped seeing what it used to prune.
-pub const FLOOR_GATED_COUNTERS: [&str; 1] = ["atpg.faults_pruned"];
+/// work statically avoided (dataflow-pruned faults) or robustness
+/// machinery exercised (journal orphans replayed, over-limit submits
+/// shed), so a drop below the baseline by more than the threshold means
+/// the analysis went blind — or the crash-recovery / backpressure
+/// drills silently stopped covering what they used to.
+pub const FLOOR_GATED_COUNTERS: [&str; 3] = [
+    "atpg.faults_pruned",
+    "serve.recovered",
+    "serve.shed",
+];
 
 /// One aligned comparison row.
 #[derive(Debug, Clone)]

@@ -140,6 +140,12 @@ pub const SERVE_JOBS_UNACCOUNTED: Code = Code(3701);
 /// A serving report recorded zero warm-cache hits — the run never
 /// exercised the cross-request cache it exists to measure.
 pub const SERVE_CACHE_COLD: Code = Code(3702);
+/// A serving report's journal accounting leaves jobs unaccounted
+/// (`recovery.journal_pending > 0` after the run drained).
+pub const SERVE_JOURNAL_UNACCOUNTED_JOB: Code = Code(3703);
+/// A serving report omits the recovery telemetry block — the durability
+/// drills (crash recovery, dedup) never ran or were dropped.
+pub const SERVE_REPORT_MISSING_RECOVERY_TELEMETRY: Code = Code(3704);
 
 // --- dataflow (P380x) -----------------------------------------------------
 /// A combinational net the value-set fixpoint proves constant.
@@ -327,6 +333,18 @@ pub const REGISTRY: &[RegistryRow] = &[
         "serve-cache-cold",
         Severity::Warn,
         "serving report recorded zero warm-cache hits",
+    ),
+    (
+        SERVE_JOURNAL_UNACCOUNTED_JOB,
+        "serve-journal-unaccounted-job",
+        Severity::Error,
+        "serving report left journaled jobs pending after the drain",
+    ),
+    (
+        SERVE_REPORT_MISSING_RECOVERY_TELEMETRY,
+        "serve-report-missing-recovery-telemetry",
+        Severity::Warn,
+        "serving report omits the recovery telemetry block",
     ),
     (
         DATAFLOW_CONST_NET,

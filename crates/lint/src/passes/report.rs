@@ -19,7 +19,8 @@ use std::sync::OnceLock;
 use crate::context::LintContext;
 use crate::diagnostic::{
     Code, Diagnostic, Location, REPORT_MISSING_TELEMETRY, REPORT_SCHEMA_DRIFT, REPORT_UNPARSABLE,
-    SERVE_CACHE_COLD, SERVE_JOBS_UNACCOUNTED,
+    SERVE_CACHE_COLD, SERVE_JOBS_UNACCOUNTED, SERVE_JOURNAL_UNACCOUNTED_JOB,
+    SERVE_REPORT_MISSING_RECOVERY_TELEMETRY,
 };
 use crate::schema;
 use crate::Pass;
@@ -98,6 +99,8 @@ impl Pass for ReportSchemaPass {
             REPORT_MISSING_TELEMETRY,
             SERVE_JOBS_UNACCOUNTED,
             SERVE_CACHE_COLD,
+            SERVE_JOURNAL_UNACCOUNTED_JOB,
+            SERVE_REPORT_MISSING_RECOVERY_TELEMETRY,
         ]
     }
 
@@ -219,6 +222,39 @@ fn check_serve_consistency(label: &str, value: &Value, artifact: &str, out: &mut
             .with_help("the loadgen mix should replay at least one substrate"),
         );
     }
+    // Durability invariants (DESIGN.md §15). A report without a recovery
+    // block was produced by a pre-journal loadgen binary — warn; a report
+    // whose journal still holds pending jobs after the run drained means
+    // accepted work was lost across the crash drill — that's an error.
+    if matches!(value.get("recovery"), Some(Value::Obj(_))) {
+        if let Some(pending) = num("recovery", "journal_pending") {
+            if pending > 0 {
+                out.push(
+                    Diagnostic::new(
+                        SERVE_JOURNAL_UNACCOUNTED_JOB,
+                        Location::item(artifact, label.to_string()),
+                        format!(
+                            "{pending} journaled job(s) still pending after the \
+                             recovery drill drained"
+                        ),
+                    )
+                    .with_help(
+                        "an accepted job was neither replayed to done nor failed \
+                         — the daemon's crash recovery lost work",
+                    ),
+                );
+            }
+        }
+    } else {
+        out.push(
+            Diagnostic::new(
+                SERVE_REPORT_MISSING_RECOVERY_TELEMETRY,
+                Location::item(artifact, label.to_string()),
+                "report omits the recovery telemetry block".to_string(),
+            )
+            .with_help("regenerate the report with a current loadgen binary"),
+        );
+    }
 }
 
 #[cfg(test)]
@@ -333,6 +369,10 @@ mod tests {
             "cache": {"hits": 18, "misses": 3, "evictions": 0,
                       "entries": 3, "budget": 1000},
             "mem": {"rss_now_kb": 0, "rss_peak_kb": 0},
+            "backpressure": {"shed": 3, "shed_deterministic": 3,
+                             "retry_after_frames": 3},
+            "recovery": {"recovered": 3, "deduped": 3, "journal_pending": 0,
+                         "journal_done": 6, "kill_recovered": 4},
             "work": [{"counter": "serve.cache_misses", "substrate": "job mix",
                       "reference": 21, "optimized": 3, "reduction": 0.857}]
         }"#
@@ -369,6 +409,25 @@ mod tests {
         let report = lint("BENCH_serve.json", text);
         assert_eq!(report.with_code(SERVE_CACHE_COLD).len(), 1);
         assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn serve_report_with_pending_journal_jobs_is_flagged() {
+        let text =
+            valid_serve_report().replace(r#""journal_pending": 0"#, r#""journal_pending": 2"#);
+        let report = lint("BENCH_serve.json", text);
+        let findings = report.with_code(SERVE_JOURNAL_UNACCOUNTED_JOB);
+        assert_eq!(findings.len(), 1, "{}", report.render());
+        assert!(findings[0].message.contains("2 journaled job(s)"));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn serve_report_without_recovery_block_warns() {
+        let text = valid_serve_report().replace(r#""recovery":"#, r#""recovery_gone":"#);
+        let report = lint("BENCH_serve.json", text);
+        let warns = report.with_code(SERVE_REPORT_MISSING_RECOVERY_TELEMETRY);
+        assert_eq!(warns.len(), 1, "{}", report.render());
     }
 
     #[test]

@@ -188,6 +188,11 @@ where
     let next = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(nchunks));
+    // A budgeted caller (e.g. a serving job running under a per-job
+    // `budget_ms`) keeps its budget inside the parallel region: the
+    // thread-local override is copied into every worker, so deadlines
+    // constructed there expire exactly as they would inline.
+    let inherited_budget = prebond3d_resilience::budget::thread_budget();
 
     std::thread::scope(|s| {
         // RAII worker marker: cleared even when `work` unwinds, so the
@@ -230,6 +235,8 @@ where
                 s.spawn(move || {
                     let _mark = WorkerMark::enter();
                     let _poison = PoisonOnPanic(poisoned);
+                    let _budget =
+                        prebond3d_resilience::budget::install_thread_budget(inherited_budget);
                     if traced {
                         // Name the track before the first claim, so every
                         // spawned worker appears in the timeline even when

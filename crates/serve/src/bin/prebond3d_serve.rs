@@ -2,13 +2,20 @@
 //!
 //! ```text
 //! prebond3d-serve [--listen ADDR] [--unix PATH] [--workers N]
-//!                 [--cache-bytes N] [--port-file PATH]
+//!                 [--cache-bytes N] [--port-file PATH] [--journal PATH]
+//!                 [--max-queue N] [--queue-bytes N] [--write-timeout-ms N]
+//!                 [--paused]
 //! ```
 //!
 //! Binds (TCP by default, `127.0.0.1:0`), prints `listening on <addr>`,
 //! and serves until a client sends the `shutdown` op. `--port-file`
 //! writes the bound TCP port to a file so harnesses can discover an
-//! ephemeral port without scraping stdout.
+//! ephemeral port without scraping stdout. `--journal` arms the
+//! write-ahead job journal (DESIGN.md §15): accepted jobs survive a
+//! crash and replay on the next start with the same path. `--paused`
+//! starts with the queue held — submits are accepted and journaled but
+//! nothing runs until a client sends the `resume` op (maintenance holds
+//! and deterministic crash drills).
 
 use std::process::ExitCode;
 
@@ -21,7 +28,8 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: prebond3d-serve [--listen ADDR] [--unix PATH] [--workers N] \
-     [--cache-bytes N] [--port-file PATH]"
+     [--cache-bytes N] [--port-file PATH] [--journal PATH] [--max-queue N] \
+     [--queue-bytes N] [--write-timeout-ms N] [--paused]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -55,6 +63,23 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("--cache-bytes: {e}"))?;
             }
             "--port-file" => port_file = Some(value("--port-file")?.into()),
+            "--journal" => config.journal = Some(value("--journal")?.into()),
+            "--max-queue" => {
+                config.max_queue = value("--max-queue")?
+                    .parse()
+                    .map_err(|e| format!("--max-queue: {e}"))?;
+            }
+            "--queue-bytes" => {
+                config.queue_bytes = value("--queue-bytes")?
+                    .parse()
+                    .map_err(|e| format!("--queue-bytes: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("--write-timeout-ms: {e}"))?;
+            }
+            "--paused" => config.paused = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown argument `{other}`\n{}", usage())),
         }

@@ -59,8 +59,12 @@ struct JobSuccess {
 enum JobFail {
     /// Bad job spec → code 2.
     Bad(String),
-    /// Statically-untestable wrapper boundary → code 1 (admission gate).
-    Rejected(String),
+    /// Statically-untestable wrapper boundary → code 1 (admission gate),
+    /// carrying the per-issue descriptions so clients can act on them.
+    Rejected {
+        message: String,
+        issues: Vec<String>,
+    },
     /// Flow error → its own exit code (1 or 4).
     Flow(prebond3d_wcm::flow::FlowError),
 }
@@ -81,6 +85,34 @@ fn place_die(netlist: &Netlist) -> Placement {
         ..PlaceConfig::default()
     };
     place(netlist, &config, 1)
+}
+
+/// The content-addressed idempotency key of a job: an FNV over the
+/// client id, the netlist source (generation inputs, or the inline
+/// netlist's *content signature* — whitespace-equivalent retries
+/// collide), method, scenario, probe, `return_plan` and `budget_ms`.
+/// A client retrying the same logical submit lands on the same key (the
+/// journal dedups it to exactly-once); any differing field yields a
+/// distinct key. `None` when the source is unparsable — such a job can't
+/// be content-addressed, is never journaled, and fails with code 2 in
+/// the worker as before.
+pub fn idempotency_key(spec: &JobSpec) -> Option<u64> {
+    let source = source_key(&spec.source).ok()?;
+    let mut h = resil::fnv1a(b"job:");
+    h = resil::fnv1a_more(h, spec.id.as_bytes());
+    h = resil::fnv1a_more(h, &source.to_le_bytes());
+    h = resil::fnv1a_more(h, method_wire(spec.method).as_bytes());
+    h = resil::fnv1a_more(h, scenario_wire(spec.scenario).as_bytes());
+    h = resil::fnv1a_more(
+        h,
+        match spec.probe {
+            ProbeKind::Structural => &b"structural"[..],
+            ProbeKind::Atpg => &b"atpg"[..],
+        },
+    );
+    h = resil::fnv1a_more(h, &[u8::from(spec.return_plan)]);
+    h = resil::fnv1a_more(h, &spec.budget_ms.map_or(u64::MAX, |ms| ms).to_le_bytes());
+    Some(h)
 }
 
 /// Warm-cache key for a job source. Generated substrates key on the
@@ -226,10 +258,10 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
         if !issues.is_empty() {
             obs::count("serve.rejected", 1);
             let detail: Vec<String> = issues.iter().map(|i| i.describe(&entry.netlist)).collect();
-            return Err(JobFail::Rejected(format!(
-                "boundary statically untestable: {}",
-                detail.join("; ")
-            )));
+            return Err(JobFail::Rejected {
+                message: format!("boundary statically untestable: {}", detail.join("; ")),
+                issues: detail,
+            });
         }
         let library = Library::nangate45_like();
         let config = flow_config(spec);
@@ -252,7 +284,13 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
             sig,
         })
     };
-    let (result, snap) = obs::capture_recorded(|| catch_unwind(AssertUnwindSafe(body)));
+    // A per-job `budget_ms` overrides the ambient phase budget on this
+    // worker thread for the duration of the job; the pool copies the
+    // override into its scoped workers, so parallel phases (ATPG pair
+    // scans, fault sim) see the same deadline the job asked for.
+    let (result, snap) = resil::budget::with_thread_budget_ms(spec.budget_ms, || {
+        obs::capture_recorded(|| catch_unwind(AssertUnwindSafe(body)))
+    });
 
     // A warm probe grew during the job: re-estimate and re-enforce the
     // byte budget.
@@ -261,13 +299,17 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
     }
 
     let degradations = resil::degrade::drain();
+    let mut boundary_issues: Option<Vec<String>> = None;
     let (code, report, error) = match result {
         Ok(Ok(success)) => {
             let code = if degradations.is_empty() { 0 } else { 3 };
             (code, Some(report_json(spec, &success)), None)
         }
         Ok(Err(JobFail::Bad(msg))) => (2, None, Some(msg)),
-        Ok(Err(JobFail::Rejected(msg))) => (1, None, Some(msg)),
+        Ok(Err(JobFail::Rejected { message, issues })) => {
+            boundary_issues = Some(issues);
+            (1, None, Some(message))
+        }
         Ok(Err(JobFail::Flow(e))) => (e.exit_code(), None, Some(e.to_string())),
         Err(panic) => {
             let msg = panic
@@ -307,6 +349,21 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
         ("cache", cache_tag.get().into()),
         ("ms", (t0.elapsed().as_secs_f64() * 1e3).into()),
         ("degraded", degradations.len().into()),
+        (
+            "degradations",
+            Value::Arr(
+                degradations
+                    .iter()
+                    .map(|d| {
+                        Value::obj([
+                            ("phase", d.phase.into()),
+                            ("action", d.action.into()),
+                            ("detail", d.detail.as_str().into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
         ("counters", counters),
     ];
     if let Some(r) = report {
@@ -314,6 +371,12 @@ pub fn run_job(spec: &JobSpec, cache: &WarmCache) -> JobOutcome {
     }
     if let Some(e) = error {
         done_fields.push(("error", e.as_str().into()));
+    }
+    if let Some(issues) = boundary_issues {
+        done_fields.push((
+            "issues",
+            Value::Arr(issues.iter().map(|i| i.as_str().into()).collect()),
+        ));
     }
     JobOutcome {
         code,
@@ -376,11 +439,70 @@ mod tests {
         assert!(error.contains("boundary statically untestable"), "{error}");
         assert!(error.contains("provably constant"), "{error}");
         assert!(out.done.get("report").is_none());
+        // The structured issue list rides on the done frame so clients
+        // can act on each boundary problem without parsing the message.
+        let issues = out.done.get("issues").and_then(Value::as_arr).unwrap();
+        assert_eq!(issues.len(), 1, "{issues:?}");
+        assert!(issues[0]
+            .as_str()
+            .unwrap()
+            .contains("provably constant"));
         // The rejection happened before any flow span opened.
         assert!(!out
             .phases
             .iter()
             .any(|p| p.get("path").and_then(Value::as_str) == Some("flow")));
+    }
+
+    #[test]
+    fn idempotency_keys_are_content_addressed() {
+        let a = spec(r#"{"op":"submit","id":"j","circuit":"b11","die":0}"#);
+        let b = spec(r#"{"op":"submit","id":"j","circuit":"b11","die":0,"probe":"structural"}"#);
+        assert_eq!(
+            idempotency_key(&a),
+            idempotency_key(&b),
+            "defaulted and explicit forms of the same job collide"
+        );
+        for different in [
+            r#"{"op":"submit","id":"k","circuit":"b11","die":0}"#,
+            r#"{"op":"submit","id":"j","circuit":"b11","die":1}"#,
+            r#"{"op":"submit","id":"j","circuit":"b11","die":0,"method":"li"}"#,
+            r#"{"op":"submit","id":"j","circuit":"b11","die":0,"probe":"atpg"}"#,
+            r#"{"op":"submit","id":"j","circuit":"b11","die":0,"budget_ms":100}"#,
+            r#"{"op":"submit","id":"j","circuit":"b11","die":0,"return_plan":true}"#,
+        ] {
+            assert_ne!(
+                idempotency_key(&a),
+                idempotency_key(&spec(different)),
+                "{different}"
+            );
+        }
+        // An unparsable inline netlist cannot be content-addressed.
+        assert_eq!(
+            idempotency_key(&spec(r#"{"op":"submit","id":"j","netlist":"garbage"}"#)),
+            None
+        );
+    }
+
+    #[test]
+    fn budget_ms_degrades_to_best_so_far_with_code_3() {
+        let cache = WarmCache::new(256 << 20);
+        let line =
+            r#"{"op":"submit","id":"b","circuit":"b11","die":0,"probe":"atpg","budget_ms":0}"#;
+        let out = run_job(&spec(line), &cache);
+        assert_eq!(out.code, 3, "{:?}", out.done.get("error"));
+        let n = out.done.get("degraded").and_then(Value::as_u64).unwrap();
+        assert!(n > 0);
+        let listed = out
+            .done
+            .get("degradations")
+            .and_then(Value::as_arr)
+            .unwrap();
+        assert_eq!(listed.len() as u64, n);
+        assert!(listed[0].get("phase").and_then(Value::as_str).is_some());
+        // Degradation is telemetry, not report shape: the report is still
+        // present and well-formed.
+        assert!(out.done.get("report").is_some());
     }
 
     #[test]

@@ -61,6 +61,12 @@ pub struct JobSpec {
     pub probe: ProbeKind,
     /// Include the full wrapper plan text in the `done` frame.
     pub return_plan: bool,
+    /// Per-phase wall-clock budget for this job in milliseconds. Threads
+    /// into the resilience `Deadline` machinery: over-budget phases
+    /// degrade to best-so-far and the `done` frame reports what was cut
+    /// short (`degraded`/`degradations`), exactly like batch runs under
+    /// `PREBOND3D_BUDGET_MS`.
+    pub budget_ms: Option<u64>,
 }
 
 /// A parsed request frame.
@@ -72,8 +78,16 @@ pub enum Request {
     Stats,
     /// Stop accepting connections and drain the queue.
     Shutdown,
+    /// Release a paused daemon's queue (see `--paused`); a no-op when
+    /// the daemon is already draining.
+    Resume,
     /// Run one job.
     Submit(Box<JobSpec>),
+    /// Look up a job by idempotency key in the journal (16 hex digits).
+    Status {
+        /// The key, still in wire form.
+        key: String,
+    },
 }
 
 fn str_field(obj: &Value, key: &str) -> Option<String> {
@@ -95,6 +109,11 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Ok(Request::Ping),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
+        "resume" => Ok(Request::Resume),
+        "status" => match str_field(&doc, "key") {
+            Some(key) => Ok(Request::Status { key }),
+            None => Err("status needs a string field `key`".into()),
+        },
         "submit" => {
             let id = str_field(&doc, "id").unwrap_or_else(|| "job".into());
             let source = match (str_field(&doc, "netlist"), str_field(&doc, "circuit")) {
@@ -128,6 +147,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 .get("return_plan")
                 .and_then(Value::as_bool)
                 .unwrap_or(false);
+            let budget_ms = doc.get("budget_ms").and_then(Value::as_u64);
             Ok(Request::Submit(Box::new(JobSpec {
                 id,
                 source,
@@ -135,6 +155,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 scenario,
                 probe,
                 return_plan,
+                budget_ms,
             })))
         }
         other => Err(format!("unknown op `{other}`")),
@@ -159,6 +180,37 @@ pub fn scenario_wire(s: Scenario) -> &'static str {
     }
 }
 
+/// Serialize a spec back to the submit request object it parsed from.
+/// `parse_request(submit_json(spec).to_string()) == Submit(spec)` — the
+/// journal stores this form so recovery replays exactly what the client
+/// sent, and defaulted fields stay defaulted across a round trip.
+pub fn submit_json(spec: &JobSpec) -> Value {
+    let mut fields = vec![("op", "submit".into()), ("id", spec.id.as_str().into())];
+    match &spec.source {
+        JobSource::Inline { text } => fields.push(("netlist", text.as_str().into())),
+        JobSource::Generated { circuit, die } => {
+            fields.push(("circuit", circuit.as_str().into()));
+            fields.push(("die", (*die).into()));
+        }
+    }
+    fields.push(("method", method_wire(spec.method).into()));
+    fields.push(("scenario", scenario_wire(spec.scenario).into()));
+    fields.push((
+        "probe",
+        match spec.probe {
+            ProbeKind::Structural => "structural".into(),
+            ProbeKind::Atpg => "atpg".into(),
+        },
+    ));
+    if spec.return_plan {
+        fields.push(("return_plan", true.into()));
+    }
+    if let Some(ms) = spec.budget_ms {
+        fields.push(("budget_ms", ms.into()));
+    }
+    Value::obj(fields)
+}
+
 /// `{"ok":true,"ev":"pong"}`.
 pub fn pong() -> Value {
     Value::obj([("ok", true.into()), ("ev", "pong".into())])
@@ -169,12 +221,34 @@ pub fn bye() -> Value {
     Value::obj([("ok", true.into()), ("ev", "bye".into())])
 }
 
-/// `{"ok":true,"ev":"accepted","id":...}`.
-pub fn accepted(id: &str) -> Value {
+/// `{"ok":true,"ev":"resumed"}` — acknowledges a `resume` op.
+pub fn resumed() -> Value {
+    Value::obj([("ok", true.into()), ("ev", "resumed".into())])
+}
+
+/// `{"ok":true,"ev":"accepted","id":...,"key":...}` — `key` is the job's
+/// idempotency key in wire form, usable with the `status` op after a
+/// disconnect or daemon restart.
+pub fn accepted(id: &str, key: &str) -> Value {
     Value::obj([
         ("ok", true.into()),
         ("ev", "accepted".into()),
         ("id", id.into()),
+        ("key", key.into()),
+    ])
+}
+
+/// `{"ok":false,"ev":"retry_after","id":...,"retry_after_ms":...}` — the
+/// admission layer shed this submit (queue depth or byte budget over
+/// limit). The client should back off at least `retry_after_ms` before
+/// retrying; the job was **not** journaled and will not run.
+pub fn retry_after(id: &str, retry_after_ms: u64, message: &str) -> Value {
+    Value::obj([
+        ("ok", false.into()),
+        ("ev", "retry_after".into()),
+        ("id", id.into()),
+        ("retry_after_ms", retry_after_ms.into()),
+        ("error", message.into()),
     ])
 }
 
@@ -204,6 +278,7 @@ mod tests {
             parse_request(r#"{"op":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
+        assert_eq!(parse_request(r#"{"op":"resume"}"#).unwrap(), Request::Resume);
         let r = parse_request(r#"{"op":"submit","id":"j1","circuit":"b11","die":2}"#).unwrap();
         match r {
             Request::Submit(spec) => {
@@ -235,6 +310,37 @@ mod tests {
                 assert_eq!(spec.probe, ProbeKind::Atpg);
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_status_and_budget_ms() {
+        assert_eq!(
+            parse_request(r#"{"op":"status","key":"00000000000000ab"}"#).unwrap(),
+            Request::Status {
+                key: "00000000000000ab".into()
+            }
+        );
+        assert!(parse_request(r#"{"op":"status"}"#)
+            .unwrap_err()
+            .contains("key"));
+        match parse_request(r#"{"op":"submit","circuit":"b11","budget_ms":250}"#).unwrap() {
+            Request::Submit(spec) => assert_eq!(spec.budget_ms, Some(250)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn submit_json_round_trips_every_field() {
+        for line in [
+            r#"{"op":"submit","id":"j","circuit":"b12","die":1}"#,
+            r#"{"op":"submit","id":"k","netlist":"circuit x\n","probe":"atpg","method":"li","scenario":"tight","return_plan":true,"budget_ms":9}"#,
+        ] {
+            let Ok(Request::Submit(spec)) = parse_request(line) else {
+                panic!("fixture should parse: {line}");
+            };
+            let reparsed = parse_request(&submit_json(&spec).to_string()).unwrap();
+            assert_eq!(reparsed, Request::Submit(spec.clone()), "{line}");
         }
     }
 

@@ -83,11 +83,22 @@ fn schema_of(text: &str) -> String {
     s
 }
 
-fn assert_matches_golden(actual: &str, golden: &str, which: &str) {
+/// Compare against a golden file — or, with `PREBOND3D_REGEN_GOLDEN`
+/// set, rewrite the golden in place (`golden_file` is relative to
+/// `tests/`) so intentional schema changes don't need hand-editing.
+fn assert_matches_golden(actual: &str, golden: &str, which: &str, golden_file: &str) {
+    if std::env::var_os("PREBOND3D_REGEN_GOLDEN").is_some() {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("tests")
+            .join(golden_file);
+        std::fs::write(&path, actual).expect("rewrite golden schema");
+        return;
+    }
     assert!(
         actual == golden,
         "{which} schema drifted from tests/golden.\n--- expected ---\n{golden}\n--- actual ---\n{actual}\n\
-         If the change is intentional, update the golden file."
+         If the change is intentional, regenerate it: \
+         PREBOND3D_REGEN_GOLDEN=1 cargo test --test report_schema"
     );
 }
 
@@ -148,11 +159,13 @@ fn report_files_match_the_golden_schemas() {
         &run_schema,
         include_str!("golden/run_report.schema.txt"),
         "run_<exp>.json",
+        "golden/run_report.schema.txt",
     );
     assert_matches_golden(
         &bench_schema,
         include_str!("golden/bench_report.schema.txt"),
         "BENCH_<exp>.json",
+        "golden/bench_report.schema.txt",
     );
 
     let _ = std::fs::remove_dir_all(&dir);
@@ -170,5 +183,6 @@ fn serve_baseline_matches_the_golden_schema() {
         &schema,
         include_str!("golden/serve_report.schema.txt"),
         "BENCH_serve.json",
+        "golden/serve_report.schema.txt",
     );
 }

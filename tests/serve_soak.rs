@@ -23,18 +23,30 @@ use serve_util::{field, job_stat, Client};
 /// individually admissible — so the soak continually evicts and
 /// re-checks the budget invariant under load.
 const SOAK_CACHE_BYTES: usize = 128 * 1024;
-const CLIENTS: usize = 4;
-const JOBS_PER_CLIENT: usize = 25;
 
+/// Full soak: `#[ignore]`d, run by CI's dedicated soak job.
 #[test]
 #[ignore = "soak: minutes of load; CI runs it in the dedicated soak job"]
 fn soak_under_chaos_accounts_every_job_and_keeps_the_budget() {
+    soak(4, 25);
+}
+
+/// Tier-1 slice of the same storm: small enough for every `cargo test`
+/// run, identical invariants. Chaos stays armed so the accounting and
+/// budget checks still face injected faults, not a calm daemon.
+#[test]
+fn short_soak_slice_accounts_every_job_and_keeps_the_budget() {
+    soak(2, 8);
+}
+
+fn soak(clients: usize, jobs_per_client: usize) {
     // Arm chaos for the whole process — server workers included.
     resil::chaos::install(Some((0xC0FF_EE00, 0.02)));
     let server = Server::start(ServerConfig {
         bind: Bind::Tcp("127.0.0.1:0".to_string()),
         workers: 4,
         cache_bytes: SOAK_CACHE_BYTES,
+        ..ServerConfig::default()
     })
     .expect("bind soak daemon");
     let addr = server.addr().expect("tcp addr").to_string();
@@ -43,7 +55,7 @@ fn soak_under_chaos_accounts_every_job_and_keeps_the_budget() {
     let substrates = [("b11", 0usize), ("b11", 1), ("b12", 0)];
     let methods = ["ours", "agrawal", "li", "naive"];
     let per_client: Vec<(u64, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CLIENTS)
+        let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let addr = addr.clone();
                 let substrates = &substrates;
@@ -53,7 +65,7 @@ fn soak_under_chaos_accounts_every_job_and_keeps_the_budget() {
                     let mut completed = 0u64;
                     let mut submitted = 0u64;
                     let mut client = Client::connect(&addr);
-                    for j in 0..JOBS_PER_CLIENT {
+                    for j in 0..jobs_per_client {
                         // Sprinkle protocol abuse between jobs; the
                         // daemon must absorb it without desyncing.
                         if rng.gen_bool(0.2) {
@@ -91,7 +103,7 @@ fn soak_under_chaos_accounts_every_job_and_keeps_the_budget() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
     let sent: u64 = per_client.iter().map(|&(s, _)| s).sum();
-    assert_eq!(sent, (CLIENTS * JOBS_PER_CLIENT) as u64);
+    assert_eq!(sent, (clients * jobs_per_client) as u64);
 
     // Every job — including the orphaned ones — must drain to done or
     // failed; nothing may be lost in the queue.

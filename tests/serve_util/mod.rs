@@ -4,6 +4,10 @@
 //! framing code so the tests exercise the wire format, not the crate's
 //! internal helpers.
 
+// Each test binary compiles this module independently and uses a
+// different subset of the helpers.
+#![allow(dead_code)]
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 
@@ -12,12 +16,24 @@ use prebond3d_serve::{Bind, Server, ServerConfig};
 
 /// Start an in-process daemon on an ephemeral port.
 pub fn start_server(workers: usize) -> (Server, String) {
-    let server = Server::start(ServerConfig {
-        bind: Bind::Tcp("127.0.0.1:0".to_string()),
+    start_with(ServerConfig {
         workers,
-        cache_bytes: prebond3d_serve::cache::DEFAULT_BUDGET_BYTES,
+        ..test_config()
     })
-    .expect("bind ephemeral daemon");
+}
+
+/// Baseline test config: ephemeral TCP port, default cache budget.
+pub fn test_config() -> ServerConfig {
+    ServerConfig {
+        bind: Bind::Tcp("127.0.0.1:0".to_string()),
+        cache_bytes: prebond3d_serve::cache::DEFAULT_BUDGET_BYTES,
+        ..ServerConfig::default()
+    }
+}
+
+/// Start an in-process daemon from an explicit config.
+pub fn start_with(config: ServerConfig) -> (Server, String) {
+    let server = Server::start(config).expect("bind ephemeral daemon");
     let addr = server.addr().expect("tcp addr").to_string();
     (server, addr)
 }
