@@ -135,7 +135,9 @@ mod tests {
         let mut fs = FaultSimulator::new(&die);
         let mut alive = vec![true; targets.len()];
         for window in patterns.chunks(64) {
-            let masks = fs.simulate_batch(&die, &access, window, &targets, &alive);
+            let masks = fs
+                .simulate_batch(&die, &access, window, &targets, &alive)
+                .unwrap();
             for (f, &m) in masks.iter().enumerate() {
                 if m != 0 {
                     alive[f] = false;

@@ -82,7 +82,9 @@ impl FaultDictionary {
         let alive = vec![true; faults.len()];
         let mut signatures = vec![Signature::new(patterns.len()); faults.len()];
         for (chunk_no, window) in patterns.chunks(64).enumerate() {
-            let masks = fs.simulate_batch(netlist, access, window, faults, &alive);
+            let masks = fs
+                .simulate_batch(netlist, access, window, faults, &alive)
+                .expect("diagnosis window holds at most 64 patterns");
             for (f, &mask) in masks.iter().enumerate() {
                 let mut m = mask;
                 while m != 0 {

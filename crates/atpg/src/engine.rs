@@ -2,10 +2,11 @@
 //!
 //! Mirrors the classical commercial flow:
 //!
-//! 1. **Random phase** — 64-pattern batches of seeded random patterns are
-//!    fault-simulated with fault dropping; only patterns that detect a new
-//!    fault are kept. The phase ends when a batch's yield drops below a
-//!    threshold.
+//! 1. **Random phase** — 64-pattern blocks of seeded random patterns are
+//!    fault-simulated with fault dropping (packed `PREBOND3D_LANES` blocks
+//!    to a physical batch, credited block-by-block so results are
+//!    lane-width invariant); only patterns that detect a new fault are
+//!    kept. The phase ends when a block's yield drops below a threshold.
 //! 2. **Deterministic phase** — PODEM targets every remaining fault;
 //!    each generated cube is filled and fault-simulated against all
 //!    remaining faults (opportunistic dropping).
@@ -175,18 +176,35 @@ fn random_pattern(rng: &mut StdRng, access: &TestAccess) -> Pattern {
 /// Keep only the patterns that first-detect some fault, preserving order.
 /// `masks[f]` is the per-pattern detection mask of fault `f` in this batch.
 fn credit_patterns(batch: &[Pattern], masks: &[u64], alive: &mut [bool]) -> (Vec<Pattern>, usize) {
-    let mut useful = vec![false; batch.len()];
+    credit_block(batch, masks, 1, 0, alive)
+}
+
+/// [`credit_patterns`] over one 64-pattern block of a wide batch: fault
+/// `f`'s mask for the block is `masks[f * w + lane]`. Replaying a wide
+/// batch's blocks through this in order reproduces the narrow
+/// simulate-credit loop decision-for-decision (the per-lane masks are
+/// byte-identical to narrow batches — see `faultsim`), which is what keeps
+/// `AtpgResult` invariant across lane widths.
+fn credit_block(
+    block: &[Pattern],
+    masks: &[u64],
+    w: usize,
+    lane: usize,
+    alive: &mut [bool],
+) -> (Vec<Pattern>, usize) {
+    let mut useful = vec![false; block.len()];
     let mut newly = 0usize;
-    for (f, &mask) in masks.iter().enumerate() {
-        if !alive[f] || mask == 0 {
+    for (f, a) in alive.iter_mut().enumerate() {
+        let mask = masks[f * w + lane];
+        if !*a || mask == 0 {
             continue;
         }
-        alive[f] = false;
+        *a = false;
         newly += 1;
         useful[mask.trailing_zeros() as usize] = true;
     }
     obs::count("atpg.faults_dropped", newly as u64);
-    let kept = batch
+    let kept = block
         .iter()
         .zip(useful.iter())
         .filter(|(_, &u)| u)
@@ -246,7 +264,19 @@ pub fn run_stuck_at_on(
     let mut patterns: Vec<Pattern> = Vec::new();
 
     // --- Random phase -----------------------------------------------------
-    for _ in 0..config.max_random_batches {
+    // Up to `lanes` logical 64-pattern blocks are pre-generated and fault-
+    // simulated as one wide physical batch; crediting then *replays* the
+    // blocks in order against the live-fault set, reproducing the narrow
+    // loop's stop decisions (yield threshold, fault-universe exhaustion)
+    // exactly. If the phase stops mid-batch the RNG is rewound to the
+    // checkpoint and fast-forwarded over only the consumed blocks, so the
+    // deterministic phase's fill stream is identical at every lane width.
+    // (The phase-budget deadline is polled per physical batch rather than
+    // per block; it is wall-clock and thus outside the determinism
+    // contract.)
+    let lanes = prebond3d_netlist::tuning::lanes();
+    let mut blocks_done = 0usize;
+    'random: while blocks_done < config.max_random_batches {
         if !alive.iter().any(|&a| a) {
             break;
         }
@@ -254,13 +284,42 @@ pub fn run_stuck_at_on(
             degrade::record("atpg", "stop_random_phase", "phase budget expired");
             break;
         }
-        let batch: Vec<Pattern> = (0..64).map(|_| random_pattern(&mut rng, access)).collect();
-        obs::count("atpg.random_batches", 1);
-        let masks = fs.simulate_batch_any(netlist, access, &batch, &list.faults, &alive);
-        let (kept, newly) = credit_patterns(&batch, masks, &mut alive);
-        patterns.extend(kept);
-        if newly < config.min_random_yield {
-            break;
+        let blocks = lanes.min(config.max_random_batches - blocks_done);
+        let checkpoint = rng.clone();
+        let batch: Vec<Pattern> = (0..blocks * 64)
+            .map(|_| random_pattern(&mut rng, access))
+            .collect();
+        let (w, masks) = fs
+            .simulate_batch_any_wide(netlist, access, &batch, &list.faults, &alive)
+            .expect("random batch sized to lane capacity");
+        let mut consumed = 0usize;
+        let mut stop = false;
+        for b in 0..blocks {
+            if b > 0 && !alive.iter().any(|&a| a) {
+                stop = true;
+                break;
+            }
+            let block = &batch[b * 64..(b + 1) * 64];
+            obs::count("atpg.random_batches", 1);
+            let (kept, newly) = credit_block(block, masks, w, b, &mut alive);
+            patterns.extend(kept);
+            consumed = b + 1;
+            blocks_done += 1;
+            if newly < config.min_random_yield {
+                stop = true;
+                break;
+            }
+        }
+        if consumed < blocks {
+            // Rewind and re-consume: the stream position must equal what a
+            // block-at-a-time run would have left behind.
+            rng = checkpoint;
+            for _ in 0..consumed * 64 {
+                let _ = random_pattern(&mut rng, access);
+            }
+        }
+        if stop {
+            break 'random;
         }
     }
 
@@ -276,7 +335,9 @@ pub fn run_stuck_at_on(
         if pending.is_empty() {
             return;
         }
-        let masks = fs.simulate_batch_any(netlist, access, pending, &list.faults, alive);
+        let masks = fs
+            .simulate_batch_any(netlist, access, pending, &list.faults, alive)
+            .expect("pending flush holds at most 64 patterns");
         let (kept, _) = credit_patterns(pending, masks, alive);
         patterns.extend(kept);
         pending.clear();
@@ -376,16 +437,26 @@ fn reverse_order_compact(
 ) -> Vec<Pattern> {
     let _span = obs::span("atpg_compact");
     let before = patterns.len();
+    let lanes = prebond3d_netlist::tuning::lanes();
     let mut alive = vec![true; list.len()];
     let mut keep: Vec<Pattern> = Vec::new();
     let reversed: Vec<Pattern> = patterns.into_iter().rev().collect();
-    for window in reversed.chunks(64) {
-        let masks = fs.simulate_batch_any(netlist, access, window, &list.faults, &alive);
+    // Wide windows, narrow crediting: each physical batch carries up to
+    // `lanes` 64-pattern blocks, and the per-block replay below makes the
+    // keep/drop decisions in exactly the order the narrow 64-at-a-time
+    // loop would (per-lane masks are byte-identical to narrow batches).
+    for window in reversed.chunks(lanes * 64) {
+        let (w, masks) = fs
+            .simulate_batch_any_wide(netlist, access, window, &list.faults, &alive)
+            .expect("compaction window sized to lane capacity");
         let mut useful = vec![false; window.len()];
-        for (f, &mask) in masks.iter().enumerate() {
-            if alive[f] && mask != 0 {
-                alive[f] = false;
-                useful[mask.trailing_zeros() as usize] = true;
+        for b in 0..window.len().div_ceil(64) {
+            for (f, a) in alive.iter_mut().enumerate() {
+                let mask = masks[f * w + b];
+                if *a && mask != 0 {
+                    *a = false;
+                    useful[b * 64 + mask.trailing_zeros() as usize] = true;
+                }
             }
         }
         for (p, &u) in window.iter().zip(useful.iter()) {
@@ -407,12 +478,15 @@ fn count_detected(
     fs: &mut FaultSimulator,
     patterns: &[Pattern],
 ) -> usize {
+    let lanes = prebond3d_netlist::tuning::lanes();
     let mut alive = vec![true; list.len()];
-    for window in patterns.chunks(64) {
-        let masks = fs.simulate_batch_any(netlist, access, window, &list.faults, &alive);
-        for (f, &mask) in masks.iter().enumerate() {
-            if mask != 0 {
-                alive[f] = false;
+    for window in patterns.chunks(lanes * 64) {
+        let (w, masks) = fs
+            .simulate_batch_any_wide(netlist, access, window, &list.faults, &alive)
+            .expect("accounting window sized to lane capacity");
+        for (f, a) in alive.iter_mut().enumerate() {
+            if *a && masks[f * w..(f + 1) * w].iter().any(|&m| m != 0) {
+                *a = false;
             }
         }
     }
@@ -578,13 +652,16 @@ pub fn detected_by(
     faults: &[crate::fault::Fault],
     patterns: &[Pattern],
 ) -> Vec<bool> {
+    let lanes = prebond3d_netlist::tuning::lanes();
     let mut fs = FaultSimulator::new(netlist);
     let mut alive = vec![true; faults.len()];
-    for window in patterns.chunks(64) {
-        let masks = fs.simulate_batch_any(netlist, access, window, faults, &alive);
-        for (f, &mask) in masks.iter().enumerate() {
-            if mask != 0 {
-                alive[f] = false;
+    for window in patterns.chunks(lanes * 64) {
+        let (w, masks) = fs
+            .simulate_batch_any_wide(netlist, access, window, faults, &alive)
+            .expect("probe window sized to lane capacity");
+        for (f, a) in alive.iter_mut().enumerate() {
+            if *a && masks[f * w..(f + 1) * w].iter().any(|&m| m != 0) {
+                *a = false;
             }
         }
     }

@@ -63,4 +63,4 @@ pub use diagnosis::{FaultDictionary, Signature};
 pub use engine::{AtpgConfig, AtpgResult};
 pub use fault::{Fault, FaultList, FaultSite, StuckAt};
 pub use logic::V3;
-pub use sim::Pattern;
+pub use sim::{Lanes, Pattern, SimError};

@@ -759,7 +759,9 @@ mod tests {
         for fault in list.faults.iter().take(60) {
             if let PodemOutcome::Test(cube) = podem.generate(*fault) {
                 let pattern = Pattern::from_v3(&cube, false);
-                let masks = fs.simulate_batch(&die, &acc, &[pattern], &[*fault], &[true]);
+                let masks = fs
+                    .simulate_batch(&die, &acc, &[pattern], &[*fault], &[true])
+                    .unwrap();
                 assert_ne!(
                     masks[0] & 1,
                     0,

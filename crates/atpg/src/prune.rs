@@ -255,7 +255,9 @@ mod tests {
                 })
                 .collect();
             let alive = vec![true; pruned.len()];
-            let masks = fs.simulate_batch(&die, &access, &patterns, &pruned, &alive);
+            let masks = fs
+                .simulate_batch(&die, &access, &patterns, &pruned, &alive)
+                .unwrap();
             assert!(
                 masks.iter().all(|&m| m == 0),
                 "a statically-pruned fault was detected by simulation"

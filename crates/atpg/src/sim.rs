@@ -1,15 +1,155 @@
 //! Bit-parallel three-valued good-machine simulation.
 //!
-//! Values are dual-rail encoded per gate: a `val` word and an `unk` word,
-//! each bit position carrying one of up to 64 independent patterns.
-//! Uncontrollable sources (floating TSVs, non-scan flip-flops) simulate as
-//! X, so anything a pre-bond tester could not actually predict is never
-//! credited as observed.
+//! Values are dual-rail encoded per gate: a `val` word and an `unk` word.
+//! Each word is a [`Lanes<W>`] bundle of `W` 64-bit lanes (W ∈ {1, 4, 8}),
+//! so one batch carries up to `W * 64` independent patterns; lane `l`
+//! holds pattern bits `l*64 ..= l*64+63`. All lane arithmetic is plain
+//! bitwise ops over `[u64; W]` — stable Rust the compiler auto-vectorizes,
+//! no `unsafe`, no intrinsics. Uncontrollable sources (floating TSVs,
+//! non-scan flip-flops) simulate as X, so anything a pre-bond tester could
+//! not actually predict is never credited as observed.
+
+use std::fmt;
+use std::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, Not};
 
 use prebond3d_netlist::{traverse, GateId, GateKind, Netlist};
 
 use crate::access::TestAccess;
 use crate::logic::V3;
+
+/// A bundle of `W` pattern lanes: bitwise SIMD words the simulator's
+/// dual-rail algebra runs over unchanged at any width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lanes<const W: usize>(pub [u64; W]);
+
+impl<const W: usize> Lanes<W> {
+    /// All bits clear.
+    pub const ZERO: Self = Lanes([0; W]);
+    /// All bits set.
+    pub const MAX: Self = Lanes([u64::MAX; W]);
+
+    /// Any bit set in any lane?
+    #[inline]
+    pub fn any(self) -> bool {
+        self.0.iter().any(|&w| w != 0)
+    }
+
+    /// One lane's word.
+    #[inline]
+    pub fn lane(self, l: usize) -> u64 {
+        self.0[l]
+    }
+
+    /// The used-bit mask for a batch of `count` patterns (`count <= W*64`):
+    /// lane `l` covers patterns `l*64..(l+1)*64`, partial tail lane included.
+    #[inline]
+    pub fn used_mask(count: usize) -> Self {
+        let mut m = [0u64; W];
+        for (l, word) in m.iter_mut().enumerate() {
+            let filled = count.saturating_sub(l * 64).min(64);
+            *word = if filled == 64 {
+                u64::MAX
+            } else {
+                (1u64 << filled) - 1
+            };
+        }
+        Lanes(m)
+    }
+}
+
+macro_rules! lanes_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl<const W: usize> $trait for Lanes<W> {
+            type Output = Self;
+            #[inline]
+            fn $method(self, rhs: Self) -> Self {
+                let mut out = [0u64; W];
+                for l in 0..W {
+                    out[l] = self.0[l] $op rhs.0[l];
+                }
+                Lanes(out)
+            }
+        }
+    };
+}
+lanes_binop!(BitAnd, bitand, &);
+lanes_binop!(BitOr, bitor, |);
+lanes_binop!(BitXor, bitxor, ^);
+
+impl<const W: usize> Not for Lanes<W> {
+    type Output = Self;
+    #[inline]
+    fn not(self) -> Self {
+        let mut out = [0u64; W];
+        for l in 0..W {
+            out[l] = !self.0[l];
+        }
+        Lanes(out)
+    }
+}
+
+impl<const W: usize> BitOrAssign for Lanes<W> {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Self) {
+        for l in 0..W {
+            self.0[l] |= rhs.0[l];
+        }
+    }
+}
+
+impl<const W: usize> BitAndAssign for Lanes<W> {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Self) {
+        for l in 0..W {
+            self.0[l] &= rhs.0[l];
+        }
+    }
+}
+
+/// Batch-formation error: the caller handed the simulator a batch it cannot
+/// represent. Surfaced as a typed error (mapped to the `FlowError` exit-code
+/// contract by the flow layer) instead of a panic, so an oversized batch
+/// from a future caller degrades instead of tripping panic isolation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// More patterns than the batch word can carry.
+    TooManyPatterns {
+        /// Patterns supplied.
+        given: usize,
+        /// Patterns the lane bundle can hold.
+        capacity: usize,
+    },
+    /// A pattern's bit vector does not match the access-model width.
+    WidthMismatch {
+        /// Index of the offending pattern within the batch.
+        pattern: usize,
+        /// Controllable width the access model expects.
+        expected: usize,
+        /// Width actually supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyPatterns { given, capacity } => write!(
+                f,
+                "batch of {given} patterns exceeds the {capacity}-pattern lane capacity"
+            ),
+            SimError::WidthMismatch {
+                pattern,
+                expected,
+                got,
+            } => write!(
+                f,
+                "pattern {pattern} is {got} bits wide but the access model has {expected} controllable sources"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// One test pattern: a value per controllable source, in
 /// [`TestAccess::controllable`] rank order.
@@ -38,18 +178,33 @@ impl Pattern {
 /// Dual-rail word pair: (`val`, `unk`). Bit known ⇔ `unk` bit clear.
 pub type Rail = (u64, u64);
 
-/// Evaluate `kind` over dual-rail bit-parallel inputs.
+/// Dual-rail lane-bundle pair: the wide analogue of [`Rail`].
+pub type RailW<const W: usize> = (Lanes<W>, Lanes<W>);
+
+/// Evaluate `kind` over dual-rail bit-parallel inputs, one 64-bit lane.
 pub fn eval_rail(kind: GateKind, inputs: &[Rail]) -> Rail {
+    let mut wide = [(Lanes([0u64]), Lanes([0u64])); 3];
+    for (w, &(v, u)) in wide.iter_mut().zip(inputs) {
+        *w = (Lanes([v]), Lanes([u]));
+    }
+    let (v, u) = eval_rail_wide::<1>(kind, &wide[..inputs.len()]);
+    (v.0[0], u.0[0])
+}
+
+/// Evaluate `kind` over dual-rail lane bundles. The single truth-table
+/// implementation every width shares: `eval_rail` is the `W=1`
+/// monomorphization, so wide and narrow simulation cannot drift apart.
+pub fn eval_rail_wide<const W: usize>(kind: GateKind, inputs: &[RailW<W>]) -> RailW<W> {
     #[inline]
-    fn ones(r: Rail) -> u64 {
+    fn ones<const W: usize>(r: RailW<W>) -> Lanes<W> {
         r.0 & !r.1
     }
     #[inline]
-    fn zeros(r: Rail) -> u64 {
+    fn zeros<const W: usize>(r: RailW<W>) -> Lanes<W> {
         !r.0 & !r.1
     }
     #[inline]
-    fn from01(one: u64, zero: u64) -> Rail {
+    fn from01<const W: usize>(one: Lanes<W>, zero: Lanes<W>) -> RailW<W> {
         (one, !(one | zero))
     }
     match kind {
@@ -119,60 +274,82 @@ impl Simulator {
     }
 
     /// Simulate up to 64 patterns at once; returns dual-rail values per
-    /// gate. Bits beyond `patterns.len()` are X.
-    ///
-    /// # Panics
-    ///
-    /// Panics if more than 64 patterns are supplied or a pattern's width
-    /// does not match the access model.
+    /// gate. Bits beyond `patterns.len()` are X. The `W=1` view of
+    /// [`Simulator::run_batch_wide`].
     pub fn run_batch(
         &self,
         netlist: &Netlist,
         access: &TestAccess,
         patterns: &[Pattern],
-    ) -> Vec<Rail> {
-        assert!(patterns.len() <= 64, "at most 64 patterns per batch");
-        let used: u64 = if patterns.len() == 64 {
-            u64::MAX
-        } else {
-            (1u64 << patterns.len()) - 1
-        };
-        let mut values: Vec<Rail> = vec![(0, u64::MAX); netlist.len()];
+    ) -> Result<Vec<Rail>, SimError> {
+        let wide = self.run_batch_wide::<1>(netlist, access, patterns)?;
+        Ok(wide
+            .into_iter()
+            .map(|(v, u)| (v.0[0], u.0[0]))
+            .collect())
+    }
+
+    /// Simulate up to `W * 64` patterns at once; returns dual-rail lane
+    /// bundles per gate. Pattern `p` lives in lane `p / 64`, bit `p % 64`;
+    /// bits beyond `patterns.len()` are X.
+    pub fn run_batch_wide<const W: usize>(
+        &self,
+        netlist: &Netlist,
+        access: &TestAccess,
+        patterns: &[Pattern],
+    ) -> Result<Vec<RailW<W>>, SimError> {
+        if patterns.len() > W * 64 {
+            return Err(SimError::TooManyPatterns {
+                given: patterns.len(),
+                capacity: W * 64,
+            });
+        }
+        for (p, pattern) in patterns.iter().enumerate() {
+            if pattern.bits.len() != access.width() {
+                return Err(SimError::WidthMismatch {
+                    pattern: p,
+                    expected: access.width(),
+                    got: pattern.bits.len(),
+                });
+            }
+        }
+        let used = Lanes::<W>::used_mask(patterns.len());
+        let unk_tail = !used;
+        let mut values: Vec<RailW<W>> = vec![(Lanes::ZERO, Lanes::MAX); netlist.len()];
 
         // Load controllable sources from the pattern bits.
         for (rank, &src) in access.controllable().iter().enumerate() {
-            let mut word = 0u64;
+            let mut word = Lanes::<W>::ZERO;
             for (p, pattern) in patterns.iter().enumerate() {
-                assert_eq!(pattern.bits.len(), access.width(), "pattern width mismatch");
                 if pattern.bits[rank] {
-                    word |= 1 << p;
+                    word.0[p / 64] |= 1 << (p % 64);
                 }
             }
-            values[src.index()] = (word, !used);
+            values[src.index()] = (word, unk_tail);
         }
         // Apply pinned overrides.
         for &(node, v) in access.pinned() {
-            values[node.index()] = (if v { used } else { 0 }, !used);
+            values[node.index()] = (if v { used } else { Lanes::ZERO }, unk_tail);
         }
 
         // Constants and uncontrollable sources.
         for &id in &self.order {
             let gate = netlist.gate(id);
             match gate.kind {
-                GateKind::Const0 => values[id.index()] = (0, !used),
-                GateKind::Const1 => values[id.index()] = (used, !used),
+                GateKind::Const0 => values[id.index()] = (Lanes::ZERO, unk_tail),
+                GateKind::Const1 => values[id.index()] = (used, unk_tail),
                 _ => {
                     if gate.kind.is_combinational() {
-                        let inputs: Vec<Rail> =
+                        let inputs: Vec<RailW<W>> =
                             gate.inputs.iter().map(|&i| values[i.index()]).collect();
-                        values[id.index()] = eval_rail(gate.kind, &inputs);
+                        values[id.index()] = eval_rail_wide(gate.kind, &inputs);
                     }
                     // Sources (Input/ScanDff/TsvIn/Wrapper) keep whatever
                     // was loaded — X by default.
                 }
             }
         }
-        values
+        Ok(values)
     }
 }
 
@@ -217,7 +394,7 @@ mod tests {
         let p1 = Pattern {
             bits: vec![true, true],
         };
-        let vals = sim.run_batch(&n, &acc, &[p0, p1]);
+        let vals = sim.run_batch(&n, &acc, &[p0, p1]).unwrap();
         let x = n.find("x").unwrap();
         let y = n.find("y").unwrap();
         let z = n.find("z").unwrap();
@@ -238,7 +415,7 @@ mod tests {
         let p = Pattern {
             bits: vec![false, false],
         }; // a bit ignored
-        let vals = sim.run_batch(&n, &acc, &[p]);
+        let vals = sim.run_batch(&n, &acc, &[p]).unwrap();
         let a = n.find("a").unwrap();
         assert_eq!(known(&vals, a, 0), Some(true));
     }
@@ -300,10 +477,58 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64")]
-    fn too_many_patterns_panics() {
+    fn oversized_batch_is_a_typed_error_not_a_panic() {
         let (n, acc, sim) = rig();
         let ps: Vec<Pattern> = (0..65).map(|_| Pattern::zeroes(acc.width())).collect();
-        sim.run_batch(&n, &acc, &ps);
+        assert_eq!(
+            sim.run_batch(&n, &acc, &ps),
+            Err(SimError::TooManyPatterns {
+                given: 65,
+                capacity: 64
+            })
+        );
+        // The wide entry point scales the capacity with the lane count...
+        assert!(sim.run_batch_wide::<4>(&n, &acc, &ps).is_ok());
+        let ps: Vec<Pattern> = (0..257).map(|_| Pattern::zeroes(acc.width())).collect();
+        assert_eq!(
+            sim.run_batch_wide::<4>(&n, &acc, &ps),
+            Err(SimError::TooManyPatterns {
+                given: 257,
+                capacity: 256
+            })
+        );
+        // ...and malformed patterns are rejected the same way.
+        let bad = [Pattern::zeroes(acc.width() + 1)];
+        assert_eq!(
+            sim.run_batch(&n, &acc, &bad),
+            Err(SimError::WidthMismatch {
+                pattern: 0,
+                expected: acc.width(),
+                got: acc.width() + 1
+            })
+        );
+    }
+
+    #[test]
+    fn wide_lanes_match_narrow_blocks_bit_for_bit() {
+        use prebond3d_rng::StdRng;
+        let (n, acc, sim) = rig();
+        let mut rng = StdRng::seed_from_u64(0x1A5E_55ED);
+        let patterns: Vec<Pattern> = (0..200)
+            .map(|_| Pattern {
+                bits: (0..acc.width()).map(|_| rng.gen::<bool>()).collect(),
+            })
+            .collect();
+        let wide = sim.run_batch_wide::<4>(&n, &acc, &patterns).unwrap();
+        for (block, chunk) in patterns.chunks(64).enumerate() {
+            let narrow = sim.run_batch(&n, &acc, chunk).unwrap();
+            for (id, &(v, u)) in narrow.iter().enumerate() {
+                assert_eq!(
+                    (wide[id].0 .0[block], wide[id].1 .0[block]),
+                    (v, u),
+                    "gate {id} lane {block}"
+                );
+            }
+        }
     }
 }

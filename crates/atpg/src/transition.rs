@@ -114,7 +114,10 @@ pub fn simulate_sequence(
         // Good values first: the initialization mask tells the fault
         // simulator exactly which detection bits matter (the one after an
         // initializing pattern), so its cone walks can stop early.
-        let good = fs.simulator().run_batch(netlist, access, window);
+        let good = fs
+            .simulator()
+            .run_batch(netlist, access, window)
+            .expect("sequence window holds at most 64 patterns");
         let used: u64 = if window.len() == 64 {
             u64::MAX
         } else {
@@ -131,7 +134,8 @@ pub fn simulate_sequence(
             .collect();
         let need: Vec<u64> = init_masks.iter().map(|m| m << 1).collect();
         let det_masks =
-            fs.simulate_batch_with_need(netlist, access, window, &launch, &window_alive, &need);
+            fs.simulate_batch_with_need(netlist, access, window, &launch, &window_alive, &need)
+                .expect("sequence window holds at most 64 patterns");
         for (i, _) in faults.iter().enumerate() {
             if !window_alive[i] {
                 continue;

@@ -150,6 +150,7 @@ fn bench_atpg(h: &Harness) {
     let alive = vec![true; list.len()];
     h.bench("atpg", "faultsim_64_patterns", || {
         fs.simulate_batch(&die, &access, &patterns, &list.faults, &alive)
+            .unwrap()
             .iter()
             .fold(0u64, |acc, &m| acc ^ m)
     });

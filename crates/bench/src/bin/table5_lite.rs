@@ -35,7 +35,7 @@ fn main() -> ExitCode {
                         )?;
                         row.push((r.reused_scan_ffs, r.additional_wrapper_cells));
                     }
-                    Ok(row)
+                    Ok::<_, prebond3d_wcm::flow::FlowError>(row)
                 })?;
                 println!(
                     "{:<12} | {:>7} {:>7} | {:>7} {:>7}",

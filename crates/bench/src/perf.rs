@@ -26,7 +26,7 @@ use prebond3d_atpg::fault::FaultList;
 use prebond3d_atpg::faultsim::FaultSimulator;
 use prebond3d_atpg::sim::Pattern;
 use prebond3d_atpg::{AtpgConfig, TestAccess};
-use prebond3d_celllib::Library;
+use prebond3d_celllib::{Capacitance, Library};
 use prebond3d_netlist::cone::ConeSet;
 use prebond3d_netlist::{itc99, tuning, GateId};
 use prebond3d_obs as obs;
@@ -34,7 +34,7 @@ use prebond3d_place::{place, PlaceConfig};
 use prebond3d_pool as pool;
 use prebond3d_rng::StdRng;
 use prebond3d_sta::whatif::ReuseKind;
-use prebond3d_sta::{analyze, StaConfig};
+use prebond3d_sta::{analyze, analyze_with_extra_loads, StaAnalysis, StaConfig};
 use prebond3d_wcm::testability::{AtpgProbe, TestabilityProbe};
 use prebond3d_wcm::{clique, graph, MergePolicy, StructuralProbe, Thresholds, TimingModel};
 
@@ -104,6 +104,7 @@ fn probe(circuits: &[&str]) {
             for _ in 0..REPS {
                 masks = fs
                     .simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive)
+                    .unwrap()
                     .to_vec();
             }
             (t.elapsed().as_secs_f64() * 1.0e3, masks)
@@ -136,6 +137,13 @@ struct WorkSample {
     faults_pruned: u64,
 }
 
+/// Optimized-mode counters of the wide-lane fault-sim probe, re-emitted
+/// into the run report's work-probe section.
+struct LanesSample {
+    gate_evals: u64,
+    pattern_batches: u64,
+}
+
 /// Measure the deterministic work counters of the hot paths (DESIGN.md
 /// §11) on the largest selected substrate, once with the caches forced
 /// off (the pre-optimization reference algorithm) and once with them on,
@@ -147,6 +155,7 @@ pub fn record_work_reductions(circuits: &[&str]) {
     use std::panic::{catch_unwind, AssertUnwindSafe};
     let result = catch_unwind(AssertUnwindSafe(|| work_probe(circuits)));
     tuning::force_no_cache(None);
+    tuning::force_lanes(None);
     if let Err(p) = result {
         prebond3d_resilience::degrade::record(
             "perf",
@@ -261,6 +270,11 @@ fn work_probe(circuits: &[&str]) {
         // includes the retired faults' cone resimulations.
         let atpg_mode = |no_cache: bool| -> (WorkSample, prebond3d_atpg::AtpgResult) {
             tuning::force_no_cache(Some(no_cache));
+            // Pin the lane width so the recorded counters are invariant to
+            // an ambient `PREBOND3D_LANES` (the CI perf-smoke matrix sweeps
+            // it against one checked-in baseline). `no_cache` already forces
+            // single-lane; the optimized mode measures the full-width path.
+            tuning::force_lanes(Some(if no_cache { 1 } else { 8 }));
             let (result, snap) = obs::capture(|| {
                 let cones = ConeSet::compute(atpg_netlist, &roots);
                 let probe = AtpgProbe::default();
@@ -273,6 +287,7 @@ fn work_probe(circuits: &[&str]) {
                 run_stuck_at(atpg_netlist, &access, &AtpgConfig::fast())
             });
             tuning::force_no_cache(None);
+            tuning::force_lanes(None);
             let sample = WorkSample {
                 gate_evals: snap.counter("atpg.gate_evals"),
                 cache_hits: snap.counter("probe.cache_hits"),
@@ -287,7 +302,73 @@ fn work_probe(circuits: &[&str]) {
             ref_result, opt_result,
             "pruned ATPG must be byte-identical to the unpruned reference"
         );
-        (atpg_substrate, reference, optimized)
+
+        // --- Wide-lane fault-sim probe -------------------------------
+        // The same 512-pattern full-universe workload at lane width 1
+        // (the straight-line oracle) and 8: per-64-block detection masks
+        // must agree bit-for-bit, while the wide run amortizes each cone
+        // walk over 8x the patterns. The windows are sized explicitly, so
+        // the recorded counters ignore any ambient `PREBOND3D_LANES`.
+        let access = TestAccess::full_scan(atpg_netlist);
+        let faults = FaultList::collapsed(atpg_netlist);
+        let alive = vec![true; faults.len()];
+        let mut rng = StdRng::seed_from_u64(0x1A5E_BA5E);
+        let wide_patterns: Vec<Pattern> = (0..512)
+            .map(|_| Pattern {
+                bits: (0..access.width()).map(|_| rng.gen_bool(0.5)).collect(),
+            })
+            .collect();
+        let total_blocks = wide_patterns.len().div_ceil(64);
+        let lanes_mode = |width: usize| -> (u64, u64, Vec<u64>) {
+            let (blocks, snap) = obs::capture(|| {
+                let mut fs = FaultSimulator::new(atpg_netlist);
+                // Per-64-block masks, re-indexed block-major/fault-minor
+                // so the flattening is width-independent.
+                let mut blocks = vec![0u64; total_blocks * faults.len()];
+                for (win, window) in wide_patterns.chunks(width * 64).enumerate() {
+                    let (w, masks) = fs
+                        .simulate_batch_wide(
+                            atpg_netlist,
+                            &access,
+                            window,
+                            &faults.faults,
+                            &alive,
+                        )
+                        .expect("probe window sized to lane capacity");
+                    let win_blocks = window.len().div_ceil(64);
+                    for f in 0..faults.len() {
+                        for b in 0..win_blocks {
+                            blocks[(win * width + b) * faults.len() + f] = masks[f * w + b];
+                        }
+                    }
+                }
+                blocks
+            });
+            (
+                snap.counter("atpg.gate_evals"),
+                snap.counter("atpg.pattern_batches"),
+                blocks,
+            )
+        };
+        let (w1_evals, w1_batches, w1_blocks) = lanes_mode(1);
+        let (w8_evals, w8_batches, w8_blocks) = lanes_mode(8);
+        assert_eq!(
+            w1_blocks, w8_blocks,
+            "wide-lane detection masks must be bit-identical to single-lane"
+        );
+        assert!(
+            w8_evals * 3 <= w1_evals,
+            "wide lanes must amortize >= 3x: {w1_evals} evals at W=1 vs {w8_evals} at W=8"
+        );
+        let lanes_substrate = format!("{atpg_substrate} wide lanes");
+        report::record_work("atpg.gate_evals", &lanes_substrate, w1_evals, w8_evals);
+        report::record_work("atpg.pattern_batches", &lanes_substrate, w1_batches, w8_batches);
+        let lanes = LanesSample {
+            gate_evals: w8_evals,
+            pattern_batches: w8_batches,
+        };
+
+        (atpg_substrate, reference, optimized, lanes)
     });
     if atpg.is_none() {
         eprintln!(
@@ -296,7 +377,7 @@ fn work_probe(circuits: &[&str]) {
         );
     }
 
-    if let Some((atpg_substrate, reference, optimized)) = &atpg {
+    if let Some((atpg_substrate, reference, optimized, _)) = &atpg {
         report::record_work(
             "atpg.gate_evals",
             atpg_substrate,
@@ -338,14 +419,71 @@ fn work_probe(circuits: &[&str]) {
         opt_rescores,
     );
 
+    // --- Incremental STA what-if probe -----------------------------------
+    // A seeded sweep of single-net extra-load queries on the largest
+    // substrate: the reference prices each query with a from-scratch
+    // analysis (3n node visits per query), the optimized path keeps one
+    // live `StaAnalysis` and retimes only the frontier. The reports must
+    // be bitwise-identical per query.
+    let sta_config = StaConfig::relaxed();
+    let mut rng = StdRng::seed_from_u64(0x57A7_1C4E);
+    let queries: Vec<(GateId, Capacitance)> = (0..6)
+        .map(|_| {
+            (
+                GateId(rng.gen_range(0..netlist.len() as u32)),
+                Capacitance(rng.gen_range(1u32..40) as f64 / 4.0),
+            )
+        })
+        .collect();
+    let (ref_reports, ref_snap) = obs::capture(|| {
+        queries
+            .iter()
+            .map(|&(id, c)| {
+                analyze_with_extra_loads(
+                    &netlist,
+                    &placement,
+                    &library,
+                    &sta_config,
+                    &[],
+                    &[(id, c)],
+                )
+            })
+            .collect::<Vec<_>>()
+    });
+    let ref_visits = ref_snap.counter("sta.nodes_visited");
+    let (opt_reports, opt_snap) = obs::capture(|| {
+        let mut inc = StaAnalysis::new(&netlist, &placement, &library, &sta_config, &[]);
+        queries
+            .iter()
+            .map(|&(id, c)| {
+                inc.set_extra_load(id, c);
+                let report = inc.report();
+                inc.set_extra_load(id, Capacitance::ZERO);
+                report
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        ref_reports, opt_reports,
+        "incremental what-if timing must match the full-recompute oracle bitwise"
+    );
+    let node_retimes = opt_snap.counter("sta.node_retimes");
+    assert!(
+        node_retimes < ref_visits,
+        "frontier retimes ({node_retimes}) must undercut full recomputes ({ref_visits})"
+    );
+    report::record_work("sta.node_retimes", &substrate, ref_visits, node_retimes);
+
     // Re-emit the optimized-mode counters into the run report (the
     // captures above kept them out of the experiment's collector), so
     // `run_perf.json` carries the cache hit/miss counters in a section.
     report::die_scope(&format!("{substrate} work probe"), || {
         obs::count("graph.cone_word_ops", opt_word_ops);
         obs::count("clique.candidate_rescores", opt_rescores);
-        if let Some((_, _, optimized)) = &atpg {
-            obs::count("atpg.gate_evals", optimized.gate_evals);
+        obs::count("sta.node_retimes", node_retimes);
+        if let Some((_, _, optimized, lanes)) = &atpg {
+            obs::count("atpg.gate_evals", optimized.gate_evals + lanes.gate_evals);
+            obs::count("atpg.pattern_batches", lanes.pattern_batches);
             obs::count("probe.cache_hits", optimized.cache_hits);
             obs::count("probe.cache_misses", optimized.cache_misses);
             obs::count("atpg.faults_pruned", optimized.faults_pruned);

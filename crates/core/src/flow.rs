@@ -60,6 +60,14 @@ pub enum FlowError {
         /// The underlying error.
         source: std::io::Error,
     },
+    /// The ATPG pattern-batch machinery rejected a malformed batch
+    /// (oversized for its lane bundle, or width-mismatched patterns).
+    /// Carries the typed `SimError` so callers degrade instead of
+    /// tripping the panic-isolation path.
+    Sim {
+        /// The underlying batch-formation error.
+        source: prebond3d_atpg::SimError,
+    },
 }
 
 impl FlowError {
@@ -71,6 +79,7 @@ impl FlowError {
             FlowError::Dft { .. } => 4,
             FlowError::LintGate { .. } => 1,
             FlowError::Io { .. } => 4,
+            FlowError::Sim { .. } => 4,
         }
     }
 }
@@ -87,6 +96,9 @@ impl std::fmt::Display for FlowError {
             FlowError::Io { path, source } => {
                 write!(f, "cannot write {}: {source}", path.display())
             }
+            FlowError::Sim { source } => {
+                write!(f, "fault-simulation batch rejected: {source}")
+            }
         }
     }
 }
@@ -95,8 +107,15 @@ impl std::error::Error for FlowError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FlowError::Io { source, .. } => Some(source),
+            FlowError::Sim { source } => Some(source),
             _ => None,
         }
+    }
+}
+
+impl From<prebond3d_atpg::SimError> for FlowError {
+    fn from(source: prebond3d_atpg::SimError) -> Self {
+        FlowError::Sim { source }
     }
 }
 

@@ -117,8 +117,12 @@ pub fn mission_equivalent(
             })
             .collect();
 
-        let orig_vals = orig_sim.run_batch(original, &orig_access, &orig_patterns);
-        let test_vals = test_sim.run_batch(testable, &test_access, &test_patterns);
+        let orig_vals = orig_sim
+            .run_batch(original, &orig_access, &orig_patterns)
+            .expect("equivalence window holds at most 64 patterns");
+        let test_vals = test_sim
+            .run_batch(testable, &test_access, &test_patterns)
+            .expect("equivalence window holds at most 64 patterns");
 
         for (name, orig_driver) in &sinks {
             let test_sink = testable
@@ -233,8 +237,10 @@ mod tests {
                 Pattern { bits }
             })
             .collect();
-        let ov = orig_sim.run_batch(&original, &orig_access, &orig_patterns);
-        let tv = test_sim.run_batch(&wrapped.netlist, &test_access, &test_patterns);
+        let ov = orig_sim.run_batch(&original, &orig_access, &orig_patterns).unwrap();
+        let tv = test_sim
+            .run_batch(&wrapped.netlist, &test_access, &test_patterns)
+            .unwrap();
         let mut diverged = false;
         for (name, orig_driver) in &sinks {
             let test_sink = wrapped.netlist.find(name).unwrap();

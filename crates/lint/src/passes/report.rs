@@ -18,9 +18,9 @@ use std::sync::OnceLock;
 
 use crate::context::LintContext;
 use crate::diagnostic::{
-    Code, Diagnostic, Location, REPORT_MISSING_TELEMETRY, REPORT_SCHEMA_DRIFT, REPORT_UNPARSABLE,
-    SERVE_CACHE_COLD, SERVE_JOBS_UNACCOUNTED, SERVE_JOURNAL_UNACCOUNTED_JOB,
-    SERVE_REPORT_MISSING_RECOVERY_TELEMETRY,
+    Code, Diagnostic, Location, REPORT_MISSING_TELEMETRY, REPORT_MISSING_WORK_COUNTERS,
+    REPORT_SCHEMA_DRIFT, REPORT_UNPARSABLE, SERVE_CACHE_COLD, SERVE_JOBS_UNACCOUNTED,
+    SERVE_JOURNAL_UNACCOUNTED_JOB, SERVE_REPORT_MISSING_RECOVERY_TELEMETRY,
 };
 use crate::schema;
 use crate::Pass;
@@ -97,6 +97,7 @@ impl Pass for ReportSchemaPass {
             REPORT_UNPARSABLE,
             REPORT_SCHEMA_DRIFT,
             REPORT_MISSING_TELEMETRY,
+            REPORT_MISSING_WORK_COUNTERS,
             SERVE_JOBS_UNACCOUNTED,
             SERVE_CACHE_COLD,
             SERVE_JOURNAL_UNACCOUNTED_JOB,
@@ -143,6 +144,7 @@ impl Pass for ReportSchemaPass {
                 ));
             }
             check_telemetry_blocks(label, &value, &ctx.artifact, out);
+            check_work_counters(label, &value, &ctx.artifact, out);
             let base = label.rsplit('/').next().unwrap_or(label);
             if is_serve_report(base) {
                 check_serve_consistency(label, &value, &ctx.artifact, out);
@@ -180,6 +182,50 @@ fn check_telemetry_blocks(label: &str, value: &Value, artifact: &str, out: &mut 
             .with_help("regenerate the report with a current bench binary"),
         );
     }
+}
+
+/// Work counters the wide-lane / incremental-STA perf round records
+/// (DESIGN.md §16). A per-die BENCH report that carries work rows but
+/// none of these was produced by a stale perf binary whose probes predate
+/// the round — the obs-diff gate would then silently stop covering them.
+/// Serving reports are exempt: their work rows measure the warm cache
+/// (`serve.cache_misses`), not the fault-sim/STA hot paths.
+const EXPECTED_WORK_COUNTERS: [&str; 2] = ["atpg.pattern_batches", "sta.node_retimes"];
+
+/// P3605: a non-serve BENCH report with a non-empty `work[]` array but no
+/// row for any of [`EXPECTED_WORK_COUNTERS`].
+fn check_work_counters(label: &str, value: &Value, artifact: &str, out: &mut Vec<Diagnostic>) {
+    let base = label.rsplit('/').next().unwrap_or(label);
+    if is_serve_report(base) || !base.starts_with("BENCH_") {
+        return;
+    }
+    let Some(Value::Arr(work)) = value.get("work") else {
+        return;
+    };
+    if work.is_empty() {
+        return;
+    }
+    let recorded = |name: &str| {
+        work.iter()
+            .any(|row| row.get("counter").and_then(Value::as_str) == Some(name))
+    };
+    if EXPECTED_WORK_COUNTERS.iter().any(|c| recorded(c)) {
+        return;
+    }
+    out.push(
+        Diagnostic::new(
+            REPORT_MISSING_WORK_COUNTERS,
+            Location::item(artifact, label.to_string()),
+            format!(
+                "work rows lack the wide-lane/retime counters ({})",
+                EXPECTED_WORK_COUNTERS.join(", ")
+            ),
+        )
+        .with_help(
+            "regenerate the report with a current perf binary — the wide-lane \
+             fault-sim and incremental-STA probes record these counters",
+        ),
+    );
 }
 
 /// Cross-field invariants of the serving report that the schema cannot
@@ -350,6 +396,69 @@ mod tests {
         assert!(report.with_code(REPORT_UNPARSABLE).is_empty());
     }
 
+    /// Minimal per-die bench report that satisfies the bench golden
+    /// schema and carries the perf round's work counters.
+    fn valid_bench_report() -> String {
+        r#"{
+            "experiment": "perf",
+            "threads": 4,
+            "elapsed_ms": 10.0,
+            "mem": {"alloc_bytes_total": 100, "alloc_bytes_peak": 50,
+                    "rss_now_kb": 10, "rss_peak_kb": 12,
+                    "rss_sampled_kb": {"count": 1, "sum": 10, "max": 10,
+                                       "p50": 10, "p95": 10, "p99": 10}},
+            "pool": {"chunk_wait": {"count": 1, "sum": 2, "max": 2,
+                                    "p50": 2, "p95": 2, "p99": 2}},
+            "phases": [{"path": "flow", "count": 1, "ms": 4.0,
+                        "p50_ns": 0, "p95_ns": 0, "p99_ns": 0, "max_ns": 0}],
+            "work": [{"counter": "atpg.gate_evals", "substrate": "b01 Die0",
+                      "reference": 800, "optimized": 400, "reduction": 0.5},
+                     {"counter": "atpg.pattern_batches",
+                      "substrate": "b01 Die0 wide lanes",
+                      "reference": 8, "optimized": 1, "reduction": 0.875},
+                     {"counter": "sta.node_retimes", "substrate": "b01 Die0",
+                      "reference": 900, "optimized": 40, "reduction": 0.955}]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn bench_report_with_lane_and_retime_rows_is_clean() {
+        let report = lint("BENCH_perf.json", valid_bench_report());
+        assert!(!report.has_errors(), "{}", report.render());
+        assert!(
+            report.with_code(REPORT_MISSING_WORK_COUNTERS).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn bench_report_without_lane_or_retime_rows_warns() {
+        // Keep only the gate-evals row: a stale perf binary's output.
+        let text = valid_bench_report().replace("atpg.pattern_batches", "probe.cache_hits");
+        let text = text.replace("sta.node_retimes", "graph.cone_word_ops");
+        let report = lint("BENCH_perf.json", text);
+        let warns = report.with_code(REPORT_MISSING_WORK_COUNTERS);
+        assert_eq!(warns.len(), 1, "{}", report.render());
+        assert!(warns[0].message.contains("atpg.pattern_batches"));
+        assert!(!report.has_errors(), "{}", report.render());
+    }
+
+    #[test]
+    fn bench_report_with_empty_work_rows_is_exempt() {
+        // A lite run records no work rows at all — nothing to flag.
+        let start = valid_bench_report().find("\"work\"").unwrap();
+        let mut text = valid_bench_report()[..start].to_string();
+        text.push_str("\"work\": []\n        }");
+        let report = lint("BENCH_lite.json", text);
+        assert!(
+            report.with_code(REPORT_MISSING_WORK_COUNTERS).is_empty(),
+            "{}",
+            report.render()
+        );
+    }
+
     /// Minimal serving report that satisfies the serve golden schema and
     /// both cross-field invariants.
     fn valid_serve_report() -> String {
@@ -388,6 +497,13 @@ mod tests {
         assert!(!report.has_errors(), "{}", report.render());
         assert!(
             report.with_code(REPORT_MISSING_TELEMETRY).is_empty(),
+            "{}",
+            report.render()
+        );
+        // Serving work rows measure the warm cache, not the fault-sim/STA
+        // hot paths — P3605 must not fire on them.
+        assert!(
+            report.with_code(REPORT_MISSING_WORK_COUNTERS).is_empty(),
             "{}",
             report.render()
         );

@@ -1,0 +1,576 @@
+//! Incremental *frontier* STA: keep arrival/required arrays live and, on a
+//! what-if extra-load edit, recompute only the affected frontier.
+//!
+//! # Why
+//!
+//! Algorithm 1 of the paper prices hundreds of candidate scan-flip-flop
+//! reuse taps per die. Each candidate adds one mux/XOR pin plus a stub
+//! wire — a *single-net* capacitance edit — yet pricing it with
+//! [`crate::analyze`] recomputes loads, arrivals and requireds for every
+//! node in the die ("full retime", `3·n` node visits). This module keeps
+//! a [`StaAnalysis`] alive across queries and retimes only the nodes whose
+//! times can actually change.
+//!
+//! # Exactness contract
+//!
+//! [`StaAnalysis`] is **not** an approximation. For any sequence of
+//! [`StaAnalysis::set_extra_load`] edits, [`StaAnalysis::report`] is
+//! bitwise-identical (every `f64` compares `==`) to
+//! [`crate::analysis::analyze_with_extra_loads`] run from scratch with the
+//! same extras — that function is the reference oracle and the test suite
+//! asserts `assert_eq!` between the two. The contract holds because the
+//! frontier recompute replays the *same* floating-point expressions as the
+//! full passes:
+//!
+//! * **Forward**: a min-heap ordered by topological rank pops each dirty
+//!   node after all of its dirty fanins; the node's arrival is recomputed
+//!   with the oracle's exact `max`-over-arcs loop (same input order). If
+//!   the recomputed value equals the stored one the walk stops there —
+//!   times downstream cannot change.
+//! * **Backward**: required times are recomputed *pull*-style — the
+//!   oracle's seed pass plus reverse-topological push pass are re-expressed
+//!   as a per-node min over (a) the node's own sink constraint, (b) seeds
+//!   through final wire arcs from sink fanouts it drives, and (c)
+//!   contributions from non-sink combinational fanouts. `min` over the
+//!   identical value set is order-independent and exact, so pulling equals
+//!   pushing bit-for-bit. A max-heap by rank pops each dirty node after
+//!   all of its dirty fanouts.
+//! * The `required == +inf → required = arrival` relaxation the oracle
+//!   applies to unconstrained nodes is *not* baked into the stored array
+//!   (that would destroy the sentinel the backward pass needs); it is
+//!   applied at read time ([`StaAnalysis::required`] / report
+//!   materialization).
+//! * WNS/TNS need every endpoint, so [`StaAnalysis::report`] re-runs the
+//!   oracle's endpoint scan in the same `netlist.iter()` order (the TNS
+//!   sum order matters for f64 equality). The scan reads live arrays only
+//!   — no node is retimed.
+//!
+//! Each frontier node recompute increments the `sta.node_retimes` counter;
+//! the bench probe compares it against the `3·n·queries` visits the full
+//! oracle pays for the same what-if sweep.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use prebond3d_celllib::{Capacitance, Library, Time};
+use prebond3d_netlist::{traverse, GateId, GateKind, Netlist};
+use prebond3d_obs as obs;
+use prebond3d_place::Placement;
+
+use crate::analysis::{launch_time, sink_required, TimingReport};
+use crate::StaConfig;
+
+/// `true` for kinds the oracle's backward pass never propagates *from*:
+/// sequential sinks (next-cycle required must not leak onto the D pin) and
+/// pure output markers (fully handled by the seeding pass).
+fn backward_skip(kind: GateKind) -> bool {
+    kind.is_sequential() || matches!(kind, GateKind::Output | GateKind::TsvOut)
+}
+
+/// A live timing analysis supporting exact what-if extra-load edits.
+///
+/// Build once with [`StaAnalysis::new`] (one full analysis), then edit
+/// with [`StaAnalysis::set_extra_load`] — each edit retimes only the
+/// frontier of nodes whose arrival or required time can change, and the
+/// live state stays bitwise-equal to a from-scratch
+/// [`crate::analysis::analyze_with_extra_loads`].
+pub struct StaAnalysis<'a> {
+    netlist: &'a Netlist,
+    placement: &'a Placement,
+    library: &'a Library,
+    config: StaConfig,
+    is_static: Vec<bool>,
+    /// Topological order (identical to the oracle's forward order).
+    order: Vec<GateId>,
+    /// `rank[id.index()]` = position of `id` in [`Self::order`].
+    rank: Vec<u32>,
+    base_load: Vec<Capacitance>,
+    extra: Vec<Capacitance>,
+    load: Vec<Capacitance>,
+    arrival: Vec<Time>,
+    /// Required times with the oracle's `+inf` sentinel still in place for
+    /// unconstrained nodes; the `required = arrival` relaxation is applied
+    /// at read time.
+    required_raw: Vec<Time>,
+    last_retimes: u64,
+    total_retimes: u64,
+}
+
+impl<'a> StaAnalysis<'a> {
+    /// Full analysis of `netlist`; equivalent to
+    /// [`crate::analysis::analyze_with_statics`] but keeping the state
+    /// live for incremental edits.
+    pub fn new(
+        netlist: &'a Netlist,
+        placement: &'a Placement,
+        library: &'a Library,
+        config: &StaConfig,
+        statics: &[GateId],
+    ) -> StaAnalysis<'a> {
+        let _span = obs::span("sta_incremental_build");
+        let n = netlist.len();
+        assert_eq!(placement.len(), n, "placement must cover the netlist");
+        obs::count("sta.runs", 1);
+        obs::count("sta.nodes_visited", 3 * n as u64);
+        let wire = library.wire();
+
+        let pin_cap: Vec<Capacitance> = netlist
+            .iter()
+            .map(|(_, gate)| library.timing(gate.kind).input_cap)
+            .collect();
+        let mut base_load = vec![Capacitance::ZERO; n];
+        for (id, _) in netlist.iter() {
+            let mut total = Capacitance::ZERO;
+            for &fo in netlist.fanout(id) {
+                total += pin_cap[fo.index()];
+                total += wire.driver_load(placement.distance(id, fo));
+            }
+            base_load[id.index()] = total;
+        }
+
+        let mut is_static = vec![false; n];
+        for &id in statics {
+            is_static[id.index()] = true;
+        }
+
+        let order = traverse::combinational_order(netlist);
+        let mut rank = vec![0u32; n];
+        for (r, &id) in order.iter().enumerate() {
+            rank[id.index()] = r as u32;
+        }
+
+        let mut this = StaAnalysis {
+            netlist,
+            placement,
+            library,
+            config: *config,
+            is_static,
+            order,
+            rank,
+            load: base_load.clone(),
+            base_load,
+            extra: vec![Capacitance::ZERO; n],
+            arrival: vec![Time(0.0); n],
+            required_raw: vec![Time(f64::INFINITY); n],
+            last_retimes: 0,
+            total_retimes: 0,
+        };
+
+        // Forward pass: same per-node expression as the oracle, evaluated
+        // in the same topological order.
+        for r in 0..n {
+            let id = this.order[r];
+            this.arrival[id.index()] = this.compute_arrival(id);
+        }
+        // Backward pass, pull-style: visiting in reverse topological order
+        // guarantees every combinational fanout is final when pulled.
+        for r in (0..n).rev() {
+            let id = this.order[r];
+            this.required_raw[id.index()] = this.compute_required_raw(id);
+        }
+        this
+    }
+
+    /// Number of gates under analysis.
+    pub fn len(&self) -> usize {
+        self.arrival.len()
+    }
+
+    /// `true` for an empty netlist.
+    pub fn is_empty(&self) -> bool {
+        self.arrival.is_empty()
+    }
+
+    /// Frontier node recomputes performed by the most recent
+    /// [`Self::set_extra_load`] call.
+    pub fn last_retimes(&self) -> u64 {
+        self.last_retimes
+    }
+
+    /// Frontier node recomputes performed since construction.
+    pub fn total_retimes(&self) -> u64 {
+        self.total_retimes
+    }
+
+    /// Current extra load applied to `id`'s output net.
+    pub fn extra_load(&self, id: GateId) -> Capacitance {
+        self.extra[id.index()]
+    }
+
+    /// Arrival time at the output of `id`.
+    pub fn arrival(&self, id: GateId) -> Time {
+        self.arrival[id.index()]
+    }
+
+    /// Required time at the output of `id` (unconstrained nodes read as
+    /// their arrival, exactly like the oracle's relaxation).
+    pub fn required(&self, id: GateId) -> Time {
+        let raw = self.required_raw[id.index()];
+        if raw == Time(f64::INFINITY) {
+            self.arrival[id.index()]
+        } else {
+            raw
+        }
+    }
+
+    /// Slack at the output of `id`.
+    pub fn slack(&self, id: GateId) -> Time {
+        self.required(id) - self.arrival(id)
+    }
+
+    /// Capacitive load currently driven by `id` (structural + extra).
+    pub fn load(&self, id: GateId) -> Capacitance {
+        self.load[id.index()]
+    }
+
+    /// Set the what-if extra load on `id`'s output net to `c` (replacing
+    /// any previous extra on that net) and retime the affected frontier.
+    ///
+    /// Passing [`Capacitance::ZERO`] reverts the net to its structural
+    /// load. Extras on *different* nets compose: the live state always
+    /// equals the oracle run with the full set of non-zero extras.
+    pub fn set_extra_load(&mut self, id: GateId, c: Capacitance) {
+        let d = id.index();
+        self.extra[d] = c;
+        // Single addition onto the structural load — the same expression
+        // the oracle uses, so clearing (c = 0) restores the original
+        // load bit-for-bit.
+        self.load[d] = self.base_load[d] + c;
+        let mut retimes = 0u64;
+
+        // --- Forward frontier -----------------------------------------
+        // Min-heap by rank: a dirty node pops only after every dirty
+        // fanin has been recomputed. Ranks are unique, so duplicate heap
+        // entries for one node pop adjacently and dedup against `last`.
+        let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        heap.push(Reverse(self.rank[d]));
+        let mut last: Option<u32> = None;
+        while let Some(Reverse(r)) = heap.pop() {
+            if last == Some(r) {
+                continue;
+            }
+            last = Some(r);
+            let x = self.order[r as usize];
+            let xi = x.index();
+            retimes += 1;
+            let new_at = self.compute_arrival(x);
+            if new_at == self.arrival[xi] {
+                // Bitwise-unchanged: nothing downstream can move.
+                continue;
+            }
+            self.arrival[xi] = new_at;
+            for &fo in self.netlist.fanout(x) {
+                let kind = self.netlist.gate(fo).kind;
+                // Sources ignore fanin arrivals; statics are pinned.
+                if kind.is_source() || self.is_static[fo.index()] {
+                    continue;
+                }
+                heap.push(Reverse(self.rank[fo.index()]));
+            }
+        }
+
+        // --- Backward frontier ----------------------------------------
+        // `load[d]` enters required times only through d's own backward
+        // cell delay, which exists only when d is a combinational
+        // non-sink: sources have zero backward cell delay and skip-set
+        // kinds never propagate to their fanins.
+        let gate = self.netlist.gate(id);
+        if !backward_skip(gate.kind) && !gate.kind.is_source() {
+            // Max-heap by rank: a dirty node pops only after every dirty
+            // (combinational, hence higher-ranked) fanout.
+            let mut heap: BinaryHeap<u32> = BinaryHeap::new();
+            for &input in &gate.inputs {
+                heap.push(self.rank[input.index()]);
+            }
+            let mut last: Option<u32> = None;
+            while let Some(r) = heap.pop() {
+                if last == Some(r) {
+                    continue;
+                }
+                last = Some(r);
+                let x = self.order[r as usize];
+                let xi = x.index();
+                retimes += 1;
+                let new_req = self.compute_required_raw(x);
+                if new_req == self.required_raw[xi] {
+                    continue;
+                }
+                self.required_raw[xi] = new_req;
+                let xg = self.netlist.gate(x);
+                if backward_skip(xg.kind) {
+                    continue;
+                }
+                for &input in &xg.inputs {
+                    heap.push(self.rank[input.index()]);
+                }
+            }
+        }
+
+        self.last_retimes = retimes;
+        self.total_retimes += retimes;
+        obs::count("sta.node_retimes", retimes);
+    }
+
+    /// Revert every what-if extra load, restoring the plain analysis.
+    pub fn clear_extra_loads(&mut self) {
+        let dirty: Vec<GateId> = self
+            .netlist
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| self.extra[id.index()] != Capacitance::ZERO)
+            .collect();
+        for id in dirty {
+            self.set_extra_load(id, Capacitance::ZERO);
+        }
+    }
+
+    /// Materialize the live state into a [`TimingReport`] — including the
+    /// WNS/TNS endpoint scan, replayed in the oracle's iteration order so
+    /// the TNS f64 sum is bitwise-identical.
+    pub fn report(&self) -> TimingReport {
+        let big = Time(f64::INFINITY);
+        let required: Vec<Time> = (0..self.arrival.len())
+            .map(|i| {
+                if self.required_raw[i] == big {
+                    self.arrival[i]
+                } else {
+                    self.required_raw[i]
+                }
+            })
+            .collect();
+        let (wns, tns, worst) = self.endpoint_scan();
+        TimingReport::from_parts(
+            self.arrival.clone(),
+            required,
+            self.load.clone(),
+            wns,
+            tns,
+            worst,
+            self.config.clock_period,
+        )
+    }
+
+    /// Worst negative slack over the live state (no retiming).
+    pub fn wns(&self) -> Time {
+        self.endpoint_scan().0
+    }
+
+    /// Total negative slack over the live state (no retiming).
+    pub fn tns(&self) -> Time {
+        self.endpoint_scan().1
+    }
+
+    /// The oracle's arrival expression for one node, over live state.
+    fn compute_arrival(&self, id: GateId) -> Time {
+        let gate = self.netlist.gate(id);
+        let cell = self.library.timing(gate.kind);
+        let wire = self.library.wire();
+        if self.is_static[id.index()] {
+            return Time(f64::NEG_INFINITY);
+        }
+        if gate.kind.is_source() {
+            return launch_time(gate.kind, self.library, &self.config)
+                + cell.drive_resistance * self.load[id.index()];
+        }
+        let mut at = Time(0.0);
+        for &input in &gate.inputs {
+            let wire_d = wire.elmore_delay(self.placement.distance(input, id), cell.input_cap);
+            at = at.max(self.arrival[input.index()] + wire_d);
+        }
+        let cell_delay = match gate.kind {
+            GateKind::Output | GateKind::TsvOut => Time(0.0),
+            _ => cell.intrinsic + cell.drive_resistance * self.load[id.index()],
+        };
+        at + cell_delay
+    }
+
+    /// Pull-style required time for one node: the min over exactly the
+    /// contributions the oracle's seed + push passes would deposit here.
+    /// `+inf` when unconstrained (the sentinel, not the relaxed value).
+    fn compute_required_raw(&self, id: GateId) -> Time {
+        let big = Time(f64::INFINITY);
+        let wire = self.library.wire();
+        let mut req = big;
+        // (a) The node's own sink constraint, for reporting.
+        if let Some(r) = sink_required(self.netlist.gate(id).kind, self.library, &self.config) {
+            req = req.min(r);
+        }
+        for &fo in self.netlist.fanout(id) {
+            let fog = self.netlist.gate(fo);
+            let cell = self.library.timing(fog.kind);
+            let wire_d = wire.elmore_delay(self.placement.distance(id, fo), cell.input_cap);
+            // (b) Seed through the final wire arc of a sink this node
+            // drives (the oracle seeds only via `inputs[0]`).
+            if let Some(r) = sink_required(fog.kind, self.library, &self.config) {
+                if fog.inputs.first() == Some(&id) {
+                    req = req.min(r - wire_d);
+                }
+            }
+            // (c) Push from a combinational non-sink fanout.
+            if backward_skip(fog.kind) {
+                continue;
+            }
+            let fo_req = self.required_raw[fo.index()];
+            if fo_req == big {
+                continue;
+            }
+            let cell_delay = if fog.kind.is_source() {
+                Time(0.0)
+            } else {
+                cell.intrinsic + cell.drive_resistance * self.load[fo.index()]
+            };
+            req = req.min(fo_req - cell_delay - wire_d);
+        }
+        req
+    }
+
+    /// The oracle's endpoint slack scan over live arrays.
+    fn endpoint_scan(&self) -> (Time, Time, Option<GateId>) {
+        let wire = self.library.wire();
+        let mut wns = Time(f64::INFINITY);
+        let mut tns = Time(0.0);
+        let mut worst = None;
+        let mut any_endpoint = false;
+        for (id, gate) in self.netlist.iter() {
+            let Some(req) = sink_required(gate.kind, self.library, &self.config) else {
+                continue;
+            };
+            any_endpoint = true;
+            let cell = self.library.timing(gate.kind);
+            let driver = gate.inputs[0];
+            let arr_in = self.arrival[driver.index()]
+                + wire.elmore_delay(self.placement.distance(driver, id), cell.input_cap);
+            let s = req - arr_in;
+            if s < wns {
+                wns = s;
+                worst = Some(id);
+            }
+            if s.0 < 0.0 {
+                tns += s;
+            }
+        }
+        if !any_endpoint {
+            wns = Time(0.0);
+        }
+        (wns, tns, worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{analyze, analyze_with_extra_loads, analyze_with_statics};
+    use prebond3d_netlist::itc99;
+    use prebond3d_place::{place, PlaceConfig};
+    use prebond3d_rng::StdRng;
+
+    fn setup(gates: usize) -> (Netlist, Placement, Library) {
+        let die = itc99::generate_flat("d", gates, 16, 6, 6, 5);
+        let placement = place(&die, &PlaceConfig::default(), 1);
+        (die, placement, Library::nangate45_like())
+    }
+
+    #[test]
+    fn build_matches_full_analyze_bitwise() {
+        let (die, placement, lib) = setup(300);
+        let config = StaConfig::with_period(Time(800.0));
+        let inc = StaAnalysis::new(&die, &placement, &lib, &config, &[]);
+        assert_eq!(inc.report(), analyze(&die, &placement, &lib, &config));
+    }
+
+    #[test]
+    fn build_with_statics_matches_oracle() {
+        let (die, placement, lib) = setup(250);
+        let config = StaConfig::with_period(Time(700.0));
+        let statics: Vec<GateId> = die
+            .iter()
+            .filter(|(_, g)| g.kind == GateKind::Input)
+            .map(|(id, _)| id)
+            .take(2)
+            .collect();
+        let inc = StaAnalysis::new(&die, &placement, &lib, &config, &statics);
+        assert_eq!(
+            inc.report(),
+            analyze_with_statics(&die, &placement, &lib, &config, &statics)
+        );
+    }
+
+    #[test]
+    fn what_if_edits_match_oracle_exactly_and_retime_a_strict_frontier() {
+        let (die, placement, lib) = setup(400);
+        let config = StaConfig::with_period(Time(750.0));
+        let mut inc = StaAnalysis::new(&die, &placement, &lib, &config, &[]);
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        let n = die.len();
+        for _ in 0..12 {
+            let target = GateId(rng.gen_range(0..n as u32));
+            let c = Capacitance(rng.gen_range(1u32..40) as f64 / 4.0);
+            inc.set_extra_load(target, c);
+            assert_eq!(
+                inc.report(),
+                analyze_with_extra_loads(&die, &placement, &lib, &config, &[], &[(target, c)]),
+                "live state diverged from oracle at extra {c} on {target:?}"
+            );
+            assert!(
+                inc.last_retimes() < n as u64,
+                "frontier retimed {} nodes, full pass visits {}",
+                inc.last_retimes(),
+                n
+            );
+            inc.set_extra_load(target, Capacitance::ZERO);
+        }
+    }
+
+    #[test]
+    fn extras_on_distinct_nets_compose() {
+        let (die, placement, lib) = setup(300);
+        let config = StaConfig::with_period(Time(800.0));
+        let mut inc = StaAnalysis::new(&die, &placement, &lib, &config, &[]);
+        let a = GateId(17);
+        let b = GateId(163);
+        inc.set_extra_load(a, Capacitance(6.5));
+        inc.set_extra_load(b, Capacitance(2.25));
+        assert_eq!(
+            inc.report(),
+            analyze_with_extra_loads(
+                &die,
+                &placement,
+                &lib,
+                &config,
+                &[],
+                &[(a, Capacitance(6.5)), (b, Capacitance(2.25))],
+            )
+        );
+    }
+
+    #[test]
+    fn clearing_extras_restores_the_plain_analysis() {
+        let (die, placement, lib) = setup(300);
+        let config = StaConfig::with_period(Time(800.0));
+        let mut inc = StaAnalysis::new(&die, &placement, &lib, &config, &[]);
+        let baseline = inc.report();
+        inc.set_extra_load(GateId(11), Capacitance(9.0));
+        inc.set_extra_load(GateId(42), Capacitance(3.5));
+        assert!(inc.extra_load(GateId(11)) != Capacitance::ZERO);
+        inc.clear_extra_loads();
+        assert_eq!(inc.report(), baseline);
+        assert_eq!(inc.report(), analyze(&die, &placement, &lib, &config));
+    }
+
+    #[test]
+    fn slack_accessors_agree_with_report() {
+        let (die, placement, lib) = setup(200);
+        let config = StaConfig::with_period(Time(800.0));
+        let mut inc = StaAnalysis::new(&die, &placement, &lib, &config, &[]);
+        inc.set_extra_load(GateId(5), Capacitance(12.0));
+        let report = inc.report();
+        for (id, _) in die.iter() {
+            assert_eq!(inc.arrival(id), report.arrival(id));
+            assert_eq!(inc.required(id), report.required(id));
+            assert_eq!(inc.slack(id), report.slack(id));
+            assert_eq!(inc.load(id), report.load(id));
+        }
+        assert_eq!(inc.wns(), report.wns);
+        assert_eq!(inc.tns(), report.tns);
+    }
+}

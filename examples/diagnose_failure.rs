@@ -57,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The tester observes this die's failing patterns.
         let mut observed = prebond3d::atpg::Signature::new(atpg.pattern_count());
         for (chunk_no, window) in atpg.patterns.chunks(64).enumerate() {
-            let masks = fs.simulate_batch(netlist, &access, window, &[defect], &[true]);
+            let masks = fs
+                .simulate_batch(netlist, &access, window, &[defect], &[true])
+                .expect("diagnosis window holds at most 64 patterns");
             let mut m = masks[0];
             while m != 0 {
                 let bit = m.trailing_zeros() as usize;

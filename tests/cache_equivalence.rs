@@ -112,4 +112,30 @@ fn cached_and_reference_flows_are_byte_identical() {
     let via_env = run();
     std::env::remove_var("PREBOND3D_NO_CACHE");
     assert_eq!(forced, via_env, "env-var and forced no-cache paths differ");
+
+    // Wide-lane sweep (DESIGN.md §16): the lane width is a batching
+    // device, never an algorithm change — at widths 1, 4 and 8 the flow +
+    // ATPG fingerprint must equal the no-cache reference computed above
+    // (`PREBOND3D_NO_CACHE=1` forces the single-lane oracle).
+    let mut widths = Vec::new();
+    for width in [1usize, 4, 8] {
+        tuning::force_lanes(Some(width));
+        widths.push((width, run()));
+        tuning::force_lanes(None);
+    }
+    for (width, got) in &widths {
+        assert_eq!(
+            &forced, got,
+            "lane width {width} diverged from the single-lane reference"
+        );
+    }
+
+    // And the env-var spelling must select the same path as the override.
+    std::env::set_var("PREBOND3D_LANES", "4");
+    let via_lanes_env = run();
+    std::env::remove_var("PREBOND3D_LANES");
+    assert_eq!(
+        widths[1].1, via_lanes_env,
+        "PREBOND3D_LANES=4 and forced width-4 paths differ"
+    );
 }

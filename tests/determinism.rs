@@ -62,6 +62,7 @@ fn fault_coverage_maps_are_identical_across_thread_counts() {
         assert_thread_invariant(&format!("{label} detection masks"), || {
             let mut fs = FaultSimulator::new(&netlist);
             fs.simulate_batch(&netlist, &access, &patterns, &faults.faults, &alive)
+                .unwrap()
                 .to_vec()
         });
     }
@@ -131,6 +132,127 @@ fn full_flow_and_atpg_results_are_thread_invariant() {
             r.testable.netlist.len(),
         )
     });
+}
+
+/// Wide-lane SIMD fault simulation (DESIGN.md §16): the full lane-width ×
+/// thread-count matrix must produce byte-identical detection masks,
+/// wrapper counts and fault coverage. Widths 1/4/8 change how many
+/// 64-pattern blocks share one cone walk; threads change how fault chunks
+/// are claimed; neither may leak into any result bit. The reference cell
+/// of the matrix is (width 1, serial) — the straight-line oracle.
+#[test]
+fn lane_width_and_thread_matrix_is_byte_identical() {
+    use prebond3d::netlist::tuning;
+    let lib = Library::nangate45_like();
+    let spec = itc99::circuit("b12").expect("known benchmark");
+    let netlist = itc99::generate_die(&spec.dies[0]);
+    let placement = place(&netlist, &PlaceConfig::default(), 1);
+    let access = TestAccess::full_scan(&netlist);
+    let faults = FaultList::collapsed(&netlist);
+    let alive = vec![true; faults.len()];
+    let mut rng = StdRng::seed_from_u64(0x1A5E_D1CE);
+    // 320 patterns = 5 blocks: a width-8 dispatch with a ragged tail.
+    let patterns: Vec<Pattern> = (0..320)
+        .map(|_| Pattern {
+            bits: (0..access.width()).map(|_| rng.gen_bool(0.5)).collect(),
+        })
+        .collect();
+    let blocks = patterns.len().div_ceil(64);
+
+    let fingerprint = || {
+        // Wide masks, normalized block-major so the rendering is
+        // width-independent.
+        let mut fs = FaultSimulator::new(&netlist);
+        let (w, masks) = fs
+            .simulate_batch_wide(&netlist, &access, &patterns, &faults.faults, &alive)
+            .expect("batch within lane capacity");
+        let normalized: Vec<u64> = (0..blocks)
+            .flat_map(|b| (0..faults.len()).map(move |f| (f, b)))
+            .map(|(f, b)| masks[f * w + b])
+            .collect();
+        // Flow wrapper counts + full ATPG on the wrapped die: the engine's
+        // random phase, compaction and coverage accounting all read the
+        // lane knob internally.
+        let config = FlowConfig {
+            method: Method::Ours,
+            scenario: Scenario::Tight,
+            ordering: None,
+            allow_overlap: Some(true),
+        };
+        let r = run_flow(&netlist, &placement, &lib, &config).expect("flow runs");
+        let atpg = run_stuck_at(
+            &r.testable.netlist,
+            &prebond3d::dft::prebond_access(&r.testable),
+            &AtpgConfig::fast(),
+        );
+        format!(
+            "masks={normalized:?} reused={} additional={} coverage={:.9} patterns={}",
+            r.reused_scan_ffs,
+            r.additional_wrapper_cells,
+            atpg.test_coverage(),
+            atpg.pattern_count(),
+        )
+    };
+
+    tuning::force_lanes(Some(1));
+    let reference = with_threads(1, &fingerprint);
+    tuning::force_lanes(None);
+    for width in [1usize, 4, 8] {
+        for threads in [1usize, 4, 8] {
+            tuning::force_lanes(Some(width));
+            let got = with_threads(threads, &fingerprint);
+            tuning::force_lanes(None);
+            assert_eq!(
+                reference, got,
+                "b12 Die0: lanes={width} threads={threads} diverges from the \
+                 single-lane serial oracle"
+            );
+        }
+    }
+}
+
+/// Incremental frontier STA (DESIGN.md §16): a seeded what-if sweep over
+/// single-net extra loads must match the from-scratch oracle *exactly* —
+/// every arrival, required, load, WNS and TNS `f64` compares equal — while
+/// retiming strictly fewer nodes than the full recompute visits.
+#[test]
+fn incremental_sta_what_if_sweep_equals_full_recompute_exactly() {
+    use prebond3d::celllib::{Capacitance, Time};
+    use prebond3d::netlist::GateId;
+    use prebond3d::sta::{analyze_with_extra_loads, StaAnalysis, StaConfig};
+    let lib = Library::nangate45_like();
+    let spec = itc99::circuit("b11").expect("known benchmark");
+    let netlist = itc99::generate_die(&spec.dies[0]);
+    let placement = place(&netlist, &PlaceConfig::default(), 1);
+    let config = StaConfig::with_period(Time(760.0));
+    let mut inc = StaAnalysis::new(&netlist, &placement, &lib, &config, &[]);
+    let mut rng = StdRng::seed_from_u64(0x57A7_D1CE);
+    for round in 0..10 {
+        let target = GateId(rng.gen_range(0..netlist.len() as u32));
+        let c = Capacitance(rng.gen_range(1u32..60) as f64 / 8.0);
+        inc.set_extra_load(target, c);
+        let oracle =
+            analyze_with_extra_loads(&netlist, &placement, &lib, &config, &[], &[(target, c)]);
+        assert_eq!(
+            inc.report(),
+            oracle,
+            "round {round}: incremental what-if diverged from the oracle \
+             (extra {c} on {target:?})"
+        );
+        assert!(
+            inc.last_retimes() < netlist.len() as u64,
+            "round {round}: retimed {} of {} nodes — frontier is not partial",
+            inc.last_retimes(),
+            netlist.len()
+        );
+        inc.set_extra_load(target, Capacitance::ZERO);
+    }
+    // After the sweep every extra is cleared: the live state must equal
+    // the plain analysis again.
+    assert_eq!(
+        inc.report(),
+        prebond3d::sta::analyze(&netlist, &placement, &lib, &config)
+    );
 }
 
 /// Crash-safe checkpoint/resume (DESIGN.md §10): a sweep that is killed
